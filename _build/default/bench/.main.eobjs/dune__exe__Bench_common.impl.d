@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Farm List Net Printf Sim String

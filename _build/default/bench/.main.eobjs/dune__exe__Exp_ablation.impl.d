@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Bench_common Farm List Placement Printf Sim

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Almanac Baselines Bench_common Farm Float List Net Printf Runtime Sim Tasks

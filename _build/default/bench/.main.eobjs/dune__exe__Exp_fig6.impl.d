@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Almanac Array Bench_common Farm List Net Option Printf Runtime Sim Tasks

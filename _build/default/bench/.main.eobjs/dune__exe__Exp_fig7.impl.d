@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Array Bench_common Farm Farm_almanac Float Fun Hashtbl List Optim Placement Printf Sim Unix

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Bench_common Farm List Net Printf Runtime Sim

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Bench_common Farm List Printf Tasks

@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Almanac Baselines Bench_common Farm List Printf Runtime Sim Tasks

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_fig10 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_table1 Exp_table4 Exp_table5 List Micro Printf String Sys

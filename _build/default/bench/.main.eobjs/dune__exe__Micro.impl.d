@@ -1,0 +1,1 @@
+bench/micro.ml: Almanac Analyze Array Bechamel Bench_common Benchmark Farm Hashtbl Instance List Measure Optim Placement Printf Sim Staged Tasks Test Time Toolkit

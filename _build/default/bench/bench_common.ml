@@ -1,0 +1,97 @@
+(* Shared helpers for the experiment harness: world construction, the
+   heavy-hitter scenario, and table/series printing. *)
+
+open Farm
+module Engine = Sim.Engine
+module Rng = Sim.Rng
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+(* print a table: header row + rows of strings *)
+let table headers rows =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) headers;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then Printf.printf "| %-*s " widths.(i) cell)
+      row;
+    Printf.printf "|\n"
+  in
+  print_row headers;
+  List.iteri
+    (fun i _ ->
+      Printf.printf "|%s" (String.make (widths.(i) + 2) '-'))
+    headers;
+  Printf.printf "|\n";
+  List.iter print_row rows;
+  Printf.printf "%!"
+
+let fmt_time s =
+  if s < 1e-3 then Printf.sprintf "%.0f us" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.1f ms" (s *. 1e3)
+  else Printf.sprintf "%.2f s" s
+
+let fmt_bytes_rate b =
+  if b < 1e3 then Printf.sprintf "%.1f B/s" b
+  else if b < 1e6 then Printf.sprintf "%.1f kB/s" (b /. 1e3)
+  else Printf.sprintf "%.2f MB/s" (b /. 1e6)
+
+let fmt_bits_rate b =
+  if b < 1e3 then Printf.sprintf "%.0f b/s" b
+  else if b < 1e6 then Printf.sprintf "%.1f kb/s" (b /. 1e3)
+  else if b < 1e9 then Printf.sprintf "%.2f Mb/s" (b /. 1e6)
+  else Printf.sprintf "%.2f Gb/s" (b /. 1e9)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* The evaluation fabric: 20 switches as in §VI-A b (4 spines, 16 leaves). *)
+let paper_topology () =
+  Net.Topology.spine_leaf ~spines:4 ~leaves:16 ~hosts_per_leaf:2
+
+(* Generous management-plane capacities for stress experiments where we
+   deliberately overcommit the CPU (Fig. 6): placement must accept the
+   seeds; the CPU cost model then reports the overload. *)
+let stress_caps =
+  { Net.Switch_model.accton_as5712 with vcpu = 1024.; ram_mb = 1e7 }
+
+(* ------------------------------------------------------------------ *)
+(* Heavy-hitter scenario                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hh_threshold = 1e6  (* bytes/s *)
+let hh_rate = 2e7
+
+type hh_world = {
+  engine : Engine.t;
+  fabric : Net.Fabric.t;
+  rng : Rng.t;
+  onset : float;
+}
+
+(* background + one elephant starting at [onset] *)
+let hh_scenario ?(seed = 1) ?(onset = 2.) ?(background_flows = 60) topo =
+  let engine = Engine.create ~seed () in
+  let fabric = Net.Fabric.create topo in
+  let rng = Rng.split (Engine.rng engine) in
+  Net.Traffic.background engine fabric rng
+    { Net.Traffic.default_profile with
+      concurrent_flows = background_flows;
+      mean_rate = 20_000. };
+  let _hh = Net.Traffic.heavy_hitter engine fabric rng ~at:onset ~rate:hh_rate () in
+  { engine; fabric; rng; onset }

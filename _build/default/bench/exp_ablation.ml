@@ -1,0 +1,55 @@
+(* Ablation of the Alg. 1 heuristic phases (DESIGN.md §ablations): utility
+   after greedy placement only, after adding LP resource redistribution,
+   and with migration enabled — on random instances with a non-trivial
+   previous placement so migration has something to improve. *)
+
+open Farm
+module Model = Placement.Model
+module Heuristic = Placement.Heuristic
+module Rng = Sim.Rng
+
+let run_one ~seed ~phases =
+  let rng = Rng.create seed in
+  let inst =
+    Model.random_instance ~rng ~switches:40 ~tasks:8 ~seeds_per_task:25 ()
+  in
+  (* first optimize greedily to create a "current" placement, then re-run
+     with a larger one of the phase combinations *)
+  let base, _ = Heuristic.optimize ~phases:Heuristic.greedy_only inst in
+  let inst = { inst with previous = base.assignments } in
+  let p, stats = Heuristic.optimize ~phases inst in
+  (p.utility, stats)
+
+let run () =
+  Bench_common.section "Ablation: heuristic phases (Alg. 1)";
+  let seeds = [ 11; 22; 33; 44; 55 ] in
+  let configs =
+    [ ("greedy only", Heuristic.greedy_only);
+      ("greedy + LP redistribution",
+       { Heuristic.redistribute = true; migrate = false });
+      ("greedy + migration",
+       { Heuristic.redistribute = false; migrate = true });
+      ("full (greedy + LP + migration)", Heuristic.all_phases) ]
+  in
+  let rows =
+    List.map
+      (fun (name, phases) ->
+        let results = List.map (fun s -> run_one ~seed:s ~phases) seeds in
+        let util = Bench_common.mean (List.map fst results) in
+        let migr =
+          Bench_common.mean
+            (List.map (fun (_, (s : Heuristic.stats)) ->
+                 float_of_int s.migrations) results)
+        in
+        let time =
+          Bench_common.mean
+            (List.map (fun (_, (s : Heuristic.stats)) -> s.runtime_s) results)
+        in
+        [ name; Printf.sprintf "%.0f" util; Printf.sprintf "%.1f" migr;
+          Bench_common.fmt_time time ])
+      configs
+  in
+  Bench_common.table [ "Phases"; "Utility"; "Migrations"; "Runtime" ] rows;
+  Printf.printf
+    "\n(LP redistribution is the main utility lever; migration helps when \
+     the previous placement is stale)\n%!"

@@ -1,0 +1,56 @@
+(* Fig. 10: soil <-> seed communication latency, shared ring buffer vs
+   gRPC, seeds as threads vs processes.  Measured end to end through the
+   soil pipeline: ASIC read issue -> seed handler (PCIe transfer plus the
+   IPC hop); gRPC becomes the bottleneck as the seed count grows, the
+   shared buffer stays flat — the finding that motivated FARM's custom
+   transport (§V-A b). *)
+
+open Farm
+module Engine = Sim.Engine
+
+let sim_seconds = 2.
+
+let latency ~n ~scheme ~exec_model =
+  let engine = Engine.create ~seed:7 () in
+  let sw = Net.Switch_model.create ~id:0 ~ports:8 () in
+  let config =
+    { Runtime.Soil.default_config with scheme; exec_model }
+  in
+  let soil = Runtime.Soil.create ~config engine sw in
+  (* n co-located seeds; one polls, the rest load the transport *)
+  for i = 1 to n do
+    Runtime.Soil.attach_seed soil i
+  done;
+  ignore
+    (Runtime.Soil.subscribe_poll soil ~seed_id:1 ~subject:Net.Filter.All_ports
+       ~period:0.005 (fun _ -> ()));
+  Engine.run ~until:sim_seconds engine;
+  Sim.Metrics.Histogram.mean (Runtime.Soil.delivery_latency soil)
+
+let run () =
+  Bench_common.section
+    "Fig. 10: soil<->seed delivery latency by transport and execution model";
+  let rows =
+    List.map
+      (fun n ->
+        let sb_t = latency ~n ~scheme:Runtime.Ipc.Shared_buffer
+            ~exec_model:Runtime.Ipc.Threads in
+        let sb_p = latency ~n ~scheme:Runtime.Ipc.Shared_buffer
+            ~exec_model:Runtime.Ipc.Processes in
+        let g_t = latency ~n ~scheme:Runtime.Ipc.Grpc
+            ~exec_model:Runtime.Ipc.Threads in
+        let g_p = latency ~n ~scheme:Runtime.Ipc.Grpc
+            ~exec_model:Runtime.Ipc.Processes in
+        [ string_of_int n;
+          Bench_common.fmt_time sb_t;
+          Bench_common.fmt_time sb_p;
+          Bench_common.fmt_time g_t;
+          Bench_common.fmt_time g_p ])
+      [ 10; 50; 100; 150 ]
+  in
+  Bench_common.table
+    [ "Seeds"; "shm+threads"; "shm+procs"; "gRPC+threads"; "gRPC+procs" ]
+    rows;
+  Printf.printf
+    "\n(paper: gRPC latency grows linearly with deployed seeds; the shared \
+     buffer shows marginal overhead even at 150 seeds)\n%!"

@@ -1,0 +1,22 @@
+(* Tab. V: feature matrix of generic M&M solutions — which of the paper's
+   four requirements each system meets.  FARM's column is backed by this
+   repository; the baselines' by their behavioural models and §VII. *)
+
+let run () =
+  Bench_common.section "Tab. V: features of generic M&M solutions";
+  Bench_common.table
+    [ "System"; "[DEC] decentralized"; "[EXP] expressive"; "[IND] platform-indep.";
+      "[OPT] optimized placement" ]
+    [ [ "FARM"; "yes (seeds react locally)"; "yes (stateful automata)";
+        "yes (Stratum/EOS)"; "yes (global heuristic)" ];
+      [ "sFlow"; "no (central collector)"; "no (raw samples)"; "yes"; "no" ];
+      [ "Sonata"; "no (Spark backend)"; "partial (aggregates only)";
+        "no (P4 targets)"; "partial (per-query MILP)" ];
+      [ "Newton"; "no (central processing)"; "partial (dynamic queries)";
+        "no (P4 targets)"; "partial" ];
+      [ "OmniMon"; "partial (hosts+switches)"; "no (per-task design)";
+        "partial"; "no" ];
+      [ "Marple"; "partial (on-switch aggregation)"; "no (few primitives)";
+        "partial"; "no" ];
+      [ "BeauCoup"; "partial (coupon counters)"; "no (distinct counting)";
+        "no"; "no" ] ]

@@ -1,0 +1,199 @@
+(* farmc — the Almanac compiler / task driver CLI.
+
+   Subcommands:
+     farmc check <file.alm>      parse + type-check
+     farmc format <file.alm>     pretty-print the parsed program
+     farmc compile <file.alm>    emit the XML interchange form
+     farmc analyze <file.alm>    run the seeder's static analyses
+     farmc tasks                 list the built-in Table I catalog
+     farmc run <task> [-d SECS]  simulate a catalog task under its workload
+*)
+
+open Farm
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Almanac.Parser.program (read_file path) with
+  | p -> Ok p
+  | exception Almanac.Parser.Error m ->
+      Error (Printf.sprintf "%s: syntax error: %s" path m)
+
+let check_program path =
+  match load path with
+  | Error m -> Error m
+  | Ok parsed -> (
+      match Almanac.Typecheck.check_result parsed with
+      | Ok p -> Ok p
+      | Error m -> Error (Printf.sprintf "%s: type error: %s" path m))
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline m;
+      exit 1
+
+(* ---------------- check ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.alm")
+
+let check_cmd =
+  let run file =
+    let p = or_die (check_program file) in
+    Printf.printf "%s: ok (%d machine(s), %d auxiliary function(s))\n" file
+      (List.length p.machines) (List.length p.funcs)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and type-check an Almanac program")
+    Term.(const run $ file_arg)
+
+(* ---------------- format ---------------- *)
+
+let format_cmd =
+  let run file =
+    let p = or_die (check_program file) in
+    print_string (Almanac.Pretty.program_to_string p)
+  in
+  Cmd.v (Cmd.info "format" ~doc:"Pretty-print an Almanac program")
+    Term.(const run $ file_arg)
+
+(* ---------------- compile (XML interchange, §V-A d) ---------------- *)
+
+let compile_cmd =
+  let run file =
+    let p = or_die (check_program file) in
+    print_string (Almanac.Machine_xml.compile p)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile an Almanac program to the XML interchange form the           seeder ships to switches")
+    Term.(const run $ file_arg)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run file =
+    let p = or_die (check_program file) in
+    let topo = Net.Topology.spine_leaf ~spines:2 ~leaves:4 ~hosts_per_leaf:2 in
+    List.iter
+      (fun (m : Almanac.Ast.machine) ->
+        Printf.printf "machine %s\n" m.mname;
+        match Almanac.Analysis.summarize ~topo m with
+        | Error e -> Printf.printf "  analysis error: %s\n" e
+        | Ok s ->
+            Printf.printf "  seeds (on a 2x4 spine-leaf reference fabric): %d\n"
+              (List.length s.seeds);
+            List.iter
+              (fun (state, branches) ->
+                Printf.printf "  state %s: %d utility branch(es)\n" state
+                  (List.length branches);
+                List.iter
+                  (fun (b : Almanac.Analysis.util_branch) ->
+                    List.iter
+                      (fun c ->
+                        Printf.printf "    constraint %s >= 0\n"
+                          (Optim.Lin_expr.to_string c))
+                      b.constraints;
+                    Printf.printf "    utility min(%s)\n"
+                      (String.concat ", "
+                         (List.map Optim.Lin_expr.to_string b.utility)))
+                  branches)
+              s.state_utils;
+            List.iter
+              (fun (pv : Almanac.Analysis.poll_summary) ->
+                Printf.printf "  %s %s: subjects [%s]\n"
+                  (Almanac.Ast.trigger_type_to_string pv.ptrig)
+                  pv.poll_name
+                  (String.concat "; "
+                     (List.map
+                        (fun subj ->
+                          Format.asprintf "%a" Net.Filter.pp_subject subj)
+                        pv.subjects)))
+              s.poll_vars)
+      p.machines
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the seeder's static analyses (placement, utility, polling)")
+    Term.(const run $ file_arg)
+
+(* ---------------- tasks ---------------- *)
+
+let tasks_cmd =
+  let run () =
+    List.iter
+      (fun (e : Tasks.Task_common.entry) ->
+        Printf.printf "%-40s %s\n" e.name e.description)
+      Tasks.Catalog.all
+  in
+  Cmd.v (Cmd.info "tasks" ~doc:"List the built-in Table I task catalog")
+    Term.(const run $ const ())
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let task_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TASK")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS")
+  in
+  let run name duration =
+    let entry =
+      try Tasks.Catalog.find name
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    in
+    let world = World.create () in
+    let task =
+      match
+        Runtime.Seeder.deploy world.seeder
+          (Tasks.Task_common.to_task_spec entry)
+      with
+      | Ok t -> t
+      | Error m ->
+          prerr_endline m;
+          exit 1
+    in
+    Printf.printf "deployed %s: %d seeds on %d switches\n" name
+      (List.length (Runtime.Seeder.seeds world.seeder task))
+      (List.length (Net.Topology.switches world.topology));
+    World.background_traffic ~flows:50 world;
+    (* a generic anomaly so detection tasks have something to find *)
+    let victim = Net.Ipaddr.of_string "10.2.1.9" in
+    Net.Traffic.syn_flood world.engine world.fabric world.rng
+      ~at:(duration /. 3.) ~duration:(duration /. 2.) ~victim
+      ~rate_per_source:200_000. ~sources:60;
+    let _ =
+      Net.Traffic.heavy_hitter world.engine world.fabric world.rng
+        ~at:(duration /. 3.) ~rate:2e7 ()
+    in
+    World.run ~until:duration world;
+    let h = Runtime.Seeder.harvester task in
+    Printf.printf "simulated %.1fs: %d harvester message(s)\n" duration
+      (Runtime.Harvester.received_count h);
+    List.iteri
+      (fun i (t, sw, v) ->
+        if i < 10 then
+          Printf.printf "  t=%.3fs  switch %d: %s\n" t sw
+            (Almanac.Value.to_string v))
+      (List.rev (Runtime.Harvester.received h))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Deploy a catalog task on a simulated DC and run it")
+    Term.(const run $ task_arg $ duration_arg)
+
+let () =
+  let doc = "the Almanac compiler and FARM task driver" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "farmc" ~version:"1.0.0" ~doc)
+          [ check_cmd; format_cmd; compile_cmd; analyze_cmd; tasks_cmd;
+            run_cmd ]))

@@ -1,0 +1,1 @@
+examples/almanac_tour.ml: Almanac Array Farm Format List Net Optim Printf String

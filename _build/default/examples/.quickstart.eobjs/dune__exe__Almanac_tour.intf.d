@@ -1,0 +1,1 @@
+examples/almanac_tour.mli:

@@ -1,0 +1,1 @@
+examples/ddos_mitigation.ml: Almanac Farm List Net Option Printf Runtime String World

@@ -1,0 +1,1 @@
+examples/multi_task_placement.ml: Farm List Net Printf Runtime World

@@ -1,0 +1,1 @@
+examples/multi_task_placement.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Farm List Net Printf Runtime World

@@ -1,0 +1,102 @@
+(* A tour of the Almanac toolchain: parse a program, type-check it
+   (inheritance included), and run the static analyses the seeder uses —
+   placement resolution (pi), utility extraction (kappa/epsilon) and
+   polling analysis.
+
+   Run with:  dune exec examples/almanac_tour.exe *)
+
+open Farm
+
+let source = {|
+machine PrefixWatch {
+  place any receiver dstIP "10.2.0.0/16" range <= 1;
+  poll traffic = Poll {
+    .ival = 10 / res().PCIe,          // poll faster with more bus share
+    .what = dstIP "10.2.0.0/16"
+  };
+  external float limit = 500000;
+  float last = 0;
+  state calm {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 64) then {
+        return min(4 * res.vCPU, res.PCIe / 10);
+      }
+    }
+    when (traffic as s) do {
+      if (stat(s, 0) - last > limit) then { transit busy; }
+      last = stat(s, 0);
+    }
+  }
+  state busy {
+    util (res) { return 42; }
+    when (enter) do {
+      send last to harvester;
+      transit calm;
+    }
+  }
+}
+|}
+
+let () =
+  (* 1. parse + type-check *)
+  let program = Almanac.Typecheck.check (Almanac.Parser.program source) in
+  let machine = List.hd program.machines in
+  Printf.printf "machine %s: %d states, %d trigger variable(s)\n"
+    machine.mname
+    (List.length machine.states)
+    (List.length machine.mtrigs);
+
+  (* 2. pretty-print round trip *)
+  let printed = Almanac.Pretty.program_to_string program in
+  assert (Almanac.Parser.program printed = program);
+  Printf.printf "pretty-print round-trip: ok (%d chars)\n"
+    (String.length printed);
+
+  (* 3. placement analysis against a topology *)
+  let topo = Net.Topology.spine_leaf ~spines:2 ~leaves:3 ~hosts_per_leaf:2 in
+  let summary =
+    match Almanac.Analysis.summarize ~topo machine with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  Printf.printf "\nplacement pi[[...]]: %d seed(s)\n"
+    (List.length summary.seeds);
+  List.iteri
+    (fun i (site : Almanac.Analysis.seed_site) ->
+      Printf.printf "  seed %d can run on: %s\n" i
+        (String.concat ", "
+           (List.map
+              (fun id -> (Net.Topology.node topo id).name)
+              site.candidates)))
+    summary.seeds;
+
+  (* 4. utility analysis: constraints and utility as polynomials *)
+  List.iter
+    (fun (state, branches) ->
+      Printf.printf "\nutility of state %S:\n" state;
+      List.iter
+        (fun (b : Almanac.Analysis.util_branch) ->
+          List.iter
+            (fun c ->
+              Printf.printf "  constraint: %s >= 0\n"
+                (Optim.Lin_expr.to_string c))
+            b.constraints;
+          Printf.printf "  utility: min(%s)\n"
+            (String.concat ", "
+               (List.map Optim.Lin_expr.to_string b.utility)))
+        branches)
+    summary.state_utils;
+
+  (* 5. polling analysis: subjects and resource-dependent rate *)
+  List.iter
+    (fun (p : Almanac.Analysis.poll_summary) ->
+      Printf.printf "\npoll %S: subjects = [%s]\n" p.poll_name
+        (String.concat "; "
+           (List.map
+              (fun s -> Format.asprintf "%a" Net.Filter.pp_subject s)
+              p.subjects));
+      let res = Array.make Almanac.Analysis.n_resources 0. in
+      res.(Almanac.Analysis.resource_index Almanac.Analysis.Pcie) <- 100.;
+      Printf.printf "  with 100 units of PCIe the seed polls %.1f times/s\n"
+        (Almanac.Analysis.poll_rate p.ival res))
+    summary.poll_vars

@@ -1,0 +1,1 @@
+lib/almanac/analysis.ml: Array Ast Farm_net Farm_optim Float Int List Printf Result Stdlib Value

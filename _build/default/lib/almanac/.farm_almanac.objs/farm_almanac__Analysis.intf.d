@@ -1,0 +1,1 @@
+lib/almanac/analysis.mli: Ast Farm_net Farm_optim Value

@@ -1,0 +1,1 @@
+lib/almanac/interp.ml: Analysis Array Ast Farm_net Filter Float Hashtbl Ipaddr List Printf String Value

@@ -1,0 +1,1 @@
+lib/almanac/interp.mli: Ast Value

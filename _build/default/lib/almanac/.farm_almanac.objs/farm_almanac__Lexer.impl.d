@@ -1,0 +1,1 @@
+lib/almanac/lexer.ml: Buffer List Printf String Token

@@ -1,0 +1,1 @@
+lib/almanac/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/almanac/machine_xml.ml: Ast List Option Printf Xml

@@ -1,0 +1,1 @@
+lib/almanac/machine_xml.mli: Ast Xml

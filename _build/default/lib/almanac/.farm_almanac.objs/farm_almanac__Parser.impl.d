@@ -1,0 +1,1 @@
+lib/almanac/parser.ml: Array Ast Lexer List Printf Token

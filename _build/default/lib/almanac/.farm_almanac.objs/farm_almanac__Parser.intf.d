@@ -1,0 +1,1 @@
+lib/almanac/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/almanac/pretty.ml: Ast Float Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/almanac/pretty.mli: Ast Format

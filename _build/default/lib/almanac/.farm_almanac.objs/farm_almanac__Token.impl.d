@@ -1,0 +1,1 @@
+lib/almanac/token.ml: List Printf

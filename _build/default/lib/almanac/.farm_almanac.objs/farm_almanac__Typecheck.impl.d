@@ -1,0 +1,1 @@
+lib/almanac/typecheck.ml: Ast Hashtbl List Printf Result String

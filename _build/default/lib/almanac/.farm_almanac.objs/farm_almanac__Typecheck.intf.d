@@ -1,0 +1,1 @@
+lib/almanac/typecheck.mli: Ast

@@ -1,0 +1,1 @@
+lib/almanac/value.ml: Array Ast Farm_net Float Flow Format Ipaddr List Printf String

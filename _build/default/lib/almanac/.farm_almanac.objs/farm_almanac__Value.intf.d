@@ -1,0 +1,1 @@
+lib/almanac/value.mli: Ast Farm_net Format

@@ -1,0 +1,1 @@
+lib/almanac/xml.ml: Buffer List Printf String

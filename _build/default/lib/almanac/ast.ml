@@ -1,0 +1,187 @@
+(** Abstract syntax of Almanac — the automata language for network
+    management and monitoring code (paper §III, Fig. 3).
+
+    The AST is public by design: the parser produces it, the type checker
+    validates it, the static analyses (placement, utility, polling) consume
+    it, and the interpreter executes it. *)
+
+(** Value types ([typ] in the grammar). *)
+type typ =
+  | Tbool
+  | Tint
+  | Tlong
+  | Tfloat
+  | Tstring
+  | Tlist
+  | Tpacket
+  | Taction  (** a TCAM action value *)
+  | Tfilter
+  | Tstats  (** polled statistics (array of counters) *)
+  | Trule  (** a TCAM rule *)
+  | Tresources  (** the [res()] structure *)
+  | Tunit
+
+(** Trigger-variable types ([tty]): all denote periodic events; [Poll] and
+    [Probe] additionally carry a filter used for placement optimization. *)
+type trigger_type = Time | Poll | Probe
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Eq
+  | Neq
+  | Le
+  | Ge
+  | Lt
+  | Gt
+
+type unop = Not | Neg
+
+(** Heads of filter atoms ([fil]). *)
+type filter_head = SrcIP | DstIP | SrcPort | DstPort | PortF | ProtoF
+
+type expr =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | AnyLit  (** the [ANY] wildcard *)
+  | Var of string
+  | Field of expr * string  (** [res().vCPU], [pkt.size] *)
+  | Call of string * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | FilterAtom of filter_head * expr  (** [srcIP "10.1.1.4"], [port ANY] *)
+  | StructLit of string * (string * expr) list
+      (** [Poll { .ival = e, .what = e }] *)
+  | ListLit of expr list
+
+(** Message destination of [send] / source of [recv]. *)
+type dest =
+  | Harvester
+  | Machine of string * expr option  (** machine name, optional [@dst] *)
+
+type stmt =
+  | Decl of typ * string * expr option  (** local variable declaration *)
+  | Assign of string * expr
+  | Transit of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Send of expr * dest
+  | ExprStmt of expr
+
+type trigger =
+  | On_enter
+  | On_exit
+  | On_realloc
+  | On_trigger_var of string * string option  (** [when (pollStats as stats)] *)
+  | On_recv of typ * string * dest  (** [recv long newTh from harvester] *)
+
+type event = { trigger : trigger; body : stmt list }
+
+type var_decl = {
+  is_external : bool;
+  vtyp : typ;
+  vname : string;
+  vinit : expr option;
+}
+
+type trig_decl = {
+  ttyp : trigger_type;
+  tname : string;
+  tinit : expr option;  (** a [Poll]/[Probe]/[Time] struct literal *)
+}
+
+(** [util (x) { body }]: utility callback with syntactic restrictions
+    (§III-A f) enforced by the type checker. *)
+type util_decl = { uparam : string; ubody : stmt list }
+
+type state_decl = {
+  sname : string;
+  slocals : var_decl list;
+  sutil : util_decl option;
+  sevents : event list;
+}
+
+type quant = QAll | QAny
+
+type range_role = Sender | Receiver | Midpoint
+
+(** Placement directives ([pl]). *)
+type place_constraint =
+  | Anywhere  (** [place all] / [place any]: every switch *)
+  | At_nodes of expr list  (** explicit switch ids or names *)
+  | On_range of {
+      role : range_role;
+      pfilter : expr option;  (** traffic filter selecting the paths *)
+      rop : binop;  (** comparison against the distance *)
+      rbound : expr;
+    }
+
+type place_decl = { pquant : quant; pconstraint : place_constraint }
+
+type machine = {
+  mname : string;
+  extends : string option;
+  places : place_decl list;
+  mvars : var_decl list;
+  mtrigs : trig_decl list;
+  states : state_decl list;
+  mevents : event list;  (** machine-level events: apply in every state *)
+}
+
+type func_decl = {
+  fname : string;
+  fret : typ;
+  fparams : (typ * string) list;
+  fbody : stmt list;
+}
+
+type program = { funcs : func_decl list; machines : machine list }
+
+let typ_to_string = function
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tlong -> "long"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tlist -> "list"
+  | Tpacket -> "packet"
+  | Taction -> "action"
+  | Tfilter -> "filter"
+  | Tstats -> "stats"
+  | Trule -> "rule"
+  | Tresources -> "resources"
+  | Tunit -> "unit"
+
+let trigger_type_to_string = function
+  | Time -> "time"
+  | Poll -> "poll"
+  | Probe -> "probe"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "and"
+  | Or -> "or"
+  | Eq -> "=="
+  | Neq -> "<>"
+  | Le -> "<="
+  | Ge -> ">="
+  | Lt -> "<"
+  | Gt -> ">"
+
+let filter_head_to_string = function
+  | SrcIP -> "srcIP"
+  | DstIP -> "dstIP"
+  | SrcPort -> "srcPort"
+  | DstPort -> "dstPort"
+  | PortF -> "port"
+  | ProtoF -> "proto"

@@ -1,0 +1,612 @@
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type source = From_harvester | From_machine of string
+
+type target = To_harvester | To_machine of string * int option
+
+type host = {
+  h_now : unit -> float;
+  h_resources : unit -> float array;
+  h_send : target -> Value.t -> unit;
+  h_set_trigger : string -> Ast.trigger_type -> Value.t -> unit;
+  h_builtin : string -> (Value.t list -> Value.t) option;
+  h_on_transit : string -> string -> unit;
+  h_log : string -> unit;
+}
+
+let null_host =
+  { h_now = (fun () -> 0.);
+    h_resources = (fun () -> Array.make Analysis.n_resources 1.);
+    h_send = (fun _ _ -> ());
+    h_set_trigger = (fun _ _ _ -> ());
+    h_builtin = (fun _ -> None);
+    h_on_transit = (fun _ _ -> ());
+    h_log = (fun _ -> ()) }
+
+type t = {
+  m : Ast.machine;
+  funcs : (string, Ast.func_decl) Hashtbl.t;
+  host : host;
+  globals : (string, Value.t) Hashtbl.t;
+  trigger_types : (string, Ast.trigger_type) Hashtbl.t;
+  mutable state : string;
+  mutable locals : (string, Value.t) Hashtbl.t;
+  mutable pending_transit : string option;
+  mutable started : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A scope chain: event-local frame -> state locals -> globals. *)
+type frame = (string, Value.t) Hashtbl.t
+
+let lookup t (frames : frame list) name =
+  let rec go = function
+    | [] -> None
+    | f :: rest -> (
+        match Hashtbl.find_opt f name with
+        | Some v -> Some v
+        | None -> go rest)
+  in
+  go (frames @ [ t.locals; t.globals ])
+
+let assign t (frames : frame list) name v =
+  let rec go = function
+    | [] ->
+        if Hashtbl.mem t.locals name then Hashtbl.replace t.locals name v
+        else if Hashtbl.mem t.globals name then begin
+          Hashtbl.replace t.globals name v;
+          (* reassigning a trigger variable adjusts its schedule *)
+          match Hashtbl.find_opt t.trigger_types name with
+          | Some tt -> t.host.h_set_trigger name tt v
+          | None -> ()
+        end
+        else fail "assignment to unbound variable %s" name
+    | f :: rest ->
+        if Hashtbl.mem f name then Hashtbl.replace f name v else go rest
+  in
+  go frames
+
+(* ------------------------------------------------------------------ *)
+(* Pure built-ins                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let num f = Value.Num f
+let arg1 = function [ a ] -> a | _ -> fail "expected 1 argument"
+let arg2 = function [ a; b ] -> (a, b) | _ -> fail "expected 2 arguments"
+
+let proto_of_string = function
+  | "tcp" -> Farm_net.Flow.Tcp
+  | "udp" -> Farm_net.Flow.Udp
+  | "icmp" -> Farm_net.Flow.Icmp
+  | s -> fail "unknown protocol %S" s
+
+let pure_builtin t name args =
+  match name with
+  | "min" ->
+      let a, b = arg2 args in
+      Some (num (Float.min (Value.as_num a) (Value.as_num b)))
+  | "max" ->
+      let a, b = arg2 args in
+      Some (num (Float.max (Value.as_num a) (Value.as_num b)))
+  | "size" -> Some (num (float_of_int (List.length (Value.as_list (arg1 args)))))
+  | "is_list_empty" -> Some (Value.Bool (Value.as_list (arg1 args) = []))
+  | "append" ->
+      let l, x = arg2 args in
+      Some (Value.List (Value.as_list l @ [ x ]))
+  | "nth" -> (
+      let l, i = arg2 args in
+      let l = Value.as_list l and i = int_of_float (Value.as_num i) in
+      match List.nth_opt l i with
+      | Some v -> Some v
+      | None -> fail "nth: index %d out of bounds (size %d)" i (List.length l))
+  | "contains_elem" ->
+      let l, x = arg2 args in
+      Some (Value.Bool (List.exists (Value.equal x) (Value.as_list l)))
+  | "remove_elem" ->
+      let l, x = arg2 args in
+      Some
+        (Value.List
+           (List.filter (fun v -> not (Value.equal x v)) (Value.as_list l)))
+  | "index_of" ->
+      let l, x = arg2 args in
+      let rec go i = function
+        | [] -> -1.
+        | v :: rest -> if Value.equal x v then float_of_int i else go (i + 1) rest
+      in
+      Some (num (go 0 (Value.as_list l)))
+  | "set_nth" -> (
+      match args with
+      | [ l; i; x ] ->
+          let l = Value.as_list l and i = int_of_float (Value.as_num i) in
+          if i < 0 || i >= List.length l then
+            fail "set_nth: index %d out of bounds (size %d)" i (List.length l)
+          else Some (Value.List (List.mapi (fun j v -> if j = i then x else v) l))
+      | _ -> fail "set_nth expects 3 arguments")
+  | "stat" -> (
+      let s, i = arg2 args in
+      let s = Value.as_stats s and i = int_of_float (Value.as_num i) in
+      if i >= 0 && i < Array.length s then Some (num s.(i))
+      else fail "stat: index %d out of bounds (size %d)" i (Array.length s))
+  | "stats_size" ->
+      Some (num (float_of_int (Array.length (Value.as_stats (arg1 args)))))
+  | "stats_sum" ->
+      Some (num (Array.fold_left ( +. ) 0. (Value.as_stats (arg1 args))))
+  | "drop_action" -> Some (Value.Action Farm_net.Tcam.Drop)
+  | "count_action" -> Some (Value.Action Farm_net.Tcam.Count)
+  | "rate_limit_action" ->
+      Some (Value.Action (Farm_net.Tcam.Rate_limit (Value.as_num (arg1 args))))
+  | "qos_action" ->
+      Some
+        (Value.Action
+           (Farm_net.Tcam.Set_qos (int_of_float (Value.as_num (arg1 args)))))
+  | "mkRule" ->
+      let p, a = arg2 args in
+      Some
+        (Value.Struct
+           ("Rule", [ ("pattern", Value.FilterV (Value.as_filter p));
+                      ("act", Value.Action (Value.as_action a)) ]))
+  | "now" -> Some (num (t.host.h_now ()))
+  | "log" ->
+      t.host.h_log (Value.to_string (arg1 args));
+      Some Value.Unit
+  | "str" -> Some (Value.Str (Value.to_string (arg1 args)))
+  | "str_contains" ->
+      let s, sub = arg2 args in
+      let s = Value.as_str s and sub = Value.as_str sub in
+      let n = String.length sub in
+      let found = ref false in
+      for i = 0 to String.length s - n do
+        if String.sub s i n = sub then found := true
+      done;
+      Some (Value.Bool !found)
+  | "floor" -> Some (num (Float.floor (Value.as_num (arg1 args))))
+  | "abs" -> Some (num (Float.abs (Value.as_num (arg1 args))))
+  | "log2" ->
+      let x = Value.as_num (arg1 args) in
+      Some (num (if x <= 0. then 0. else Float.log x /. Float.log 2.))
+  | "hash" ->
+      Some (num (float_of_int (Hashtbl.hash (Value.to_string (arg1 args)) land 0xFFFFFF)))
+  | "res" ->
+      let r = t.host.h_resources () in
+      let field res =
+        ( Analysis.resource_name res,
+          num
+            (let i = Analysis.resource_index res in
+             if i < Array.length r then r.(i) else 0.) )
+      in
+      Some (Value.Struct ("Resources", List.map field Analysis.all_resources))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Return_exc of Value.t
+
+let filter_atom_value head (arg : Value.t) : Farm_net.Filter.t =
+  let open Farm_net in
+  match (head, arg) with
+  | _, Value.FilterV f -> f  (* ANY evaluates to a filter already *)
+  | (Ast.SrcIP | Ast.DstIP), Value.Str s -> (
+      match Ipaddr.Prefix.of_string_opt s with
+      | Some p ->
+          Filter.atom
+            (if head = Ast.SrcIP then Filter.Src_ip p else Filter.Dst_ip p)
+      | None -> fail "bad IP prefix %S in filter" s)
+  | Ast.SrcPort, v -> Filter.atom (Filter.Src_port (int_of_float (Value.as_num v)))
+  | Ast.DstPort, v -> Filter.atom (Filter.Dst_port (int_of_float (Value.as_num v)))
+  | Ast.PortF, v -> Filter.atom (Filter.Port (int_of_float (Value.as_num v)))
+  | Ast.ProtoF, Value.Str s -> Filter.atom (Filter.Proto (proto_of_string s))
+  | _ -> fail "bad filter atom argument"
+
+let rec eval t frames (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Bool b -> Value.Bool b
+  | Ast.Int i -> num (float_of_int i)
+  | Ast.Float f -> num f
+  | Ast.String s -> Value.Str s
+  | Ast.AnyLit -> Value.FilterV (Farm_net.Filter.atom Farm_net.Filter.Any)
+  | Ast.Var v -> (
+      match lookup t frames v with
+      | Some x -> x
+      | None -> fail "unbound variable %s" v)
+  | Ast.Field (b, f) -> Value.field (eval t frames b) f
+  | Ast.Call (f, args) -> call t frames f args
+  | Ast.Unop (Ast.Not, a) -> (
+      match eval t frames a with
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.FilterV f -> Value.FilterV (Farm_net.Filter.Not f)
+      | v -> fail "'not' applied to %s" (Value.to_string v))
+  | Ast.Unop (Ast.Neg, a) -> num (-.Value.as_num (eval t frames a))
+  | Ast.Binop (op, a, b) -> binop t frames op a b
+  | Ast.FilterAtom (head, arg) ->
+      Value.FilterV (filter_atom_value head (eval t frames arg))
+  | Ast.StructLit (name, fields) ->
+      Value.Struct
+        (name, List.map (fun (f, e) -> (f, eval t frames e)) fields)
+  | Ast.ListLit es -> Value.List (List.map (eval t frames) es)
+
+and binop t frames op a b =
+  match op with
+  | Ast.And -> (
+      match eval t frames a with
+      | Value.Bool false -> Value.Bool false
+      | Value.Bool true -> (
+          match eval t frames b with
+          | Value.Bool _ as r -> r
+          | v -> fail "'and' on %s" (Value.to_string v))
+      | Value.FilterV fa ->
+          Value.FilterV
+            (Farm_net.Filter.And (fa, Value.as_filter (eval t frames b)))
+      | v -> fail "'and' on %s" (Value.to_string v))
+  | Ast.Or -> (
+      match eval t frames a with
+      | Value.Bool true -> Value.Bool true
+      | Value.Bool false -> (
+          match eval t frames b with
+          | Value.Bool _ as r -> r
+          | v -> fail "'or' on %s" (Value.to_string v))
+      | Value.FilterV fa ->
+          Value.FilterV
+            (Farm_net.Filter.Or (fa, Value.as_filter (eval t frames b)))
+      | v -> fail "'or' on %s" (Value.to_string v))
+  | Ast.Eq -> Value.Bool (Value.equal (eval t frames a) (eval t frames b))
+  | Ast.Neq ->
+      Value.Bool (not (Value.equal (eval t frames a) (eval t frames b)))
+  | Ast.Le | Ast.Ge | Ast.Lt | Ast.Gt ->
+      let x = Value.as_num (eval t frames a)
+      and y = Value.as_num (eval t frames b) in
+      Value.Bool
+        (match op with
+        | Ast.Le -> x <= y
+        | Ast.Ge -> x >= y
+        | Ast.Lt -> x < y
+        | Ast.Gt -> x > y
+        | _ -> assert false)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> (
+      match (op, eval t frames a, eval t frames b) with
+      | Ast.Add, Value.Str x, Value.Str y -> Value.Str (x ^ y)
+      | op, va, vb ->
+      let x = Value.as_num va and y = Value.as_num vb in
+      num
+        (match op with
+        | Ast.Add -> x +. y
+        | Ast.Sub -> x -. y
+        | Ast.Mul -> x *. y
+        | Ast.Div ->
+            if y = 0. then fail "division by zero" else x /. y
+        | _ -> assert false))
+
+and call t frames fname args =
+  let argv = List.map (eval t frames) args in
+  match t.host.h_builtin fname with
+  | Some f -> f argv
+  | None -> (
+      match Hashtbl.find_opt t.funcs fname with
+      | Some fd -> call_almanac t fd argv
+      | None -> (
+          match pure_builtin t fname argv with
+          | Some v -> v
+          | None -> fail "unknown function %s" fname))
+
+and call_almanac t (fd : Ast.func_decl) argv =
+  if List.length fd.fparams <> List.length argv then
+    fail "%s expects %d arguments, got %d" fd.fname (List.length fd.fparams)
+      (List.length argv);
+  let frame = Hashtbl.create 8 in
+  List.iter2 (fun (_, n) v -> Hashtbl.replace frame n v) fd.fparams argv;
+  try
+    exec_stmts t [ frame ] fd.fbody;
+    Value.Unit
+  with Return_exc v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and exec_stmts t frames stmts = List.iter (exec_stmt t frames) stmts
+
+and exec_stmt t frames (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (typ, n, init) ->
+      let v =
+        match init with
+        | Some e -> eval t frames e
+        | None -> Value.default_of_typ typ
+      in
+      (match frames with
+      | f :: _ -> Hashtbl.replace f n v
+      | [] -> Hashtbl.replace t.locals n v)
+  | Ast.Assign (n, e) -> assign t frames n (eval t frames e)
+  | Ast.Transit e ->
+      let target =
+        match e with
+        | Ast.Var s | Ast.String s -> s
+        | e -> Value.as_str (eval t frames e)
+      in
+      t.pending_transit <- Some target
+  | Ast.If (c, th, el) ->
+      if Value.truthy (eval t frames c) then exec_stmts t frames th
+      else exec_stmts t frames el
+  | Ast.While (c, body) ->
+      let fuel = ref 1_000_000 in
+      while Value.truthy (eval t frames c) do
+        decr fuel;
+        if !fuel <= 0 then fail "while loop exceeded iteration budget";
+        exec_stmts t frames body
+      done
+  | Ast.Return None -> raise (Return_exc Value.Unit)
+  | Ast.Return (Some e) -> raise (Return_exc (eval t frames e))
+  | Ast.Send (e, dest) ->
+      let target =
+        match dest with
+        | Ast.Harvester -> To_harvester
+        | Ast.Machine (m, None) -> To_machine (m, None)
+        | Ast.Machine (m, Some d) ->
+            To_machine
+              (m, Some (int_of_float (Value.as_num (eval t frames d))))
+      in
+      t.host.h_send target (eval t frames e)
+  | Ast.ExprStmt e -> ignore (eval t frames e)
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_state t name =
+  match
+    List.find_opt (fun (s : Ast.state_decl) -> s.sname = name) t.m.states
+  with
+  | Some s -> s
+  | None -> fail "machine %s has no state %s" t.m.mname name
+
+(* Trigger keys used to let state-level events override machine-level
+   ones. *)
+let trigger_key = function
+  | Ast.On_enter -> "enter"
+  | Ast.On_exit -> "exit"
+  | Ast.On_realloc -> "realloc"
+  | Ast.On_trigger_var (y, _) -> "var:" ^ y
+  | Ast.On_recv (ty, _, d) ->
+      let d =
+        match d with
+        | Ast.Harvester -> "harvester"
+        | Ast.Machine (m, _) -> m
+      in
+      Printf.sprintf "recv:%s:%s" (Ast.typ_to_string ty) d
+
+(* Events applicable in the current state for a key: state events plus
+   non-overridden machine events. *)
+let applicable_events t key =
+  let st = find_state t t.state in
+  let state_evs =
+    List.filter (fun (e : Ast.event) -> trigger_key e.trigger = key) st.sevents
+  in
+  let machine_evs =
+    List.filter (fun (e : Ast.event) -> trigger_key e.trigger = key) t.m.mevents
+  in
+  if state_evs <> [] then state_evs else machine_evs
+
+let run_event t (ev : Ast.event) bindings =
+  let frame = Hashtbl.create 4 in
+  List.iter (fun (n, v) -> Hashtbl.replace frame n v) bindings;
+  (try exec_stmts t [ frame ] ev.body with Return_exc _ -> ());
+  ()
+
+let rec apply_pending_transit t =
+  match t.pending_transit with
+  | None -> ()
+  | Some target ->
+      t.pending_transit <- None;
+      if target <> t.state then begin
+        let old_state = t.state in
+        (* exit events of the old state *)
+        List.iter
+          (fun ev -> run_event t ev [])
+          (applicable_events t "exit");
+        t.state <- target;
+        (* fresh locals for the new state *)
+        let st = find_state t target in
+        let locals = Hashtbl.create 8 in
+        List.iter
+          (fun (v : Ast.var_decl) ->
+            let value =
+              match v.vinit with
+              | Some e ->
+                  (* initializers may read machine variables *)
+                  eval t [] e
+              | None -> Value.default_of_typ v.vtyp
+            in
+            Hashtbl.replace locals v.vname value)
+          st.slocals;
+        t.locals <- locals;
+        t.host.h_on_transit old_state target;
+        List.iter
+          (fun ev -> run_event t ev [])
+          (applicable_events t "enter");
+        (* an enter handler can itself transit *)
+        apply_pending_transit t
+      end
+
+let dispatch t key bindings =
+  let evs = applicable_events t key in
+  List.iter (fun ev -> run_event t ev bindings) evs;
+  apply_pending_transit t;
+  evs <> []
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(externals = []) ~program ~machine host =
+  let machines = (program : Ast.program).machines in
+  let m =
+    match
+      List.find_opt (fun (m : Ast.machine) -> m.mname = machine) machines
+    with
+    | Some m ->
+        if m.extends <> None then
+          fail "machine %s still has unresolved inheritance; run Typecheck.check"
+            machine
+        else m
+    | None -> fail "program has no machine %s" machine
+  in
+  let funcs = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Ast.func_decl) -> Hashtbl.replace funcs f.fname f)
+    program.funcs;
+  let t =
+    { m; funcs; host; globals = Hashtbl.create 16;
+      trigger_types = Hashtbl.create 4;
+      state =
+        (match m.states with
+        | s :: _ -> s.sname
+        | [] -> fail "machine %s has no states" machine);
+      locals = Hashtbl.create 8; pending_transit = None; started = false }
+  in
+  (* machine variables *)
+  List.iter
+    (fun (v : Ast.var_decl) ->
+      let value =
+        match List.assoc_opt v.vname externals with
+        | Some ext when v.is_external -> ext
+        | Some _ | None -> (
+            match v.vinit with
+            | Some e -> eval t [] e
+            | None -> Value.default_of_typ v.vtyp)
+      in
+      Hashtbl.replace t.globals v.vname value)
+    m.mvars;
+  (* trigger variables: remember their type; the runtime reads the machine
+     AST directly for scheduling, the interpreter only forwards runtime
+     re-assignments *)
+  List.iter
+    (fun (td : Ast.trig_decl) ->
+      Hashtbl.replace t.trigger_types td.tname td.ttyp;
+      let value =
+        match td.tinit with
+        | Some e -> eval t [] e
+        | None -> Value.Unit
+      in
+      Hashtbl.replace t.globals td.tname value)
+    m.mtrigs;
+  t
+
+let machine t = t.m
+let current_state t = t.state
+
+let var t name =
+  match Hashtbl.find_opt t.locals name with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt t.globals name
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    (* initialize the first state's locals *)
+    let st = find_state t t.state in
+    List.iter
+      (fun (v : Ast.var_decl) ->
+        let value =
+          match v.vinit with
+          | Some e -> eval t [] e
+          | None -> Value.default_of_typ v.vtyp
+        in
+        Hashtbl.replace t.locals v.vname value)
+      st.slocals;
+    ignore (dispatch t "enter" [])
+  end
+
+let fire_trigger t name value =
+  let key = "var:" ^ name in
+  let evs = applicable_events t key in
+  List.iter
+    (fun (ev : Ast.event) ->
+      let bindings =
+        match ev.trigger with
+        | Ast.On_trigger_var (_, Some x) -> [ (x, value) ]
+        | _ -> []
+      in
+      run_event t ev bindings)
+    evs;
+  apply_pending_transit t
+
+let value_matches_typ (v : Value.t) (ty : Ast.typ) =
+  match (v, ty) with
+  | Value.Num _, (Ast.Tint | Ast.Tlong | Ast.Tfloat) -> true
+  | Value.Bool _, Ast.Tbool -> true
+  | Value.Str _, Ast.Tstring -> true
+  | Value.List _, Ast.Tlist -> true
+  | Value.Packet _, Ast.Tpacket -> true
+  | Value.Action _, Ast.Taction -> true
+  | Value.FilterV _, Ast.Tfilter -> true
+  | Value.Stats _, Ast.Tstats -> true
+  | Value.Struct ("Rule", _), Ast.Trule -> true
+  | Value.Unit, Ast.Tunit -> true
+  | _ -> false
+
+let deliver t ~from value =
+  (* find recv events whose source pattern and value type match *)
+  let st = find_state t t.state in
+  let candidates = st.sevents @ t.m.mevents in
+  let matching =
+    List.filter
+      (fun (ev : Ast.event) ->
+        match ev.trigger with
+        | Ast.On_recv (ty, _, dest) ->
+            let src_ok =
+              match (dest, from) with
+              | Ast.Harvester, From_harvester -> true
+              | Ast.Machine (m, _), From_machine m' -> m = m'
+              | Ast.Harvester, From_machine _
+              | Ast.Machine _, From_harvester ->
+                  false
+            in
+            src_ok && value_matches_typ value ty
+        | _ -> false)
+      candidates
+  in
+  match matching with
+  | [] -> false
+  | ev :: _ ->
+      let bindings =
+        match ev.trigger with
+        | Ast.On_recv (_, n, _) -> [ (n, value) ]
+        | _ -> []
+      in
+      run_event t ev bindings;
+      apply_pending_transit t;
+      true
+
+let realloc t = ignore (dispatch t "realloc" [])
+
+let snapshot t =
+  let vars =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.globals []
+    @ Hashtbl.fold (fun k v acc -> ("state." ^ k, v) :: acc) t.locals []
+  in
+  (vars, t.state)
+
+let restore t ~vars ~state =
+  t.state <- state;
+  t.locals <- Hashtbl.create 8;
+  List.iter
+    (fun (k, v) ->
+      match String.index_opt k '.' with
+      | Some i when String.sub k 0 i = "state" ->
+          Hashtbl.replace t.locals
+            (String.sub k (i + 1) (String.length k - i - 1))
+            v
+      | _ -> Hashtbl.replace t.globals k v)
+    vars;
+  t.started <- true
+
+let call_function t name argv =
+  match Hashtbl.find_opt t.funcs name with
+  | Some fd -> call_almanac t fd argv
+  | None -> fail "program has no function %s" name

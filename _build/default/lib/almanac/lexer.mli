@@ -1,0 +1,10 @@
+(** Hand-written lexer for Almanac.  Supports [//] line comments and
+    [/* ... */] block comments. *)
+
+exception Error of string
+(** Lexical error with a "line:col: message" payload. *)
+
+type located = { token : Token.t; line : int; col : int }
+
+(** Tokenize a whole source string; the last element is [EOF]. *)
+val tokenize : string -> located list

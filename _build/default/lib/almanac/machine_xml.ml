@@ -1,0 +1,476 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+let el = Xml.element
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let typ_attr t = Ast.typ_to_string t
+
+let typ_of_string s =
+  match s with
+  | "bool" -> Ast.Tbool
+  | "int" -> Ast.Tint
+  | "long" -> Ast.Tlong
+  | "float" -> Ast.Tfloat
+  | "string" -> Ast.Tstring
+  | "list" -> Ast.Tlist
+  | "packet" -> Ast.Tpacket
+  | "action" -> Ast.Taction
+  | "filter" -> Ast.Tfilter
+  | "stats" -> Ast.Tstats
+  | "rule" -> Ast.Trule
+  | "resources" -> Ast.Tresources
+  | "unit" -> Ast.Tunit
+  | s -> fail "unknown type %S" s
+
+let binop_of_string s =
+  match s with
+  | "+" -> Ast.Add
+  | "-" -> Ast.Sub
+  | "*" -> Ast.Mul
+  | "/" -> Ast.Div
+  | "and" -> Ast.And
+  | "or" -> Ast.Or
+  | "==" -> Ast.Eq
+  | "<>" -> Ast.Neq
+  | "<=" -> Ast.Le
+  | ">=" -> Ast.Ge
+  | "<" -> Ast.Lt
+  | ">" -> Ast.Gt
+  | s -> fail "unknown operator %S" s
+
+let filter_head_of_string s =
+  match s with
+  | "srcIP" -> Ast.SrcIP
+  | "dstIP" -> Ast.DstIP
+  | "srcPort" -> Ast.SrcPort
+  | "dstPort" -> Ast.DstPort
+  | "port" -> Ast.PortF
+  | "proto" -> Ast.ProtoF
+  | s -> fail "unknown filter head %S" s
+
+let rec expr_to_xml (e : Ast.expr) =
+  match e with
+  | Ast.Bool b -> el "bool" ~attrs:[ ("v", string_of_bool b) ] []
+  | Ast.Int i -> el "int" ~attrs:[ ("v", string_of_int i) ] []
+  | Ast.Float f -> el "float" ~attrs:[ ("v", Printf.sprintf "%h" f) ] []
+  | Ast.String s -> el "string" ~attrs:[ ("v", s) ] []
+  | Ast.AnyLit -> el "any" []
+  | Ast.Var v -> el "var" ~attrs:[ ("name", v) ] []
+  | Ast.Field (b, f) -> el "field" ~attrs:[ ("name", f) ] [ expr_to_xml b ]
+  | Ast.Call (f, args) ->
+      el "call" ~attrs:[ ("name", f) ] (List.map expr_to_xml args)
+  | Ast.Unop (op, a) ->
+      el "unop"
+        ~attrs:[ ("op", match op with Ast.Not -> "not" | Ast.Neg -> "neg") ]
+        [ expr_to_xml a ]
+  | Ast.Binop (op, a, b) ->
+      el "binop"
+        ~attrs:[ ("op", Ast.binop_to_string op) ]
+        [ expr_to_xml a; expr_to_xml b ]
+  | Ast.FilterAtom (h, a) ->
+      el "filter-atom"
+        ~attrs:[ ("head", Ast.filter_head_to_string h) ]
+        [ expr_to_xml a ]
+  | Ast.StructLit (name, fields) ->
+      el "struct" ~attrs:[ ("name", name) ]
+        (List.map
+           (fun (f, e) ->
+             el "init" ~attrs:[ ("field", f) ] [ expr_to_xml e ])
+           fields)
+  | Ast.ListLit es -> el "list" (List.map expr_to_xml es)
+
+let dest_to_xml (d : Ast.dest) =
+  match d with
+  | Ast.Harvester -> el "harvester" []
+  | Ast.Machine (m, None) -> el "machine-dest" ~attrs:[ ("name", m) ] []
+  | Ast.Machine (m, Some e) ->
+      el "machine-dest" ~attrs:[ ("name", m) ] [ expr_to_xml e ]
+
+let rec stmt_to_xml (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (t, n, init) ->
+      el "decl"
+        ~attrs:[ ("type", typ_attr t); ("name", n) ]
+        (match init with Some e -> [ expr_to_xml e ] | None -> [])
+  | Ast.Assign (n, e) ->
+      el "assign" ~attrs:[ ("name", n) ] [ expr_to_xml e ]
+  | Ast.Transit e -> el "transit" [ expr_to_xml e ]
+  | Ast.If (c, t, f) ->
+      el "if"
+        [ el "cond" [ expr_to_xml c ];
+          el "then" (List.map stmt_to_xml t);
+          el "else" (List.map stmt_to_xml f) ]
+  | Ast.While (c, b) ->
+      el "while"
+        [ el "cond" [ expr_to_xml c ]; el "body" (List.map stmt_to_xml b) ]
+  | Ast.Return None -> el "return" []
+  | Ast.Return (Some e) -> el "return" [ expr_to_xml e ]
+  | Ast.Send (e, d) ->
+      el "send" [ el "value" [ expr_to_xml e ]; dest_to_xml d ]
+  | Ast.ExprStmt e -> el "exprstmt" [ expr_to_xml e ]
+
+let body_to_xml stmts = List.map stmt_to_xml stmts
+
+let trigger_to_xml (t : Ast.trigger) =
+  match t with
+  | Ast.On_enter -> el "enter" []
+  | Ast.On_exit -> el "exit" []
+  | Ast.On_realloc -> el "realloc" []
+  | Ast.On_trigger_var (y, bind) ->
+      el "on-var"
+        ~attrs:
+          (("name", y) :: (match bind with Some x -> [ ("as", x) ] | None -> []))
+        []
+  | Ast.On_recv (ty, n, d) ->
+      el "recv"
+        ~attrs:[ ("type", typ_attr ty); ("name", n) ]
+        [ dest_to_xml d ]
+
+let event_to_xml (e : Ast.event) =
+  el "event" [ trigger_to_xml e.trigger; el "body" (body_to_xml e.body) ]
+
+let var_to_xml (v : Ast.var_decl) =
+  el "var"
+    ~attrs:
+      (("type", typ_attr v.vtyp) :: ("name", v.vname)
+      :: (if v.is_external then [ ("external", "true") ] else []))
+    (match v.vinit with Some e -> [ expr_to_xml e ] | None -> [])
+
+let trig_to_xml (t : Ast.trig_decl) =
+  el "trigger"
+    ~attrs:
+      [ ("type", Ast.trigger_type_to_string t.ttyp); ("name", t.tname) ]
+    (match t.tinit with Some e -> [ expr_to_xml e ] | None -> [])
+
+let place_to_xml (p : Ast.place_decl) =
+  let quant = match p.pquant with Ast.QAll -> "all" | Ast.QAny -> "any" in
+  match p.pconstraint with
+  | Ast.Anywhere ->
+      el "place" ~attrs:[ ("quant", quant); ("kind", "anywhere") ] []
+  | Ast.At_nodes es ->
+      el "place"
+        ~attrs:[ ("quant", quant); ("kind", "nodes") ]
+        (List.map expr_to_xml es)
+  | Ast.On_range { role; pfilter; rop; rbound } ->
+      let role =
+        match role with
+        | Ast.Sender -> "sender"
+        | Ast.Receiver -> "receiver"
+        | Ast.Midpoint -> "midpoint"
+      in
+      el "place"
+        ~attrs:
+          [ ("quant", quant); ("kind", "range"); ("role", role);
+            ("op", Ast.binop_to_string rop) ]
+        ((match pfilter with
+         | Some f -> [ el "traffic" [ expr_to_xml f ] ]
+         | None -> [])
+        @ [ el "bound" [ expr_to_xml rbound ] ])
+
+let state_to_xml (s : Ast.state_decl) =
+  el "state"
+    ~attrs:[ ("name", s.sname) ]
+    (List.map var_to_xml s.slocals
+    @ (match s.sutil with
+      | Some u ->
+          [ el "util" ~attrs:[ ("param", u.uparam) ] (body_to_xml u.ubody) ]
+      | None -> [])
+    @ List.map event_to_xml s.sevents)
+
+let machine_to_xml (m : Ast.machine) =
+  el "machine"
+    ~attrs:
+      (("name", m.mname)
+      :: (match m.extends with Some p -> [ ("extends", p) ] | None -> []))
+    (List.map place_to_xml m.places
+    @ List.map var_to_xml m.mvars
+    @ List.map trig_to_xml m.mtrigs
+    @ List.map state_to_xml m.states
+    @ List.map event_to_xml m.mevents)
+
+let func_to_xml (f : Ast.func_decl) =
+  el "function"
+    ~attrs:[ ("name", f.fname); ("ret", typ_attr f.fret) ]
+    (List.map
+       (fun (t, n) ->
+         el "param" ~attrs:[ ("type", typ_attr t); ("name", n) ] [])
+       f.fparams
+    @ [ el "body" (body_to_xml f.fbody) ])
+
+let program_to_xml (p : Ast.program) =
+  el "almanac"
+    ~attrs:[ ("version", "1") ]
+    (List.map func_to_xml p.funcs @ List.map machine_to_xml p.machines)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let elements x =
+  List.filter (function Xml.Element _ -> true | Xml.Text _ -> false)
+    (Xml.children x)
+
+let rec expr_of_xml x =
+  match Xml.name x with
+  | "bool" -> Ast.Bool (bool_of_string (Xml.attr_exn x "v"))
+  | "int" -> Ast.Int (int_of_string (Xml.attr_exn x "v"))
+  | "float" -> Ast.Float (float_of_string (Xml.attr_exn x "v"))
+  | "string" -> Ast.String (Xml.attr_exn x "v")
+  | "any" -> Ast.AnyLit
+  | "var" -> Ast.Var (Xml.attr_exn x "name")
+  | "field" -> (
+      match elements x with
+      | [ b ] -> Ast.Field (expr_of_xml b, Xml.attr_exn x "name")
+      | _ -> fail "field expects one child")
+  | "call" ->
+      Ast.Call (Xml.attr_exn x "name", List.map expr_of_xml (elements x))
+  | "unop" -> (
+      let op =
+        match Xml.attr_exn x "op" with
+        | "not" -> Ast.Not
+        | "neg" -> Ast.Neg
+        | s -> fail "unknown unop %S" s
+      in
+      match elements x with
+      | [ a ] -> Ast.Unop (op, expr_of_xml a)
+      | _ -> fail "unop expects one child")
+  | "binop" -> (
+      match elements x with
+      | [ a; b ] ->
+          Ast.Binop
+            (binop_of_string (Xml.attr_exn x "op"), expr_of_xml a,
+             expr_of_xml b)
+      | _ -> fail "binop expects two children")
+  | "filter-atom" -> (
+      match elements x with
+      | [ a ] ->
+          Ast.FilterAtom
+            (filter_head_of_string (Xml.attr_exn x "head"), expr_of_xml a)
+      | _ -> fail "filter-atom expects one child")
+  | "struct" ->
+      Ast.StructLit
+        ( Xml.attr_exn x "name",
+          List.map
+            (fun i -> (Xml.attr_exn i "field",
+                       match elements i with
+                       | [ e ] -> expr_of_xml e
+                       | _ -> fail "struct init expects one child"))
+            (Xml.select x "init") )
+  | "list" -> Ast.ListLit (List.map expr_of_xml (elements x))
+  | n -> fail "unknown expression element <%s>" n
+
+let dest_of_xml x =
+  match Xml.name x with
+  | "harvester" -> Ast.Harvester
+  | "machine-dest" -> (
+      let name = Xml.attr_exn x "name" in
+      match elements x with
+      | [] -> Ast.Machine (name, None)
+      | [ e ] -> Ast.Machine (name, Some (expr_of_xml e))
+      | _ -> fail "machine-dest expects at most one child")
+  | n -> fail "unknown destination <%s>" n
+
+let rec stmt_of_xml x =
+  match Xml.name x with
+  | "decl" ->
+      Ast.Decl
+        ( typ_of_string (Xml.attr_exn x "type"),
+          Xml.attr_exn x "name",
+          match elements x with
+          | [] -> None
+          | [ e ] -> Some (expr_of_xml e)
+          | _ -> fail "decl expects at most one child" )
+  | "assign" -> (
+      match elements x with
+      | [ e ] -> Ast.Assign (Xml.attr_exn x "name", expr_of_xml e)
+      | _ -> fail "assign expects one child")
+  | "transit" -> (
+      match elements x with
+      | [ e ] -> Ast.Transit (expr_of_xml e)
+      | _ -> fail "transit expects one child")
+  | "if" ->
+      let part n =
+        match Xml.first x n with
+        | Some p -> p
+        | None -> fail "if misses <%s>" n
+      in
+      let cond =
+        match elements (part "cond") with
+        | [ e ] -> expr_of_xml e
+        | _ -> fail "cond expects one child"
+      in
+      Ast.If
+        ( cond,
+          List.map stmt_of_xml (elements (part "then")),
+          List.map stmt_of_xml (elements (part "else")) )
+  | "while" ->
+      let part n =
+        match Xml.first x n with
+        | Some p -> p
+        | None -> fail "while misses <%s>" n
+      in
+      let cond =
+        match elements (part "cond") with
+        | [ e ] -> expr_of_xml e
+        | _ -> fail "cond expects one child"
+      in
+      Ast.While (cond, List.map stmt_of_xml (elements (part "body")))
+  | "return" -> (
+      match elements x with
+      | [] -> Ast.Return None
+      | [ e ] -> Ast.Return (Some (expr_of_xml e))
+      | _ -> fail "return expects at most one child")
+  | "send" -> (
+      let value =
+        match Xml.first x "value" with
+        | Some v -> (
+            match elements v with
+            | [ e ] -> expr_of_xml e
+            | _ -> fail "value expects one child")
+        | None -> fail "send misses <value>"
+      in
+      match
+        List.filter (fun e -> Xml.name e <> "value") (elements x)
+      with
+      | [ d ] -> Ast.Send (value, dest_of_xml d)
+      | _ -> fail "send expects one destination")
+  | "exprstmt" -> (
+      match elements x with
+      | [ e ] -> Ast.ExprStmt (expr_of_xml e)
+      | _ -> fail "exprstmt expects one child")
+  | n -> fail "unknown statement element <%s>" n
+
+let body_of_xml x = List.map stmt_of_xml (elements x)
+
+let trigger_of_xml x =
+  match Xml.name x with
+  | "enter" -> Ast.On_enter
+  | "exit" -> Ast.On_exit
+  | "realloc" -> Ast.On_realloc
+  | "on-var" -> Ast.On_trigger_var (Xml.attr_exn x "name", Xml.attr x "as")
+  | "recv" -> (
+      match elements x with
+      | [ d ] ->
+          Ast.On_recv
+            ( typ_of_string (Xml.attr_exn x "type"),
+              Xml.attr_exn x "name",
+              dest_of_xml d )
+      | _ -> fail "recv expects one destination")
+  | n -> fail "unknown trigger element <%s>" n
+
+let event_of_xml x =
+  match elements x with
+  | [ trg; body ] when Xml.name body = "body" ->
+      { Ast.trigger = trigger_of_xml trg; body = body_of_xml body }
+  | _ -> fail "event expects a trigger and a body"
+
+let var_of_xml x =
+  { Ast.is_external = Xml.attr x "external" = Some "true";
+    vtyp = typ_of_string (Xml.attr_exn x "type");
+    vname = Xml.attr_exn x "name";
+    vinit =
+      (match elements x with
+      | [] -> None
+      | [ e ] -> Some (expr_of_xml e)
+      | _ -> fail "var expects at most one initializer") }
+
+let trig_of_xml x =
+  let ttyp =
+    match Xml.attr_exn x "type" with
+    | "time" -> Ast.Time
+    | "poll" -> Ast.Poll
+    | "probe" -> Ast.Probe
+    | s -> fail "unknown trigger type %S" s
+  in
+  { Ast.ttyp; tname = Xml.attr_exn x "name";
+    tinit =
+      (match elements x with
+      | [] -> None
+      | [ e ] -> Some (expr_of_xml e)
+      | _ -> fail "trigger expects at most one initializer") }
+
+let place_of_xml x =
+  let pquant =
+    match Xml.attr_exn x "quant" with
+    | "all" -> Ast.QAll
+    | "any" -> Ast.QAny
+    | s -> fail "unknown quantifier %S" s
+  in
+  let pconstraint =
+    match Xml.attr_exn x "kind" with
+    | "anywhere" -> Ast.Anywhere
+    | "nodes" -> Ast.At_nodes (List.map expr_of_xml (elements x))
+    | "range" ->
+        let role =
+          match Xml.attr_exn x "role" with
+          | "sender" -> Ast.Sender
+          | "receiver" -> Ast.Receiver
+          | "midpoint" -> Ast.Midpoint
+          | s -> fail "unknown role %S" s
+        in
+        let pfilter =
+          Option.map
+            (fun t ->
+              match elements t with
+              | [ e ] -> expr_of_xml e
+              | _ -> fail "traffic expects one child")
+            (Xml.first x "traffic")
+        in
+        let rbound =
+          match Xml.first x "bound" with
+          | Some b -> (
+              match elements b with
+              | [ e ] -> expr_of_xml e
+              | _ -> fail "bound expects one child")
+          | None -> fail "range place misses <bound>"
+        in
+        Ast.On_range
+          { role; pfilter; rop = binop_of_string (Xml.attr_exn x "op");
+            rbound }
+    | s -> fail "unknown place kind %S" s
+  in
+  { Ast.pquant; pconstraint }
+
+let state_of_xml x =
+  let slocals = List.map var_of_xml (Xml.select x "var") in
+  let sutil =
+    Option.map
+      (fun u -> { Ast.uparam = Xml.attr_exn u "param"; ubody = body_of_xml u })
+      (Xml.first x "util")
+  in
+  let sevents = List.map event_of_xml (Xml.select x "event") in
+  { Ast.sname = Xml.attr_exn x "name"; slocals; sutil; sevents }
+
+let machine_of_xml x =
+  { Ast.mname = Xml.attr_exn x "name";
+    extends = Xml.attr x "extends";
+    places = List.map place_of_xml (Xml.select x "place");
+    mvars = List.map var_of_xml (Xml.select x "var");
+    mtrigs = List.map trig_of_xml (Xml.select x "trigger");
+    states = List.map state_of_xml (Xml.select x "state");
+    mevents = List.map event_of_xml (Xml.select x "event") }
+
+let func_of_xml x =
+  { Ast.fname = Xml.attr_exn x "name";
+    fret = typ_of_string (Xml.attr_exn x "ret");
+    fparams =
+      List.map
+        (fun p -> (typ_of_string (Xml.attr_exn p "type"), Xml.attr_exn p "name"))
+        (Xml.select x "param");
+    fbody =
+      (match Xml.first x "body" with
+      | Some b -> body_of_xml b
+      | None -> fail "function misses <body>") }
+
+let program_of_xml x =
+  if Xml.name x <> "almanac" then fail "expected an <almanac> document";
+  { Ast.funcs = List.map func_of_xml (Xml.select x "function");
+    machines = List.map machine_of_xml (Xml.select x "machine") }
+
+let compile p = Xml.to_string (program_to_xml p)
+let load s = program_of_xml (Xml.parse s)

@@ -1,0 +1,15 @@
+(** The seed interchange format of §V-A d: Almanac programs compiled by
+    the seeder to XML and decompiled back into executable machines by each
+    switch's soil.  The encoding is a complete structural serialization of
+    the AST, so [of_xml (to_xml p) = p]. *)
+
+val program_to_xml : Ast.program -> Xml.t
+val program_of_xml : Xml.t -> Ast.program
+
+(** Convenience: serialize straight to/from strings. *)
+val compile : Ast.program -> string
+
+exception Decode_error of string
+
+(** Raises {!Decode_error} or {!Xml.Parse_error} on malformed input. *)
+val load : string -> Ast.program

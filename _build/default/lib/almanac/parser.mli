@@ -1,0 +1,11 @@
+(** Recursive-descent parser for Almanac (concrete syntax of Fig. 3 /
+    List. 2). *)
+
+exception Error of string
+(** Syntax error with a "line:col: message" payload. *)
+
+(** Parse a full program (auxiliary functions + machines). *)
+val program : string -> Ast.program
+
+(** Parse a single expression (used by tests and the REPL-ish tooling). *)
+val expression : string -> Ast.expr

@@ -1,0 +1,158 @@
+open Format
+
+let rec pp_expr ppf (e : Ast.expr) =
+  match e with
+  | Ast.Bool b -> pp_print_bool ppf b
+  | Ast.Int i -> pp_print_int ppf i
+  | Ast.Float f ->
+      (* decimal, exponent-free form: the lexer has no e-notation, so
+         "%g"-style output like 1e-05 would not re-parse *)
+      if Float.is_integer f && Float.abs f < 1e15 then fprintf ppf "%.1f" f
+      else begin
+        let s = Printf.sprintf "%.17f" f in
+        (* strip trailing zeros but keep one decimal *)
+        let n = ref (String.length s) in
+        while !n > 1 && s.[!n - 1] = '0' && s.[!n - 2] <> '.' do
+          decr n
+        done;
+        pp_print_string ppf (String.sub s 0 !n)
+      end
+  | Ast.String s -> fprintf ppf "%S" s
+  | Ast.AnyLit -> pp_print_string ppf "ANY"
+  | Ast.Var v -> pp_print_string ppf v
+  | Ast.Field (e, f) -> fprintf ppf "%a.%s" pp_expr e f
+  | Ast.Call (f, args) ->
+      fprintf ppf "%s(%a)" f
+        (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_expr)
+        args
+  | Ast.Unop (Ast.Not, e) -> fprintf ppf "(not %a)" pp_expr e
+  | Ast.Unop (Ast.Neg, e) -> fprintf ppf "(-%a)" pp_expr e
+  | Ast.Binop (op, a, b) ->
+      fprintf ppf "(%a %s %a)" pp_expr a (Ast.binop_to_string op) pp_expr b
+  | Ast.FilterAtom (h, arg) ->
+      fprintf ppf "%s %a" (Ast.filter_head_to_string h) pp_expr arg
+  | Ast.StructLit (name, fields) ->
+      fprintf ppf "%s { %a }" name
+        (pp_print_list
+           ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+           (fun ppf (f, e) -> fprintf ppf ".%s = %a" f pp_expr e))
+        fields
+  | Ast.ListLit es ->
+      fprintf ppf "[%a]"
+        (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_expr)
+        es
+
+let pp_dest ppf = function
+  | Ast.Harvester -> pp_print_string ppf "harvester"
+  | Ast.Machine (m, None) -> pp_print_string ppf m
+  | Ast.Machine (m, Some d) -> fprintf ppf "%s @ %a" m pp_expr d
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (t, n, None) -> fprintf ppf "%s %s;" (Ast.typ_to_string t) n
+  | Ast.Decl (t, n, Some e) ->
+      fprintf ppf "%s %s = %a;" (Ast.typ_to_string t) n pp_expr e
+  | Ast.Assign (n, e) -> fprintf ppf "%s = %a;" n pp_expr e
+  | Ast.Transit e -> fprintf ppf "transit %a;" pp_expr e
+  | Ast.If (c, t, []) ->
+      fprintf ppf "@[<v 2>if (%a) then {@,%a@]@,}" pp_expr c pp_stmts t
+  | Ast.If (c, t, e) ->
+      fprintf ppf "@[<v 2>if (%a) then {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_expr c pp_stmts t pp_stmts e
+  | Ast.While (c, b) ->
+      fprintf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_stmts b
+  | Ast.Return None -> pp_print_string ppf "return;"
+  | Ast.Return (Some e) -> fprintf ppf "return %a;" pp_expr e
+  | Ast.Send (e, d) -> fprintf ppf "send %a to %a;" pp_expr e pp_dest d
+  | Ast.ExprStmt e -> fprintf ppf "%a;" pp_expr e
+
+and pp_stmts ppf ss =
+  pp_print_list ~pp_sep:pp_print_cut pp_stmt ppf ss
+
+let pp_trigger ppf = function
+  | Ast.On_enter -> pp_print_string ppf "enter"
+  | Ast.On_exit -> pp_print_string ppf "exit"
+  | Ast.On_realloc -> pp_print_string ppf "realloc"
+  | Ast.On_trigger_var (y, None) -> pp_print_string ppf y
+  | Ast.On_trigger_var (y, Some x) -> fprintf ppf "%s as %s" y x
+  | Ast.On_recv (t, n, d) ->
+      fprintf ppf "recv %s %s from %a" (Ast.typ_to_string t) n pp_dest d
+
+let pp_event ppf (ev : Ast.event) =
+  fprintf ppf "@[<v 2>when (%a) do {@,%a@]@,}" pp_trigger ev.trigger pp_stmts
+    ev.body
+
+let pp_var_decl ppf (v : Ast.var_decl) =
+  let ext = if v.is_external then "external " else "" in
+  match v.vinit with
+  | None -> fprintf ppf "%s%s %s;" ext (Ast.typ_to_string v.vtyp) v.vname
+  | Some e ->
+      fprintf ppf "%s%s %s = %a;" ext (Ast.typ_to_string v.vtyp) v.vname
+        pp_expr e
+
+let pp_trig_decl ppf (t : Ast.trig_decl) =
+  match t.tinit with
+  | None ->
+      fprintf ppf "%s %s;" (Ast.trigger_type_to_string t.ttyp) t.tname
+  | Some e ->
+      fprintf ppf "%s %s = %a;" (Ast.trigger_type_to_string t.ttyp) t.tname
+        pp_expr e
+
+let pp_util ppf (u : Ast.util_decl) =
+  fprintf ppf "@[<v 2>util (%s) {@,%a@]@,}" u.uparam pp_stmts u.ubody
+
+let pp_place ppf (p : Ast.place_decl) =
+  let quant = match p.pquant with Ast.QAll -> "all" | Ast.QAny -> "any" in
+  match p.pconstraint with
+  | Ast.Anywhere -> fprintf ppf "place %s;" quant
+  | Ast.At_nodes es ->
+      fprintf ppf "place %s %a;" quant
+        (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_expr)
+        es
+  | Ast.On_range { role; pfilter; rop; rbound } ->
+      let role =
+        match role with
+        | Ast.Sender -> "sender"
+        | Ast.Receiver -> "receiver"
+        | Ast.Midpoint -> "midpoint"
+      in
+      fprintf ppf "place %s %s%a range %s %a;" quant role
+        (fun ppf -> function
+          | None -> ()
+          | Some f -> fprintf ppf " %a" pp_expr f)
+        pfilter (Ast.binop_to_string rop) pp_expr rbound
+
+let pp_state ppf (s : Ast.state_decl) =
+  fprintf ppf "@[<v 2>state %s {" s.sname;
+  List.iter (fun v -> fprintf ppf "@,%a" pp_var_decl v) s.slocals;
+  Option.iter (fun u -> fprintf ppf "@,%a" pp_util u) s.sutil;
+  List.iter (fun e -> fprintf ppf "@,%a" pp_event e) s.sevents;
+  fprintf ppf "@]@,}"
+
+let pp_machine ppf (m : Ast.machine) =
+  (match m.extends with
+  | None -> fprintf ppf "@[<v 2>machine %s {" m.mname
+  | Some p -> fprintf ppf "@[<v 2>machine %s extends %s {" m.mname p);
+  List.iter (fun p -> fprintf ppf "@,%a" pp_place p) m.places;
+  List.iter (fun v -> fprintf ppf "@,%a" pp_var_decl v) m.mvars;
+  List.iter (fun t -> fprintf ppf "@,%a" pp_trig_decl t) m.mtrigs;
+  List.iter (fun s -> fprintf ppf "@,%a" pp_state s) m.states;
+  List.iter (fun e -> fprintf ppf "@,%a" pp_event e) m.mevents;
+  fprintf ppf "@]@,}"
+
+let pp_func ppf (f : Ast.func_decl) =
+  fprintf ppf "@[<v 2>%s %s(%a) {@,%a@]@,}" (Ast.typ_to_string f.fret) f.fname
+    (pp_print_list
+       ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+       (fun ppf (t, n) -> fprintf ppf "%s %s" (Ast.typ_to_string t) n))
+    f.fparams pp_stmts f.fbody
+
+let pp_program ppf (p : Ast.program) =
+  pp_open_vbox ppf 0;
+  List.iter (fun f -> fprintf ppf "%a@,@," pp_func f) p.funcs;
+  pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf "@,@,") pp_machine ppf
+    p.machines;
+  pp_close_box ppf ()
+
+let expr_to_string e = asprintf "%a" pp_expr e
+let program_to_string p = asprintf "%a@." pp_program p

@@ -1,0 +1,41 @@
+(** Static checking of Almanac programs.
+
+    Responsibilities:
+    - resolve single inheritance ([extends]): child states override parent
+      states; variables can be neither overridden nor shadowed (§III-A a);
+    - scope and type checking of all expressions and statements;
+    - enforcement of the [util] syntactic restrictions (§III-A f): only
+      if-then-else and return; only the operators and, or, ==, <=, >=, +,
+      -, *, /; no calls except [min] and [max];
+    - validation of [transit] targets and trigger references.
+
+    A successful check returns the program with inheritance flattened —
+    the form consumed by the analyses and the interpreter. *)
+
+exception Error of string
+
+(** Argument/return types for builtin and auxiliary function signatures. *)
+type sigty =
+  | Any
+  | Numeric  (** int / long / float *)
+  | Ty of Ast.typ
+
+type func_sig = { args : sigty list; ret : sigty }
+
+(** The soil runtime library (List. 1) plus list/stats helpers. *)
+val builtin_signatures : (string * func_sig) list
+
+(** [check ?extra program] type-checks and returns the program with
+    machine inheritance resolved.  [extra] adds signatures for
+    host-provided (OCaml) auxiliary functions. *)
+val check :
+  ?extra:(string * func_sig) list -> Ast.program -> Ast.program
+
+(** Like {!check} but returning the error message. *)
+val check_result :
+  ?extra:(string * func_sig) list ->
+  Ast.program ->
+  (Ast.program, string) result
+
+(** Flatten inheritance only (no type checking) — exposed for tests. *)
+val resolve_inheritance : Ast.machine list -> Ast.machine list

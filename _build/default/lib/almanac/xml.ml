@@ -1,0 +1,250 @@
+type t = Element of string * (string * string) list * t list | Text of string
+
+let element ?(attrs = []) name children = Element (name, attrs, children)
+let text s = Text s
+
+let name = function
+  | Element (n, _, _) -> n
+  | Text _ -> invalid_arg "Xml.name: text node"
+
+let attr t key =
+  match t with
+  | Element (_, attrs, _) -> List.assoc_opt key attrs
+  | Text _ -> None
+
+let attr_exn t key =
+  match attr t key with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Xml.attr_exn: missing attribute %S on <%s>" key
+           (match t with Element (n, _, _) -> n | Text _ -> "#text"))
+
+let children = function Element (_, _, c) -> c | Text _ -> []
+
+let select t n =
+  List.filter
+    (function Element (n', _, _) -> n' = n | Text _ -> false)
+    (children t)
+
+let first t n = match select t n with x :: _ -> Some x | [] -> None
+
+let rec text_content = function
+  | Text s -> s
+  | Element (_, _, c) -> String.concat "" (List.map text_content c)
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 1024 in
+  let rec go depth t =
+    let pad = if indent then String.make (2 * depth) ' ' else "" in
+    match t with
+    | Text s -> Buffer.add_string buf (pad ^ escape s ^ if indent then "\n" else "")
+    | Element (n, attrs, kids) ->
+        Buffer.add_string buf (pad ^ "<" ^ n);
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+          attrs;
+        if kids = [] then
+          Buffer.add_string buf ("/>" ^ if indent then "\n" else "")
+        else begin
+          Buffer.add_string buf (">" ^ if indent then "\n" else "");
+          List.iter (go (depth + 1)) kids;
+          Buffer.add_string buf (pad ^ "</" ^ n ^ ">");
+          if indent then Buffer.add_char buf '\n'
+        end
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let starts_with c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.src && String.sub c.src c.pos n = s
+
+let skip c s = c.pos <- c.pos + String.length s
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let rec skip_misc c =
+  skip_ws c;
+  if starts_with c "<?" then begin
+    (match String.index_from_opt c.src c.pos '>' with
+    | Some i -> c.pos <- i + 1
+    | None -> fail "unterminated prolog");
+    skip_misc c
+  end
+  else if starts_with c "<!--" then begin
+    let rec go i =
+      if i + 3 > String.length c.src then fail "unterminated comment"
+      else if String.sub c.src i 3 = "-->" then c.pos <- i + 3
+      else go (i + 1)
+    in
+    go (c.pos + 4);
+    skip_misc c
+  end
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = ':' || ch = '.'
+
+let parse_name c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_name_char ch | None -> false) do
+    advance c
+  done;
+  if c.pos = start then fail "expected a name at offset %d" c.pos;
+  String.sub c.src start (c.pos - start)
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      let j = try String.index_from s !i ';' with Not_found -> fail "bad entity" in
+      (match String.sub s (!i + 1) (j - !i - 1) with
+      | "lt" -> Buffer.add_char buf '<'
+      | "gt" -> Buffer.add_char buf '>'
+      | "amp" -> Buffer.add_char buf '&'
+      | "quot" -> Buffer.add_char buf '"'
+      | "apos" -> Buffer.add_char buf '\''
+      | e -> fail "unknown entity &%s;" e);
+      i := j + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let parse_attrs c =
+  let attrs = ref [] in
+  let rec go () =
+    skip_ws c;
+    match peek c with
+    | Some ch when is_name_char ch ->
+        let key = parse_name c in
+        skip_ws c;
+        (match peek c with
+        | Some '=' -> advance c
+        | _ -> fail "expected '=' after attribute %s" key);
+        skip_ws c;
+        let quote =
+          match peek c with
+          | Some (('"' | '\'') as q) ->
+              advance c;
+              q
+          | _ -> fail "expected a quoted attribute value"
+        in
+        let start = c.pos in
+        while (match peek c with Some ch -> ch <> quote | None -> false) do
+          advance c
+        done;
+        (match peek c with
+        | Some _ -> ()
+        | None -> fail "unterminated attribute value");
+        let v = String.sub c.src start (c.pos - start) in
+        advance c;
+        attrs := (key, unescape v) :: !attrs;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  List.rev !attrs
+
+let rec parse_element c =
+  if not (starts_with c "<") then fail "expected '<' at offset %d" c.pos;
+  advance c;
+  let tag = parse_name c in
+  let attrs = parse_attrs c in
+  skip_ws c;
+  if starts_with c "/>" then begin
+    skip c "/>";
+    Element (tag, attrs, [])
+  end
+  else if starts_with c ">" then begin
+    advance c;
+    let kids = ref [] in
+    let rec go () =
+      if peek c = None then fail "unterminated <%s>" tag
+      else if starts_with c "</" then begin
+        skip c "</";
+        let close = parse_name c in
+        if close <> tag then fail "mismatched </%s> for <%s>" close tag;
+        skip_ws c;
+        if starts_with c ">" then advance c else fail "expected '>'"
+      end
+      else if starts_with c "<!--" then begin
+        skip_misc c;
+        go ()
+      end
+      else if starts_with c "<" then begin
+        kids := parse_element c :: !kids;
+        go ()
+      end
+      else begin
+        let start = c.pos in
+        while
+          (match peek c with Some ch -> ch <> '<' | None -> false)
+        do
+          advance c
+        done;
+        let s = unescape (String.sub c.src start (c.pos - start)) in
+        if String.trim s <> "" then kids := Text s :: !kids;
+        go ()
+      end
+    in
+    go ();
+    Element (tag, attrs, List.rev !kids)
+  end
+  else fail "malformed tag <%s" tag
+
+let parse src =
+  let c = { src; pos = 0 } in
+  skip_misc c;
+  let e = parse_element c in
+  skip_ws c;
+  e

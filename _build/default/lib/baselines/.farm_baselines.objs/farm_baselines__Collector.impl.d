@@ -1,0 +1,1 @@
+lib/baselines/collector.ml: Array Farm_sim Hashtbl List

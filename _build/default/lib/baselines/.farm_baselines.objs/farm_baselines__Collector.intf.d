@@ -1,0 +1,1 @@
+lib/baselines/collector.mli: Farm_sim

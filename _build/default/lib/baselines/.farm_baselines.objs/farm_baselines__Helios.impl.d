@@ -1,0 +1,1 @@
+lib/baselines/helios.ml: Farm_net Farm_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/helios.mli: Farm_net Farm_sim

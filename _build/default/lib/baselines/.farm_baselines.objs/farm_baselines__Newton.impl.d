@@ -1,0 +1,1 @@
+lib/baselines/newton.ml: Farm_net Farm_sim Hashtbl List Option

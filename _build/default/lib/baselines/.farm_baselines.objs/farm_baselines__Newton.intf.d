@@ -1,0 +1,1 @@
+lib/baselines/newton.mli: Farm_net Farm_sim

@@ -1,0 +1,1 @@
+lib/baselines/planck.mli: Farm_net Farm_sim

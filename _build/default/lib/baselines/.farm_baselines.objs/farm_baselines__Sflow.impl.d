@@ -1,0 +1,1 @@
+lib/baselines/sflow.ml: Array Collector Farm_net Farm_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/sflow.mli: Collector Farm_net Farm_sim

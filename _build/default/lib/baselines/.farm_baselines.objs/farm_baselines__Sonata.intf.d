@@ -1,0 +1,1 @@
+lib/baselines/sonata.mli: Farm_net Farm_sim

@@ -1,0 +1,91 @@
+module Engine = Farm_sim.Engine
+module Fabric = Farm_net.Fabric
+module Switch_model = Farm_net.Switch_model
+
+type config = {
+  window : float;
+  batch_process_time : float;
+  record_bytes : float;
+  aggregation_factor : float;
+  collector_latency : float;
+}
+
+let default_config =
+  { window = 3.; batch_process_time = 0.4; record_bytes = 64.;
+    aggregation_factor = 0.75; collector_latency = 250e-6 }
+
+type t = {
+  cfg : config;
+  mutable threshold : float;
+  mutable timer : Engine.timer option;
+  reported : (int, unit) Hashtbl.t;  (* host-facing port identity *)
+  mutable detections : (float * int) list;
+  mutable rx_bytes : float;
+}
+
+(* Unlike Sonata, the reducer keys streams by a network-wide identity (we
+   use the egress-port index as the stand-in for a flow group key) and the
+   central job sums the per-switch contributions before thresholding. *)
+let deploy ?(config = default_config) engine fabric ~hh_threshold =
+  let t =
+    { cfg = config; threshold = hh_threshold; timer = None;
+      reported = Hashtbl.create 32; detections = []; rx_bytes = 0. }
+  in
+  let switches = Fabric.switch_models fabric in
+  let prev : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let timer =
+    Engine.every engine ~period:config.window (fun engine ->
+        let now = Engine.now engine in
+        (* merged per-key byte deltas across every switch *)
+        let merged : (int, float) Hashtbl.t = Hashtbl.create 32 in
+        List.iter
+          (fun sw ->
+            let node = Switch_model.id sw in
+            for port = 0 to Switch_model.port_count sw - 1 do
+              let total = Switch_model.port_bytes sw ~time:now ~port in
+              let before =
+                Option.value (Hashtbl.find_opt prev (node, port)) ~default:0.
+              in
+              Hashtbl.replace prev (node, port) total;
+              let delta = total -. before in
+              if delta > 0. then begin
+                (* streaming records towards the central job, reduced by
+                   the in-network aggregation factor *)
+                t.rx_bytes <-
+                  t.rx_bytes
+                  +. (config.record_bytes
+                     *. (1. -. config.aggregation_factor));
+                Hashtbl.replace merged port
+                  (delta
+                  +. Option.value (Hashtbl.find_opt merged port) ~default:0.)
+              end
+            done)
+          switches;
+        (* central evaluation after the batch delay *)
+        let snapshot = Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [] in
+        Engine.schedule engine
+          ~delay:(config.collector_latency +. config.batch_process_time)
+          (fun engine ->
+            List.iter
+              (fun (key, bytes) ->
+                let rate = bytes /. config.window in
+                if rate >= t.threshold && not (Hashtbl.mem t.reported key)
+                then begin
+                  Hashtbl.replace t.reported key ();
+                  t.detections <- (Engine.now engine, key) :: t.detections
+                end)
+              snapshot))
+  in
+  t.timer <- Some timer;
+  t
+
+let update_threshold t v = t.threshold <- v
+
+let detections t = List.rev t.detections
+
+let first_detection_after t time =
+  List.find_opt (fun (d, _) -> d >= time) (detections t)
+
+let rx_bytes t = t.rx_bytes
+
+let shutdown t = match t.timer with Some tm -> Engine.cancel tm | None -> ()

@@ -1,0 +1,38 @@
+(** Newton model: inherits Sonata's P4-based streaming approach but adds
+    (1) dynamic deployment — queries can be installed/retuned at runtime
+    without switch reboots — and (2) cross-switch stream merging, enabling
+    network-wide heavy hitters.  Processing remains logically centralized,
+    so its responsiveness is akin to Sonata's (§VII). *)
+
+type config = {
+  window : float;
+  batch_process_time : float;
+  record_bytes : float;
+  aggregation_factor : float;
+  collector_latency : float;
+}
+
+val default_config : config
+
+type t
+
+val deploy :
+  ?config:config ->
+  Farm_sim.Engine.t ->
+  Farm_net.Fabric.t ->
+  hh_threshold:float ->
+  t
+
+(** Dynamic query update (Newton's key addition over Sonata): change the
+    detection threshold at runtime; takes effect at the next batch, no
+    redeployment. *)
+val update_threshold : t -> float -> unit
+
+(** Network-wide detections (time, port): per-port rates are merged across
+    switches before thresholding, so a flow split over paths is still
+    caught. *)
+val detections : t -> (float * int) list
+
+val first_detection_after : t -> float -> (float * int) option
+val rx_bytes : t -> float
+val shutdown : t -> unit

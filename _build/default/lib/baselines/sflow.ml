@@ -1,0 +1,57 @@
+module Engine = Farm_sim.Engine
+module Fabric = Farm_net.Fabric
+module Switch_model = Farm_net.Switch_model
+
+type config = {
+  poll_period : float;
+  collector_latency : float;
+  collector_process_cost : float;
+  agent_tick_cost : float;
+}
+
+let default_config =
+  { poll_period = 0.1;  (* classic 100 ms export *)
+    collector_latency = 250e-6;
+    collector_process_cost = 2e-6;
+    agent_tick_cost = 30e-6 }
+
+type t = {
+  collector : Collector.t;
+  agent_cpu : (int, float ref) Hashtbl.t;
+  timers : Engine.timer list;
+}
+
+let deploy ?(config = default_config) engine fabric ~hh_threshold =
+  let collector =
+    Collector.create engine ~latency:config.collector_latency
+      ~process_cost:config.collector_process_cost ~hh_threshold
+  in
+  let agent_cpu = Hashtbl.create 32 in
+  let timers =
+    List.map
+      (fun sw ->
+        let node = Switch_model.id sw in
+        let cpu = ref 0. in
+        Hashtbl.replace agent_cpu node cpu;
+        Engine.every engine ~period:config.poll_period (fun engine ->
+            (* read and export every port counter, no local filtering *)
+            cpu := !cpu +. config.agent_tick_cost;
+            let now = Engine.now engine in
+            let readings =
+              Array.init (Switch_model.port_count sw) (fun port ->
+                  Switch_model.port_bytes sw ~time:now ~port)
+            in
+            Collector.push_counters_batch collector ~switch:node
+              ~read_time:now readings))
+      (Fabric.switch_models fabric)
+  in
+  { collector; agent_cpu; timers }
+
+let collector t = t.collector
+
+let agent_cpu_busy t node =
+  match Hashtbl.find_opt t.agent_cpu node with
+  | Some r -> !r
+  | None -> 0.
+
+let shutdown t = List.iter Engine.cancel t.timers

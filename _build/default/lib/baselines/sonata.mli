@@ -1,0 +1,37 @@
+(** Sonata model: query-driven streaming telemetry.  The data plane
+    reduces traffic to per-window records (the paper grants it a 75 %
+    aggregation factor); a central Spark-Streaming-like job processes each
+    window as a batch.  Detection can therefore only happen at
+    {e batch boundaries} plus the batch processing delay — the source of
+    Sonata's multi-second responsiveness in Tab. 4.  Per §VII it computes
+    {e switch-local} heavy hitters only (no cross-switch merge). *)
+
+type config = {
+  window : float;  (** streaming batch window (s) *)
+  batch_process_time : float;  (** Spark batch processing delay (s) *)
+  aggregation_factor : float;  (** fraction of records removed in-network *)
+  record_bytes : float;
+  collector_latency : float;
+  collector_process_cost : float;
+}
+
+val default_config : config
+
+type t
+
+val deploy :
+  ?config:config ->
+  Farm_sim.Engine.t ->
+  Farm_net.Fabric.t ->
+  hh_threshold:float ->
+  t
+
+(** (time, switch, port) detections, oldest first. *)
+val detections : t -> (float * int * int) list
+
+val first_detection_after : t -> float -> (float * int * int) option
+
+(** Bytes shipped to the streaming backend. *)
+val rx_bytes : t -> float
+
+val shutdown : t -> unit

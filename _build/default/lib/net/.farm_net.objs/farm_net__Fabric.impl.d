@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Farm_sim Flow Hashtbl Ipaddr List Option Printf Routing Stdlib Switch_model Topology

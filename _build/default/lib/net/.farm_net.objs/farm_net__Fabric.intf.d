@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Farm_sim Flow Ipaddr Routing Switch_model Topology

@@ -1,0 +1,1 @@
+lib/net/filter.ml: Flow Format Int Ipaddr List Stdlib

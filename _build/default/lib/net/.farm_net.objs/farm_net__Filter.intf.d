@@ -1,0 +1,1 @@
+lib/net/filter.mli: Flow Format Ipaddr

@@ -1,0 +1,1 @@
+lib/net/flow.ml: Format Int Ipaddr Stdlib

@@ -1,0 +1,1 @@
+lib/net/flow.mli: Format Ipaddr

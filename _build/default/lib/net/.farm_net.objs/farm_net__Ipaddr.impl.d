@@ -1,0 +1,1 @@
+lib/net/ipaddr.ml: Format Int Option Printf String

@@ -1,0 +1,1 @@
+lib/net/routing.ml: Array Filter Flow Hashtbl Ipaddr List Queue Topology

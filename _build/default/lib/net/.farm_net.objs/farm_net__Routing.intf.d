@@ -1,0 +1,1 @@
+lib/net/routing.mli: Filter Flow Ipaddr Topology

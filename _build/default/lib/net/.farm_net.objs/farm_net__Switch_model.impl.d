@@ -1,0 +1,1 @@
+lib/net/switch_model.ml: Array Farm_sim Filter Float Flow Hashtbl Ipaddr Map Option Printf Stdlib Tcam

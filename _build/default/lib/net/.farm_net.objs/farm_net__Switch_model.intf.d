@@ -1,0 +1,1 @@
+lib/net/switch_model.mli: Farm_sim Filter Flow Tcam

@@ -1,0 +1,1 @@
+lib/net/tcam.ml: Filter Float List

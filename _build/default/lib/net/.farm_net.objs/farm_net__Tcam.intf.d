@@ -1,0 +1,1 @@
+lib/net/tcam.mli: Filter Flow

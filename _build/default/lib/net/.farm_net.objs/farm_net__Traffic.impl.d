@@ -1,0 +1,1 @@
+lib/net/traffic.ml: Fabric Farm_sim Flow Fun List Option

@@ -1,0 +1,1 @@
+lib/net/traffic.mli: Fabric Farm_sim Ipaddr

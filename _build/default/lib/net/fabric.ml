@@ -1,0 +1,90 @@
+type flow_record = { path : Routing.path; switches : int list }
+
+type t = {
+  topo : Topology.t;
+  switches : (int, Switch_model.t) Hashtbl.t;
+  mutable next_flow_id : int;
+  active : (int, flow_record) Hashtbl.t;
+  host_prefixes : Ipaddr.Prefix.t array;
+}
+
+let create ?caps topo =
+  let switches = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Topology.node) ->
+      let ports = Topology.port_count topo n.id in
+      Hashtbl.replace switches n.id
+        (Switch_model.create ?caps ~id:n.id ~ports ()))
+    (Topology.switches topo);
+  let host_prefixes =
+    Topology.hosts topo
+    |> List.filter_map (fun (n : Topology.node) -> n.prefix)
+    |> Array.of_list
+  in
+  { topo; switches; next_flow_id = 0; active = Hashtbl.create 256;
+    host_prefixes }
+
+let topology t = t.topo
+
+let switch t id =
+  match Hashtbl.find_opt t.switches id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Fabric.switch: %d is not a switch" id)
+
+let switch_models t = Hashtbl.fold (fun _ s acc -> s :: acc) t.switches []
+
+(* Egress port of [sw] towards the next node of the path. *)
+let rec egress_of topo sw = function
+  | a :: (b :: _ as rest) ->
+      if a = sw then Topology.port_to topo sw b else egress_of topo sw rest
+  | [ _ ] | [] -> 0
+
+let start_flow t ~time ~tuple ~rate ?(flags = Flow.no_flags) ?(payload = "")
+    ?path () =
+  let path =
+    match path with Some p -> Some p | None -> Routing.route_flow t.topo tuple
+  in
+  match path with
+  | None -> None
+  | Some path ->
+      let switches = Routing.path_switches t.topo path in
+      let flow_id = t.next_flow_id in
+      t.next_flow_id <- t.next_flow_id + 1;
+      List.iter
+        (fun sw ->
+          let egress = egress_of t.topo sw path in
+          Switch_model.add_flow (switch t sw) ~time ~flow_id ~tuple ~rate
+            ~flags ~payload ~egress ())
+        switches;
+      Hashtbl.replace t.active flow_id { path; switches };
+      Some flow_id
+
+let stop_flow t ~time flow_id =
+  match Hashtbl.find_opt t.active flow_id with
+  | None -> ()
+  | Some r ->
+      List.iter
+        (fun sw -> Switch_model.remove_flow (switch t sw) ~time ~flow_id)
+        r.switches;
+      Hashtbl.remove t.active flow_id
+
+let flow_path t flow_id =
+  Option.map (fun r -> r.path) (Hashtbl.find_opt t.active flow_id)
+
+let active_flow_count t = Hashtbl.length t.active
+
+let reset t ~time =
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] in
+  List.iter (stop_flow t ~time) ids
+
+let random_host_addr t rng =
+  if Array.length t.host_prefixes = 0 then
+    invalid_arg "Fabric.random_host_addr: topology has no hosts";
+  let p = Farm_sim.Rng.choose rng t.host_prefixes in
+  let base = Ipaddr.to_int (Ipaddr.Prefix.address p) in
+  let host_bits = 32 - Ipaddr.Prefix.length p in
+  let off =
+    if host_bits = 0 then 0
+    else 1 + Farm_sim.Rng.int rng (Stdlib.max 1 ((1 lsl host_bits) - 2))
+  in
+  Ipaddr.of_int (base lor off)

@@ -1,0 +1,40 @@
+(** The fabric ties a {!Topology} to per-switch {!Switch_model}s and manages
+    flow lifecycles end to end: starting a flow routes it, then accounts its
+    rate on the egress port of every switch along the path. *)
+
+type t
+
+val create : ?caps:Switch_model.caps -> Topology.t -> t
+val topology : t -> Topology.t
+
+(** The model of switch [id]; raises [Invalid_argument] for non-switches. *)
+val switch : t -> int -> Switch_model.t
+
+val switch_models : t -> Switch_model.t list
+
+(** Start a flow for [tuple] at [rate] bytes/s.  The path defaults to ECMP
+    routing between the hosts owning the tuple's addresses; returns [None]
+    when no route exists.  Returns the flow id. *)
+val start_flow :
+  t ->
+  time:float ->
+  tuple:Flow.five_tuple ->
+  rate:float ->
+  ?flags:Flow.tcp_flags ->
+  ?payload:string ->
+  ?path:Routing.path ->
+  unit ->
+  int option
+
+val stop_flow : t -> time:float -> int -> unit
+
+(** Path of an active flow. *)
+val flow_path : t -> int -> Routing.path option
+
+val active_flow_count : t -> int
+
+(** Stop all flows (between benchmark repetitions). *)
+val reset : t -> time:float -> unit
+
+(** Pick a uniformly random address inside some host's prefix. *)
+val random_host_addr : t -> Farm_sim.Rng.t -> Ipaddr.t

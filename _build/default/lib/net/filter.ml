@@ -1,0 +1,128 @@
+type atom =
+  | Src_ip of Ipaddr.Prefix.t
+  | Dst_ip of Ipaddr.Prefix.t
+  | Src_port of int
+  | Dst_port of int
+  | Port of int
+  | Proto of Flow.proto
+  | Any
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let atom a = Atom a
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+
+let matches_atom a (h : Flow.five_tuple) =
+  match a with
+  | Src_ip p -> Ipaddr.Prefix.mem h.src p
+  | Dst_ip p -> Ipaddr.Prefix.mem h.dst p
+  | Src_port p -> h.sport = p
+  | Dst_port p -> h.dport = p
+  | Port p -> h.sport = p || h.dport = p
+  | Proto p -> h.proto = p
+  | Any -> true
+
+let rec matches t h =
+  match t with
+  | True -> true
+  | False -> false
+  | Atom a -> matches_atom a h
+  | And (a, b) -> matches a h && matches b h
+  | Or (a, b) -> matches a h || matches b h
+  | Not a -> not (matches a h)
+
+type subject =
+  | All_ports
+  | Port_counter of int
+  | Prefix_counter of Ipaddr.Prefix.t
+  | Proto_counter of Flow.proto
+
+let subject_equal a b =
+  match (a, b) with
+  | All_ports, All_ports -> true
+  | Port_counter x, Port_counter y -> x = y
+  | Prefix_counter x, Prefix_counter y -> Ipaddr.Prefix.equal x y
+  | Proto_counter x, Proto_counter y -> x = y
+  | (All_ports | Port_counter _ | Prefix_counter _ | Proto_counter _), _ ->
+      false
+
+let subject_compare a b =
+  let rank = function
+    | All_ports -> 0
+    | Port_counter _ -> 1
+    | Prefix_counter _ -> 2
+    | Proto_counter _ -> 3
+  in
+  match (a, b) with
+  | All_ports, All_ports -> 0
+  | Port_counter x, Port_counter y -> Int.compare x y
+  | Prefix_counter x, Prefix_counter y -> Ipaddr.Prefix.compare x y
+  | Proto_counter x, Proto_counter y -> Stdlib.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp_subject ppf = function
+  | All_ports -> Format.pp_print_string ppf "ports:*"
+  | Port_counter p -> Format.fprintf ppf "port:%d" p
+  | Prefix_counter p -> Format.fprintf ppf "prefix:%a" Ipaddr.Prefix.pp p
+  | Proto_counter p ->
+      Format.fprintf ppf "proto:%s" (Flow.proto_to_string p)
+
+let subjects t =
+  (* φ_enc: conservative — every atom appearing (non-negated) in the filter
+     contributes the counters needed to evaluate it. *)
+  let add acc s = if List.exists (subject_equal s) acc then acc else s :: acc in
+  let rec go acc = function
+    | True | False -> acc
+    | Atom Any -> add acc All_ports
+    | Atom (Src_port p | Dst_port p | Port p) -> add acc (Port_counter p)
+    | Atom (Src_ip p | Dst_ip p) -> add acc (Prefix_counter p)
+    | Atom (Proto p) -> add acc (Proto_counter p)
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+  in
+  List.rev (go [] t)
+
+let atom_equal a b =
+  match (a, b) with
+  | Src_ip x, Src_ip y | Dst_ip x, Dst_ip y -> Ipaddr.Prefix.equal x y
+  | Src_port x, Src_port y | Dst_port x, Dst_port y | Port x, Port y -> x = y
+  | Proto x, Proto y -> x = y
+  | Any, Any -> true
+  | (Src_ip _ | Dst_ip _ | Src_port _ | Dst_port _ | Port _ | Proto _ | Any), _
+    ->
+      false
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Atom x, Atom y -> atom_equal x y
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Not x, Not y -> equal x y
+  | (True | False | Atom _ | And _ | Or _ | Not _), _ -> false
+
+let pp_atom ppf = function
+  | Src_ip p -> Format.fprintf ppf "srcIP %a" Ipaddr.Prefix.pp p
+  | Dst_ip p -> Format.fprintf ppf "dstIP %a" Ipaddr.Prefix.pp p
+  | Src_port p -> Format.fprintf ppf "srcPort %d" p
+  | Dst_port p -> Format.fprintf ppf "dstPort %d" p
+  | Port p -> Format.fprintf ppf "port %d" p
+  | Proto p -> Format.fprintf ppf "proto %s" (Flow.proto_to_string p)
+  | Any -> Format.pp_print_string ppf "port ANY"
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> pp_atom ppf a
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(not %a)" pp a
+
+let to_string t = Format.asprintf "%a" pp t

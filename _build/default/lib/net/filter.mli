@@ -1,0 +1,55 @@
+(** Packet/traffic filter expressions — the [fil] production of Almanac's
+    grammar.  Filters serve three distinct purposes in FARM, all covered
+    here:
+
+    - matching packets at runtime (probing, TCAM patterns);
+    - describing {e polling subjects} for the poll-aggregation analysis
+      ([subjects], the paper's φ{_enc});
+    - constraining seed placement to paths carrying matching traffic
+      (evaluated against host prefixes by the SDN controller model). *)
+
+type atom =
+  | Src_ip of Ipaddr.Prefix.t
+  | Dst_ip of Ipaddr.Prefix.t
+  | Src_port of int
+  | Dst_port of int
+  | Port of int  (** either source or destination port *)
+  | Proto of Flow.proto
+  | Any  (** wildcard: every port / every packet *)
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val atom : atom -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+
+(** Does a packet header match? *)
+val matches : t -> Flow.five_tuple -> bool
+
+(** A {e polling subject} identifies one unit of data polled from the ASIC
+    (a port counter group, a per-prefix counter, a protocol counter...).
+    Two poll variables whose subject sets intersect can share polls — the
+    aggregation opportunity exploited by the soil and the placement
+    optimizer. *)
+type subject =
+  | All_ports
+  | Port_counter of int
+  | Prefix_counter of Ipaddr.Prefix.t
+  | Proto_counter of Flow.proto
+
+val subject_equal : subject -> subject -> bool
+val subject_compare : subject -> subject -> int
+val pp_subject : Format.formatter -> subject -> unit
+
+(** φ{_enc}: the polling subjects a filter requires from the ASIC. *)
+val subjects : t -> subject list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,83 @@
+type t = int
+
+let mask32 = 0xFFFFFFFF
+let of_int i = i land mask32
+let to_int t = t
+
+let make a b c d =
+  let octet x =
+    if x < 0 || x > 255 then invalid_arg "Ipaddr.make: octet out of range"
+    else x
+  in
+  (octet a lsl 24) lor (octet b lsl 16) lor (octet c lsl 8) lor octet d
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c,
+         int_of_string_opt d)
+      with
+      | Some a, Some b, Some c, Some d
+        when a >= 0 && a <= 255 && b >= 0 && b <= 255 && c >= 0 && c <= 255
+             && d >= 0 && d <= 255 ->
+          Some (make a b c d)
+      | _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ipaddr.of_string: %S" s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF) (t land 0xFF)
+
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Prefix = struct
+  type addr = t
+  type t = { addr : addr; len : int }
+
+  let mask len = if len = 0 then 0 else mask32 lxor ((1 lsl (32 - len)) - 1)
+
+  let make addr len =
+    if len < 0 || len > 32 then invalid_arg "Ipaddr.Prefix.make: bad length";
+    { addr = addr land mask len; len }
+
+  let of_string_opt s =
+    match String.index_opt s '/' with
+    | None -> Option.map (fun a -> make a 32) (of_string_opt s)
+    | Some i -> (
+        let a = String.sub s 0 i in
+        let l = String.sub s (i + 1) (String.length s - i - 1) in
+        match (of_string_opt a, int_of_string_opt l) with
+        | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+        | _ -> None)
+
+  let of_string s =
+    match of_string_opt s with
+    | Some t -> t
+    | None -> invalid_arg (Printf.sprintf "Ipaddr.Prefix.of_string: %S" s)
+
+  let to_string t = Printf.sprintf "%s/%d" (to_string t.addr) t.len
+  let address t = t.addr
+  let length t = t.len
+  let mem a t = a land mask t.len = t.addr
+
+  let subset a b = a.len >= b.len && mem a.addr b
+
+  let overlap a b = subset a b || subset b a
+
+  let equal a b = a.addr = b.addr && a.len = b.len
+
+  let compare a b =
+    match Int.compare a.addr b.addr with
+    | 0 -> Int.compare a.len b.len
+    | c -> c
+
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end

@@ -1,0 +1,50 @@
+(** IPv4 addresses and CIDR prefixes (the address substrate for Almanac
+    packet filters and TCAM rules). *)
+
+type t = private int
+(** An IPv4 address as a 32-bit value in a native int. *)
+
+val of_int : int -> t
+val to_int : t -> int
+
+(** [of_string "10.1.1.4"] — raises [Invalid_argument] on malformed input. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+
+(** [make a b c d] builds [a.b.c.d]; each octet must be in [0, 255]. *)
+val make : int -> int -> int -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Prefix : sig
+  type addr := t
+
+  type t
+  (** A CIDR prefix such as [10.0.1.0/24]. *)
+
+  (** [make addr len] with [len] in [0, 32]; host bits are zeroed. *)
+  val make : addr -> int -> t
+
+  (** Parses ["10.0.1.0/24"]; a bare address is a /32. *)
+  val of_string : string -> t
+
+  val of_string_opt : string -> t option
+  val to_string : t -> string
+  val address : t -> addr
+  val length : t -> int
+  val mem : addr -> t -> bool
+
+  (** [subset a b] is true when every address of [a] is in [b]. *)
+  val subset : t -> t -> bool
+
+  (** Do the two prefixes share any address? *)
+  val overlap : t -> t -> bool
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,217 @@
+type caps = {
+  vcpu : float;
+  ram_mb : float;
+  tcam_entries : int;
+  pcie_bps : float;
+  asic_bps : float;
+}
+
+(* PCIe polling budget is 8 Mbit/s on the paper's Accton switches (§VI-E)
+   against 100 Gb/s+ ASIC capacity — the 1:12500 ratio behind Fig. 8. *)
+let accton_as5712 =
+  { vcpu = 4.; ram_mb = 8192.; tcam_entries = 2048; pcie_bps = 8e6;
+    asic_bps = 100e9 }
+
+let accton_as7712 = { accton_as5712 with ram_mb = 16384. }
+
+let aps_bf2556 =
+  { vcpu = 8.; ram_mb = 32768.; tcam_entries = 4096; pcie_bps = 8e6;
+    asic_bps = 2e12 }
+
+let arista_7280 =
+  { vcpu = 4.; ram_mb = 8192.; tcam_entries = 2048; pcie_bps = 8e6;
+    asic_bps = 100e9 }
+
+type active_flow = {
+  flow_id : int;
+  tuple : Flow.five_tuple;
+  base_rate : float;
+  mutable rate : float;
+  flags : Flow.tcp_flags;
+  payload : string;
+  egress : int;
+}
+
+type port_state = { mutable p_rate : float; mutable p_bytes : float }
+
+type subject_state = { mutable s_rate : float; mutable s_bytes : float }
+
+module Subject_map = Map.Make (struct
+  type t = Filter.subject
+
+  let compare = Filter.subject_compare
+end)
+
+type t = {
+  sw_id : int;
+  caps : caps;
+  tcam : Tcam.t;
+  ports : port_state array;
+  mutable subjects : subject_state Subject_map.t;
+  flows : (int, active_flow) Hashtbl.t;
+  mutable last_sync : float;
+}
+
+let create ?(caps = accton_as5712) ~id ~ports () =
+  { sw_id = id; caps;
+    tcam = Tcam.create ~capacity:caps.tcam_entries ();
+    ports = Array.init (Stdlib.max 1 ports) (fun _ -> { p_rate = 0.; p_bytes = 0. });
+    subjects = Subject_map.empty;
+    flows = Hashtbl.create 32;
+    last_sync = 0. }
+
+let id t = t.sw_id
+let caps t = t.caps
+let tcam t = t.tcam
+let port_count t = Array.length t.ports
+
+(* Integrate all rates up to [time]; counters stay exact at poll instants. *)
+let sync t ~time =
+  let dt = time -. t.last_sync in
+  if dt > 0. then begin
+    Array.iter (fun p -> p.p_bytes <- p.p_bytes +. (p.p_rate *. dt)) t.ports;
+    Subject_map.iter
+      (fun _ s -> s.s_bytes <- s.s_bytes +. (s.s_rate *. dt))
+      t.subjects;
+    (* TCAM counters: average packet size of 1000 B converts bytes to
+       packets for rule-hit counters *)
+    Hashtbl.iter
+      (fun _ f ->
+        if f.rate > 0. then
+          Tcam.record t.tcam f.tuple ~bytes:(f.rate *. dt))
+      t.flows;
+    t.last_sync <- time
+  end
+  else if dt < 0. then
+    invalid_arg "Switch_model: time went backwards"
+
+let rate_delta t f delta =
+  if f.egress >= 0 && f.egress < Array.length t.ports then begin
+    let p = t.ports.(f.egress) in
+    p.p_rate <- p.p_rate +. delta
+  end;
+  Subject_map.iter
+    (fun subj s ->
+      let hit =
+        match subj with
+        | Filter.All_ports -> true
+        | Filter.Port_counter p -> f.tuple.sport = p || f.tuple.dport = p
+        | Filter.Prefix_counter p ->
+            Ipaddr.Prefix.mem f.tuple.src p || Ipaddr.Prefix.mem f.tuple.dst p
+        | Filter.Proto_counter p -> f.tuple.proto = p
+      in
+      if hit then s.s_rate <- s.s_rate +. delta)
+    t.subjects
+
+let effective_rate t f =
+  match Tcam.lookup t.tcam f.tuple with
+  | Some e -> (
+      match e.rule.action with
+      | Tcam.Drop -> 0.
+      | Tcam.Rate_limit cap -> Float.min f.base_rate cap
+      | Tcam.Forward _ | Tcam.Set_qos _ | Tcam.Mirror | Tcam.Count ->
+          f.base_rate)
+  | None -> f.base_rate
+
+let add_flow t ~time ~flow_id ~tuple ~rate ?(flags = Flow.no_flags)
+    ?(payload = "") ~egress () =
+  sync t ~time;
+  let f =
+    { flow_id; tuple; base_rate = rate; rate; flags; payload; egress }
+  in
+  f.rate <- effective_rate t f;
+  Hashtbl.replace t.flows flow_id f;
+  rate_delta t f f.rate
+
+let remove_flow t ~time ~flow_id =
+  sync t ~time;
+  match Hashtbl.find_opt t.flows flow_id with
+  | None -> ()
+  | Some f ->
+      rate_delta t f (-.f.rate);
+      Hashtbl.remove t.flows flow_id
+
+let active_flows t = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows []
+
+let apply_tcam_actions t ~time =
+  sync t ~time;
+  Hashtbl.iter
+    (fun _ f ->
+      let r = effective_rate t f in
+      if r <> f.rate then begin
+        rate_delta t f (r -. f.rate);
+        f.rate <- r
+      end)
+    t.flows
+
+let check_port t port =
+  if port < 0 || port >= Array.length t.ports then
+    invalid_arg (Printf.sprintf "Switch_model: port %d out of range" port)
+
+let port_bytes t ~time ~port =
+  check_port t port;
+  sync t ~time;
+  t.ports.(port).p_bytes
+
+let port_rate t ~port =
+  check_port t port;
+  t.ports.(port).p_rate
+
+let watch_subject t ~time subj =
+  sync t ~time;
+  if not (Subject_map.mem subj t.subjects) then begin
+    let s = { s_rate = 0.; s_bytes = 0. } in
+    (* initialize the subject's rate from currently active flows *)
+    t.subjects <- Subject_map.add subj s t.subjects;
+    Hashtbl.iter
+      (fun _ f ->
+        let hit =
+          match subj with
+          | Filter.All_ports -> true
+          | Filter.Port_counter p -> f.tuple.sport = p || f.tuple.dport = p
+          | Filter.Prefix_counter p ->
+              Ipaddr.Prefix.mem f.tuple.src p
+              || Ipaddr.Prefix.mem f.tuple.dst p
+          | Filter.Proto_counter p -> f.tuple.proto = p
+        in
+        if hit then s.s_rate <- s.s_rate +. f.rate)
+      t.flows
+  end
+
+let subject_bytes t ~time subj =
+  sync t ~time;
+  match Subject_map.find_opt subj t.subjects with
+  | Some s -> s.s_bytes
+  | None -> 0.
+
+let poll_subject t ~time subj =
+  sync t ~time;
+  match subj with
+  | Filter.All_ports -> Array.map (fun p -> p.p_bytes) t.ports
+  | _ -> [| subject_bytes t ~time subj |]
+
+let total_rate t =
+  Hashtbl.fold (fun _ f acc -> acc +. f.rate) t.flows 0.
+
+let sample_packet t rng =
+  let total = total_rate t in
+  if total <= 0. then None
+  else begin
+    let target = Farm_sim.Rng.uniform rng 0. total in
+    let acc = ref 0. in
+    let chosen = ref None in
+    (try
+       Hashtbl.iter
+         (fun _ f ->
+           acc := !acc +. f.rate;
+           if !acc >= target && f.rate > 0. then begin
+             chosen := Some f;
+             raise Exit
+           end)
+         t.flows
+     with Exit -> ());
+    Option.map
+      (fun (f : active_flow) ->
+        Flow.packet ~flags:f.flags ~payload:f.payload f.tuple 1000)
+      !chosen
+  end

@@ -1,0 +1,93 @@
+(** Model of one data-center switch: the packet-processing ASIC (port
+    counters, TCAM, sampling) plus the capacities of its management system
+    (CPU cores, RAM, PCIe polling bandwidth).
+
+    Traffic is represented as {e active flows} with a byte rate; counters
+    are exact integrals of those rates over time (synchronized lazily), so
+    polls observe precisely what a hardware counter would show, without
+    simulating individual packets.  Packet {e samples} for probing are drawn
+    from active flows weighted by rate. *)
+
+type caps = {
+  vcpu : float;  (** management CPU cores *)
+  ram_mb : float;
+  tcam_entries : int;
+  pcie_bps : float;  (** CPU<->ASIC polling channel, bits per second *)
+  asic_bps : float;  (** ASIC switching capacity, bits per second *)
+}
+
+(** Platform profiles of §VI-A. *)
+
+val aps_bf2556 : caps  (** Tofino, 8-core Xeon, 32 GB — 2.0 Tb/s *)
+
+val accton_as5712 : caps  (** Atom C2538 quad core, 8 GB *)
+
+val accton_as7712 : caps  (** like AS5712 with twice the RAM *)
+
+val arista_7280 : caps  (** AMD GX-424CC quad core, 8 GB *)
+
+type active_flow = {
+  flow_id : int;
+  tuple : Flow.five_tuple;
+  base_rate : float;  (** offered bytes/s *)
+  mutable rate : float;  (** effective bytes/s after TCAM actions *)
+  flags : Flow.tcp_flags;
+  payload : string;
+  egress : int;  (** egress port on this switch *)
+}
+
+type t
+
+val create : ?caps:caps -> id:int -> ports:int -> unit -> t
+val id : t -> int
+val caps : t -> caps
+val tcam : t -> Tcam.t
+val port_count : t -> int
+
+(** {2 Flows} *)
+
+val add_flow :
+  t ->
+  time:float ->
+  flow_id:int ->
+  tuple:Flow.five_tuple ->
+  rate:float ->
+  ?flags:Flow.tcp_flags ->
+  ?payload:string ->
+  egress:int ->
+  unit ->
+  unit
+
+val remove_flow : t -> time:float -> flow_id:int -> unit
+val active_flows : t -> active_flow list
+
+(** Re-apply TCAM actions (Drop, Rate_limit) to active flows — called after
+    a seed reaction installs/removes monitoring rules. *)
+val apply_tcam_actions : t -> time:float -> unit
+
+(** {2 Counters (polling targets)} *)
+
+(** Cumulative bytes transmitted on a port. *)
+val port_bytes : t -> time:float -> port:int -> float
+
+(** Current egress rate of a port, bytes/s. *)
+val port_rate : t -> port:int -> float
+
+(** Register interest in a subject so its counter accumulates; idempotent. *)
+val watch_subject : t -> time:float -> Filter.subject -> unit
+
+(** Cumulative bytes for a watched subject (0 if never watched). *)
+val subject_bytes : t -> time:float -> Filter.subject -> float
+
+(** Bytes of a subject as a hardware poll would return them: an array of
+    per-port values for [All_ports], a single value otherwise. *)
+val poll_subject : t -> time:float -> Filter.subject -> float array
+
+(** {2 Sampling} *)
+
+(** Draw a packet from active flows, probability proportional to rate;
+    [None] when the switch is idle. *)
+val sample_packet : t -> Farm_sim.Rng.t -> Flow.packet option
+
+(** Total offered egress rate over all flows, bytes/s. *)
+val total_rate : t -> float

@@ -1,0 +1,1 @@
+lib/optim/lin_expr.ml: Float Format Int List Map Option

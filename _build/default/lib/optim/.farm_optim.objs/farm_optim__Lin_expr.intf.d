@@ -1,0 +1,1 @@
+lib/optim/lin_expr.mli: Format

@@ -1,0 +1,1 @@
+lib/optim/milp.ml: Array Float Int Lin_expr List Map Option Simplex Unix

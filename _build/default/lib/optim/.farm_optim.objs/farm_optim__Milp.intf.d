@@ -1,0 +1,1 @@
+lib/optim/milp.mli: Lin_expr Simplex

@@ -1,0 +1,1 @@
+lib/optim/simplex.ml: Array Float Lin_expr List Printf Unix

@@ -1,0 +1,1 @@
+lib/optim/simplex.mli: Lin_expr

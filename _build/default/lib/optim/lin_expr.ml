@@ -1,0 +1,63 @@
+module Imap = Map.Make (Int)
+
+type t = { base : float; terms : float Imap.t }
+
+let prune terms = Imap.filter (fun _ c -> Float.abs c > 0.) terms
+let zero = { base = 0.; terms = Imap.empty }
+let const c = { base = c; terms = Imap.empty }
+
+let var ?(coeff = 1.) i =
+  if Float.abs coeff = 0. then zero
+  else { base = 0.; terms = Imap.singleton i coeff }
+
+let merge f a b =
+  Imap.merge
+    (fun _ ca cb ->
+      let c = f (Option.value ca ~default:0.) (Option.value cb ~default:0.) in
+      if Float.abs c = 0. then None else Some c)
+    a b
+
+let add a b = { base = a.base +. b.base; terms = merge ( +. ) a.terms b.terms }
+let sub a b = { base = a.base -. b.base; terms = merge ( -. ) a.terms b.terms }
+
+let scale k a =
+  if k = 0. then zero
+  else { base = k *. a.base; terms = prune (Imap.map (fun c -> k *. c) a.terms) }
+
+let neg a = scale (-1.) a
+let constant a = a.base
+let coeff a i = match Imap.find_opt i a.terms with Some c -> c | None -> 0.
+let coeffs a = Imap.bindings a.terms
+let vars a = List.map fst (coeffs a)
+let is_constant a = Imap.is_empty a.terms
+
+let eval env a =
+  Imap.fold (fun i c acc -> acc +. (c *. env i)) a.terms a.base
+
+let subst i by a =
+  let c = coeff a i in
+  if c = 0. then a
+  else add { a with terms = Imap.remove i a.terms } (scale c by)
+
+let equal ?(eps = 1e-9) a b =
+  let d = sub a b in
+  Float.abs d.base <= eps && Imap.for_all (fun _ c -> Float.abs c <= eps) d.terms
+
+let pp ppf a =
+  let open Format in
+  let first = ref true in
+  let term ppf (i, c) =
+    if !first && c >= 0. then fprintf ppf "%g*x%d" c i
+    else if c >= 0. then fprintf ppf " + %g*x%d" c i
+    else fprintf ppf " - %g*x%d" (-.c) i;
+    first := false
+  in
+  if is_constant a then fprintf ppf "%g" a.base
+  else begin
+    List.iter (term ppf) (coeffs a);
+    if Float.abs a.base > 0. then
+      if a.base >= 0. then fprintf ppf " + %g" a.base
+      else fprintf ppf " - %g" (-.a.base)
+  end
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,43 @@
+(** Sparse linear expressions [c0 + sum_i a_i * x_i] over integer-indexed
+    variables.  The building block for LP/MILP models and for the polynomial
+    utility/constraint functions extracted from Almanac [util] blocks. *)
+
+type t
+
+val zero : t
+
+val const : float -> t
+
+(** [var ?coeff i] is [coeff * x_i] (default coefficient 1). *)
+val var : ?coeff:float -> int -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+(** Constant term. *)
+val constant : t -> float
+
+(** Coefficient of variable [i] (0 if absent). *)
+val coeff : t -> int -> float
+
+(** Sorted [(var, coeff)] pairs, zero coefficients removed. *)
+val coeffs : t -> (int * float) list
+
+(** Variables with non-zero coefficient. *)
+val vars : t -> int list
+
+val is_constant : t -> bool
+
+(** Evaluate under an assignment from variable index to value. *)
+val eval : (int -> float) -> t -> float
+
+(** Substitute variable [i] by expression. *)
+val subst : int -> t -> t -> t
+
+(** Structural equality up to coefficient tolerance [eps] (default 1e-9). *)
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

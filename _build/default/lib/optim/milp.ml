@@ -1,0 +1,229 @@
+type status = Optimal | Feasible | Infeasible | Unbounded | No_solution
+
+type result = {
+  status : status;
+  objective : float;
+  values : float array;
+  nodes : int;
+}
+
+let int_eps = 1e-6
+
+(* A node carries the extra variable bounds accumulated by branching,
+   as [var -> (lb, ub)]. *)
+module Imap = Map.Make (Int)
+
+type node = { bounds : (float * float) Imap.t; bound : float (* LP bound *) }
+
+let bounds_constrs bounds =
+  Imap.fold
+    (fun v (lb, ub) acc ->
+      let acc =
+        if lb > 0. then Simplex.constr (Lin_expr.var v) Simplex.Ge lb :: acc
+        else acc
+      in
+      if ub < infinity then Simplex.constr (Lin_expr.var v) Simplex.Le ub :: acc
+      else acc)
+    bounds []
+
+let most_fractional integer values =
+  let best = ref (-1) in
+  let best_frac = ref int_eps in
+  Array.iteri
+    (fun i v ->
+      if integer.(i) then begin
+        let f = Float.abs (v -. Float.round v) in
+        if f > !best_frac then begin
+          best_frac := f;
+          best := i
+        end
+      end)
+    values;
+  !best
+
+let integral integer values =
+  most_fractional integer values < 0
+
+let feasible_value ~objective ~constrs ~integer values =
+  let env i = values.(i) in
+  let ok =
+    integral integer values
+    && List.for_all
+         (fun (c : Simplex.constr) ->
+           let lhs = Lin_expr.eval env c.expr in
+           match c.cmp with
+           | Simplex.Le -> lhs <= c.rhs +. 1e-6
+           | Simplex.Ge -> lhs >= c.rhs -. 1e-6
+           | Simplex.Eq -> Float.abs (lhs -. c.rhs) <= 1e-6)
+         constrs
+  in
+  if ok then Some (Lin_expr.eval env objective) else None
+
+let solve ?timeout ?(max_nodes = 200_000) ?warm_start ~nvars ~integer
+    ~objective constrs =
+  if Array.length integer <> nvars then
+    invalid_arg "Milp.solve: integer array length mismatch";
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) timeout in
+  let timed_out () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  let incumbent = ref None in
+  (match warm_start with
+  | Some v when Array.length v = nvars -> (
+      match feasible_value ~objective ~constrs ~integer v with
+      | Some obj -> incumbent := Some (obj, Array.copy v)
+      | None -> ())
+  | Some _ | None -> ());
+  let round_sol values =
+    (* snap near-integers so callers see clean 0/1 values *)
+    Array.mapi
+      (fun i v ->
+        if integer.(i) && Float.abs (v -. Float.round v) <= int_eps then
+          Float.round v
+        else v)
+      values
+  in
+  let solve_lp bounds =
+    Simplex.maximize ?deadline ~nvars ~objective
+      (bounds_constrs bounds @ constrs)
+  in
+  (* Best-first search on LP bound. *)
+  let module Pq = struct
+    (* simple pairing via sorted insertion would be O(n); use a binary heap *)
+    type t = { mutable a : node array; mutable n : int }
+
+    let create () = { a = Array.make 64 { bounds = Imap.empty; bound = 0. }; n = 0 }
+    let swap h i j =
+      let t = h.a.(i) in
+      h.a.(i) <- h.a.(j);
+      h.a.(j) <- t
+
+    let push h x =
+      if h.n = Array.length h.a then begin
+        let a = Array.make (2 * h.n) x in
+        Array.blit h.a 0 a 0 h.n;
+        h.a <- a
+      end;
+      h.a.(h.n) <- x;
+      h.n <- h.n + 1;
+      let i = ref (h.n - 1) in
+      while !i > 0 && h.a.((!i - 1) / 2).bound < h.a.(!i).bound do
+        swap h ((!i - 1) / 2) !i;
+        i := (!i - 1) / 2
+      done
+
+    let pop h =
+      if h.n = 0 then None
+      else begin
+        let top = h.a.(0) in
+        h.n <- h.n - 1;
+        h.a.(0) <- h.a.(h.n);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let m = ref !i in
+          if l < h.n && h.a.(l).bound > h.a.(!m).bound then m := l;
+          if r < h.n && h.a.(r).bound > h.a.(!m).bound then m := r;
+          if !m = !i then continue := false
+          else begin
+            swap h !i !m;
+            i := !m
+          end
+        done;
+        Some top
+      end
+  end in
+  let queue = Pq.create () in
+  let nodes = ref 0 in
+  let root_outcome = solve_lp Imap.empty in
+  match root_outcome with
+  | Simplex.Infeasible ->
+      { status = Infeasible; objective = neg_infinity; values = [||]; nodes = 1 }
+  | Simplex.Unbounded ->
+      { status = Unbounded; objective = infinity; values = [||]; nodes = 1 }
+  | Simplex.Optimal root ->
+      Pq.push queue { bounds = Imap.empty; bound = root.objective };
+      let exhausted = ref false in
+      let rec loop () =
+        if timed_out () || !nodes >= max_nodes then ()
+        else
+          match Pq.pop queue with
+          | None -> exhausted := true
+          | Some node -> (
+              incr nodes;
+              let prune =
+                match !incumbent with
+                | Some (best, _) -> node.bound <= best +. 1e-7
+                | None -> false
+              in
+              if prune then loop ()
+              else
+                match solve_lp node.bounds with
+                | Simplex.Infeasible -> loop ()
+                | Simplex.Unbounded ->
+                    (* can happen only at the root, handled above *)
+                    loop ()
+                | Simplex.Optimal sol ->
+                    let dominated =
+                      match !incumbent with
+                      | Some (best, _) -> sol.objective <= best +. 1e-7
+                      | None -> false
+                    in
+                    if dominated then loop ()
+                    else begin
+                      let branch_var = most_fractional integer sol.values in
+                      if branch_var < 0 then begin
+                        (* integral: new incumbent *)
+                        let better =
+                          match !incumbent with
+                          | Some (best, _) -> sol.objective > best
+                          | None -> true
+                        in
+                        if better then
+                          incumbent := Some (sol.objective, round_sol sol.values);
+                        loop ()
+                      end
+                      else begin
+                        let v = sol.values.(branch_var) in
+                        let lb, ub =
+                          match Imap.find_opt branch_var node.bounds with
+                          | Some b -> b
+                          | None -> (0., infinity)
+                        in
+                        let down =
+                          { bounds =
+                              Imap.add branch_var (lb, Float.of_int
+                                  (int_of_float (floor v))) node.bounds;
+                            bound = sol.objective }
+                        and up =
+                          { bounds =
+                              Imap.add branch_var
+                                (Float.of_int (int_of_float (ceil v)), ub)
+                                node.bounds;
+                            bound = sol.objective }
+                        in
+                        Pq.push queue down;
+                        Pq.push queue up;
+                        loop ()
+                      end
+                    end)
+      in
+      loop ();
+      let status_of_incumbent () =
+        match !incumbent with
+        | Some (obj, values) ->
+            let status = if !exhausted then Optimal else Feasible in
+            { status; objective = obj; values; nodes = !nodes }
+        | None ->
+            if !exhausted then
+              { status = Infeasible; objective = neg_infinity; values = [||];
+                nodes = !nodes }
+            else
+              { status = No_solution; objective = neg_infinity; values = [||];
+                nodes = !nodes }
+      in
+      status_of_incumbent ()

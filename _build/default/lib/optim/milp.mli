@@ -1,0 +1,34 @@
+(** Branch-and-bound mixed-integer linear programming on top of {!Simplex}.
+
+    Plays the role of the commodity MILP solver (Gurobi in the paper) for the
+    placement evaluation (Fig. 7): it is an {e anytime} solver — given a
+    deadline it returns the best incumbent found so far, exactly like running
+    Gurobi with a timeout. *)
+
+type status =
+  | Optimal  (** proven optimal *)
+  | Feasible  (** deadline or node budget hit; best incumbent returned *)
+  | Infeasible
+  | Unbounded
+  | No_solution  (** budget exhausted before any integer-feasible point *)
+
+type result = {
+  status : status;
+  objective : float;  (** meaningful for [Optimal] and [Feasible] *)
+  values : float array;
+  nodes : int;  (** branch-and-bound nodes explored *)
+}
+
+(** [solve ~nvars ~integer ~objective constraints] maximizes over
+    [x >= 0] with [integer.(i)] marking integrality.  [timeout] is wall-clock
+    seconds (default: none).  [warm_start], when integer-feasible, seeds the
+    incumbent so a timeout can never return worse than the warm start. *)
+val solve :
+  ?timeout:float ->
+  ?max_nodes:int ->
+  ?warm_start:float array ->
+  nvars:int ->
+  integer:bool array ->
+  objective:Lin_expr.t ->
+  Simplex.constr list ->
+  result

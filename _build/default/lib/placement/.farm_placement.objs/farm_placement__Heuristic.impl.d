@@ -1,0 +1,1 @@
+lib/placement/heuristic.ml: Array Farm_almanac Farm_net Farm_optim Float Fun Hashtbl List Model Option Unix

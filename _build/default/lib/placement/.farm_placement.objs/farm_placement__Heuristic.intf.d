@@ -1,0 +1,1 @@
+lib/placement/heuristic.mli: Model

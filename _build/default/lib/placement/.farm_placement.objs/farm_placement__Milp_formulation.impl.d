@@ -1,0 +1,1 @@
+lib/placement/milp_formulation.ml: Array Farm_almanac Farm_net Farm_optim Float Hashtbl List Model Option Unix

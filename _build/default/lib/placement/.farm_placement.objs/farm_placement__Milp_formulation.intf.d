@@ -1,0 +1,1 @@
+lib/placement/milp_formulation.mli: Farm_optim Model

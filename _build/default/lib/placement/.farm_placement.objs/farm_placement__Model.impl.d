@@ -1,0 +1,1 @@
+lib/placement/model.ml: Array Farm_almanac Farm_net Farm_optim Farm_sim Float Hashtbl Int List Option Printf

@@ -1,0 +1,1 @@
+lib/placement/model.mli: Farm_almanac Farm_net Farm_sim

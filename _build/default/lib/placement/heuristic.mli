@@ -1,0 +1,28 @@
+(** FARM's seed-placement heuristic (paper Alg. 1).
+
+    1. Sort tasks by decreasing minimum utility.
+    2. Greedily place each task's seeds at their minimal feasible
+       allocation, preferring the current location of already-placed seeds
+       (no unnecessary migration) and switches where polling aggregation
+       makes the seed cheaper; a task that cannot be fully placed is
+       removed (C1).
+    3. Redistribute spare resources with one small LP per switch.
+    4. Compute per-seed migration benefits and
+    5. apply migrations in decreasing benefit order, then redistribute
+       again.
+
+    Phases 3–5 can be disabled individually for ablation studies. *)
+
+type phases = { redistribute : bool; migrate : bool }
+
+val all_phases : phases
+val greedy_only : phases
+
+type stats = {
+  placed_seeds : int;
+  dropped_tasks : int;  (** tasks removed because a seed did not fit *)
+  migrations : int;
+  runtime_s : float;
+}
+
+val optimize : ?phases:phases -> Model.instance -> Model.placement * stats

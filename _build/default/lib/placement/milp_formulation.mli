@@ -1,0 +1,28 @@
+(** The full mixed-integer linear program of §IV, solved with the
+    from-scratch branch-and-bound of {!Farm_optim.Milp}.
+
+    This is the commodity-solver baseline of Fig. 7 ("Gurobi"): run with a
+    1 s timeout it matches the heuristic's speed at lower utility; with a
+    long timeout it approaches the optimum.  The nonlinear
+    [plc(s,n) * f(res(s,n,r))] terms are linearized as
+    [f(res) - (1 - plc) * f(0)] using (C3), exactly as described in §IV-D. *)
+
+type result = {
+  placement : Model.placement;
+  status : Farm_optim.Milp.status;
+  runtime_s : float;
+  nodes : int;  (** branch-and-bound nodes *)
+}
+
+(** [solve ?timeout instance] maximizes (MU) subject to (C1)–(C4).
+    [warm_start] seeds the incumbent from an existing placement (e.g. the
+    heuristic's), mirroring a MIP start.  Instances whose LP tableau would
+    exceed [max_cells] (default 4e7) skip the root relaxation and return
+    the warm start / greedy incumbent — the honest equivalent of a solver
+    hitting its deadline before finishing the root node. *)
+val solve :
+  ?timeout:float ->
+  ?max_cells:int ->
+  ?warm_start:Model.placement ->
+  Model.instance ->
+  result

@@ -1,0 +1,1 @@
+lib/runtime/cpu_model.mli:

@@ -1,0 +1,1 @@
+lib/runtime/harvester.ml: Farm_almanac List

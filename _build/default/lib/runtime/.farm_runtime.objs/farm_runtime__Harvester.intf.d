@@ -1,0 +1,1 @@
+lib/runtime/harvester.mli: Farm_almanac

@@ -1,0 +1,1 @@
+lib/runtime/seed_exec.ml: Array Farm_almanac Farm_net Farm_sim List Soil String

@@ -1,0 +1,1 @@
+lib/runtime/seed_exec.mli: Farm_almanac Soil

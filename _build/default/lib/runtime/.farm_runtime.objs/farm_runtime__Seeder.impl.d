@@ -1,0 +1,1 @@
+lib/runtime/seeder.ml: Array Farm_almanac Farm_net Farm_placement Farm_sim Harvester Hashtbl Int Lazy List Option Printf Result Seed_exec Soil String

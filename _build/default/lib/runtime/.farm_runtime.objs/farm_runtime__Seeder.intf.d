@@ -1,0 +1,1 @@
+lib/runtime/seeder.mli: Farm_almanac Farm_net Farm_sim Harvester Seed_exec Soil

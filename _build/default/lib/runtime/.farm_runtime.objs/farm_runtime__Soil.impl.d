@@ -1,0 +1,1 @@
+lib/runtime/soil.ml: Cpu_model Farm_net Farm_sim Float Ipc List

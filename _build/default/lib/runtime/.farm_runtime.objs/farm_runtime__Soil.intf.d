@@ -1,0 +1,1 @@
+lib/runtime/soil.mli: Cpu_model Farm_net Farm_sim Ipc

@@ -1,0 +1,41 @@
+(** Cost model of a switch's management CPU.
+
+    The paper measures switch CPU load (Figs. 5, 6, 9) on 4–8-core
+    management systems; this model accounts busy seconds for each runtime
+    operation so experiments can report utilization (possibly > 100 % on
+    multiple cores) and the polling-accuracy degradation seen when the CPU
+    saturates (Fig. 6c). *)
+
+type t = {
+  cores : float;
+  poll_issue_cost : float;  (** CPU s to issue one ASIC poll over PCIe *)
+  poll_process_cost : float;  (** CPU s to post-process one poll result *)
+  handler_base_cost : float;  (** CPU s per seed event-handler activation *)
+  sample_cost : float;  (** CPU s per packet sample processed *)
+  aggregation_cost : float;  (** soil CPU s per aggregated fan-out *)
+  context_switch_cost : float;  (** per wakeup of a process-model seed *)
+}
+
+(** Calibrated to an Accton AS5712-class quad-core Atom. *)
+val default : t
+
+type usage
+
+val usage : unit -> usage
+
+(** Account [seconds] of CPU work. *)
+val charge : usage -> float -> unit
+
+val busy_seconds : usage -> float
+
+(** Offered load over a window: busy/(window).  Can exceed [cores]. *)
+val offered_load : usage -> window:float -> float
+
+(** Achieved load: offered capped at the core count. *)
+val achieved_load : t -> usage -> window:float -> float
+
+(** Fraction of offered work the CPU kept up with (1.0 = no overload).
+    This is the "polling accuracy" bar of Fig. 6. *)
+val accuracy : t -> usage -> window:float -> float
+
+val reset : usage -> unit

@@ -1,0 +1,33 @@
+module Value = Farm_almanac.Value
+
+type ctx = {
+  send_to_seed : switch:int -> Value.t -> unit;
+  broadcast : Value.t -> unit;
+  now : unit -> float;
+  log : string -> unit;
+}
+
+type spec = {
+  on_start : ctx -> unit;
+  on_message : ctx -> from_switch:int -> Value.t -> unit;
+}
+
+let collector_spec =
+  { on_start = (fun _ -> ()); on_message = (fun _ ~from_switch:_ _ -> ()) }
+
+type t = {
+  spec : spec;
+  ctx : ctx;
+  mutable log : (float * int * Value.t) list;
+}
+
+let create spec ctx = { spec; ctx; log = [] }
+
+let start t = t.spec.on_start t.ctx
+
+let handle t ~from_switch v =
+  t.log <- (t.ctx.now (), from_switch, v) :: t.log;
+  t.spec.on_message t.ctx ~from_switch v
+
+let received t = t.log
+let received_count t = List.length t.log

@@ -1,0 +1,37 @@
+(** Per-task centralized component (§II-C a): collects data from the
+    task's seeds and takes global actions when seed-local decisions are
+    insufficient.  Harvester logic is host code (a callback), matching the
+    paper's Python harvesters. *)
+
+module Value := Farm_almanac.Value
+
+(** Capabilities handed to harvester logic. *)
+type ctx = {
+  send_to_seed : switch:int -> Value.t -> unit;
+      (** deliver to the task's seed on one switch *)
+  broadcast : Value.t -> unit;  (** deliver to every seed of the task *)
+  now : unit -> float;
+  log : string -> unit;
+}
+
+type spec = {
+  on_start : ctx -> unit;
+  on_message : ctx -> from_switch:int -> Value.t -> unit;
+}
+
+(** A harvester that only records messages. *)
+val collector_spec : spec
+
+type t
+
+val create : spec -> ctx -> t
+val start : t -> unit
+
+(** Called by the runtime when a seed message arrives. *)
+val handle : t -> from_switch:int -> Value.t -> unit
+
+(** All messages received so far, most recent first:
+    (arrival time, source switch, value). *)
+val received : t -> (float * int * Value.t) list
+
+val received_count : t -> int

@@ -1,0 +1,216 @@
+module Engine = Farm_sim.Engine
+module Value = Farm_almanac.Value
+module Ast = Farm_almanac.Ast
+module Interp = Farm_almanac.Interp
+module Analysis = Farm_almanac.Analysis
+module Filter = Farm_net.Filter
+module Tcam = Farm_net.Tcam
+
+type t = {
+  sid : int;
+  soil : Soil.t;
+  mutable interp : Interp.t option;  (* None before wiring completes *)
+  mutable res : float array;
+  polls : Analysis.poll_summary list;
+  mutable subs : (string * Soil.subscription list) list;  (* per trigger *)
+  mutable transitions : int;
+  mutable alive : bool;
+}
+
+let seed_id t = t.sid
+let node t = Soil.node_id t.soil
+let soil t = t.soil
+let resources t = t.res
+
+let interp t =
+  match t.interp with
+  | Some i -> i
+  | None -> failwith "Seed_exec: interpreter not initialized"
+
+let machine_name t = (Interp.machine (interp t)).Ast.mname
+let state t = Interp.current_state (interp t)
+let var t name = Interp.var (interp t) name
+let transitions t = t.transitions
+let is_alive t = t.alive
+
+let period_of_spec spec res =
+  let rate = Analysis.poll_rate spec res in
+  if rate <= 0. then
+    (* no polling capacity allocated: back off to a slow default *)
+    10.
+  else 1. /. rate
+
+(* Subscribe one poll variable's triggers; returns the subscriptions. *)
+let subscribe t (p : Analysis.poll_summary) =
+  let fire value =
+    if t.alive then begin
+      Soil.charge_cpu t.soil (Soil.config t.soil).cpu.handler_base_cost;
+      Interp.fire_trigger (interp t) p.poll_name value
+    end
+  in
+  let period = period_of_spec p.ival t.res in
+  match p.ptrig with
+  | Ast.Poll ->
+      List.map
+        (fun subject ->
+          Soil.subscribe_poll t.soil ~seed_id:t.sid ~subject ~period
+            (fun data -> fire (Value.Stats data)))
+        p.subjects
+  | Ast.Probe ->
+      [ Soil.subscribe_probe t.soil ~seed_id:t.sid ~filter:p.what ~period
+          (fun pkt -> fire (Value.Packet pkt)) ]
+  | Ast.Time ->
+      [ Soil.subscribe_time t.soil ~seed_id:t.sid ~period (fun now ->
+            fire (Value.Num now)) ]
+
+let resubscribe_all t =
+  List.iter (fun (_, subs) -> List.iter (Soil.cancel t.soil) subs) t.subs;
+  t.subs <- List.map (fun p -> (p.Analysis.poll_name, subscribe t p)) t.polls
+
+(* runtime reassignment of a trigger variable: y = Poll { ... } or a bare
+   number interpreted as the new period *)
+let on_set_trigger t name _tt (v : Value.t) =
+  let new_period =
+    match v with
+    | Value.Num p when p > 0. -> Some p
+    | Value.Struct (_, fields) -> (
+        match List.assoc_opt "ival" fields with
+        | Some (Value.Num p) when p > 0. -> Some p
+        | _ -> None)
+    | _ -> None
+  in
+  match new_period with
+  | None -> ()
+  | Some p -> (
+      match List.assoc_opt name t.subs with
+      | Some subs -> List.iter (fun s -> Soil.set_period t.soil s p) subs
+      | None -> ())
+
+let rule_of_value v =
+  match v with
+  | Value.Struct ("Rule", fields) ->
+      let pattern =
+        match List.assoc_opt "pattern" fields with
+        | Some (Value.FilterV f) -> f
+        | _ -> Filter.True
+      in
+      let action =
+        match List.assoc_opt "act" fields with
+        | Some (Value.Action a) -> a
+        | _ -> Tcam.Count
+      in
+      { Tcam.pattern; action; priority = 10 }
+  | _ -> raise (Value.Type_error "expected a Rule")
+
+let value_of_installed (e : Tcam.installed) =
+  Value.Struct
+    ( "Rule",
+      [ ("pattern", Value.FilterV e.rule.pattern);
+        ("act", Value.Action e.rule.action);
+        ("bytes", Value.Num e.bytes);
+        ("packets", Value.Num e.packets) ] )
+
+let deploy ~soil ~program ~machine ?(externals = []) ?(builtins = [])
+    ?restore ~resources ~polls ~send ~seed_id () =
+  let t =
+    { sid = seed_id; soil; interp = None; res = Array.copy resources; polls;
+      subs = []; transitions = 0; alive = true }
+  in
+  let host =
+    { Interp.h_now = (fun () -> Soil.now soil);
+      h_resources = (fun () -> t.res);
+      h_send = (fun target v -> if t.alive then send t target v);
+      h_set_trigger = (fun name tt v -> on_set_trigger t name tt v);
+      h_builtin =
+        (fun name ->
+          match List.assoc_opt name builtins with
+          | Some f -> Some f
+          | None -> (
+              match name with
+              | "addTCAMRule" ->
+                  Some
+                    (fun args ->
+                      match args with
+                      | [ rule ] -> (
+                          match Soil.add_tcam_rule soil (rule_of_value rule) with
+                          | Ok () -> Value.Unit
+                          | Error `Full -> Value.Unit)
+                      | _ -> raise (Value.Type_error "addTCAMRule: 1 argument"))
+              | "removeTCAMRule" ->
+                  Some
+                    (fun args ->
+                      match args with
+                      | [ Value.FilterV pattern ] ->
+                          ignore (Soil.remove_tcam_rule soil ~pattern);
+                          Value.Unit
+                      | _ ->
+                          raise (Value.Type_error "removeTCAMRule: filter"))
+              | "getTCAMRule" ->
+                  Some
+                    (fun args ->
+                      match args with
+                      | [ Value.FilterV pattern ] -> (
+                          match Soil.get_tcam_rule soil ~pattern with
+                          | Some e -> value_of_installed e
+                          | None ->
+                              Value.Struct
+                                ("Rule",
+                                 [ ("pattern", Value.FilterV Filter.False);
+                                   ("act", Value.Action Tcam.Count) ]))
+                      | _ -> raise (Value.Type_error "getTCAMRule: filter"))
+              | "exec" ->
+                  (* Running external code burns switch CPU.  The command
+                     "svr N" models the paper's support-vector-regression
+                     seed: N matrix-multiplication iterations at ~60 us of
+                     management-CPU each (calibrated so 50 parallel 1 ms
+                     seeds offer ~3.5 cores, Fig. 6c).  Other commands cost
+                     a flat 1 ms; tasks can override via [builtins]. *)
+                  Some
+                    (fun args ->
+                      let cmd =
+                        match args with
+                        | [ Value.Str s ] -> s
+                        | _ -> ""
+                      in
+                      let cost =
+                        match String.split_on_char ' ' cmd with
+                        | [ "svr"; n ] -> (
+                            match int_of_string_opt n with
+                            | Some n -> float_of_int n *. 60e-6
+                            | None -> 1e-3)
+                        | _ -> 1e-3
+                      in
+                      Soil.charge_cpu soil cost;
+                      Value.Num 1.)
+              | "self_switch" ->
+                  Some (fun _ -> Value.Num (float_of_int (Soil.node_id soil)))
+              | _ -> None));
+      h_on_transit =
+        (fun _ _ ->
+          t.transitions <- t.transitions + 1;
+          Soil.charge_cpu soil (Soil.config soil).cpu.handler_base_cost);
+      h_log = (fun _ -> ()) }
+  in
+  let itp = Interp.create ~externals ~program ~machine host in
+  t.interp <- Some itp;
+  Soil.attach_seed soil seed_id;
+  t.subs <- List.map (fun p -> (p.Analysis.poll_name, subscribe t p)) polls;
+  (match restore with
+  | Some (vars, state) -> Interp.restore itp ~vars ~state
+  | None -> Interp.start itp);
+  t
+
+let set_resources t res =
+  t.res <- Array.copy res;
+  resubscribe_all t;
+  Interp.realloc (interp t)
+
+let deliver t ~from v = if t.alive then ignore (Interp.deliver (interp t) ~from v)
+
+let snapshot t = Interp.snapshot (interp t)
+
+let destroy t =
+  t.alive <- false;
+  List.iter (fun (_, subs) -> List.iter (Soil.cancel t.soil) subs) t.subs;
+  t.subs <- [];
+  Soil.detach_seed t.soil t.sid

@@ -1,0 +1,56 @@
+(** A deployed seed: an Almanac machine instance executing on a switch via
+    its soil.  Wires the interpreter's host interface to the soil (polling,
+    probing, TCAM, resources, IPC) and supports live migration
+    (snapshot → transfer → restore, §V-B). *)
+
+module Value := Farm_almanac.Value
+module Ast := Farm_almanac.Ast
+module Analysis := Farm_almanac.Analysis
+
+type t
+
+(** [deploy ~soil ~program ~machine ...] instantiates the machine on the
+    soil's switch, subscribes its poll/probe/time triggers (periods derived
+    from the allocated [resources] via the ival analysis) and enters the
+    initial state.  [send] routes outgoing messages (wired by the seeder).
+    [restore] resumes from a migrated snapshot instead of a fresh start. *)
+val deploy :
+  soil:Soil.t ->
+  program:Ast.program ->
+  machine:string ->
+  ?externals:(string * Value.t) list ->
+  ?builtins:(string * (Value.t list -> Value.t)) list ->
+  ?restore:(string * Value.t) list * string ->
+  resources:float array ->
+  polls:Analysis.poll_summary list ->
+  send:(t -> Farm_almanac.Interp.target -> Value.t -> unit) ->
+  seed_id:int ->
+  unit ->
+  t
+
+val seed_id : t -> int
+val machine_name : t -> string
+val node : t -> int
+val soil : t -> Soil.t
+val state : t -> string
+val var : t -> string -> Value.t option
+val resources : t -> float array
+
+(** Reallocate resources (placement re-optimization): poll periods that
+    depend on resources are rescheduled and the machine's [realloc] events
+    fire. *)
+val set_resources : t -> float array -> unit
+
+(** Deliver a message from the harvester or another seed. *)
+val deliver : t -> from:Farm_almanac.Interp.source -> Value.t -> unit
+
+(** Snapshot (variables, state) for migration. *)
+val snapshot : t -> (string * Value.t) list * string
+
+(** Stop execution and release soil subscriptions. *)
+val destroy : t -> unit
+
+(** Number of state transitions performed (experiment instrumentation). *)
+val transitions : t -> int
+
+val is_alive : t -> bool

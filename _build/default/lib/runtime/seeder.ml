@@ -1,0 +1,465 @@
+module Engine = Farm_sim.Engine
+module Value = Farm_almanac.Value
+module Ast = Farm_almanac.Ast
+module Parser = Farm_almanac.Parser
+module Typecheck = Farm_almanac.Typecheck
+module Analysis = Farm_almanac.Analysis
+module Interp = Farm_almanac.Interp
+module Model = Farm_placement.Model
+module Heuristic = Farm_placement.Heuristic
+module Fabric = Farm_net.Fabric
+module Switch_model = Farm_net.Switch_model
+
+type config = {
+  soil_config : Soil.config;
+  control_latency : float;
+  message_overhead_bytes : float;
+  migration_time : float;
+}
+
+let default_config =
+  { soil_config = Soil.default_config;
+    control_latency = 250e-6;  (* DC-internal RTT/2 to the controller *)
+    message_overhead_bytes = 64.;
+    migration_time = 5e-3 }
+
+type task_spec = {
+  ts_name : string;
+  ts_source : string;
+  ts_externals : (string * (string * Value.t) list) list;
+  ts_builtins : (string * (Value.t list -> Value.t)) list;
+  ts_extra_sigs : (string * Typecheck.func_sig) list;
+  ts_harvester : Harvester.spec;
+}
+
+let simple_spec ~name ~source =
+  { ts_name = name; ts_source = source; ts_externals = []; ts_builtins = [];
+    ts_extra_sigs = []; ts_harvester = Harvester.collector_spec }
+
+type task = {
+  task_id : int;
+  spec : task_spec;
+  program : Ast.program;
+  xml : string Lazy.t;
+      (* the interchange form shipped to switches (§V-A d) *)
+  mutable harvester : Harvester.t option;
+  mutable placed : bool;
+}
+
+(* registry entry for one seed of one task *)
+type reg = {
+  r_spec : Model.seed_spec;
+  r_task : task;
+  r_machine : string;
+  r_polls : Analysis.poll_summary list;
+  r_externals : (string * Value.t) list;
+  mutable r_exec : Seed_exec.t option;
+  mutable r_migrating : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  cfg : config;
+  soils : (int, Soil.t) Hashtbl.t;
+  failed : (int, unit) Hashtbl.t;  (* switches marked down *)
+  registry : (int, reg) Hashtbl.t;  (* seed_id -> reg *)
+  mutable next_seed : int;
+  mutable next_task : int;
+  mutable assignments : Model.assignment list;
+  mutable migration_count : int;
+  collector_bytes : Farm_sim.Metrics.Counter.t;
+  mutable collector_messages : int;
+}
+
+let create ?(config = default_config) engine fabric =
+  let soils = Hashtbl.create 32 in
+  List.iter
+    (fun sw ->
+      Hashtbl.replace soils (Switch_model.id sw)
+        (Soil.create ~config:config.soil_config engine sw))
+    (Fabric.switch_models fabric);
+  { engine; fabric; cfg = config; soils; failed = Hashtbl.create 4;
+    registry = Hashtbl.create 64;
+    next_seed = 0; next_task = 0; assignments = [];
+    migration_count = 0;
+    collector_bytes = Farm_sim.Metrics.Counter.create ();
+    collector_messages = 0 }
+
+let engine t = t.engine
+let fabric t = t.fabric
+
+let soil t node =
+  match Hashtbl.find_opt t.soils node with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Seeder.soil: no soil on node %d" node)
+
+let soils t = Hashtbl.fold (fun _ s acc -> s :: acc) t.soils []
+
+let task_name task = task.spec.ts_name
+
+let harvester task =
+  match task.harvester with
+  | Some h -> h
+  | None -> invalid_arg "Seeder.harvester: task has no harvester yet"
+
+let is_placed task = task.placed
+
+(* the live optimization instance: all registered seeds over all healthy
+   soils; seeds lose failed switches from their candidate sets *)
+let instance_stub t =
+  let pcie = Analysis.resource_index Analysis.Pcie in
+  let switches =
+    Hashtbl.fold
+      (fun node soilv acc ->
+        if Hashtbl.mem t.failed node then acc else
+        let caps = Switch_model.caps (Soil.switch soilv) in
+        let avail = Array.make Analysis.n_resources 0. in
+        avail.(Analysis.resource_index Analysis.VCpu) <- caps.vcpu;
+        avail.(Analysis.resource_index Analysis.Ram) <- caps.ram_mb;
+        avail.(Analysis.resource_index Analysis.TcamR) <-
+          float_of_int
+            (Farm_net.Tcam.region_capacity
+               (Switch_model.tcam (Soil.switch soilv))
+               Farm_net.Tcam.Monitoring);
+        (* polling budget in reads/s: PCIe bits/s over one counter read *)
+        avail.(pcie) <- caps.pcie_bps /. (8. *. Soil.counter_record_bytes);
+        { Model.node; avail } :: acc)
+      t.soils []
+  in
+  let alive (s : Model.seed_spec) =
+    { s with
+      candidates =
+        List.filter (fun n -> not (Hashtbl.mem t.failed n)) s.candidates }
+  in
+  { Model.seeds =
+      Hashtbl.fold (fun _ r acc -> alive r.r_spec :: acc) t.registry []
+      |> List.filter (fun (s : Model.seed_spec) -> s.candidates <> [])
+      |> List.sort (fun (a : Model.seed_spec) b ->
+             Int.compare a.seed_id b.seed_id);
+    switches; alpha_poll = 1.; previous = t.assignments }
+
+let current_utility t = Model.total_utility (instance_stub t) t.assignments
+
+let collector_bytes t = Farm_sim.Metrics.Counter.value t.collector_bytes
+let collector_messages t = t.collector_messages
+let migrations t = t.migration_count
+
+(* rough wire size of a value *)
+let rec value_bytes (v : Value.t) =
+  match v with
+  | Value.Unit | Value.Bool _ -> 1.
+  | Value.Num _ -> 8.
+  | Value.Str s -> float_of_int (String.length s)
+  | Value.List l -> List.fold_left (fun a v -> a +. value_bytes v) 8. l
+  | Value.Packet _ -> 64.
+  | Value.Action _ -> 8.
+  | Value.FilterV _ -> 32.
+  | Value.Stats a -> 8. *. float_of_int (Array.length a)
+  | Value.Struct (_, fs) ->
+      List.fold_left (fun a (_, v) -> a +. value_bytes v) 16. fs
+
+let regs_of_task t task =
+  Hashtbl.fold
+    (fun _ r acc -> if r.r_task.task_id = task.task_id then r :: acc else acc)
+    t.registry []
+
+let seeds t task =
+  List.filter_map (fun r -> r.r_exec) (regs_of_task t task)
+
+let seed_on t task ~machine ~node =
+  List.find_opt
+    (fun r ->
+      r.r_machine = machine
+      && match r.r_exec with
+         | Some e -> Seed_exec.node e = node
+         | None -> false)
+    (regs_of_task t task)
+  |> fun r -> Option.bind r (fun r -> r.r_exec)
+
+(* ------------------------------------------------------------------ *)
+(* Message routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_to_harvester t task ~from_switch v =
+  Farm_sim.Metrics.Counter.add t.collector_bytes
+    (value_bytes v +. t.cfg.message_overhead_bytes);
+  t.collector_messages <- t.collector_messages + 1;
+  Engine.schedule t.engine ~delay:t.cfg.control_latency (fun _ ->
+      match task.harvester with
+      | Some h -> Harvester.handle h ~from_switch v
+      | None -> ())
+
+let deliver_to_seeds t task ~machine ~node v ~from =
+  let targets =
+    List.filter
+      (fun r ->
+        r.r_machine = machine
+        &&
+        match (node, r.r_exec) with
+        | None, Some _ -> true
+        | Some n, Some e -> Seed_exec.node e = n
+        | _, None -> false)
+      (regs_of_task t task)
+  in
+  List.iter
+    (fun r ->
+      Engine.schedule t.engine ~delay:t.cfg.control_latency (fun _ ->
+          match r.r_exec with
+          | Some e -> Seed_exec.deliver e ~from v
+          | None -> ()))
+    targets
+
+let seed_send t task exec (target : Interp.target) v =
+  match target with
+  | Interp.To_harvester ->
+      deliver_to_harvester t task ~from_switch:(Seed_exec.node exec) v
+  | Interp.To_machine (m, node) ->
+      deliver_to_seeds t task ~machine:m ~node v
+        ~from:(Interp.From_machine (Seed_exec.machine_name exec))
+
+(* ------------------------------------------------------------------ *)
+(* Placement application                                               *)
+(* ------------------------------------------------------------------ *)
+
+let instantiate t (r : reg) (a : Model.assignment) ~restore =
+  let soilv = soil t a.a_node in
+  (* the switch receives the task as XML and decompiles it into a seed,
+     exactly as the soil does in the paper's implementation *)
+  let program = Farm_almanac.Machine_xml.load (Lazy.force r.r_task.xml) in
+  let exec =
+    Seed_exec.deploy ~soil:soilv ~program
+      ~machine:r.r_machine ~externals:r.r_externals
+      ~builtins:r.r_task.spec.ts_builtins ?restore ~resources:a.a_res
+      ~polls:r.r_polls
+      ~send:(fun exec target v -> seed_send t r.r_task exec target v)
+      ~seed_id:r.r_spec.seed_id ()
+  in
+  r.r_exec <- Some exec
+
+let apply_placement t (placement : Model.placement) =
+  let new_assignments = placement.assignments in
+  let by_seed = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Model.assignment) -> Hashtbl.replace by_seed a.a_seed a)
+    new_assignments;
+  (* destroy / migrate / retune existing seeds *)
+  Hashtbl.iter
+    (fun seed_id (r : reg) ->
+      match (r.r_exec, Hashtbl.find_opt by_seed seed_id) with
+      | Some exec, None ->
+          (* dropped from the placement *)
+          Seed_exec.destroy exec;
+          r.r_exec <- None
+      | Some exec, Some a when Seed_exec.node exec <> a.a_node ->
+          (* migrate: snapshot, transfer state, resume at the target *)
+          let snapshot = Seed_exec.snapshot exec in
+          Seed_exec.destroy exec;
+          r.r_exec <- None;
+          r.r_migrating <- true;
+          t.migration_count <- t.migration_count + 1;
+          Engine.schedule t.engine ~delay:t.cfg.migration_time (fun _ ->
+              r.r_migrating <- false;
+              instantiate t r a ~restore:(Some snapshot))
+      | Some exec, Some a ->
+          if Seed_exec.resources exec <> a.a_res then
+            Seed_exec.set_resources exec a.a_res
+      | None, Some a when not r.r_migrating ->
+          instantiate t r a ~restore:None
+      | None, _ -> ())
+    t.registry;
+  t.assignments <- new_assignments;
+  (* task placement flags *)
+  let tasks = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ (r : reg) -> Hashtbl.replace tasks r.r_task.task_id r.r_task)
+    t.registry;
+  Hashtbl.iter
+    (fun _ task ->
+      task.placed <-
+        List.exists
+          (fun r -> Hashtbl.mem by_seed r.r_spec.seed_id)
+          (regs_of_task t task))
+    tasks
+
+let reoptimize t =
+  let inst = instance_stub t in
+  let placement, _stats = Heuristic.optimize inst in
+  apply_placement t placement
+
+(* ------------------------------------------------------------------ *)
+(* Deploy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let analysis_bindings (m : Ast.machine) externals : Analysis.bindings =
+  let static name =
+    List.find_map
+      (fun (v : Ast.var_decl) ->
+        if v.vname = name then
+          match v.vinit with
+          | Some (Ast.Int i) -> Some (Value.Num (float_of_int i))
+          | Some (Ast.Float f) -> Some (Value.Num f)
+          | Some (Ast.String s) -> Some (Value.Str s)
+          | Some (Ast.Bool b) -> Some (Value.Bool b)
+          | _ -> None
+        else None)
+      m.mvars
+  in
+  fun name ->
+    match List.assoc_opt name externals with
+    | Some v -> Some v
+    | None -> static name
+
+let deploy t spec =
+  let parse () =
+    match Parser.program spec.ts_source with
+    | p -> Ok p
+    | exception Parser.Error m -> Error ("syntax error: " ^ m)
+  in
+  let* parsed = parse () in
+  let* program =
+    Typecheck.check_result ~extra:spec.ts_extra_sigs parsed
+  in
+  let task =
+    { task_id = t.next_task; spec; program;
+      xml = lazy (Farm_almanac.Machine_xml.compile program);
+      harvester = None; placed = false }
+  in
+  t.next_task <- t.next_task + 1;
+  (* analyze every machine and register its seeds *)
+  let topo = Fabric.topology t.fabric in
+  let* registered =
+    List.fold_left
+      (fun acc (m : Ast.machine) ->
+        let* acc = acc in
+        let externals =
+          Option.value
+            (List.assoc_opt m.mname spec.ts_externals)
+            ~default:[]
+        in
+        let bindings = analysis_bindings m externals in
+        let* summary = Analysis.summarize ~bindings ~topo m in
+        let polls = summary.poll_vars in
+        let initial_state_util =
+          match summary.state_utils with
+          | (_, u) :: _ -> u
+          | [] -> Analysis.default_utility
+        in
+        let poll_reqs =
+          List.concat_map
+            (fun (p : Analysis.poll_summary) ->
+              match p.ptrig with
+              | Ast.Poll ->
+                  List.map
+                    (fun subject -> { Model.subject; ival = p.ival })
+                    p.subjects
+              | Ast.Probe | Ast.Time -> [])
+            polls
+        in
+        let regs =
+          List.map
+            (fun (site : Analysis.seed_site) ->
+              let seed_id = t.next_seed in
+              t.next_seed <- seed_id + 1;
+              { r_spec =
+                  { Model.seed_id; task_id = task.task_id;
+                    candidates = site.candidates;
+                    branches = initial_state_util; polls = poll_reqs };
+                r_task = task; r_machine = m.mname; r_polls = polls;
+                r_externals = externals; r_exec = None;
+                r_migrating = false })
+            summary.seeds
+        in
+        Ok (regs @ acc))
+      (Ok []) program.machines
+  in
+  if registered = [] then Error "task has no seeds to place"
+  else begin
+    List.iter
+      (fun r -> Hashtbl.replace t.registry r.r_spec.seed_id r)
+      registered;
+    (* harvester wiring *)
+    let ctx =
+      { Harvester.send_to_seed =
+          (fun ~switch v ->
+            List.iter
+              (fun r ->
+                match r.r_exec with
+                | Some e when Seed_exec.node e = switch ->
+                    Engine.schedule t.engine ~delay:t.cfg.control_latency
+                      (fun _ ->
+                        Seed_exec.deliver e ~from:Interp.From_harvester v)
+                | Some _ | None -> ())
+              (regs_of_task t task));
+        broadcast =
+          (fun v ->
+            List.iter
+              (fun r ->
+                match r.r_exec with
+                | Some e ->
+                    Engine.schedule t.engine ~delay:t.cfg.control_latency
+                      (fun _ ->
+                        Seed_exec.deliver e ~from:Interp.From_harvester v)
+                | None -> ())
+              (regs_of_task t task));
+        now = (fun () -> Engine.now t.engine);
+        log = (fun _ -> ()) }
+    in
+    let h = Harvester.create spec.ts_harvester ctx in
+    task.harvester <- Some h;
+    reoptimize t;
+    if not task.placed then begin
+      (* release the registry entries *)
+      List.iter
+        (fun r -> Hashtbl.remove t.registry r.r_spec.seed_id)
+        registered;
+      Error
+        (Printf.sprintf "task %s cannot be placed with available resources"
+           spec.ts_name)
+    end
+    else begin
+      Harvester.start h;
+      Ok task
+    end
+  end
+
+(* Fault tolerance (the paper's stated future work): mark a switch as
+   failed.  Its seeds are lost (crash semantics: no state snapshot); the
+   global placement re-optimizes and restarts them on surviving candidate
+   switches where possible.  Tasks whose seeds were pinned solely to the
+   failed switch are dropped (C1). *)
+let fail_switch t node =
+  if Hashtbl.mem t.soils node && not (Hashtbl.mem t.failed node) then begin
+    Hashtbl.replace t.failed node ();
+    Hashtbl.iter
+      (fun _ (r : reg) ->
+        match r.r_exec with
+        | Some exec when Seed_exec.node exec = node ->
+            Seed_exec.destroy exec;
+            r.r_exec <- None
+        | Some _ | None -> ())
+      t.registry;
+    (* the failed switch's assignments are gone *)
+    t.assignments <-
+      List.filter (fun (a : Model.assignment) -> a.a_node <> node)
+        t.assignments;
+    reoptimize t
+  end
+
+let failed_switches t = Hashtbl.fold (fun n () acc -> n :: acc) t.failed []
+
+let undeploy t task =
+  List.iter
+    (fun r ->
+      (match r.r_exec with
+      | Some exec -> Seed_exec.destroy exec
+      | None -> ());
+      Hashtbl.remove t.registry r.r_spec.seed_id)
+    (regs_of_task t task);
+  t.assignments <-
+    List.filter
+      (fun (a : Model.assignment) -> Hashtbl.mem t.registry a.a_seed)
+      t.assignments;
+  task.placed <- false

@@ -1,0 +1,89 @@
+(** The M&M centralized control instance (§II-C b).
+
+    The seeder turns Almanac task descriptions into deployed seeds: it
+    type-checks the program, runs the static analyses (placement sites,
+    utility polynomials, polling), solves the {e global} placement problem
+    across {e all} co-deployed tasks with the Alg. 1 heuristic, instantiates
+    or migrates seed instances accordingly, and routes messages between
+    seeds and harvesters. *)
+
+module Value := Farm_almanac.Value
+module Ast := Farm_almanac.Ast
+
+type config = {
+  soil_config : Soil.config;
+  control_latency : float;
+      (** one-way latency between a switch and the central components *)
+  message_overhead_bytes : float;  (** framing per control message *)
+  migration_time : float;  (** seed state-transfer duration *)
+}
+
+val default_config : config
+
+type task_spec = {
+  ts_name : string;
+  ts_source : string;  (** Almanac source of the task's machines *)
+  ts_externals : (string * (string * Value.t) list) list;
+      (** per machine: values for [external] variables *)
+  ts_builtins : (string * (Value.t list -> Value.t)) list;
+      (** host-side auxiliary functions *)
+  ts_extra_sigs : (string * Farm_almanac.Typecheck.func_sig) list;
+  ts_harvester : Harvester.spec;
+}
+
+(** A minimal spec with no externals/builtins and a collector harvester. *)
+val simple_spec : name:string -> source:string -> task_spec
+
+type task
+
+type t
+
+val create : ?config:config -> Farm_sim.Engine.t -> Farm_net.Fabric.t -> t
+
+val engine : t -> Farm_sim.Engine.t
+val fabric : t -> Farm_net.Fabric.t
+val soil : t -> int -> Soil.t
+val soils : t -> Soil.t list
+
+(** Deploy a task: parse, check, analyze, re-optimize the global placement
+    and instantiate the task's seeds.  Fails (with a message) on
+    syntax/type/analysis errors or when the task cannot be placed. *)
+val deploy : t -> task_spec -> (task, string) result
+
+(** Tear a task down, releasing its switch resources. *)
+val undeploy : t -> task -> unit
+
+(** Re-run global placement (resource depletion, topology change...);
+    migrates seeds whose optimal location changed. *)
+val reoptimize : t -> unit
+
+(** Fault tolerance (the paper's §VIII future work): mark a switch as
+    failed.  Seeds running there are lost and restarted on surviving
+    candidate switches by a global re-optimization; tasks pinned solely to
+    the failed switch are dropped (C1). *)
+val fail_switch : t -> int -> unit
+
+val failed_switches : t -> int list
+
+(** {2 Introspection} *)
+
+val task_name : task -> string
+val harvester : task -> Harvester.t
+val is_placed : task -> bool
+
+(** Live seed instances of the task (one per placed seed). *)
+val seeds : t -> task -> Seed_exec.t list
+
+(** The seed of [machine] on switch [node], if any. *)
+val seed_on : t -> task -> machine:string -> node:int -> Seed_exec.t option
+
+val current_utility : t -> float
+
+(** Bytes and messages shipped to centralized components since start —
+    the "network load towards the collector" of Fig. 4. *)
+val collector_bytes : t -> float
+
+val collector_messages : t -> int
+
+(** Count of seed migrations performed so far. *)
+val migrations : t -> int

@@ -1,0 +1,323 @@
+module Engine = Farm_sim.Engine
+module Filter = Farm_net.Filter
+module Switch_model = Farm_net.Switch_model
+module Tcam = Farm_net.Tcam
+
+type config = {
+  cpu : Cpu_model.t;
+  scheme : Ipc.scheme;
+  exec_model : Ipc.exec_model;
+  aggregate_polls : bool;
+  max_poll_queue_delay : float;
+}
+
+let default_config =
+  { cpu = Cpu_model.default; scheme = Ipc.Shared_buffer;
+    exec_model = Ipc.Threads; aggregate_polls = true;
+    max_poll_queue_delay = 1. }
+
+type sub_kind =
+  | Poll of { subject : Filter.subject; deliver : float array -> unit }
+  | Probe of { filter : Filter.t; deliver : Farm_net.Flow.packet -> unit }
+  | Time of (float -> unit)
+
+type subscription = {
+  sub_id : int;
+  seed_id : int;
+  kind : sub_kind;
+  mutable period : float;
+  mutable timer : Engine.timer option;
+  mutable active : bool;
+}
+
+(* Aggregation group: one ASIC poll timer shared by all subscribers of a
+   subject. *)
+type group = {
+  g_subject : Filter.subject;
+  mutable g_subs : subscription list;
+  mutable g_timer : Engine.timer option;
+}
+
+type poll_stats = {
+  requested : int;
+  completed : int;
+  dropped : int;
+  pcie_bytes : float;
+  asic_polls : int;
+}
+
+type t = {
+  engine : Engine.t;
+  sw : Switch_model.t;
+  cfg : config;
+  usage : Cpu_model.usage;
+  rng : Farm_sim.Rng.t;
+  mutable seeds : int list;
+  mutable next_sub : int;
+  mutable groups : group list;
+  (* PCIe bus scheduling *)
+  mutable pcie_free_at : float;
+  mutable requested : int;
+  mutable completed : int;
+  mutable dropped : int;
+  mutable pcie_bytes : float;
+  mutable asic_polls : int;
+  latency : Farm_sim.Metrics.Histogram.t;
+      (* seed-observed delivery latency: ASIC read issue -> handler *)
+}
+
+let create ?(config = default_config) engine sw =
+  { engine; sw; cfg = config; usage = Cpu_model.usage ();
+    rng = Farm_sim.Rng.split (Engine.rng engine); seeds = [];
+    next_sub = 0; groups = []; pcie_free_at = 0.; requested = 0;
+    completed = 0; dropped = 0; pcie_bytes = 0.; asic_polls = 0;
+    latency = Farm_sim.Metrics.Histogram.create () }
+
+let node_id t = Switch_model.id t.sw
+let switch t = t.sw
+let config t = t.cfg
+let now t = Engine.now t.engine
+let engine t = t.engine
+
+let attach_seed t id = t.seeds <- id :: t.seeds
+
+let detach_seed t id =
+  (* remove one registration *)
+  let rec go = function
+    | [] -> []
+    | x :: rest -> if x = id then rest else x :: go rest
+  in
+  t.seeds <- go t.seeds
+
+let seed_count t = List.length t.seeds
+
+let charge_cpu t s = Cpu_model.charge t.usage s
+let cpu t = t.usage
+
+let cpu_load t ~window = Cpu_model.offered_load t.usage ~window
+let cpu_accuracy t ~window = Cpu_model.accuracy t.cfg.cpu t.usage ~window
+
+(* Bytes a poll of [subject] moves over the PCIe bus: 16 B per hardware
+   counter read (id + 64-bit value + framing). *)
+let counter_record_bytes = 16.
+
+let poll_payload t = function
+  | Filter.All_ports ->
+      float_of_int (Switch_model.port_count t.sw) *. counter_record_bytes
+  | Filter.Port_counter _ | Filter.Prefix_counter _ | Filter.Proto_counter _
+    ->
+      counter_record_bytes
+
+(* Schedule a transfer over the PCIe bus; calls [k] with the completion
+   time, or returns [false] when the queue is too long (poll dropped). *)
+let pcie_transfer t ~bytes k =
+  let now = Engine.now t.engine in
+  let caps = Switch_model.caps t.sw in
+  let start = Float.max now t.pcie_free_at in
+  if start -. now > t.cfg.max_poll_queue_delay then false
+  else begin
+    let dur = bytes *. 8. /. caps.pcie_bps in
+    t.pcie_free_at <- start +. dur;
+    let completion = start +. dur in
+    Engine.schedule t.engine
+      ~delay:(completion -. now)
+      (fun engine ->
+        (* account the transfer when it completes, so byte counters over a
+           window reflect achieved (not queued) throughput *)
+        t.pcie_bytes <- t.pcie_bytes +. bytes;
+        k engine);
+    true
+  end
+
+let ipc_deliver ?issued t f =
+  (* IPC latency depends on how many seeds are co-located (Fig. 10) *)
+  let lat = Ipc.latency t.cfg.scheme t.cfg.exec_model ~seeds:(seed_count t) in
+  charge_cpu t (Ipc.cpu_cost t.cfg.scheme t.cfg.exec_model);
+  if t.cfg.exec_model = Ipc.Processes then
+    charge_cpu t t.cfg.cpu.context_switch_cost;
+  Engine.schedule t.engine ~delay:lat (fun engine ->
+      (match issued with
+      | Some t0 ->
+          Farm_sim.Metrics.Histogram.record t.latency (Engine.now engine -. t0)
+      | None -> ());
+      f ())
+
+(* Issue one ASIC poll for [subject] and deliver the result to [subs]. *)
+let issue_poll t subject subs =
+  let issued = Engine.now t.engine in
+  t.requested <- t.requested + List.length subs;
+  charge_cpu t t.cfg.cpu.poll_issue_cost;
+  t.asic_polls <- t.asic_polls + 1;
+  let bytes = poll_payload t subject in
+  (* the ASIC snapshots the counters when the read is issued; the data
+     then crosses the PCIe bus *)
+  let data =
+    Switch_model.poll_subject t.sw ~time:(Engine.now t.engine) subject
+  in
+  let ok =
+    pcie_transfer t ~bytes (fun _engine ->
+        let records = Float.max 1. (bytes /. counter_record_bytes) in
+        List.iter
+          (fun sub ->
+            if sub.active then begin
+              (* bulk counter reads are DMA'd: post-processing is cheap
+                 per record on top of the fixed per-poll cost *)
+              charge_cpu t (t.cfg.cpu.poll_process_cost *. records /. 128.);
+              charge_cpu t t.cfg.cpu.poll_process_cost;
+              if t.cfg.aggregate_polls then
+                charge_cpu t t.cfg.cpu.aggregation_cost;
+              t.completed <- t.completed + 1;
+              match sub.kind with
+              | Poll p -> ipc_deliver ~issued t (fun () -> p.deliver data)
+              | Probe _ | Time _ -> ()
+            end)
+          subs)
+  in
+  if not ok then t.dropped <- t.dropped + List.length subs
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated polling groups                                           *)
+(* ------------------------------------------------------------------ *)
+
+let group_period g =
+  List.fold_left
+    (fun acc s -> Float.min acc s.period)
+    infinity g.g_subs
+
+let rearm_group t g =
+  (match g.g_timer with Some tm -> Engine.cancel tm | None -> ());
+  match g.g_subs with
+  | [] -> g.g_timer <- None
+  | _ ->
+      let period = group_period g in
+      g.g_timer <-
+        Some
+          (Engine.every t.engine ~period (fun _ ->
+               issue_poll t g.g_subject g.g_subs))
+
+let find_group t subject =
+  List.find_opt (fun g -> Filter.subject_equal g.g_subject subject) t.groups
+
+let fresh_sub t ~seed_id ~period kind =
+  let s =
+    { sub_id = t.next_sub; seed_id; kind; period; timer = None; active = true }
+  in
+  t.next_sub <- t.next_sub + 1;
+  s
+
+let subscribe_poll t ~seed_id ~subject ~period deliver =
+  Switch_model.watch_subject t.sw ~time:(Engine.now t.engine) subject;
+  let sub = fresh_sub t ~seed_id ~period (Poll { subject; deliver }) in
+  if t.cfg.aggregate_polls then begin
+    let g =
+      match find_group t subject with
+      | Some g -> g
+      | None ->
+          let g = { g_subject = subject; g_subs = []; g_timer = None } in
+          t.groups <- g :: t.groups;
+          g
+    in
+    g.g_subs <- sub :: g.g_subs;
+    rearm_group t g
+  end
+  else
+    sub.timer <-
+      Some
+        (Engine.every t.engine ~period (fun _ -> issue_poll t subject [ sub ]));
+  sub
+
+let subscribe_probe t ~seed_id ~filter ~period deliver =
+  let sub = fresh_sub t ~seed_id ~period (Probe { filter; deliver }) in
+  let tick _ =
+    (* sampling mirrors one packet over the PCIe bus *)
+    t.requested <- t.requested + 1;
+    match Switch_model.sample_packet t.sw t.rng with
+    | Some pkt when Filter.matches filter pkt.tuple ->
+        charge_cpu t t.cfg.cpu.sample_cost;
+        let ok =
+          pcie_transfer t ~bytes:(float_of_int pkt.size) (fun _ ->
+              if sub.active then begin
+                t.completed <- t.completed + 1;
+                ipc_deliver t (fun () -> deliver pkt)
+              end)
+        in
+        if not ok then t.dropped <- t.dropped + 1
+    | Some _ | None -> ()
+  in
+  sub.timer <- Some (Engine.every t.engine ~period tick);
+  sub
+
+let subscribe_time t ~seed_id ~period callback =
+  let sub = fresh_sub t ~seed_id ~period (Time callback) in
+  sub.timer <-
+    Some
+      (Engine.every t.engine ~period (fun engine ->
+           if sub.active then begin
+             charge_cpu t t.cfg.cpu.handler_base_cost;
+             callback (Engine.now engine)
+           end));
+  sub
+
+let set_period t sub period =
+  sub.period <- period;
+  (match sub.timer with Some tm -> Engine.set_period tm period | None -> ());
+  if t.cfg.aggregate_polls then
+    match sub.kind with
+    | Poll p -> (
+        match find_group t p.subject with
+        | Some g -> rearm_group t g
+        | None -> ())
+    | Probe _ | Time _ -> ()
+
+let cancel t sub =
+  sub.active <- false;
+  (match sub.timer with Some tm -> Engine.cancel tm | None -> ());
+  match sub.kind with
+  | Poll p when t.cfg.aggregate_polls -> (
+      match find_group t p.subject with
+      | Some g ->
+          g.g_subs <- List.filter (fun s -> s.sub_id <> sub.sub_id) g.g_subs;
+          rearm_group t g
+      | None -> ())
+  | Poll _ | Probe _ | Time _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* TCAM                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let add_tcam_rule t rule =
+  charge_cpu t t.cfg.cpu.handler_base_cost;
+  match Tcam.add (Switch_model.tcam t.sw) Tcam.Monitoring rule with
+  | Ok _ ->
+      Switch_model.apply_tcam_actions t.sw ~time:(Engine.now t.engine);
+      Ok ()
+  | Error `Full -> Error `Full
+
+let remove_tcam_rule t ~pattern =
+  charge_cpu t t.cfg.cpu.handler_base_cost;
+  let n = Tcam.remove (Switch_model.tcam t.sw) Tcam.Monitoring ~pattern in
+  if n > 0 then
+    Switch_model.apply_tcam_actions t.sw ~time:(Engine.now t.engine);
+  n
+
+let get_tcam_rule t ~pattern =
+  Tcam.find (Switch_model.tcam t.sw) Tcam.Monitoring ~pattern
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let poll_stats t =
+  { requested = t.requested; completed = t.completed; dropped = t.dropped;
+    pcie_bytes = t.pcie_bytes; asic_polls = t.asic_polls }
+
+let delivery_latency t = t.latency
+
+let reset_stats t =
+  Farm_sim.Metrics.Histogram.reset t.latency;
+  t.requested <- 0;
+  t.completed <- 0;
+  t.dropped <- 0;
+  t.pcie_bytes <- 0.;
+  t.asic_polls <- 0;
+  Cpu_model.reset t.usage

@@ -1,0 +1,117 @@
+(** The M&M seed foundation layer (§II-B b).
+
+    One soil runs on each switch's management system.  It multiplexes all
+    co-located seeds onto the ASIC: it schedules counter polls over the
+    {e PCIe bus} (a hard bottleneck — 8 Mbit/s of polling bandwidth against
+    a 100+ Gbit/s ASIC, Fig. 8), {e aggregates} polls of seeds that ask for
+    the same polling subject (poll once, deliver to all — the key saving
+    exploited by placement optimization), samples packets for probe
+    triggers, mediates TCAM access (monitoring region only, so forwarding
+    is never disturbed), accounts management-CPU time, and models the
+    soil↔seed IPC (threads/processes × gRPC/shared-buffer). *)
+
+module Filter := Farm_net.Filter
+
+type config = {
+  cpu : Cpu_model.t;
+  scheme : Ipc.scheme;
+  exec_model : Ipc.exec_model;
+  aggregate_polls : bool;
+  max_poll_queue_delay : float;
+      (** polls that would wait longer than this on the PCIe bus are
+          dropped (counted in [polls_dropped]) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> Farm_sim.Engine.t -> Farm_net.Switch_model.t -> t
+
+val node_id : t -> int
+val switch : t -> Farm_net.Switch_model.t
+val config : t -> config
+
+(** Current simulation time. *)
+val now : t -> float
+
+val engine : t -> Farm_sim.Engine.t
+
+(** {2 Seeds} *)
+
+(** Register a seed instance (affects IPC latency, Fig. 10). *)
+val attach_seed : t -> int -> unit
+
+val detach_seed : t -> int -> unit
+val seed_count : t -> int
+
+(** {2 Polling, probing, timers} *)
+
+type subscription
+
+(** Ask the soil to poll [subject] every [period] seconds and deliver the
+    counter values.  Delivery accounts PCIe transfer time, queueing, IPC
+    latency and CPU costs.  When aggregation is on, seeds sharing a subject
+    are served by a single ASIC poll at the fastest requested rate. *)
+val subscribe_poll :
+  t ->
+  seed_id:int ->
+  subject:Filter.subject ->
+  period:float ->
+  (float array -> unit) ->
+  subscription
+
+(** Sample packets matching [filter] roughly every [period] seconds (an
+    upper bound: the actual rate depends on traffic, §III-A a). *)
+val subscribe_probe :
+  t ->
+  seed_id:int ->
+  filter:Filter.t ->
+  period:float ->
+  (Farm_net.Flow.packet -> unit) ->
+  subscription
+
+(** Plain periodic timer (the [time] trigger type). *)
+val subscribe_time :
+  t -> seed_id:int -> period:float -> (float -> unit) -> subscription
+
+val set_period : t -> subscription -> float -> unit
+val cancel : t -> subscription -> unit
+
+(** {2 TCAM (monitoring region)} *)
+
+val add_tcam_rule :
+  t -> Farm_net.Tcam.rule -> (unit, [ `Full ]) result
+
+val remove_tcam_rule : t -> pattern:Filter.t -> int
+val get_tcam_rule : t -> pattern:Filter.t -> Farm_net.Tcam.installed option
+
+(** {2 Accounting} *)
+
+val charge_cpu : t -> float -> unit
+val cpu : t -> Cpu_model.usage
+
+(** Offered CPU load since the last [reset_stats]. *)
+val cpu_load : t -> window:float -> float
+
+val cpu_accuracy : t -> window:float -> float
+
+(** Bytes one hardware counter read moves over the PCIe bus. *)
+val counter_record_bytes : float
+
+type poll_stats = {
+  requested : int;
+  completed : int;
+  dropped : int;
+  pcie_bytes : float;
+  asic_polls : int;  (** actual ASIC reads (< requested when aggregating) *)
+}
+
+val poll_stats : t -> poll_stats
+
+(** Distribution of seed-observed poll delivery latency (ASIC read issue →
+    seed handler), the Fig. 10 measurement. *)
+val delivery_latency : t -> Farm_sim.Metrics.Histogram.t
+
+val reset_stats : t -> unit

@@ -1,0 +1,75 @@
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Heap.t;
+  root_rng : Rng.t;
+  mutable dispatched : int;
+}
+
+type timer = {
+  mutable period : float;
+  mutable cancelled : bool;
+  mutable callback : t -> unit;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0.; queue = Heap.create (); root_rng = Rng.create seed;
+    dispatched = 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+let dispatched t = t.dispatched
+
+let schedule_at t ~time f =
+  if time < t.clock -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
+         time t.clock);
+  Heap.push t.queue ~time f
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let rec fire timer engine =
+  if not timer.cancelled then begin
+    timer.callback engine;
+    if not timer.cancelled then
+      schedule engine ~delay:timer.period (fire timer)
+  end
+
+let every t ~period ?phase f =
+  if period <= 0. then invalid_arg "Engine.every: period must be positive";
+  let timer = { period; cancelled = false; callback = f } in
+  let phase = Option.value phase ~default:period in
+  schedule t ~delay:phase (fire timer);
+  timer
+
+let cancel timer = timer.cancelled <- true
+
+let set_period timer p =
+  if p <= 0. then invalid_arg "Engine.set_period: period must be positive";
+  timer.period <- p
+
+let timer_period timer = timer.period
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.queue with
+    | None -> continue := false
+    | Some time -> (
+        match until with
+        | Some u when time > u ->
+            t.clock <- u;
+            continue := false
+        | Some _ | None -> (
+            match Heap.pop t.queue with
+            | None -> continue := false
+            | Some (time, f) ->
+                t.clock <- time;
+                t.dispatched <- t.dispatched + 1;
+                f t))
+  done;
+  match until with
+  | Some u when t.clock < u && Heap.is_empty t.queue -> t.clock <- u
+  | Some _ | None -> ()

@@ -1,0 +1,43 @@
+(** Discrete-event simulation engine.
+
+    Time is in {e seconds} (float).  Events are closures ordered by time with
+    deterministic FIFO tie-breaking.  Every FARM component (switches, soils,
+    seeds, harvesters, baselines, traffic sources) runs on this engine, which
+    replaces the paper's production data center as the experiment substrate. *)
+
+type t
+
+(** [create ~seed ()] makes an engine whose root RNG is seeded with [seed]
+    (default 42). *)
+val create : ?seed:int -> unit -> t
+
+(** Current simulation time in seconds. *)
+val now : t -> float
+
+(** The engine's root RNG; use {!Rng.split} to derive per-component streams. *)
+val rng : t -> Rng.t
+
+(** Schedule a one-shot event [delay] seconds from now ([delay >= 0]). *)
+val schedule : t -> delay:float -> (t -> unit) -> unit
+
+(** Schedule at an absolute time (>= now). *)
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+
+(** Cancellable periodic timer. *)
+type timer
+
+(** [every t ~period ?phase f] fires [f] every [period] seconds, first at
+    [now + phase] (default [period]).  The period can be changed on the fly
+    with {!set_period} — this is how seeds adapt their polling rate. *)
+val every : t -> period:float -> ?phase:float -> (t -> unit) -> timer
+
+val cancel : timer -> unit
+val set_period : timer -> float -> unit
+val timer_period : timer -> float
+
+(** Run until the event queue drains or [until] is reached (events at
+    [time > until] stay queued; the clock stops at [until]). *)
+val run : ?until:float -> t -> unit
+
+(** Number of events dispatched so far. *)
+val dispatched : t -> int

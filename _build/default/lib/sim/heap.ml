@@ -1,0 +1,65 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable a : 'a entry array;
+  mutable n : int;
+  mutable next_seq : int;
+}
+
+let create () = { a = [||]; n = 0; next_seq = 0 }
+let is_empty h = h.n = 0
+let size h = h.n
+
+let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+let swap h i j =
+  let t = h.a.(i) in
+  h.a.(i) <- h.a.(j);
+  h.a.(j) <- t
+
+let push h ~time value =
+  let e = { time; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.n = Array.length h.a then begin
+    let cap = Stdlib.max 16 (2 * h.n) in
+    let a = Array.make cap e in
+    Array.blit h.a 0 a 0 h.n;
+    h.a <- a
+  end;
+  h.a.(h.n) <- e;
+  h.n <- h.n + 1;
+  let i = ref (h.n - 1) in
+  while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop h =
+  if h.n = 0 then None
+  else begin
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    if h.n > 0 then begin
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.n && lt h.a.(l) h.a.(!m) then m := l;
+        if r < h.n && lt h.a.(r) h.a.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          swap h !i !m;
+          i := !m
+        end
+      done
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time h = if h.n = 0 then None else Some h.a.(0).time
+
+let clear h =
+  h.n <- 0;
+  h.a <- [||]

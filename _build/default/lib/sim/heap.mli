@@ -1,0 +1,20 @@
+(** Binary min-heap keyed by [(time, sequence)] — the event queue of the
+    discrete-event simulator.  The sequence number makes the dequeue order of
+    simultaneous events deterministic (FIFO). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push h ~time x] inserts [x] with priority [time]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Pop the earliest element; [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Earliest time without removing; [None] when empty. *)
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

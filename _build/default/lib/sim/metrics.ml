@@ -1,0 +1,77 @@
+module Counter = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0. }
+  let add t x = t.v <- t.v +. x
+  let incr t = add t 1.
+  let value t = t.v
+  let reset t = t.v <- 0.
+end
+
+module Histogram = struct
+  type t = { mutable xs : float array; mutable n : int; mutable sorted : bool }
+
+  let create () = { xs = [||]; n = 0; sorted = true }
+
+  let record t x =
+    if t.n = Array.length t.xs then begin
+      let cap = Stdlib.max 16 (2 * t.n) in
+      let a = Array.make cap 0. in
+      Array.blit t.xs 0 a 0 t.n;
+      t.xs <- a
+    end;
+    t.xs.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
+
+  let count t = t.n
+
+  let fold f init t =
+    let acc = ref init in
+    for i = 0 to t.n - 1 do
+      acc := f !acc t.xs.(i)
+    done;
+    !acc
+
+  let mean t = if t.n = 0 then 0. else fold ( +. ) 0. t /. float_of_int t.n
+  let max t = fold Float.max neg_infinity t
+  let min t = fold Float.min infinity t
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let a = Array.sub t.xs 0 t.n in
+      Array.sort Float.compare a;
+      Array.blit a 0 t.xs 0 t.n;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.n = 0 then 0.
+    else begin
+      ensure_sorted t;
+      let rank = p /. 100. *. float_of_int (t.n - 1) in
+      let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+      let lo = Stdlib.max 0 (Stdlib.min (t.n - 1) lo) in
+      let hi = Stdlib.max 0 (Stdlib.min (t.n - 1) hi) in
+      let frac = rank -. float_of_int lo in
+      (t.xs.(lo) *. (1. -. frac)) +. (t.xs.(hi) *. frac)
+    end
+
+  let reset t =
+    t.n <- 0;
+    t.sorted <- true
+end
+
+module Busy = struct
+  type t = { mutable busy : float }
+
+  let create () = { busy = 0. }
+  let add t d = t.busy <- t.busy +. d
+  let busy_time t = t.busy
+
+  let utilization t ~from ~till =
+    let span = till -. from in
+    if span <= 0. then 0. else t.busy /. span
+
+  let reset t = t.busy <- 0.
+end

@@ -1,0 +1,44 @@
+(** Measurement primitives used by experiments: counters, histograms and
+    busy-time (CPU utilization) accumulators. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val incr : t -> unit
+  val value : t -> float
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val max : t -> float
+  val min : t -> float
+
+  (** [percentile h p] with [p] in [0, 100]; 0 on empty histograms. *)
+  val percentile : t -> float -> float
+
+  val reset : t -> unit
+end
+
+(** Accumulates busy time; [utilization] is busy/elapsed over an interval.
+    Used for switch-CPU-load experiments (Figs. 5, 6, 9): utilization can
+    exceed 1.0 (i.e. 100 %) on multi-core management CPUs. *)
+module Busy : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val busy_time : t -> float
+
+  (** [utilization t ~from ~till] = accumulated busy time / (till - from). *)
+  val utilization : t -> from:float -> till:float -> float
+
+  val reset : t -> unit
+end

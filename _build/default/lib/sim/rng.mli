@@ -1,0 +1,40 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator takes an explicit [Rng.t] so
+    that experiments are reproducible and independent components can draw
+    from independent streams (no global [Random] state). *)
+
+type t
+
+(** Create a generator from a seed. *)
+val create : int -> t
+
+(** Derive an independent stream; deterministic in the parent state. *)
+val split : t -> t
+
+(** Uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [lo, hi). *)
+val uniform : t -> float -> float -> float
+
+val bool : t -> bool
+
+(** Bernoulli with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** Exponential with rate [lambda] (mean [1/lambda]). *)
+val exponential : t -> float -> float
+
+(** Zipf-like rank sampler over [n] ranks with exponent [s]: returns a rank
+    in [0, n) where low ranks are heavy.  Used for flow-size popularity. *)
+val zipf : t -> n:int -> s:float -> int
+
+(** Pick a uniformly random element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

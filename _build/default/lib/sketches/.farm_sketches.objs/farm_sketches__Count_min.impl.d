@@ -1,0 +1,1 @@
+lib/sketches/count_min.ml: Array Float Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/sketches/count_min.mli:

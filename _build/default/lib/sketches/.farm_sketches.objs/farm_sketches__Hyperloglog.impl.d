@@ -1,0 +1,1 @@
+lib/sketches/hyperloglog.ml: Array Float Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/sketches/hyperloglog.mli:

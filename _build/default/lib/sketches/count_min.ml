@@ -1,0 +1,59 @@
+type t = {
+  width : int;
+  depth : int;
+  cells_ : float array array;  (* depth x width *)
+  row_seeds : int array;
+  mutable total : float;
+}
+
+(* 64-bit mix (splitmix64 finalizer) for the per-row hash family *)
+let mix64 z =
+  let z = Int64.of_int z in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+
+let create ?(seed = 0x5eed) ~epsilon ~delta () =
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Count_min.create: epsilon must be in (0, 1)";
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Count_min.create: delta must be in (0, 1)";
+  let width = int_of_float (ceil (Float.exp 1. /. epsilon)) in
+  let depth = max 1 (int_of_float (ceil (Float.log (1. /. delta)))) in
+  { width; depth;
+    cells_ = Array.make_matrix depth width 0.;
+    row_seeds = Array.init depth (fun i -> mix64 (seed + (i * 0x9E37)));
+    total = 0. }
+
+let width t = t.width
+let depth t = t.depth
+let cells t = t.width * t.depth
+
+let bucket t row key =
+  let h = Hashtbl.hash (t.row_seeds.(row), key) in
+  mix64 (h + t.row_seeds.(row)) mod t.width
+
+let add t ?(count = 1.) key =
+  if count < 0. then invalid_arg "Count_min.add: negative count";
+  for row = 0 to t.depth - 1 do
+    let b = bucket t row key in
+    t.cells_.(row).(b) <- t.cells_.(row).(b) +. count
+  done;
+  t.total <- t.total +. count
+
+let estimate t key =
+  let best = ref infinity in
+  for row = 0 to t.depth - 1 do
+    let v = t.cells_.(row).(bucket t row key) in
+    if v < !best then best := v
+  done;
+  if !best = infinity then 0. else !best
+
+let total t = t.total
+
+let heavy_hitters t ~threshold ~candidates =
+  List.filter (fun k -> estimate t k >= threshold) candidates
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 t.width 0.) t.cells_;
+  t.total <- 0.

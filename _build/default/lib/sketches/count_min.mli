@@ -1,0 +1,37 @@
+(** Count-min sketch: a fixed-memory frequency estimator over a key
+    stream.  Estimates never undercount; the overcount is bounded by
+    [epsilon * total] with probability [1 - delta].
+
+    This is the sketch substrate for the paper's §VIII future-work item
+    ("integration of sketches into FARM"): seeds use it through host
+    builtins to track per-flow volumes in constant switch memory instead
+    of unbounded lists. *)
+
+type t
+
+(** [create ~epsilon ~delta ()] — width = ceil(e/epsilon) columns, depth =
+    ceil(ln(1/delta)) rows.  [seed] varies the hash family. *)
+val create : ?seed:int -> epsilon:float -> delta:float -> unit -> t
+
+val width : t -> int
+val depth : t -> int
+
+(** Memory footprint in counter cells. *)
+val cells : t -> int
+
+(** Add [count] (default 1) occurrences of the key. *)
+val add : t -> ?count:float -> string -> unit
+
+(** Frequency estimate: >= true count; <= true count + epsilon * total
+    with probability 1 - delta. *)
+val estimate : t -> string -> float
+
+(** Sum of all added counts. *)
+val total : t -> float
+
+(** Keys whose estimate exceeds [threshold], among the [candidates]
+    provided (a CMS cannot enumerate keys by itself). *)
+val heavy_hitters :
+  t -> threshold:float -> candidates:string list -> string list
+
+val reset : t -> unit

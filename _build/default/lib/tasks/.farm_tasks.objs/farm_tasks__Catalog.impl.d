@@ -1,0 +1,1 @@
+lib/tasks/catalog.ml: Ddos Farm_almanac Hh Infra_tasks List Option Printf Result Scan_tasks Sketch_tasks Task_common Tcp_tasks

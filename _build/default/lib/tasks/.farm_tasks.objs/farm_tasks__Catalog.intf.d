@@ -1,0 +1,1 @@
+lib/tasks/catalog.mli: Farm_net Task_common

@@ -1,0 +1,1 @@
+lib/tasks/ddos.ml: Farm_almanac Farm_runtime Task_common

@@ -1,0 +1,1 @@
+lib/tasks/ddos.mli: Task_common

@@ -1,0 +1,1 @@
+lib/tasks/hh.ml: Farm_almanac Farm_net Farm_runtime Hashtbl List Option Printf Task_common

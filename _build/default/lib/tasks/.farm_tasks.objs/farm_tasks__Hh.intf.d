@@ -1,0 +1,1 @@
+lib/tasks/hh.mli: Task_common

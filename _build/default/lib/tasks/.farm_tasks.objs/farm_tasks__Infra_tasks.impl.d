@@ -1,0 +1,1 @@
+lib/tasks/infra_tasks.ml: Farm_almanac Farm_runtime Printf Task_common

@@ -1,0 +1,1 @@
+lib/tasks/infra_tasks.mli: Task_common

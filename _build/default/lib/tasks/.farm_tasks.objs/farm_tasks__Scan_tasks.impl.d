@@ -1,0 +1,1 @@
+lib/tasks/scan_tasks.ml: Farm_almanac Task_common

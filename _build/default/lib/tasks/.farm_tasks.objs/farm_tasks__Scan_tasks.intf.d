@@ -1,0 +1,1 @@
+lib/tasks/scan_tasks.mli: Task_common

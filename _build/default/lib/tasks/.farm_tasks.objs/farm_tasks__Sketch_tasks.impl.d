@@ -1,0 +1,1 @@
+lib/tasks/sketch_tasks.ml: Farm_almanac Farm_sketches Hashtbl Task_common

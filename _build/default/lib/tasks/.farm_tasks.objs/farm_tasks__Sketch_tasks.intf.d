@@ -1,0 +1,1 @@
+lib/tasks/sketch_tasks.mli: Task_common

@@ -1,0 +1,1 @@
+lib/tasks/task_common.ml: Farm_almanac Farm_runtime List String

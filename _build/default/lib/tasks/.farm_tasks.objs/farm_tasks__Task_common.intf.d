@@ -1,0 +1,1 @@
+lib/tasks/task_common.mli: Farm_almanac Farm_runtime

@@ -1,0 +1,1 @@
+lib/tasks/tcp_tasks.ml: Task_common

@@ -1,0 +1,1 @@
+lib/tasks/tcp_tasks.mli: Task_common

@@ -1,0 +1,84 @@
+module Parser = Farm_almanac.Parser
+module Typecheck = Farm_almanac.Typecheck
+module Analysis = Farm_almanac.Analysis
+
+let all : Task_common.entry list =
+  [ Hh.hh;
+    Hh.hhh_inherited;
+    Hh.hhh;
+    Ddos.ddos;
+    Tcp_tasks.new_tcp_conn;
+    Tcp_tasks.tcp_syn_flood;
+    Tcp_tasks.partial_tcp_flow;
+    Tcp_tasks.slowloris;
+    Infra_tasks.link_failure;
+    Infra_tasks.traffic_change;
+    Infra_tasks.flow_size_distribution;
+    Scan_tasks.superspreader;
+    Scan_tasks.ssh_brute_force;
+    Scan_tasks.port_scan;
+    Scan_tasks.dns_reflection;
+    Infra_tasks.entropy_estimation;
+    Ddos.flood_defender ]
+
+(* sketch-based variants: the §VIII future-work extension *)
+let extensions : Task_common.entry list =
+  [ Sketch_tasks.sketch_heavy_hitter; Sketch_tasks.sketch_superspreader ]
+
+let names = List.map (fun (e : Task_common.entry) -> e.name) all
+
+let find name =
+  match
+    List.find_opt
+      (fun (e : Task_common.entry) -> e.name = name)
+      (all @ extensions)
+  with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Catalog.find: unknown task %s" name)
+
+let table1_loc (e : Task_common.entry) =
+  if e.name = Hh.hhh_inherited.name then
+    (* only the delta over the inherited HH machine *)
+    Task_common.seed_loc e - Task_common.seed_loc Hh.hh
+  else Task_common.seed_loc e
+
+let compile_one topo (e : Task_common.entry) =
+  let ( let* ) = Result.bind in
+  let* parsed =
+    match Parser.program e.source with
+    | p -> Ok p
+    | exception Parser.Error m -> Error ("parse: " ^ m)
+  in
+  let* program = Typecheck.check_result ~extra:e.extra_sigs parsed in
+  List.fold_left
+    (fun acc (m : Farm_almanac.Ast.machine) ->
+      let* () = acc in
+      let externals =
+        Option.value (List.assoc_opt m.mname e.externals) ~default:[]
+      in
+      let bindings name =
+        match List.assoc_opt name externals with
+        | Some v -> Some v
+        | None ->
+            List.find_map
+              (fun (v : Farm_almanac.Ast.var_decl) ->
+                if v.vname <> name then None
+                else
+                  match v.vinit with
+                  | Some (Farm_almanac.Ast.Int i) ->
+                      Some (Farm_almanac.Value.Num (float_of_int i))
+                  | Some (Farm_almanac.Ast.Float f) ->
+                      Some (Farm_almanac.Value.Num f)
+                  | Some (Farm_almanac.Ast.String s) ->
+                      Some (Farm_almanac.Value.Str s)
+                  | _ -> None)
+              m.mvars
+      in
+      let* _summary = Analysis.summarize ~bindings ~topo m in
+      Ok ())
+    (Ok ()) program.machines
+
+let compile_all topo =
+  List.map
+    (fun (e : Task_common.entry) -> (e.name, compile_one topo e))
+    all

@@ -1,0 +1,214 @@
+module Value = Farm_almanac.Value
+module Harvester = Farm_runtime.Harvester
+
+(* DDoS: placed where traffic for the protected prefix is received; counts
+   distinct sources hitting the prefix per window.  Crossing the source
+   threshold triggers a local drop rule (quench) and a harvester alert;
+   the harvester can lift the mitigation (recv bool). *)
+let ddos_source =
+  {|
+machine DDoS {
+  place any receiver dstIP "10.2.0.0/16" range <= 1;
+  probe pkts = Probe { .ival = 0.001, .what = dstIP "10.2.0.0/16" };
+  time win = Time { .ival = 0.5 };
+  external long srcLimit = 50;
+  external string protected = "10.2.0.0/16";
+  list sources = [];
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.2 and res.RAM >= 64) then {
+        return min(15 * res.vCPU, 12);
+      }
+    }
+    when (pkts as p) do {
+      if (not contains_elem(sources, p.srcIP)) then {
+        sources = append(sources, p.srcIP);
+      }
+      if (size(sources) > srcLimit) then {
+        transit mitigating;
+      }
+    }
+    when (win as t) do {
+      sources = [];
+    }
+  }
+  state mitigating {
+    util (res) { return 100; }
+    when (enter) do {
+      send size(sources) to harvester;
+      addTCAMRule(mkRule(dstIP protected, drop_action()));
+      sources = [];
+    }
+    when (recv bool lift from harvester) do {
+      if (lift) then {
+        removeTCAMRule(dstIP protected);
+        transit observe;
+      }
+    }
+  }
+}
+|}
+
+(* harvester: confirms mitigation across switches and lifts it after the
+   attack subsides (no new alerts for a few seconds) *)
+let ddos_harvester () =
+  let last_alert = ref neg_infinity in
+  let armed = ref false in
+  { Harvester.on_start = (fun _ -> ());
+    on_message =
+      (fun ctx ~from_switch:_ v ->
+        match v with
+        | Value.Num _ ->
+            last_alert := ctx.now ();
+            if not !armed then begin
+              armed := true;
+              ctx.log "ddos: mitigation armed network-wide"
+            end
+            else if ctx.now () -. !last_alert > 3. then begin
+              (* attack subsided: lift the mitigation everywhere *)
+              ctx.broadcast (Value.Bool true);
+              armed := false
+            end
+        | _ -> ()) }
+
+let ddos =
+  { Task_common.name = "ddos";
+    description =
+      "distinct-source flood detection on the receiver leaf with local \
+       drop-rule quench";
+    source = ddos_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = ddos_harvester ();
+    harvester_loc = 30 }
+
+(* FloodDefender (Table I's largest entry): protects the SDN control plane
+   against table-miss floods.  Four states: observe (SYN-rate watch),
+   defend (protecting rules + attacker tracking), monitor (verify the
+   flood is contained, shed residual load), recover (clean up, report
+   statistics).  Coordinates with the harvester which arms neighbouring
+   switches. *)
+let flood_defender_source =
+  Task_common.stats_helpers
+  ^ {|
+machine FloodDefender {
+  place all;
+  probe synPkts = Probe { .ival = 0.002, .what = port ANY };
+  poll counters = Poll { .ival = 0.01, .what = port ANY };
+  time win = Time { .ival = 0.25 };
+  external long synLimit = 30;
+  external long residualLimit = 5;
+  long synSeen = 0;
+  long ackSeen = 0;
+  list attackers = [];
+  list prev = [];
+  float baseline = 0;
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.3 and res.RAM >= 128 and res.TCAM >= 8) then {
+        return min(12 * res.vCPU, 15);
+      }
+    }
+    when (synPkts as p) do {
+      if (p.syn and not p.ack) then {
+        synSeen = synSeen + 1;
+        if (not contains_elem(attackers, p.srcIP)) then {
+          attackers = append(attackers, p.srcIP);
+        }
+      }
+      if (p.syn and p.ack) then {
+        ackSeen = ackSeen + 1;
+      }
+    }
+    when (win as t) do {
+      if (synSeen - ackSeen > synLimit) then {
+        transit defend;
+      }
+      synSeen = 0;
+      ackSeen = 0;
+      attackers = [];
+    }
+  }
+  state defend {
+    util (res) { return 80; }
+    when (enter) do {
+      // shield the control plane: rate-limit table-miss traffic and
+      // drop the tracked attackers locally
+      addTCAMRule(mkRule(port ANY, rate_limit_action(100000)));
+      long i = 0;
+      while (i < size(attackers) and i < 16) {
+        addTCAMRule(mkRule(srcIP nth(attackers, i), drop_action()));
+        i = i + 1;
+      }
+      send attackers to harvester;
+      transit monitor;
+    }
+  }
+  state monitor {
+    util (res) { return 60; }
+    when (synPkts as p) do {
+      if (p.syn and not p.ack) then {
+        synSeen = synSeen + 1;
+      }
+    }
+    when (win as t) do {
+      if (synSeen <= residualLimit) then {
+        transit recover;
+      }
+      if (synSeen > synLimit) then {
+        // flood still strong: escalate to the harvester
+        send synSeen to harvester;
+      }
+      synSeen = 0;
+    }
+  }
+  state recover {
+    util (res) { return 40; }
+    when (enter) do {
+      long i = 0;
+      while (i < size(attackers) and i < 16) {
+        removeTCAMRule(srcIP nth(attackers, i));
+        i = i + 1;
+      }
+      removeTCAMRule(port ANY);
+      send "recovered" to harvester;
+      attackers = [];
+      synSeen = 0;
+      ackSeen = 0;
+      transit observe;
+    }
+  }
+  when (recv long newLimit from harvester) do {
+    synLimit = newLimit;
+  }
+}
+|}
+
+(* harvester: when one switch defends, arm the others with a lower limit *)
+let flood_defender_harvester () =
+  let defended = ref false in
+  { Harvester.on_start = (fun _ -> ());
+    on_message =
+      (fun ctx ~from_switch:_ v ->
+        match v with
+        | Value.List _ when not !defended ->
+            defended := true;
+            ctx.broadcast (Value.Num 15.)
+        | Value.Str _ ->
+            (* a switch recovered: relax the network-wide limit again *)
+            defended := false;
+            ctx.broadcast (Value.Num 30.)
+        | _ -> ()) }
+
+let flood_defender =
+  { Task_common.name = "flood-defender";
+    description =
+      "4-state SDN control-plane flood protection with local shields and \
+       network-wide escalation";
+    source = flood_defender_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = flood_defender_harvester ();
+    harvester_loc = 35 }

@@ -1,0 +1,12 @@
+(** DDoS detection and mitigation: probes traffic towards a protected
+    prefix near the receiver, counts distinct sources per window, and
+    quenches the attack with a local drop rule (the paper's motivating
+    example of switch-local reaction). *)
+
+val ddos : Task_common.entry
+
+(** FloodDefender-style SDN-aimed flood protection: a four-state machine
+    (observe → defend → monitor → recover) that shields the control plane
+    by installing protecting rules locally and coordinates recovery with
+    its harvester — the largest Table I program. *)
+val flood_defender : Task_common.entry

@@ -1,0 +1,220 @@
+module Value = Farm_almanac.Value
+module Harvester = Farm_runtime.Harvester
+
+(* The HH seed, following the paper's List. 2: two states, polling of all
+   port counters with a resource-dependent utility, local TCAM reaction,
+   machine-level recv events for threshold/action retuning. *)
+let hh_source_at accuracy =
+  Task_common.stats_helpers
+  ^ Printf.sprintf {|
+machine HH {
+  place all;
+  poll pollStats = Poll {
+    .ival = %g, .what = port ANY
+  };
+  external float threshold = 1000000;
+  external float interval = 0.001;
+  external action hitterAction;
+  list prev = [];
+  list hitters = [];
+  list reported = [];
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.05 and res.RAM >= 16) then {
+        return min(20 * res.vCPU, 10);
+      }
+    }
+    when (pollStats as stats) do {
+      hitters = rate_above(stats, prev, threshold * interval);
+      prev = stats_list(stats);
+      // selection-centric: only changes of the HH set leave the switch
+      if (not (hitters == reported)) then {
+        transit HHdetected;
+      }
+    }
+  }
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      send hitters to harvester;
+      reported = hitters;
+      if (not is_list_empty(hitters)) then {
+        addTCAMRule(mkRule(port ANY, hitterAction));
+      }
+      transit observe;
+    }
+  }
+  when (recv float newTh from harvester)
+  do { threshold = newTh; }
+  when (recv action hitAct from harvester)
+  do { hitterAction = hitAct; }
+}
+|} accuracy
+
+let hh_source = hh_source_at 0.001
+
+(* Harvester: collects hitter reports; when many switches report at once
+   (high overall load) it raises the threshold 2x network-wide, and it can
+   push a new mitigation action. *)
+let hh_harvester base_threshold =
+  let recent = ref [] in
+  { Harvester.on_start = (fun _ -> ());
+    on_message =
+      (fun ctx ~from_switch:_ v ->
+        match v with
+        | Value.List _ ->
+            let now = ctx.now () in
+            recent := now :: List.filter (fun t -> now -. t < 1.) !recent;
+            if List.length !recent > 5 then begin
+              (* network-wide surge: desensitize all seeds *)
+              ctx.broadcast (Value.Num (base_threshold *. 2.));
+              recent := []
+            end
+        | _ -> ()) }
+
+let hh_at ~accuracy =
+  { Task_common.name = "heavy-hitter";
+    description = "per-port heavy-hitter detection with local QoS reaction";
+    source = hh_source_at accuracy;
+    externals =
+      [ ("HH",
+         [ ("threshold", Value.Num 1e6); ("interval", Value.Num accuracy);
+           ("hitterAction", Value.Action (Farm_net.Tcam.Set_qos 1)) ]) ];
+    builtins = [];
+    extra_sigs = [];
+    harvester = hh_harvester 1e6;
+    harvester_loc = 12 }
+
+let hh =
+  { Task_common.name = "heavy-hitter";
+    description = "per-port heavy-hitter detection with local QoS reaction";
+    source = hh_source;
+    externals =
+      [ ("HH",
+         [ ("threshold", Value.Num 1e6); ("interval", Value.Num 1e-3);
+           ("hitterAction", Value.Action (Farm_net.Tcam.Set_qos 1)) ]) ];
+    builtins = [];
+    extra_sigs = [];
+    harvester = hh_harvester 1e6;
+    harvester_loc = 12 }
+
+(* HHH by inheritance: only the detection state changes — hitters are sent
+   together with the aggregation level so the harvester can roll single
+   ports up into the port-group hierarchy. *)
+let hhh_inherited_source =
+  hh_source
+  ^ {|
+machine HHH extends HH {
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      list report = [];
+      long i = 0;
+      while (i < size(hitters)) {
+        report = append(report, nth(hitters, i));
+        report = append(report, floor(nth(hitters, i) / 4));
+        i = i + 1;
+      }
+      send report to harvester;
+      addTCAMRule(mkRule(port ANY, hitterAction));
+      transit observe;
+    }
+  }
+}
+|}
+
+(* the harvester aggregates (port, group) pairs into hierarchy counts *)
+let hhh_harvester () =
+  let groups : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  ignore groups;
+  { Harvester.on_start = (fun _ -> ());
+    on_message =
+      (fun _ ~from_switch:_ v ->
+        match v with
+        | Value.List items ->
+            List.iteri
+              (fun i x ->
+                if i mod 2 = 1 then
+                  match x with
+                  | Value.Num g ->
+                      let g = int_of_float g in
+                      Hashtbl.replace groups g
+                        (1 + Option.value (Hashtbl.find_opt groups g) ~default:0)
+                  | _ -> ())
+              items
+        | _ -> ()) }
+
+let hhh_inherited =
+  { Task_common.name = "hierarchical-heavy-hitter-inherited";
+    description = "HHH as a 1-state override of the HH machine";
+    source = hhh_inherited_source;
+    externals =
+      [ ("HH",
+         [ ("threshold", Value.Num 1e6); ("interval", Value.Num 1e-3) ]);
+        ("HHH",
+         [ ("threshold", Value.Num 1e6); ("interval", Value.Num 1e-3) ]) ];
+    builtins = [];
+    extra_sigs = [];
+    harvester = hhh_harvester ();
+    harvester_loc = 26 }
+
+(* Standalone HHH over IP prefixes: three polls at /8, /16 and /24
+   granularity; the deepest prefix whose delta crosses the threshold is
+   reported (hierarchy resolution happens on the switch). *)
+let hhh_source =
+  {|
+machine HHHSolo {
+  place all;
+  poll coarse = Poll { .ival = 0.01, .what = dstIP "10.0.0.0/8" };
+  poll mid = Poll { .ival = 0.01, .what = dstIP "10.2.0.0/16" };
+  poll fine = Poll { .ival = 0.01, .what = dstIP "10.2.1.0/24" };
+  external float threshold = 1000000;
+  external float interval = 0.01;
+  float prevCoarse = 0;
+  float prevMid = 0;
+  float prevFine = 0;
+  long level = 0;
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.1) then { return min(10 * res.vCPU, 8); }
+    }
+    when (coarse as s) do {
+      if (stat(s, 0) - prevCoarse > threshold * interval) then {
+        level = max(level, 1);
+      }
+      prevCoarse = stat(s, 0);
+      if (level > 0) then { transit report; }
+    }
+    when (mid as s) do {
+      if (stat(s, 0) - prevMid > threshold * interval) then {
+        level = max(level, 2);
+      }
+      prevMid = stat(s, 0);
+    }
+    when (fine as s) do {
+      if (stat(s, 0) - prevFine > threshold * interval) then {
+        level = max(level, 3);
+      }
+      prevFine = stat(s, 0);
+    }
+  }
+  state report {
+    util (res) { return 50; }
+    when (enter) do {
+      send level to harvester;
+      level = 0;
+      transit observe;
+    }
+  }
+}
+|}
+
+let hhh =
+  { Task_common.name = "hierarchical-heavy-hitter";
+    description = "standalone HHH over a /8-/16-/24 prefix hierarchy";
+    source = hhh_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 26 }

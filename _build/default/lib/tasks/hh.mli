@@ -1,0 +1,20 @@
+(** Heavy-hitter detection (paper List. 2) and the two hierarchical
+    heavy-hitter variants of Table I (standalone and inherited-from-HH). *)
+
+(** HH: one seed per switch polls all port counters and reports ports whose
+    rate crosses a threshold; the local reaction installs a QoS rule; the
+    harvester can retune the threshold and the reaction at runtime. *)
+val hh : Task_common.entry
+
+(** HH with a custom polling accuracy (seconds), for the Fig. 6
+    experiments. *)
+val hh_at : accuracy:float -> Task_common.entry
+
+(** HHH via inheritance: extends HH, overriding the detection state to
+    also report the covering prefix hierarchy (the paper's 21-line
+    delta). *)
+val hhh_inherited : Task_common.entry
+
+(** Standalone HHH: polls per-prefix counters at /8, /16, /24 granularity
+    and reports the deepest prefix over the threshold. *)
+val hhh : Task_common.entry

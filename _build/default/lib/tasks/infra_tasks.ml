@@ -1,0 +1,251 @@
+module Value = Farm_almanac.Value
+module Harvester = Farm_runtime.Harvester
+
+(* Link failure: a port that was carrying traffic and whose counter stops
+   increasing is reported; the harvester performs the management action
+   (rerouting via other seeds). *)
+let link_failure_source =
+  Task_common.stats_helpers
+  ^ {|
+machine LinkFailure {
+  place all;
+  poll counters = Poll { .ival = 0.05, .what = port ANY };
+  external float activeRate = 1000;
+  list prev = [];
+  long deadPort = 0;
+  state watching {
+    util (res) {
+      if (res.vCPU >= 0.05) then { return min(4 * res.vCPU, 4); }
+    }
+    when (counters as stats) do {
+      if (size(prev) > 0) then {
+        long i = 0;
+        while (i < stats_size(stats)) {
+          float before = nth(prev, i);
+          if (before > 0 and stat(stats, i) == before) then {
+            deadPort = i;
+            transit failed;
+          }
+          i = i + 1;
+        }
+      }
+      prev = stats_list(stats);
+    }
+  }
+  state failed {
+    util (res) { return 90; }
+    when (enter) do {
+      send deadPort to harvester;
+      transit watching;
+    }
+  }
+}
+|}
+
+(* harvester: on a failure report, instruct every other seed's switch to
+   steer around the dead link (management, not just monitoring) *)
+let link_failure_harvester () =
+  { Harvester.on_start = (fun _ -> ());
+    on_message =
+      (fun ctx ~from_switch v ->
+        match v with
+        | Value.Num _ ->
+            ctx.log (Printf.sprintf "link failure at switch %d" from_switch);
+            ctx.broadcast (Value.Num (float_of_int from_switch))
+        | _ -> ()) }
+
+let link_failure =
+  { Task_common.name = "link-failure";
+    description = "stalled active port counters reveal a dead link";
+    source = link_failure_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = link_failure_harvester ();
+    harvester_loc = 8 }
+
+(* Traffic change: EWMA of the total rate; large deviation → report.  The
+   paper's 7-line example. *)
+let traffic_change_source =
+  {|
+machine TrafficChange {
+  place all;
+  poll counters = Poll { .ival = 0.1, .what = port ANY };
+  external float factor = 3;
+  float ewma = 0;
+  float prev = 0;
+  long warmup = 0;
+  state watching {
+    when (counters as stats) do {
+      float delta = stats_sum(stats) - prev;
+      prev = stats_sum(stats);
+      if (warmup >= 8 and delta > factor * ewma) then {
+        send delta to harvester;
+      }
+      ewma = (0.875 * ewma) + (0.125 * delta);
+      warmup = warmup + 1;
+    }
+  }
+}
+|}
+
+let traffic_change =
+  { Task_common.name = "traffic-change";
+    description = "EWMA deviation of the aggregate rate";
+    source = traffic_change_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 5 }
+
+(* Flow size distribution: histogram of sampled packet flow keys into
+   size buckets, shipped each window. *)
+let flow_size_distribution_source =
+  {|
+machine FlowSizeDistr {
+  place all;
+  probe pkts = Probe { .ival = 0.002, .what = port ANY };
+  time win = Time { .ival = 2 };
+  list keys = [];
+  list counts = [];
+  state sampling {
+    util (res) {
+      if (res.vCPU >= 0.1 and res.RAM >= 64) then {
+        return min(5 * res.vCPU, 5);
+      }
+    }
+    when (pkts as p) do {
+      string key = p.srcIP;
+      long i = index_of(keys, key);
+      if (i < 0) then {
+        keys = append(keys, key);
+        counts = append(counts, 1);
+      } else {
+        counts = set_nth(counts, i, nth(counts, i) + 1);
+      }
+    }
+    when (win as t) do {
+      // bucketize: how many flows saw 1, 2-3, 4-7, 8+ samples
+      list histo = [0, 0, 0, 0];
+      long i = 0;
+      while (i < size(counts)) {
+        long c = nth(counts, i);
+        if (c <= 1) then { histo = set_nth(histo, 0, nth(histo, 0) + 1); }
+        else { if (c <= 3) then { histo = set_nth(histo, 1, nth(histo, 1) + 1); }
+        else { if (c <= 7) then { histo = set_nth(histo, 2, nth(histo, 2) + 1); }
+        else { histo = set_nth(histo, 3, nth(histo, 3) + 1); } } }
+        i = i + 1;
+      }
+      send histo to harvester;
+      keys = [];
+      counts = [];
+    }
+  }
+}
+|}
+
+let flow_size_distribution =
+  { Task_common.name = "flow-size-distribution";
+    description = "per-window sampled flow size histogram";
+    source = flow_size_distribution_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 15 }
+
+(* Entropy estimation: Shannon entropy of sampled source addresses per
+   window — low entropy flags concentration (e.g. one loud source). *)
+let entropy_estimation_source =
+  {|
+machine EntropyEstim {
+  place all;
+  probe pkts = Probe { .ival = 0.001, .what = port ANY };
+  time win = Time { .ival = 1 };
+  list keys = [];
+  list counts = [];
+  long total = 0;
+  state estimating {
+    util (res) {
+      if (res.vCPU >= 0.25 and res.RAM >= 64) then {
+        return min(10 * res.vCPU, 10);
+      }
+    }
+    when (pkts as p) do {
+      long i = index_of(keys, p.srcIP);
+      if (i < 0) then {
+        keys = append(keys, p.srcIP);
+        counts = append(counts, 1);
+      } else {
+        counts = set_nth(counts, i, nth(counts, i) + 1);
+      }
+      total = total + 1;
+    }
+    when (win as t) do {
+      if (total > 0) then {
+        float h = 0;
+        long i = 0;
+        while (i < size(counts)) {
+          float pr = nth(counts, i) / total;
+          h = h - (pr * log2(pr));
+          i = i + 1;
+        }
+        send h to harvester;
+      }
+      keys = [];
+      counts = [];
+      total = 0;
+    }
+  }
+}
+|}
+
+let entropy_estimation =
+  { Task_common.name = "entropy-estimation";
+    description = "Shannon entropy of sampled sources per window";
+    source = entropy_estimation_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 15 }
+
+(* The CPU-intensive ML task of §VI-A c: poll statistics, run SVR
+   (matrix-matrix multiplications) through exec(), report the prediction.
+   [iterations] controls how many multiplication passes each activation
+   performs (Fig. 6d runs 10 iterations at 1/10 the polling rate). *)
+let ml_source ~iterations ~accuracy =
+  Printf.sprintf
+    {|
+machine MlPredict {
+  place all;
+  poll features = Poll { .ival = %g, .what = port ANY };
+  state predicting {
+    util (res) {
+      if (res.vCPU >= 0.5 and res.RAM >= 512) then {
+        return min(8 * res.vCPU, 30);
+      }
+    }
+    when (features as stats) do {
+      float prediction = exec("svr %d");
+      if (prediction > 0) then {
+        send prediction to harvester;
+      }
+    }
+  }
+}
+|}
+    accuracy iterations
+
+let ml_task ~iterations ~accuracy =
+  { Task_common.name = Printf.sprintf "ml-predict-x%d" iterations;
+    description =
+      "support-vector-regression prediction on polled statistics (matrix \
+       multiply via exec)";
+    source = ml_source ~iterations ~accuracy;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 6 }

@@ -1,0 +1,21 @@
+(** Infrastructure-monitoring Table I tasks: link failure, traffic change,
+    flow-size distribution, entropy estimation, plus the CPU-intensive ML
+    task used in the paper's Fig. 6 evaluation. *)
+
+(** A previously active port whose counter stops moving → failure alert;
+    the harvester reroutes (management action). *)
+val link_failure : Task_common.entry
+
+(** EWMA-based traffic-change detection (the 7-line example). *)
+val traffic_change : Task_common.entry
+
+(** Sampled packet/flow size histogram streamed to the harvester. *)
+val flow_size_distribution : Task_common.entry
+
+(** Source-address entropy estimation per window. *)
+val entropy_estimation : Task_common.entry
+
+(** The ML prediction task of §VI-A c: polls statistics and runs support
+    vector regression (matrix-matrix multiply workload) on the switch via
+    [exec], with configurable iterations. *)
+val ml_task : iterations:int -> accuracy:float -> Task_common.entry

@@ -1,0 +1,264 @@
+(* Superspreader: a source talking to many distinct destinations within a
+   window (worm propagation signature). *)
+let superspreader_source =
+  {|
+machine Superspreader {
+  place all;
+  probe pkts = Probe { .ival = 0.001, .what = port ANY };
+  time win = Time { .ival = 1 };
+  external long fanoutLimit = 30;
+  list srcs = [];
+  list fanouts = [];
+  string spreader = "";
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.2 and res.RAM >= 64) then {
+        return min(12 * res.vCPU, 10);
+      }
+    }
+    when (pkts as p) do {
+      long i = index_of(srcs, p.srcIP);
+      if (i < 0) then {
+        srcs = append(srcs, p.srcIP);
+        fanouts = append(fanouts, [p.dstIP]);
+      } else {
+        list ds = nth(fanouts, i);
+        if (not contains_elem(ds, p.dstIP)) then {
+          ds = append(ds, p.dstIP);
+          fanouts = set_nth(fanouts, i, ds);
+          if (size(ds) > fanoutLimit) then {
+            spreader = p.srcIP;
+            transit spotted;
+          }
+        }
+      }
+    }
+    when (win as t) do {
+      srcs = [];
+      fanouts = [];
+    }
+  }
+  state spotted {
+    util (res) { return 80; }
+    when (enter) do {
+      send spreader to harvester;
+      addTCAMRule(mkRule(srcIP spreader, rate_limit_action(10000)));
+      srcs = [];
+      fanouts = [];
+      transit observe;
+    }
+  }
+}
+|}
+
+let superspreader =
+  { Task_common.name = "superspreader";
+    description = "distinct-destination fanout per source";
+    source = superspreader_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 21 }
+
+(* SSH brute force: many short connections to port 22 from one source. *)
+let ssh_brute_force_source =
+  {|
+machine SshBruteForce {
+  place all;
+  probe ssh = Probe { .ival = 0.002, .what = dstPort 22 };
+  time win = Time { .ival = 2 };
+  external long attemptLimit = 10;
+  list srcs = [];
+  list counts = [];
+  string attacker = "";
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.1) then { return min(6 * res.vCPU, 6); }
+    }
+    when (ssh as p) do {
+      if (p.syn) then {
+        long i = index_of(srcs, p.srcIP);
+        if (i < 0) then {
+          srcs = append(srcs, p.srcIP);
+          counts = append(counts, 1);
+        } else {
+          counts = set_nth(counts, i, nth(counts, i) + 1);
+          if (nth(counts, i) > attemptLimit) then {
+            attacker = p.srcIP;
+            transit blocking;
+          }
+        }
+      }
+    }
+    when (win as t) do {
+      srcs = [];
+      counts = [];
+    }
+  }
+  state blocking {
+    util (res) { return 60; }
+    when (enter) do {
+      send attacker to harvester;
+      addTCAMRule(mkRule(srcIP attacker and dstPort 22, drop_action()));
+      srcs = [];
+      counts = [];
+      transit observe;
+    }
+  }
+}
+|}
+
+let ssh_brute_force =
+  { Task_common.name = "ssh-brute-force";
+    description = "repeated SSH connection attempts from one source";
+    source = ssh_brute_force_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 9 }
+
+(* Port scan: one source touching many destination ports of one host
+   (sequential-hypothesis-style counting). *)
+let port_scan_source =
+  {|
+machine PortScan {
+  place all;
+  probe pkts = Probe { .ival = 0.001, .what = proto "tcp" };
+  time win = Time { .ival = 1 };
+  external long portLimit = 15;
+  list pairs = [];
+  list ports = [];
+  string scanner = "";
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.15 and res.RAM >= 32) then {
+        return min(9 * res.vCPU, 9);
+      }
+    }
+    when (pkts as p) do {
+      if (p.syn and not p.ack) then {
+        string key = pair_key(p.srcIP, p.dstIP);
+        long i = index_of(pairs, key);
+        if (i < 0) then {
+          pairs = append(pairs, key);
+          ports = append(ports, [p.dstPort]);
+        } else {
+          list ps = nth(ports, i);
+          if (not contains_elem(ps, p.dstPort)) then {
+            ps = append(ps, p.dstPort);
+            ports = set_nth(ports, i, ps);
+            if (size(ps) > portLimit) then {
+              scanner = p.srcIP;
+              transit spotted;
+            }
+          }
+        }
+      }
+    }
+    when (win as t) do {
+      pairs = [];
+      ports = [];
+    }
+  }
+  state spotted {
+    util (res) { return 70; }
+    when (enter) do {
+      send scanner to harvester;
+      addTCAMRule(mkRule(srcIP scanner, drop_action()));
+      pairs = [];
+      ports = [];
+      transit observe;
+    }
+  }
+}
+|}
+
+let port_scan =
+  { Task_common.name = "port-scan";
+    description = "distinct destination ports per (src, dst) pair";
+    source = port_scan_source;
+    externals = [];
+    extra_sigs =
+      [ ("pair_key",
+         { Farm_almanac.Typecheck.args =
+             [ Farm_almanac.Typecheck.Ty Farm_almanac.Ast.Tstring;
+               Farm_almanac.Typecheck.Ty Farm_almanac.Ast.Tstring ];
+           ret = Farm_almanac.Typecheck.Ty Farm_almanac.Ast.Tstring }) ];
+    builtins =
+      [ ("pair_key",
+         fun args ->
+           match args with
+           | [ Farm_almanac.Value.Str a; Farm_almanac.Value.Str b ] ->
+               Farm_almanac.Value.Str (a ^ ">" ^ b)
+           | _ -> raise (Farm_almanac.Value.Type_error "pair_key")) ];
+    harvester = Task_common.collector;
+    harvester_loc = 23 }
+
+(* DNS reflection: amplified UDP responses (sport 53) flooding a victim. *)
+let dns_reflection_source =
+  {|
+machine DnsReflection {
+  place all;
+  probe dns = Probe { .ival = 0.001, .what = srcPort 53 };
+  time win = Time { .ival = 0.5 };
+  external long replyLimit = 25;
+  list victims = [];
+  list counts = [];
+  string victim = "";
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.2 and res.RAM >= 32) then {
+        return min(10 * res.vCPU, 10);
+      }
+    }
+    when (dns as p) do {
+      if (p.proto == "udp") then {
+        long i = index_of(victims, p.dstIP);
+        if (i < 0) then {
+          victims = append(victims, p.dstIP);
+          counts = append(counts, 1);
+        } else {
+          counts = set_nth(counts, i, nth(counts, i) + 1);
+          if (nth(counts, i) > replyLimit) then {
+            victim = p.dstIP;
+            transit reflecting;
+          }
+        }
+      }
+    }
+    when (win as t) do {
+      victims = [];
+      counts = [];
+    }
+  }
+  state reflecting {
+    util (res) { return 85; }
+    when (enter) do {
+      send victim to harvester;
+      addTCAMRule(mkRule(srcPort 53 and dstIP victim,
+                         rate_limit_action(20000)));
+      victims = [];
+      counts = [];
+      transit observe;
+    }
+    when (recv bool lift from harvester) do {
+      if (lift) then {
+        removeTCAMRule(srcPort 53 and dstIP victim);
+        transit observe;
+      }
+    }
+  }
+}
+|}
+
+let dns_reflection =
+  { Task_common.name = "dns-reflection";
+    description = "amplified DNS responses flooding a victim";
+    source = dns_reflection_source;
+    externals = [];
+    builtins = [];
+    extra_sigs = [];
+    harvester = Task_common.collector;
+    harvester_loc = 22 }

@@ -1,0 +1,15 @@
+(** Scanning/spreading Table I tasks: superspreader, SSH brute force, port
+    scan, DNS reflection. *)
+
+(** One source contacting many distinct destinations. *)
+val superspreader : Task_common.entry
+
+(** Repeated short connections to port 22 from one source → local drop. *)
+val ssh_brute_force : Task_common.entry
+
+(** One source probing many destination ports of one host. *)
+val port_scan : Task_common.entry
+
+(** Amplification: high-volume UDP from port 53 towards one victim →
+    local rate limit of the reflected traffic. *)
+val dns_reflection : Task_common.entry

@@ -1,0 +1,204 @@
+module Value = Farm_almanac.Value
+module Typecheck = Farm_almanac.Typecheck
+module Count_min = Farm_sketches.Count_min
+module Hyperloglog = Farm_sketches.Hyperloglog
+
+(* Builtins hold sketch state host-side, keyed by an instance id the seed
+   provides (its switch id via [self_switch()]), so co-deployed seeds on
+   different switches keep independent sketches. *)
+
+let key_of v = Value.to_string v
+
+let cms_builtins () =
+  let tables : (string, Count_min.t) Hashtbl.t = Hashtbl.create 8 in
+  let get id =
+    match Hashtbl.find_opt tables id with
+    | Some t -> t
+    | None ->
+        let t = Count_min.create ~epsilon:0.01 ~delta:0.01 () in
+        Hashtbl.replace tables id t;
+        t
+  in
+  [ ("cms_add",
+     fun args ->
+       match args with
+       | [ id; Value.Str key; Value.Num count ] ->
+           Count_min.add (get (key_of id)) ~count key;
+           Value.Unit
+       | _ -> raise (Value.Type_error "cms_add(id, key, count)"));
+    ("cms_estimate",
+     fun args ->
+       match args with
+       | [ id; Value.Str key ] ->
+           Value.Num (Count_min.estimate (get (key_of id)) key)
+       | _ -> raise (Value.Type_error "cms_estimate(id, key)"));
+    ("cms_total",
+     fun args ->
+       match args with
+       | [ id ] -> Value.Num (Count_min.total (get (key_of id)))
+       | _ -> raise (Value.Type_error "cms_total(id)"));
+    ("cms_reset",
+     fun args ->
+       match args with
+       | [ id ] ->
+           Count_min.reset (get (key_of id));
+           Value.Unit
+       | _ -> raise (Value.Type_error "cms_reset(id)")) ]
+
+let hll_builtins () =
+  let tables : (string, Hyperloglog.t) Hashtbl.t = Hashtbl.create 8 in
+  let get id =
+    match Hashtbl.find_opt tables id with
+    | Some t -> t
+    | None ->
+        let t = Hyperloglog.create ~precision:10 () in
+        Hashtbl.replace tables id t;
+        t
+  in
+  [ ("hll_add",
+     fun args ->
+       match args with
+       | [ id; Value.Str key ] ->
+           Hyperloglog.add (get (key_of id)) key;
+           Value.Unit
+       | _ -> raise (Value.Type_error "hll_add(id, key)"));
+    ("hll_count",
+     fun args ->
+       match args with
+       | [ id ] -> Value.Num (Hyperloglog.count (get (key_of id)))
+       | _ -> raise (Value.Type_error "hll_count(id)"));
+    ("hll_reset",
+     fun args ->
+       match args with
+       | [ id ] ->
+           Hyperloglog.reset (get (key_of id));
+           Value.Unit
+       | _ -> raise (Value.Type_error "hll_reset(id)")) ]
+
+let sigty_str = Typecheck.Ty Farm_almanac.Ast.Tstring
+let sigty_unit = Typecheck.Ty Farm_almanac.Ast.Tunit
+
+let cms_sigs =
+  [ ("cms_add", { Typecheck.args = [ Typecheck.Any; sigty_str; Typecheck.Numeric ];
+                  ret = sigty_unit });
+    ("cms_estimate",
+     { Typecheck.args = [ Typecheck.Any; sigty_str ]; ret = Typecheck.Numeric });
+    ("cms_total", { Typecheck.args = [ Typecheck.Any ]; ret = Typecheck.Numeric });
+    ("cms_reset", { Typecheck.args = [ Typecheck.Any ]; ret = sigty_unit }) ]
+
+let hll_sigs =
+  [ ("hll_add", { Typecheck.args = [ Typecheck.Any; sigty_str ]; ret = sigty_unit });
+    ("hll_count", { Typecheck.args = [ Typecheck.Any ]; ret = Typecheck.Numeric });
+    ("hll_reset", { Typecheck.args = [ Typecheck.Any ]; ret = sigty_unit }) ]
+
+(* HH via CMS: probe packets, feed destination volume into the sketch; a
+   short candidate list of recently seen keys bounds the enumeration
+   (sketches cannot list keys); memory stays constant in the flow count. *)
+let sketch_hh_source =
+  {|
+machine SketchHH {
+  place all;
+  probe pkts = Probe { .ival = 0.001, .what = port ANY };
+  time win = Time { .ival = 1 };
+  external float volumeLimit = 200000;
+  long sw = 0;
+  list candidates = [];
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.1 and res.RAM >= 8) then {
+        return min(10 * res.vCPU, 10);
+      }
+    }
+    when (enter) do { sw = self_switch(); }
+    when (pkts as p) do {
+      cms_add(sw, p.dstIP, p.size);
+      if (not contains_elem(candidates, p.dstIP)) then {
+        if (size(candidates) < 32) then {
+          candidates = append(candidates, p.dstIP);
+        }
+      }
+    }
+    when (win as t) do {
+      list hitters = [];
+      long i = 0;
+      while (i < size(candidates)) {
+        if (cms_estimate(sw, nth(candidates, i)) > volumeLimit) then {
+          hitters = append(hitters, nth(candidates, i));
+        }
+        i = i + 1;
+      }
+      if (not is_list_empty(hitters)) then {
+        send hitters to harvester;
+      }
+      cms_reset(sw);
+      candidates = [];
+    }
+  }
+}
+|}
+
+let sketch_heavy_hitter =
+  { Task_common.name = "sketch-heavy-hitter";
+    description =
+      "heavy hitters via a count-min sketch: constant memory in the flow \
+       count";
+    source = sketch_hh_source;
+    externals = [];
+    builtins = cms_builtins ();
+    extra_sigs = cms_sigs;
+    harvester = Task_common.collector;
+    harvester_loc = 6 }
+
+(* Superspreader via per-source HLL: distinct destinations per source in
+   O(registers) memory. *)
+let sketch_superspreader_source =
+  {|
+machine SketchSpreader {
+  place all;
+  probe pkts = Probe { .ival = 0.001, .what = port ANY };
+  time win = Time { .ival = 1 };
+  external float fanoutLimit = 30;
+  long sw = 0;
+  list sources = [];
+  state observe {
+    util (res) {
+      if (res.vCPU >= 0.1 and res.RAM >= 8) then {
+        return min(10 * res.vCPU, 10);
+      }
+    }
+    when (enter) do { sw = self_switch(); }
+    when (pkts as p) do {
+      string id = str(sw) + ":" + p.srcIP;
+      hll_add(id, p.dstIP);
+      if (not contains_elem(sources, p.srcIP)) then {
+        if (size(sources) < 64) then {
+          sources = append(sources, p.srcIP);
+        }
+      }
+    }
+    when (win as t) do {
+      long i = 0;
+      while (i < size(sources)) {
+        string id = str(sw) + ":" + nth(sources, i);
+        if (hll_count(id) > fanoutLimit) then {
+          send nth(sources, i) to harvester;
+        }
+        hll_reset(id);
+        i = i + 1;
+      }
+      sources = [];
+    }
+  }
+}
+|}
+
+let sketch_superspreader =
+  { Task_common.name = "sketch-superspreader";
+    description =
+      "superspreaders via per-source HyperLogLog distinct counting";
+    source = sketch_superspreader_source;
+    externals = [];
+    builtins = hll_builtins ();
+    extra_sigs = hll_sigs;
+    harvester = Task_common.collector;
+    harvester_loc = 6 }

@@ -1,0 +1,12 @@
+(** Sketch-based tasks — the paper's §VIII future-work item "integration
+    of sketches into FARM", realized through host builtins backed by
+    {!Farm_sketches}: constant-memory alternatives to the list-based
+    catalog tasks. *)
+
+(** Heavy hitters via a count-min sketch over destination volume: the
+    seed's memory stays O(1/epsilon) regardless of flow count. *)
+val sketch_heavy_hitter : Task_common.entry
+
+(** Superspreaders via per-source HyperLogLog distinct-destination
+    counting. *)
+val sketch_superspreader : Task_common.entry

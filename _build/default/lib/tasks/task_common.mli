@@ -1,0 +1,30 @@
+(** Shared pieces for the Table I task catalog: reusable Almanac auxiliary
+    functions, harvester helpers, and the catalog entry type. *)
+
+module Value := Farm_almanac.Value
+
+(** Almanac helper functions prepended to task sources that need them:
+    [rate_above cur prev th] (indices whose counter delta exceeds [th]) and
+    [stats_list] (stats → list). *)
+val stats_helpers : string
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;  (** full Almanac source (helpers included) *)
+  externals : (string * (string * Value.t) list) list;
+  builtins : (string * (Value.t list -> Value.t)) list;
+  extra_sigs : (string * Farm_almanac.Typecheck.func_sig) list;
+  harvester : Farm_runtime.Harvester.spec;
+  harvester_loc : int;
+      (** lines of harvester logic (the paper's Table I "Harv." column) *)
+}
+
+(** Non-blank, non-comment lines of the entry's Almanac source (the
+    "Seed" column of Table I). *)
+val seed_loc : entry -> int
+
+val to_task_spec : entry -> Farm_runtime.Seeder.task_spec
+
+(** A harvester that just collects seed reports. *)
+val collector : Farm_runtime.Harvester.spec

@@ -1,0 +1,18 @@
+(** TCP-oriented Table I tasks: connection accounting (NetQRE-style),
+    SYN-flood detection, partial-flow tracking and Slowloris detection. *)
+
+(** Counts new TCP connections (first SYN per tuple) per window and streams
+    the count to the harvester. *)
+val new_tcp_conn : Task_common.entry
+
+(** SYN-flood: SYN/SYN-ACK imbalance per window triggers a local rate
+    limit on the victim and an alert. *)
+val tcp_syn_flood : Task_common.entry
+
+(** Partial TCP flows: connections that opened (SYN) but never carried
+    data/teardown within the timeout window. *)
+val partial_tcp_flow : Task_common.entry
+
+(** Slowloris: many concurrent barely-alive connections to one HTTP
+    server. *)
+val slowloris : Task_common.entry

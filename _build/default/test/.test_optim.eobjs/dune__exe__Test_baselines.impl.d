@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Collector Farm_baselines Farm_net Farm_sim Helios List Newton Option Planck Printf Sflow Sonata

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Fabric Farm_net Farm_sim Filter Flow Fun Ipaddr List Option QCheck2 QCheck_alcotest Routing Switch_model Tcam Topology Traffic

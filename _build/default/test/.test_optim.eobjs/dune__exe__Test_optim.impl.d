@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Farm_optim Float Lin_expr List Milp QCheck2 QCheck_alcotest Simplex

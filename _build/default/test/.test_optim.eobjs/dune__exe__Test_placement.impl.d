@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Farm_almanac Farm_net Farm_optim Farm_placement Farm_sim Heuristic List Milp_formulation Model Printf QCheck2 QCheck_alcotest String

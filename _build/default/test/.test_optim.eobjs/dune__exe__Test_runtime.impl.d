@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Cpu_model Farm_almanac Farm_net Farm_runtime Farm_sim Harvester Ipc List Printf Seed_exec Seeder Soil String

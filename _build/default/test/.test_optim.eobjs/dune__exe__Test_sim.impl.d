@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Farm_sim Float Heap List Metrics QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_sketches.ml: Alcotest Farm_net Farm_runtime Farm_sim Farm_sketches Farm_tasks Float Hashtbl List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Farm_almanac Farm_net Farm_runtime Farm_sim Farm_tasks List Option Printf

@@ -1,0 +1,1135 @@
+(* Tests for the Almanac DSL: lexer, parser, pretty-printer round-trip,
+   type checker (incl. the util restrictions of §III-A f), inheritance,
+   static analyses (placement π, utility κ/ε, polling φ_enc) and the
+   interpreter running the paper's heavy-hitter seed (List. 2). *)
+
+open Farm_almanac
+module Filter = Farm_net.Filter
+module Lin = Farm_optim.Lin_expr
+
+(* The paper's List. 2 example, with the auxiliary functions provided by
+   the host. *)
+let hh_source =
+  {|
+machine HH {
+  place all;
+  poll pollStats = Poll {
+    .ival = 10 / res().PCIe, .what = port ANY
+  };
+  external long threshold = 1000;
+  action hitterAction;
+  list hitters;
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (pollStats as stats) do {
+      hitters = getHH(stats, threshold);
+      if (not is_list_empty(hitters)) then {
+        transit HHdetected;
+      }
+    }
+  }
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      send hitters to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+  when (recv long newTh from harvester)
+  do { threshold = newTh; }
+  when (recv action hitAct from harvester)
+  do { hitterAction = hitAct; }
+}
+|}
+
+let hh_extra_sigs =
+  [ ("getHH",
+     { Typecheck.args = [ Typecheck.Ty Ast.Tstats; Typecheck.Numeric ];
+       ret = Typecheck.Ty Ast.Tlist });
+    ("setHitterRules",
+     { Typecheck.args = [ Typecheck.Ty Ast.Tlist; Typecheck.Ty Ast.Taction ];
+       ret = Typecheck.Ty Ast.Tunit }) ]
+
+let parse_hh () = Parser.program hh_source
+let check_hh () = Typecheck.check ~extra:hh_extra_sigs (parse_hh ())
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basic () =
+  let toks = Lexer.tokenize "machine M { long x = 10; } // comment" in
+  let kinds = List.map (fun (l : Lexer.located) -> l.token) toks in
+  Alcotest.(check bool) "token stream" true
+    (kinds
+    = [ Token.KW_MACHINE; Token.IDENT "M"; Token.LBRACE; Token.KW_LONG;
+        Token.IDENT "x"; Token.ASSIGN; Token.INT 10; Token.SEMI;
+        Token.RBRACE; Token.EOF ])
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize "== <> <= >= < > = + - * /" in
+  let kinds = List.map (fun (l : Lexer.located) -> l.token) toks in
+  Alcotest.(check bool) "operators" true
+    (kinds
+    = [ Token.EQ; Token.NEQ; Token.LE; Token.GE; Token.LT; Token.GT;
+        Token.ASSIGN; Token.PLUS; Token.MINUS; Token.STAR; Token.SLASH;
+        Token.EOF ])
+
+let test_lexer_comments_strings () =
+  let toks =
+    Lexer.tokenize "/* block\ncomment */ \"a string\" 3.25 // rest"
+  in
+  let kinds = List.map (fun (l : Lexer.located) -> l.token) toks in
+  Alcotest.(check bool) "comments skipped" true
+    (kinds = [ Token.STRING "a string"; Token.FLOAT 3.25; Token.EOF ])
+
+let test_lexer_scientific_notation () =
+  let toks = Lexer.tokenize "1e-3 2.5E6 7e2 3e" in
+  let kinds = List.map (fun (l : Lexer.located) -> l.token) toks in
+  Alcotest.(check bool) "e-notation floats" true
+    (kinds
+    = [ Token.FLOAT 1e-3; Token.FLOAT 2.5e6; Token.FLOAT 7e2;
+        (* "3e" is an int followed by an identifier *)
+        Token.INT 3; Token.IDENT "e"; Token.EOF ])
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated string"
+    (Lexer.Error "1:1: unterminated string") (fun () ->
+      ignore (Lexer.tokenize "\"oops"));
+  (match Lexer.tokenize "x # y" with
+  | _ -> Alcotest.fail "expected lexical error"
+  | exception Lexer.Error _ -> ())
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ a; b; _eof ] ->
+      Alcotest.(check (pair int int)) "a at 1:1" (1, 1) (a.line, a.col);
+      Alcotest.(check (pair int int)) "b at 2:3" (2, 3) (b.line, b.col)
+  | _ -> Alcotest.fail "expected 3 tokens"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_hh () =
+  let p = parse_hh () in
+  Alcotest.(check int) "one machine" 1 (List.length p.machines);
+  let m = List.hd p.machines in
+  Alcotest.(check string) "name" "HH" m.mname;
+  Alcotest.(check int) "two states" 2 (List.length m.states);
+  Alcotest.(check int) "two machine events" 2 (List.length m.mevents);
+  Alcotest.(check int) "three vars" 3 (List.length m.mvars);
+  Alcotest.(check int) "one trigger" 1 (List.length m.mtrigs);
+  let obs = List.hd m.states in
+  Alcotest.(check string) "initial state" "observe" obs.sname;
+  Alcotest.(check bool) "has util" true (obs.sutil <> None);
+  (* external flag *)
+  let th =
+    List.find (fun (v : Ast.var_decl) -> v.vname = "threshold") m.mvars
+  in
+  Alcotest.(check bool) "threshold is external" true th.is_external
+
+let test_parse_expr_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match Parser.expression "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3))
+    ->
+      ()
+  | e -> Alcotest.failf "bad precedence: %s" (Pretty.expr_to_string e)
+
+let test_parse_and_or_precedence () =
+  (* a or b and c = a or (b and c) *)
+  match Parser.expression "x or y and z" with
+  | Ast.Binop (Ast.Or, Ast.Var "x", Ast.Binop (Ast.And, _, _)) -> ()
+  | e -> Alcotest.failf "bad precedence: %s" (Pretty.expr_to_string e)
+
+let test_parse_filter_exprs () =
+  (match Parser.expression {|srcIP "10.1.1.4" and dstIP "10.0.1.0/24"|} with
+  | Ast.Binop
+      ( Ast.And,
+        Ast.FilterAtom (Ast.SrcIP, Ast.String "10.1.1.4"),
+        Ast.FilterAtom (Ast.DstIP, Ast.String "10.0.1.0/24") ) ->
+      ()
+  | e -> Alcotest.failf "bad filter parse: %s" (Pretty.expr_to_string e));
+  match Parser.expression "port ANY" with
+  | Ast.FilterAtom (Ast.PortF, Ast.AnyLit) -> ()
+  | e -> Alcotest.failf "bad ANY parse: %s" (Pretty.expr_to_string e)
+
+let test_parse_struct_lit () =
+  match Parser.expression {|Poll { .ival = 10, .what = port 80 }|} with
+  | Ast.StructLit ("Poll", [ ("ival", Ast.Int 10); ("what", _) ]) -> ()
+  | e -> Alcotest.failf "bad struct parse: %s" (Pretty.expr_to_string e)
+
+let test_parse_place_variants () =
+  let src q =
+    Printf.sprintf "machine M { %s long x; state s { } }" q
+  in
+  let place_of q =
+    let p = Parser.program (src q) in
+    (List.hd p.machines).places
+  in
+  (match place_of "place all;" with
+  | [ { Ast.pquant = Ast.QAll; pconstraint = Ast.Anywhere } ] -> ()
+  | _ -> Alcotest.fail "place all");
+  (match place_of "place any 1, 2, 3;" with
+  | [ { Ast.pquant = Ast.QAny; pconstraint = Ast.At_nodes [ _; _; _ ] } ] -> ()
+  | _ -> Alcotest.fail "place any nodes");
+  match place_of {|place any receiver srcIP "10.1.1.4" range <= 1;|} with
+  | [ { Ast.pquant = Ast.QAny;
+        pconstraint =
+          Ast.On_range { role = Ast.Receiver; pfilter = Some _;
+                         rop = Ast.Le; rbound = Ast.Int 1 } } ] ->
+      ()
+  | _ -> Alcotest.fail "place range"
+
+let test_parse_fundec () =
+  let p =
+    Parser.program
+      {|
+long double_it(long x) { return x * 2; }
+machine M { long y; state s { } }
+|}
+  in
+  Alcotest.(check int) "one function" 1 (List.length p.funcs);
+  let f = List.hd p.funcs in
+  Alcotest.(check string) "name" "double_it" f.fname;
+  Alcotest.(check int) "one param" 1 (List.length f.fparams)
+
+let test_parse_else_if_chain () =
+  let p =
+    Parser.program
+      {|machine M { long x; state s { when (enter) do {
+          if (x == 1) then { x = 10; }
+          else if (x == 2) then { x = 20; }
+          else { x = 30; }
+        } } }|}
+  in
+  let m = List.hd p.machines in
+  match (List.hd m.states).sevents with
+  | [ { body = [ Ast.If (_, _, [ Ast.If (_, _, [ Ast.Assign ("x", _) ]) ]) ];
+        _ } ] ->
+      ()
+  | _ -> Alcotest.fail "else-if chain shape"
+
+let test_string_concat () =
+  let p =
+    Typecheck.check
+      (Parser.program
+         {|machine M { string s = "a" + "b";
+           state q { when (enter) do { s = s + "!"; } } }|})
+  in
+  let t = Interp.create ~program:p ~machine:"M" Interp.null_host in
+  Interp.start t;
+  match Interp.var t "s" with
+  | Some (Value.Str v) -> Alcotest.(check string) "concat" "ab!" v
+  | _ -> Alcotest.fail "s unbound"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.program src with
+    | _ -> Alcotest.failf "expected syntax error in %S" src
+    | exception Parser.Error _ -> ()
+  in
+  expect_error "machine { }";
+  expect_error "machine M { state s { when (enter) { } } }";
+  (* missing do *)
+  expect_error "machine M { place; }";
+  expect_error "machine M state s { }"
+
+(* round-trip: parse -> pretty -> parse yields the same AST *)
+let test_roundtrip_small_floats () =
+  (* the lexer has no exponent notation: tiny ivals must still round-trip *)
+  List.iter
+    (fun f ->
+      let e = Ast.Float f in
+      let s = Pretty.expr_to_string e in
+      match Parser.expression s with
+      | Ast.Float f' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%g round-trips via %s" f s)
+            true
+            (Float.abs (f -. f') <= Float.abs f *. 1e-12)
+      | _ -> Alcotest.failf "%s did not parse as a float" s)
+    [ 0.001; 1e-5; 2.5e-7; 123.456; 0.1 ]
+
+let test_roundtrip_hh () =
+  let p1 = parse_hh () in
+  let printed = Pretty.program_to_string p1 in
+  let p2 =
+    try Parser.program printed
+    with Parser.Error m ->
+      Alcotest.failf "re-parse failed: %s\n%s" m printed
+  in
+  Alcotest.(check bool) "round trip" true (p1 = p2)
+
+(* expression round-trip property over generated expressions *)
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> Ast.Int i) (int_range 0 100);
+        map (fun b -> Ast.Bool b) bool;
+        return (Ast.Var "x");
+        return (Ast.Var "y");
+        map (fun s -> Ast.String s) (string_size ~gen:(char_range 'a' 'z') (return 3)) ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map2
+            (fun op (a, b) -> Ast.Binop (op, a, b))
+            (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Le; Ast.Eq ])
+            (pair (go (depth - 1)) (go (depth - 1)));
+          map (fun a -> Ast.Unop (Ast.Not, a)) (go (depth - 1));
+          map (fun a -> Ast.Call ("f", [ a ])) (go (depth - 1));
+          map (fun a -> Ast.Field (a, "g")) (go (depth - 1)) ]
+  in
+  go 4
+
+let prop_expr_roundtrip =
+  QCheck2.Test.make ~name:"expression pretty/parse round-trip" ~count:300
+    gen_expr (fun e ->
+      let s = Pretty.expr_to_string e in
+      match Parser.expression s with
+      | e' -> e = e'
+      | exception Parser.Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Typecheck                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_typecheck_hh () = ignore (check_hh ())
+
+let expect_type_error ?(extra = []) src frag =
+  match Typecheck.check_result ~extra (Parser.program src) with
+  | Ok _ -> Alcotest.failf "expected type error mentioning %S" frag
+  | Error m ->
+      let contains =
+        let lm = String.lowercase_ascii m
+        and lf = String.lowercase_ascii frag in
+        let n = String.length lf in
+        let found = ref false in
+        for i = 0 to String.length lm - n do
+          if String.sub lm i n = lf then found := true
+        done;
+        !found
+      in
+      if not contains then
+        Alcotest.failf "error %S does not mention %S" m frag
+
+let test_typecheck_unbound () =
+  expect_type_error
+    "machine M { long x; state s { when (enter) do { x = yy; } } }"
+    "unbound variable yy"
+
+let test_typecheck_bad_transit () =
+  expect_type_error
+    "machine M { long x; state s { when (enter) do { transit nowhere; } } }"
+    "unknown state"
+
+let test_typecheck_type_mismatch () =
+  expect_type_error
+    {|machine M { long x; state s { when (enter) do { x = "hi"; } } }|}
+    "assigning string"
+
+let test_typecheck_util_restrictions () =
+  (* while in util *)
+  expect_type_error
+    {|machine M { long x; state s {
+        util (r) { while (true) { } return 1; } } }|}
+    "util";
+  (* call other than min/max *)
+  expect_type_error
+    {|machine M { long x; state s {
+        util (r) { return size([]); } } }|}
+    "min and max";
+  (* send in util *)
+  expect_type_error
+    {|machine M { long x; state s {
+        util (r) { send 1 to harvester; return 1; } } }|}
+    "util";
+  (* < is not in the allowed op set *)
+  expect_type_error
+    {|machine M { long x; state s {
+        util (r) { if (r.vCPU < 1) then { return 1; } return 2; } } }|}
+    "not allowed in util"
+
+let test_typecheck_unknown_resource () =
+  expect_type_error
+    {|machine M { long x; state s {
+        util (r) { if (r.GPU >= 1) then { return 1; } return 0; } } }|}
+    "unknown resource"
+
+let test_typecheck_rejects_string_arith () =
+  expect_type_error
+    {|machine M { string s; state q { when (enter) do { s = s - "x"; } } }|}
+    "arithmetic"
+
+let test_typecheck_duplicate_state () =
+  expect_type_error "machine M { long x; state s { } state s { } }"
+    "duplicate state"
+
+let test_typecheck_trigger_event () =
+  expect_type_error
+    {|machine M { long x; state s { when (noSuchTrigger as v) do { } } }|}
+    "unknown trigger"
+
+(* inheritance *)
+let hhh_source =
+  hh_source
+  ^ {|
+machine HHH extends HH {
+  state HHdetected {
+    util (res) { return 200; }
+    when (enter) do {
+      send hitters to harvester;
+      transit observe;
+    }
+  }
+}
+|}
+
+let test_inheritance_override () =
+  let p = Typecheck.check ~extra:hh_extra_sigs (Parser.program hhh_source) in
+  let hhh =
+    List.find (fun (m : Ast.machine) -> m.mname = "HHH") p.machines
+  in
+  Alcotest.(check bool) "inheritance flattened" true (hhh.extends = None);
+  Alcotest.(check int) "two states" 2 (List.length hhh.states);
+  Alcotest.(check string) "initial state kept" "observe"
+    (List.hd hhh.states).sname;
+  (* overridden state has the child's util *)
+  let det =
+    List.find (fun (s : Ast.state_decl) -> s.sname = "HHdetected") hhh.states
+  in
+  (match det.sutil with
+  | Some { ubody = [ Ast.Return (Some (Ast.Int 200)) ]; _ } -> ()
+  | _ -> Alcotest.fail "child util must override");
+  (* variables inherited *)
+  Alcotest.(check int) "vars inherited" 3 (List.length hhh.mvars)
+
+let test_inheritance_no_shadowing () =
+  expect_type_error ~extra:hh_extra_sigs
+    (hh_source ^ "machine H2 extends HH { long threshold; state s { } }")
+    "shadows"
+
+let test_inheritance_cycle () =
+  expect_type_error
+    {|machine A extends B { long x; state s { } }
+      machine B extends A { long y; state t { } }|}
+    "cycle"
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let hh_machine () =
+  let p = check_hh () in
+  List.hd p.machines
+
+let test_analysis_utility_kappa () =
+  (* paper §III-B b: κ[[res.vCPU >= 1 and res.RAM >= 100]]
+       = { r1 - 1, r2 - 100 }  and u = min(vCPU, PCIe) *)
+  let m = hh_machine () in
+  let obs = List.hd m.states in
+  let u = Option.get obs.sutil in
+  match Analysis.utility u with
+  | Error e -> Alcotest.fail e
+  | Ok [ branch ] ->
+      Alcotest.(check int) "two constraints" 2
+        (List.length branch.constraints);
+      let vcpu = Analysis.resource_index Analysis.VCpu in
+      let ram = Analysis.resource_index Analysis.Ram in
+      let pcie = Analysis.resource_index Analysis.Pcie in
+      let c1 = List.nth branch.constraints 0 in
+      Alcotest.(check bool) "r_vcpu - 1 >= 0" true
+        (Lin.equal c1 Lin.(sub (var vcpu) (const 1.)));
+      let c2 = List.nth branch.constraints 1 in
+      Alcotest.(check bool) "r_ram - 100 >= 0" true
+        (Lin.equal c2 Lin.(sub (var ram) (const 100.)));
+      (* min(vCPU, PCIe): two linear pieces *)
+      Alcotest.(check int) "min of two" 2 (List.length branch.utility);
+      let vals = [ Lin.var vcpu; Lin.var pcie ] in
+      List.iter
+        (fun piece ->
+          Alcotest.(check bool) "piece is vCPU or PCIe" true
+            (List.exists (Lin.equal piece) vals))
+        branch.utility
+  | Ok bs -> Alcotest.failf "expected 1 branch, got %d" (List.length bs)
+
+let test_analysis_utility_or_split () =
+  let src =
+    {|machine M { long x; state s {
+        util (r) {
+          if (r.vCPU >= 1 or r.RAM >= 50) then { return r.vCPU; }
+        } } }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let m = List.hd p.machines in
+  let u = Option.get (List.hd m.states).sutil in
+  match Analysis.utility u with
+  | Ok branches -> Alcotest.(check int) "or splits into 2" 2 (List.length branches)
+  | Error e -> Alcotest.fail e
+
+let test_analysis_utility_max_split () =
+  let src =
+    {|machine M { long x; state s {
+        util (r) { return max(r.vCPU, 2 * r.RAM); } } }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let u = Option.get (List.hd (List.hd p.machines).states).sutil in
+  match Analysis.utility u with
+  | Ok branches ->
+      Alcotest.(check int) "max splits into 2" 2 (List.length branches)
+  | Error e -> Alcotest.fail e
+
+let test_analysis_utility_nonlinear_rejected () =
+  let src =
+    {|machine M { long x; state s {
+        util (r) { return r.vCPU * r.RAM; } } }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let u = Option.get (List.hd (List.hd p.machines).states).sutil in
+  match Analysis.utility u with
+  | Ok _ -> Alcotest.fail "nonlinear utility must be rejected"
+  | Error m ->
+      Alcotest.(check bool) "mentions non-linear" true
+        (String.length m > 0)
+
+let test_analysis_eval_utility () =
+  let m = hh_machine () in
+  let u = Option.get (List.hd m.states).sutil in
+  match Analysis.utility u with
+  | Error e -> Alcotest.fail e
+  | Ok [ branch ] ->
+      (* res = vCPU 2, RAM 200, TCAM 0, PCIe 0.5: min(2, 0.5) = 0.5 *)
+      let res = [| 2.; 200.; 0.; 0.5 |] in
+      Alcotest.(check bool) "feasible" true
+        (Analysis.branch_feasible branch res);
+      Alcotest.(check (float 1e-9)) "value" 0.5
+        (Analysis.eval_utility branch res);
+      let res_bad = [| 0.5; 200.; 0.; 0.5 |] in
+      Alcotest.(check bool) "infeasible below vCPU 1" false
+        (Analysis.branch_feasible branch res_bad)
+  | Ok _ -> Alcotest.fail "expected one branch"
+
+let test_analysis_polls () =
+  let m = hh_machine () in
+  match Analysis.polls m with
+  | Error e -> Alcotest.fail e
+  | Ok [ p ] ->
+      Alcotest.(check string) "name" "pollStats" p.poll_name;
+      Alcotest.(check bool) "subject all ports" true
+        (p.subjects = [ Filter.All_ports ]);
+      (match p.ival with
+      | Analysis.Inv_linear inv ->
+          (* ival = 10/PCIe  =>  1/ival = PCIe/10 *)
+          let pcie = Analysis.resource_index Analysis.Pcie in
+          Alcotest.(check bool) "inverse linear PCIe/10" true
+            (Lin.equal inv (Lin.var ~coeff:0.1 pcie));
+          (* with 5 units of PCIe the seed polls every 2 time units *)
+          let res = Array.make 4 0. in
+          res.(pcie) <- 5.;
+          Alcotest.(check (float 1e-9)) "rate" 0.5
+            (Analysis.poll_rate p.ival res)
+      | Analysis.Const_ival _ -> Alcotest.fail "expected resource-dependent ival")
+  | Ok ps -> Alcotest.failf "expected 1 poll, got %d" (List.length ps)
+
+let test_analysis_const_ival () =
+  let src =
+    {|machine M { poll p = Poll { .ival = 0.01, .what = port 80 };
+      long x; state s { } }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  match Analysis.polls (List.hd p.machines) with
+  | Ok [ poll ] -> (
+      match poll.ival with
+      | Analysis.Const_ival iv ->
+          Alcotest.(check (float 1e-12)) "10ms" 0.01 iv;
+          Alcotest.(check bool) "port-80 subject" true
+            (poll.subjects = [ Filter.Port_counter 80 ])
+      | Analysis.Inv_linear _ -> Alcotest.fail "expected constant ival")
+  | Ok _ | Error _ -> Alcotest.fail "poll analysis failed"
+
+(* Placement π against a topology *)
+let topo () = Farm_net.Topology.spine_leaf ~spines:2 ~leaves:3 ~hosts_per_leaf:2
+
+let test_analysis_place_all () =
+  let m = hh_machine () in
+  let topo = topo () in
+  match Analysis.placement ~topo m with
+  | Error e -> Alcotest.fail e
+  | Ok seeds ->
+      (* place all: one pinned seed per switch (5 switches) *)
+      Alcotest.(check int) "one seed per switch" 5 (List.length seeds);
+      List.iter
+        (fun (s : Analysis.seed_site) ->
+          Alcotest.(check int) "pinned" 1 (List.length s.candidates))
+        seeds
+
+let test_analysis_place_any () =
+  let src = "machine M { place any; long x; state s { } }" in
+  let p = Typecheck.check (Parser.program src) in
+  let topo = topo () in
+  match Analysis.placement ~topo (List.hd p.machines) with
+  | Ok [ s ] -> Alcotest.(check int) "all candidates" 5 (List.length s.candidates)
+  | Ok _ | Error _ -> Alcotest.fail "expected a single seed"
+
+let test_analysis_place_range () =
+  (* receiver range == 0 over traffic to host1_0 (10.2.1.0/24): the seed
+     must sit on the receiving leaf (leaf1). *)
+  let src =
+    {|machine M {
+        place any receiver dstIP "10.2.1.0/24" range == 0;
+        long x; state s { } }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let topo = topo () in
+  match Analysis.placement ~topo (List.hd p.machines) with
+  | Ok [ s ] ->
+      let names =
+        List.map
+          (fun id -> (Farm_net.Topology.node topo id).name)
+          s.candidates
+      in
+      Alcotest.(check (list string)) "receiving leaf" [ "leaf1" ] names
+  | Ok seeds ->
+      Alcotest.failf "expected a single seed, got %d" (List.length seeds)
+  | Error e -> Alcotest.fail e
+
+let test_analysis_place_midpoint () =
+  (* midpoint range == 0 over cross-leaf traffic: candidates are spines *)
+  let src =
+    {|machine M {
+        place all midpoint srcIP "10.1.0.0/16" and dstIP "10.2.0.0/16" range == 0;
+        long x; state s { } }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let topo = topo () in
+  match Analysis.placement ~topo (List.hd p.machines) with
+  | Ok seeds ->
+      Alcotest.(check bool) "some seeds" true (seeds <> []);
+      List.iter
+        (fun (s : Analysis.seed_site) ->
+          List.iter
+            (fun id ->
+              let name = (Farm_net.Topology.node topo id).name in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s is a spine" name)
+                true
+                (String.length name >= 5 && String.sub name 0 5 = "spine"))
+            s.candidates)
+        seeds
+  | Error e -> Alcotest.fail e
+
+let test_analysis_place_nodes_by_name () =
+  let src =
+    {|machine M { place any "leaf0", "leaf2"; long x; state s { } }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let topo = topo () in
+  match Analysis.placement ~topo (List.hd p.machines) with
+  | Ok [ s ] -> Alcotest.(check int) "two candidates" 2 (List.length s.candidates)
+  | Ok _ | Error _ -> Alcotest.fail "expected one seed over two switches"
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type sent = { to_harvester : Value.t list ref }
+
+let make_host ?(resources = [| 2.; 200.; 10.; 5. |]) () =
+  let sent = { to_harvester = ref [] } in
+  let tcam_rules = ref [] in
+  let host =
+    { Interp.null_host with
+      h_resources = (fun () -> resources);
+      h_send =
+        (fun target v ->
+          match target with
+          | Interp.To_harvester -> sent.to_harvester := v :: !(sent.to_harvester)
+          | Interp.To_machine _ -> ());
+      h_builtin =
+        (fun name ->
+          match name with
+          | "getHH" ->
+              Some
+                (fun args ->
+                  match args with
+                  | [ Value.Stats stats; Value.Num threshold ] ->
+                      let hitters = ref [] in
+                      Array.iteri
+                        (fun i v ->
+                          if v > threshold then
+                            hitters := Value.Num (float_of_int i) :: !hitters)
+                        stats;
+                      Value.List (List.rev !hitters)
+                  | _ -> Alcotest.fail "getHH misuse")
+          | "setHitterRules" ->
+              Some
+                (fun args ->
+                  tcam_rules := args :: !tcam_rules;
+                  Value.Unit)
+          | _ -> None) }
+  in
+  (host, sent, tcam_rules)
+
+let make_hh ?externals () =
+  let p = check_hh () in
+  let host, sent, rules = make_host () in
+  let t = Interp.create ?externals ~program:p ~machine:"HH" host in
+  Interp.start t;
+  (t, sent, rules)
+
+let test_interp_initial_state () =
+  let t, _, _ = make_hh () in
+  Alcotest.(check string) "starts in observe" "observe"
+    (Interp.current_state t);
+  (* external default from initializer *)
+  match Interp.var t "threshold" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "threshold" 1000. n
+  | _ -> Alcotest.fail "threshold must be bound"
+
+let test_interp_externals_override () =
+  let p = check_hh () in
+  let host, _, _ = make_host () in
+  let t =
+    Interp.create
+      ~externals:[ ("threshold", Value.Num 5.) ]
+      ~program:p ~machine:"HH" host
+  in
+  Interp.start t;
+  match Interp.var t "threshold" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "overridden" 5. n
+  | _ -> Alcotest.fail "threshold must be bound"
+
+let test_interp_poll_no_hh () =
+  let t, sent, _ = make_hh () in
+  Interp.fire_trigger t "pollStats" (Value.Stats [| 10.; 20.; 30. |]);
+  Alcotest.(check string) "stays in observe" "observe"
+    (Interp.current_state t);
+  Alcotest.(check int) "nothing sent" 0 (List.length !(sent.to_harvester))
+
+let test_interp_poll_detects_hh () =
+  let t, sent, rules = make_hh () in
+  (* port 1 exceeds the threshold of 1000 *)
+  Interp.fire_trigger t "pollStats" (Value.Stats [| 10.; 5000.; 30. |]);
+  (* HHdetected's enter handler sends to harvester, installs rules and
+     transits straight back to observe *)
+  Alcotest.(check string) "back in observe" "observe"
+    (Interp.current_state t);
+  Alcotest.(check int) "one message to harvester" 1
+    (List.length !(sent.to_harvester));
+  (match !(sent.to_harvester) with
+  | [ Value.List [ Value.Num p ] ] ->
+      Alcotest.(check (float 0.)) "port 1 reported" 1. p
+  | _ -> Alcotest.fail "expected hitters list");
+  Alcotest.(check int) "local reaction fired" 1 (List.length !rules)
+
+let test_interp_recv_updates_threshold () =
+  let t, sent, _ = make_hh () in
+  let consumed =
+    Interp.deliver t ~from:Interp.From_harvester (Value.Num 9999.)
+  in
+  Alcotest.(check bool) "recv consumed" true consumed;
+  (match Interp.var t "threshold" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "updated" 9999. n
+  | _ -> Alcotest.fail "threshold must be bound");
+  (* below the new threshold: no detection *)
+  Interp.fire_trigger t "pollStats" (Value.Stats [| 5000. |]);
+  Alcotest.(check int) "no detection below threshold" 0
+    (List.length !(sent.to_harvester));
+  (* recv of an action value matches the second machine event *)
+  let consumed =
+    Interp.deliver t ~from:Interp.From_harvester
+      (Value.Action Farm_net.Tcam.Drop)
+  in
+  Alcotest.(check bool) "action recv consumed" true consumed;
+  match Interp.var t "hitterAction" with
+  | Some (Value.Action Farm_net.Tcam.Drop) -> ()
+  | _ -> Alcotest.fail "hitterAction must be updated"
+
+let test_interp_unmatched_recv () =
+  let t, _, _ = make_hh () in
+  (* no recv pattern for a string from a machine *)
+  let consumed =
+    Interp.deliver t ~from:(Interp.From_machine "Other") (Value.Str "hi")
+  in
+  Alcotest.(check bool) "not consumed" false consumed
+
+let test_interp_snapshot_restore () =
+  let t, _, _ = make_hh () in
+  ignore (Interp.deliver t ~from:Interp.From_harvester (Value.Num 777.));
+  let vars, state = Interp.snapshot t in
+  (* fresh instance on another "switch" *)
+  let p = check_hh () in
+  let host, _, _ = make_host () in
+  let t2 = Interp.create ~program:p ~machine:"HH" host in
+  Interp.restore t2 ~vars ~state;
+  Alcotest.(check string) "state restored" state (Interp.current_state t2);
+  match Interp.var t2 "threshold" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "migrated threshold" 777. n
+  | _ -> Alcotest.fail "threshold must survive migration"
+
+let test_interp_almanac_function () =
+  let src =
+    {|
+long tri(long n) {
+  long acc = 0;
+  long i = 0;
+  while (i <= n) { acc = acc + i; i = i + 1; }
+  return acc;
+}
+machine M { long x; state s { when (enter) do { x = tri(4); } } }
+|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let t = Interp.create ~program:p ~machine:"M" Interp.null_host in
+  Interp.start t;
+  (match Interp.var t "x" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "tri(4)=10" 10. n
+  | _ -> Alcotest.fail "x must be set");
+  match Interp.call_function t "tri" [ Value.Num 5. ] with
+  | Value.Num n -> Alcotest.(check (float 0.)) "tri(5)=15" 15. n
+  | _ -> Alcotest.fail "tri must return a number"
+
+let test_interp_state_locals_reset () =
+  let src =
+    {|machine M {
+        long total = 0;
+        state a {
+          long cnt = 0;
+          when (recv long x from harvester) do {
+            cnt = cnt + x;
+            total = total + cnt;
+            if (cnt >= 2) then { transit b; }
+          }
+        }
+        state b {
+          when (recv long x from harvester) do { transit a; }
+        }
+      }|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let t = Interp.create ~program:p ~machine:"M" Interp.null_host in
+  Interp.start t;
+  ignore (Interp.deliver t ~from:Interp.From_harvester (Value.Num 1.));
+  ignore (Interp.deliver t ~from:Interp.From_harvester (Value.Num 1.));
+  Alcotest.(check string) "moved to b" "b" (Interp.current_state t);
+  ignore (Interp.deliver t ~from:Interp.From_harvester (Value.Num 1.));
+  Alcotest.(check string) "back to a" "a" (Interp.current_state t);
+  (* cnt was reset on re-entry *)
+  match Interp.var t "cnt" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "locals reset" 0. n
+  | _ -> Alcotest.fail "cnt must exist in state a"
+
+let test_interp_trigger_reassign_notifies () =
+  let notified = ref [] in
+  let src =
+    {|machine M {
+        poll p = Poll { .ival = 1, .what = port ANY };
+        long x;
+        state s {
+          when (p as stats) do {
+            p = Poll { .ival = 10, .what = port ANY };
+          }
+        }
+      }|}
+  in
+  let prog = Typecheck.check (Parser.program src) in
+  let host =
+    { Interp.null_host with
+      h_set_trigger = (fun name _ v -> notified := (name, v) :: !notified) }
+  in
+  let t = Interp.create ~program:prog ~machine:"M" host in
+  Interp.start t;
+  Interp.fire_trigger t "p" (Value.Stats [| 1. |]);
+  match !notified with
+  | [ ("p", Value.Struct ("Poll", _)) ] -> ()
+  | _ -> Alcotest.fail "host must be notified of the polling-rate change"
+
+(* runtime error behaviour *)
+let test_interp_runtime_errors () =
+  let src =
+    {|
+machine M {
+  long x;
+  list l = [];
+  state s {
+    when (recv long cmd from harvester) do {
+      if (cmd == 1) then { x = 1 / 0; }
+      if (cmd == 2) then { x = nth(l, 5); }
+      if (cmd == 3) then { while (true) { x = x + 1; } }
+    }
+  }
+}
+|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let t = Interp.create ~program:p ~machine:"M" Interp.null_host in
+  Interp.start t;
+  let expect cmd frag =
+    match Interp.deliver t ~from:Interp.From_harvester (Value.Num cmd) with
+    | _ -> Alcotest.failf "expected runtime error for cmd %g" cmd
+    | exception Interp.Runtime_error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%g mentions %s (got %s)" cmd frag m)
+          true
+          (let lm = String.lowercase_ascii m in
+           let n = String.length frag in
+           let found = ref false in
+           for i = 0 to String.length lm - n do
+             if String.sub lm i n = frag then found := true
+           done;
+           !found)
+  in
+  expect 1. "division by zero";
+  expect 2. "out of bounds";
+  expect 3. "budget"
+
+let test_interp_machine_to_machine_send () =
+  (* a seed sending to another machine type routes through h_send *)
+  let src =
+    {|
+machine A {
+  long x;
+  state s {
+    when (recv long go from harvester) do { send 7 to B; }
+  }
+}
+machine B {
+  long got = 0;
+  state s {
+    when (recv long v from A) do { got = v; }
+  }
+}
+|}
+  in
+  let p = Typecheck.check (Parser.program src) in
+  let b = ref None in
+  let host_a =
+    { Interp.null_host with
+      h_send =
+        (fun target v ->
+          match (target, !b) with
+          | Interp.To_machine ("B", _), Some bi ->
+              ignore (Interp.deliver bi ~from:(Interp.From_machine "A") v)
+          | _ -> ()) }
+  in
+  let a = Interp.create ~program:p ~machine:"A" host_a in
+  let bi = Interp.create ~program:p ~machine:"B" Interp.null_host in
+  b := Some bi;
+  Interp.start a;
+  Interp.start bi;
+  ignore (Interp.deliver a ~from:Interp.From_harvester (Value.Num 1.));
+  match Interp.var bi "got" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "B received" 7. n
+  | _ -> Alcotest.fail "got unbound"
+
+(* property: analysis utility evaluation agrees with direct interpretation
+   of the util body on random feasible points *)
+let prop_utility_agrees_with_eval =
+  QCheck2.Test.make ~name:"utility polynomials match direct evaluation"
+    ~count:100
+    QCheck2.Gen.(pair (float_range 1. 8.) (float_range 100. 400.))
+    (fun (cpu, ram) ->
+      let m = hh_machine () in
+      let u = Option.get (List.hd m.states).sutil in
+      match Analysis.utility u with
+      | Error _ -> false
+      | Ok [ branch ] ->
+          let pcie = 3. in
+          let res = [| cpu; ram; 4.; pcie |] in
+          if not (Analysis.branch_feasible branch res) then
+            QCheck2.assume_fail ()
+          else
+            (* List. 2's utility is min(res.vCPU, res.PCIe) *)
+            let expected = Float.min cpu pcie in
+            Float.abs (Analysis.eval_utility branch res -. expected) < 1e-9
+      | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* XML interchange (§V-A d)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_xml_escaping_roundtrip () =
+  let doc =
+    Xml.element "root"
+      ~attrs:[ ("msg", {|a<b & "c" 'd'|}) ]
+      [ Xml.element "child" [ Xml.text "x < y && z" ] ]
+  in
+  (* compact form: pretty-printing pads text nodes, so exact text
+     round-trips use indent:false *)
+  let s = Xml.to_string ~indent:false doc in
+  let back = Xml.parse s in
+  Alcotest.(check string) "attr survives" {|a<b & "c" 'd'|}
+    (Xml.attr_exn back "msg");
+  match Xml.first back "child" with
+  | Some c -> Alcotest.(check string) "text survives" "x < y && z"
+      (Xml.text_content c)
+  | None -> Alcotest.fail "child lost"
+
+let test_xml_parser_features () =
+  let doc =
+    Xml.parse
+      {|<?xml version="1.0"?>
+<!-- a comment -->
+<a x="1"><b/><!-- inner --><c>t</c></a>|}
+  in
+  Alcotest.(check string) "name" "a" (Xml.name doc);
+  Alcotest.(check (option string)) "attr" (Some "1") (Xml.attr doc "x");
+  Alcotest.(check int) "two children" 2
+    (List.length
+       (List.filter
+          (function Xml.Element _ -> true | Xml.Text _ -> false)
+          (Xml.children doc)))
+
+let test_xml_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Xml.parse bad with
+      | _ -> Alcotest.failf "expected parse error for %S" bad
+      | exception Xml.Parse_error _ -> ())
+    [ "<a>"; "<a></b>"; "<a x=1/>"; "no xml here"; "<a><b></a></b>" ]
+
+let test_machine_xml_roundtrip_hh () =
+  let p = parse_hh () in
+  let xml = Machine_xml.compile p in
+  let back = Machine_xml.load xml in
+  Alcotest.(check bool) "structural round-trip" true (p = back)
+
+let test_machine_xml_roundtrip_catalog () =
+  (* every Table I task survives compile -> XML -> load *)
+  List.iter
+    (fun (e : Farm_tasks.Task_common.entry) ->
+      let p = Parser.program e.source in
+      let back = Machine_xml.load (Machine_xml.compile p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s survives XML" e.name)
+        true (p = back))
+    Farm_tasks.Catalog.all
+
+let test_machine_xml_decode_errors () =
+  (match Machine_xml.load "<almanac><machine/></almanac>" with
+  | _ -> Alcotest.fail "expected decode error (machine without name)"
+  | exception Invalid_argument _ | (exception Machine_xml.Decode_error _) ->
+      ());
+  match Machine_xml.load "<notalmanac/>" with
+  | _ -> Alcotest.fail "expected decode error"
+  | exception Machine_xml.Decode_error _ -> ()
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "farm_almanac"
+    [ ( "lexer",
+        [ Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "comments and strings" `Quick
+            test_lexer_comments_strings;
+          Alcotest.test_case "scientific notation" `Quick
+            test_lexer_scientific_notation;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "positions" `Quick test_lexer_positions ] );
+      ( "parser",
+        [ Alcotest.test_case "heavy hitter example" `Quick test_parse_hh;
+          Alcotest.test_case "arithmetic precedence" `Quick
+            test_parse_expr_precedence;
+          Alcotest.test_case "and/or precedence" `Quick
+            test_parse_and_or_precedence;
+          Alcotest.test_case "filter expressions" `Quick
+            test_parse_filter_exprs;
+          Alcotest.test_case "struct literal" `Quick test_parse_struct_lit;
+          Alcotest.test_case "place variants" `Quick test_parse_place_variants;
+          Alcotest.test_case "fundec" `Quick test_parse_fundec;
+          Alcotest.test_case "else-if chain" `Quick test_parse_else_if_chain;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "small float round-trip" `Quick
+            test_roundtrip_small_floats;
+          Alcotest.test_case "HH round-trip" `Quick test_roundtrip_hh ]
+        @ qsuite [ prop_expr_roundtrip ] );
+      ( "typecheck",
+        [ Alcotest.test_case "HH passes" `Quick test_typecheck_hh;
+          Alcotest.test_case "unbound var" `Quick test_typecheck_unbound;
+          Alcotest.test_case "bad transit" `Quick test_typecheck_bad_transit;
+          Alcotest.test_case "type mismatch" `Quick
+            test_typecheck_type_mismatch;
+          Alcotest.test_case "util restrictions" `Quick
+            test_typecheck_util_restrictions;
+          Alcotest.test_case "unknown resource" `Quick
+            test_typecheck_unknown_resource;
+          Alcotest.test_case "duplicate state" `Quick
+            test_typecheck_duplicate_state;
+          Alcotest.test_case "unknown trigger" `Quick
+            test_typecheck_trigger_event;
+          Alcotest.test_case "string concat" `Quick test_string_concat;
+          Alcotest.test_case "string arith rejected" `Quick
+            test_typecheck_rejects_string_arith;
+          Alcotest.test_case "inheritance override" `Quick
+            test_inheritance_override;
+          Alcotest.test_case "no shadowing" `Quick
+            test_inheritance_no_shadowing;
+          Alcotest.test_case "inheritance cycle" `Quick
+            test_inheritance_cycle ] );
+      ( "analysis",
+        [ Alcotest.test_case "utility kappa (paper example)" `Quick
+            test_analysis_utility_kappa;
+          Alcotest.test_case "or split" `Quick test_analysis_utility_or_split;
+          Alcotest.test_case "max split" `Quick
+            test_analysis_utility_max_split;
+          Alcotest.test_case "nonlinear rejected" `Quick
+            test_analysis_utility_nonlinear_rejected;
+          Alcotest.test_case "eval utility" `Quick test_analysis_eval_utility;
+          Alcotest.test_case "polls" `Quick test_analysis_polls;
+          Alcotest.test_case "const ival" `Quick test_analysis_const_ival;
+          Alcotest.test_case "place all" `Quick test_analysis_place_all;
+          Alcotest.test_case "place any" `Quick test_analysis_place_any;
+          Alcotest.test_case "place range receiver" `Quick
+            test_analysis_place_range;
+          Alcotest.test_case "place midpoint" `Quick
+            test_analysis_place_midpoint;
+          Alcotest.test_case "place nodes by name" `Quick
+            test_analysis_place_nodes_by_name ] );
+      ( "interp",
+        [ Alcotest.test_case "initial state" `Quick test_interp_initial_state;
+          Alcotest.test_case "externals override" `Quick
+            test_interp_externals_override;
+          Alcotest.test_case "poll without HH" `Quick test_interp_poll_no_hh;
+          Alcotest.test_case "poll detects HH" `Quick
+            test_interp_poll_detects_hh;
+          Alcotest.test_case "recv updates threshold" `Quick
+            test_interp_recv_updates_threshold;
+          Alcotest.test_case "unmatched recv" `Quick test_interp_unmatched_recv;
+          Alcotest.test_case "snapshot/restore (migration)" `Quick
+            test_interp_snapshot_restore;
+          Alcotest.test_case "almanac function" `Quick
+            test_interp_almanac_function;
+          Alcotest.test_case "state locals reset" `Quick
+            test_interp_state_locals_reset;
+          Alcotest.test_case "trigger reassign notifies host" `Quick
+            test_interp_trigger_reassign_notifies;
+          Alcotest.test_case "runtime errors" `Quick
+            test_interp_runtime_errors;
+          Alcotest.test_case "machine-to-machine send" `Quick
+            test_interp_machine_to_machine_send ]
+        @ qsuite [ prop_utility_agrees_with_eval ] );
+      ( "xml",
+        [ Alcotest.test_case "escaping round-trip" `Quick
+            test_xml_escaping_roundtrip;
+          Alcotest.test_case "parser features" `Quick
+            test_xml_parser_features;
+          Alcotest.test_case "parse errors" `Quick test_xml_parse_errors;
+          Alcotest.test_case "HH round-trip" `Quick
+            test_machine_xml_roundtrip_hh;
+          Alcotest.test_case "catalog round-trip" `Quick
+            test_machine_xml_roundtrip_catalog;
+          Alcotest.test_case "decode errors" `Quick
+            test_machine_xml_decode_errors ] ) ]

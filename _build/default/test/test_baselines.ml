@@ -1,0 +1,199 @@
+(* Tests for the comparator-system models: the collector, sFlow, Sonata,
+   Planck, Helios and Newton all run the same heavy-hitter scenario; the
+   pipeline structure of each must produce its characteristic detection
+   latency, and Newton's cross-switch merge must catch what Sonata's
+   switch-local queries cannot (§VII). *)
+
+module Engine = Farm_sim.Engine
+module Rng = Farm_sim.Rng
+module Topology = Farm_net.Topology
+module Fabric = Farm_net.Fabric
+module Flow = Farm_net.Flow
+module Ipaddr = Farm_net.Ipaddr
+open Farm_baselines
+
+let threshold = 1e6
+let onset = 2.
+
+let make_world ?(background = true) () =
+  let engine = Engine.create ~seed:8 () in
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:3 ~hosts_per_leaf:2 in
+  let fabric = Fabric.create topo in
+  if background then begin
+    let rng = Rng.split (Engine.rng engine) in
+    Farm_net.Traffic.background engine fabric rng
+      { Farm_net.Traffic.default_profile with concurrent_flows = 30;
+        mean_rate = 10_000. }
+  end;
+  (engine, fabric)
+
+let inject_hh engine fabric ~rate =
+  Engine.schedule_at engine ~time:onset (fun engine ->
+      let tuple =
+        { Flow.src = Ipaddr.of_string "10.1.1.5";
+          dst = Ipaddr.of_string "10.3.1.5"; sport = 7; dport = 7;
+          proto = Flow.Udp }
+      in
+      ignore
+        (Fabric.start_flow fabric ~time:(Engine.now engine) ~tuple ~rate ()))
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_collector_rate_detection () =
+  let engine, _ = make_world ~background:false () in
+  let c =
+    Collector.create engine ~latency:1e-3 ~process_cost:1e-6
+      ~hh_threshold:1000.
+  in
+  (* two reports 1 s apart: delta 5000 B -> 5 kB/s >= 1 kB/s threshold *)
+  Collector.push_counters c ~switch:1 ~port:2 ~bytes:0. ~read_time:0.;
+  Engine.schedule engine ~delay:1. (fun _ ->
+      Collector.push_counters c ~switch:1 ~port:2 ~bytes:5000. ~read_time:1.);
+  Engine.run engine;
+  (match Collector.detections c with
+  | [ (t, 1, 2) ] ->
+      Alcotest.(check bool) "detection after network latency" true (t > 1.)
+  | d -> Alcotest.failf "expected one detection, got %d" (List.length d));
+  (* duplicate reports do not re-detect *)
+  Collector.push_counters c ~switch:1 ~port:2 ~bytes:99_000. ~read_time:2.;
+  Engine.run engine;
+  Alcotest.(check int) "deduplicated" 1 (List.length (Collector.detections c));
+  Alcotest.(check int) "records counted" 3 (Collector.rx_records c)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline latencies                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let detect_latency deploy detect shutdown =
+  let engine, fabric = make_world () in
+  let t = deploy engine fabric in
+  inject_hh engine fabric ~rate:2e7;
+  Engine.run ~until:(onset +. 10.) engine;
+  let r =
+    match detect t onset with
+    | Some d -> Some (d -. onset)
+    | None -> None
+  in
+  shutdown t;
+  r
+
+let test_sflow_latency_tracks_period () =
+  let lat period =
+    match
+      detect_latency
+        (fun e f ->
+          Sflow.deploy
+            ~config:{ Sflow.default_config with poll_period = period }
+            e f ~hh_threshold:threshold)
+        (fun t o ->
+          Option.map (fun (d, _, _) -> d)
+            (Collector.first_detection_after (Sflow.collector t) o))
+        Sflow.shutdown
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "sFlow must detect"
+  in
+  let fast = lat 0.01 and slow = lat 0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "detection within ~period (%.3f, %.3f)" fast slow)
+    true
+    (fast <= 0.03 && slow <= 0.25 && slow > fast)
+
+let test_sonata_detects_at_batch_boundary () =
+  match
+    detect_latency
+      (fun e f -> Sonata.deploy e f ~hh_threshold:threshold)
+      (fun t o ->
+        Option.map (fun (d, _, _) -> d) (Sonata.first_detection_after t o))
+      Sonata.shutdown
+  with
+  | Some d ->
+      (* bounded below by the batch processing delay, above by window +
+         processing *)
+      Alcotest.(check bool)
+        (Printf.sprintf "batchy latency (%.2fs)" d)
+        true
+        (d >= Sonata.default_config.batch_process_time && d <= 3.5)
+  | None -> Alcotest.fail "Sonata must detect"
+
+let test_planck_fast () =
+  match
+    detect_latency
+      (fun e f -> Planck.deploy e f ~hh_threshold:threshold)
+      (fun t o ->
+        Option.map (fun (d, _, _) -> d) (Planck.first_detection_after t o))
+      Planck.shutdown
+  with
+  | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "millisecond scale (%.4fs)" d)
+        true (d < 0.02)
+  | None -> Alcotest.fail "Planck must detect"
+
+let test_helios_within_loop () =
+  match
+    detect_latency
+      (fun e f -> Helios.deploy e f ~hh_threshold:threshold)
+      (fun t o ->
+        Option.map (fun (d, _, _) -> d) (Helios.first_detection_after t o))
+      Helios.shutdown
+  with
+  | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "within ~2 loop periods (%.3fs)" d)
+        true
+        (d <= 2.5 *. Helios.default_config.loop_period)
+  | None -> Alcotest.fail "Helios must detect"
+
+(* ------------------------------------------------------------------ *)
+(* Newton                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_newton_detects () =
+  match
+    detect_latency
+      (fun e f -> Newton.deploy e f ~hh_threshold:threshold)
+      (fun t o ->
+        Option.map (fun (d, _) -> d) (Newton.first_detection_after t o))
+      Newton.shutdown
+  with
+  | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Sonata-like latency (%.2fs)" d)
+        true (d <= 3.5)
+  | None -> Alcotest.fail "Newton must detect"
+
+let test_newton_dynamic_threshold () =
+  (* a 2 MB/s flow is invisible at a 10 MB/s threshold; retuning the query
+     at runtime (no redeployment) makes Newton see it *)
+  let engine, fabric = make_world ~background:false () in
+  let t = Newton.deploy engine fabric ~hh_threshold:1e7 in
+  inject_hh engine fabric ~rate:2e6;
+  Engine.run ~until:(onset +. 8.) engine;
+  Alcotest.(check bool) "silent above threshold" true
+    (Newton.first_detection_after t onset = None);
+  Newton.update_threshold t 1e6;
+  Engine.run ~until:(onset +. 16.) engine;
+  Alcotest.(check bool) "detects after live retune" true
+    (Newton.first_detection_after t onset <> None);
+  Newton.shutdown t
+
+let () =
+  Alcotest.run "farm_baselines"
+    [ ( "collector",
+        [ Alcotest.test_case "rate detection" `Quick
+            test_collector_rate_detection ] );
+      ( "pipelines",
+        [ Alcotest.test_case "sFlow tracks its period" `Quick
+            test_sflow_latency_tracks_period;
+          Alcotest.test_case "Sonata batch boundary" `Quick
+            test_sonata_detects_at_batch_boundary;
+          Alcotest.test_case "Planck fast" `Quick test_planck_fast;
+          Alcotest.test_case "Helios loop-bounded" `Quick
+            test_helios_within_loop ] );
+      ( "newton",
+        [ Alcotest.test_case "detects" `Quick test_newton_detects;
+          Alcotest.test_case "dynamic query retune" `Quick
+            test_newton_dynamic_threshold ] ) ]

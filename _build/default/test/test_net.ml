@@ -1,0 +1,514 @@
+(* Tests for the network substrate: addresses, filters, TCAM, topology,
+   routing, switch model, fabric and traffic generation. *)
+
+open Farm_net
+module Engine = Farm_sim.Engine
+module Rng = Farm_sim.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Ipaddr                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_ip_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Ipaddr.to_string (Ipaddr.of_string s)))
+    [ "0.0.0.0"; "10.1.1.4"; "255.255.255.255"; "192.168.0.1" ]
+
+let test_ip_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option reject)) s None
+        (Option.map ignore (Ipaddr.of_string_opt s)))
+    [ ""; "10.1.1"; "10.1.1.256"; "a.b.c.d"; "10.1.1.1.1"; "-1.0.0.0" ]
+
+let test_prefix_mem () =
+  let p = Ipaddr.Prefix.of_string "10.0.1.0/24" in
+  Alcotest.(check bool) "inside" true
+    (Ipaddr.Prefix.mem (Ipaddr.of_string "10.0.1.77") p);
+  Alcotest.(check bool) "outside" false
+    (Ipaddr.Prefix.mem (Ipaddr.of_string "10.0.2.1") p);
+  let all = Ipaddr.Prefix.of_string "0.0.0.0/0" in
+  Alcotest.(check bool) "default route matches everything" true
+    (Ipaddr.Prefix.mem (Ipaddr.of_string "203.0.113.9") all)
+
+let test_prefix_subset_overlap () =
+  let p24 = Ipaddr.Prefix.of_string "10.0.1.0/24" in
+  let p16 = Ipaddr.Prefix.of_string "10.0.0.0/16" in
+  let q24 = Ipaddr.Prefix.of_string "10.1.0.0/24" in
+  Alcotest.(check bool) "24 subset of 16" true (Ipaddr.Prefix.subset p24 p16);
+  Alcotest.(check bool) "16 not subset of 24" false
+    (Ipaddr.Prefix.subset p16 p24);
+  Alcotest.(check bool) "overlap up" true (Ipaddr.Prefix.overlap p24 p16);
+  Alcotest.(check bool) "disjoint" false (Ipaddr.Prefix.overlap p24 q24)
+
+let test_prefix_normalizes () =
+  let p = Ipaddr.Prefix.make (Ipaddr.of_string "10.0.1.99") 24 in
+  Alcotest.(check string) "host bits zeroed" "10.0.1.0/24"
+    (Ipaddr.Prefix.to_string p)
+
+let prop_prefix_member_of_own_prefix =
+  QCheck2.Test.make ~name:"address is member of its own /len prefix" ~count:200
+    QCheck2.Gen.(pair (int_bound 0xFFFFFF) (int_range 0 32))
+    (fun (base, len) ->
+      let addr = Ipaddr.of_int (base * 97) in
+      Ipaddr.Prefix.mem addr (Ipaddr.Prefix.make addr len))
+
+(* ------------------------------------------------------------------ *)
+(* Filter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tup ?(src = "10.1.1.4") ?(dst = "10.0.1.9") ?(sport = 1234) ?(dport = 80)
+    ?(proto = Flow.Tcp) () =
+  { Flow.src = Ipaddr.of_string src; dst = Ipaddr.of_string dst; sport;
+    dport; proto }
+
+let test_filter_atoms () =
+  let t = tup () in
+  let open Filter in
+  Alcotest.(check bool) "src ip" true
+    (matches (atom (Src_ip (Ipaddr.Prefix.of_string "10.1.0.0/16"))) t);
+  Alcotest.(check bool) "dst ip miss" false
+    (matches (atom (Dst_ip (Ipaddr.Prefix.of_string "10.1.0.0/16"))) t);
+  Alcotest.(check bool) "dport" true (matches (atom (Dst_port 80)) t);
+  Alcotest.(check bool) "port either" true (matches (atom (Port 1234)) t);
+  Alcotest.(check bool) "proto" true (matches (atom (Proto Flow.Tcp)) t);
+  Alcotest.(check bool) "any" true (matches (atom Any) t)
+
+let test_filter_boolean () =
+  let t = tup () in
+  let open Filter in
+  let f = atom (Dst_port 80) &&& atom (Proto Flow.Tcp) in
+  Alcotest.(check bool) "and" true (matches f t);
+  Alcotest.(check bool) "and with not" false (matches (f &&& Not f) t);
+  Alcotest.(check bool) "or" true (matches (False ||| f) t);
+  Alcotest.(check bool) "not" false (matches (Not f) t)
+
+let test_filter_subjects () =
+  let open Filter in
+  let f =
+    atom (Src_ip (Ipaddr.Prefix.of_string "10.1.0.0/16"))
+    &&& (atom (Dst_port 80) ||| atom (Proto Flow.Udp))
+  in
+  let subjects = subjects f in
+  Alcotest.(check int) "three subjects" 3 (List.length subjects);
+  Alcotest.(check bool) "port subject present" true
+    (List.exists (subject_equal (Port_counter 80)) subjects);
+  (* duplicates are collapsed *)
+  let f2 = atom (Dst_port 80) &&& atom (Src_port 80) in
+  Alcotest.(check int) "dedup" 1 (List.length (Filter.subjects f2))
+
+let prop_filter_demorgan =
+  let gen_filter =
+    let open QCheck2.Gen in
+    let atom_gen =
+      oneof
+        [ return (Filter.atom Filter.Any);
+          map (fun p -> Filter.atom (Filter.Dst_port p)) (int_range 1 100);
+          map (fun p -> Filter.atom (Filter.Src_port p)) (int_range 1 100);
+          return (Filter.atom (Filter.Proto Flow.Tcp)) ]
+    in
+    let rec go depth =
+      if depth = 0 then atom_gen
+      else
+        oneof
+          [ atom_gen;
+            map2 (fun a b -> Filter.And (a, b)) (go (depth - 1)) (go (depth - 1));
+            map2 (fun a b -> Filter.Or (a, b)) (go (depth - 1)) (go (depth - 1));
+            map (fun a -> Filter.Not a) (go (depth - 1)) ]
+    in
+    go 3
+  in
+  QCheck2.Test.make ~name:"De Morgan: !(a&&b) == !a || !b" ~count:200
+    QCheck2.Gen.(triple gen_filter gen_filter (int_range 1 100))
+    (fun (a, b, port) ->
+      let t = tup ~dport:port () in
+      Filter.matches (Filter.Not (Filter.And (a, b))) t
+      = Filter.matches (Filter.Or (Filter.Not a, Filter.Not b)) t)
+
+(* ------------------------------------------------------------------ *)
+(* Tcam                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcam_partition () =
+  let t = Tcam.create ~monitoring_share:0.25 ~capacity:100 () in
+  Alcotest.(check int) "monitoring region" 25
+    (Tcam.region_capacity t Tcam.Monitoring);
+  Alcotest.(check int) "forwarding region" 75
+    (Tcam.region_capacity t Tcam.Forwarding);
+  (* fill monitoring region *)
+  for i = 1 to 25 do
+    match
+      Tcam.add t Tcam.Monitoring
+        { pattern = Filter.atom (Filter.Dst_port i); action = Tcam.Count;
+          priority = 0 }
+    with
+    | Ok _ -> ()
+    | Error `Full -> Alcotest.fail "should fit"
+  done;
+  (match
+     Tcam.add t Tcam.Monitoring
+       { pattern = Filter.True; action = Tcam.Count; priority = 0 }
+   with
+  | Error `Full -> ()
+  | Ok _ -> Alcotest.fail "monitoring region must be full");
+  (* forwarding region is unaffected: monitoring cannot evict forwarding *)
+  (match
+     Tcam.add t Tcam.Forwarding
+       { pattern = Filter.True; action = Tcam.Forward 1; priority = 0 }
+   with
+  | Ok _ -> ()
+  | Error `Full -> Alcotest.fail "forwarding region must be unaffected")
+
+let test_tcam_priority_lookup () =
+  let t = Tcam.create ~capacity:100 () in
+  let r1 =
+    { Tcam.pattern = Filter.atom (Filter.Dst_port 80); action = Tcam.Drop;
+      priority = 10 }
+  in
+  let r2 = { Tcam.pattern = Filter.True; action = Tcam.Forward 1; priority = 1 } in
+  (match Tcam.add t Tcam.Forwarding r2 with Ok _ -> () | Error `Full -> assert false);
+  (match Tcam.add t Tcam.Forwarding r1 with Ok _ -> () | Error `Full -> assert false);
+  (match Tcam.lookup t (tup ~dport:80 ()) with
+  | Some e -> Alcotest.(check bool) "high priority wins" true (e.rule.action = Tcam.Drop)
+  | None -> Alcotest.fail "must match");
+  match Tcam.lookup t (tup ~dport:443 ()) with
+  | Some e ->
+      Alcotest.(check bool) "fallback rule" true (e.rule.action = Tcam.Forward 1)
+  | None -> Alcotest.fail "must match catch-all"
+
+let test_tcam_counters_and_remove () =
+  let t = Tcam.create ~capacity:10 () in
+  let pat = Filter.atom (Filter.Dst_port 80) in
+  let entry =
+    match
+      Tcam.add t Tcam.Monitoring { pattern = pat; action = Tcam.Count; priority = 0 }
+    with
+    | Ok e -> e
+    | Error `Full -> assert false
+  in
+  Tcam.record t (tup ~dport:80 ()) ~bytes:500.;
+  Tcam.record t (tup ~dport:443 ()) ~bytes:999.;
+  check_float "bytes counted" 500. entry.bytes;
+  check_float "one packet" 1. entry.packets;
+  Alcotest.(check int) "removed" 1 (Tcam.remove t Tcam.Monitoring ~pattern:pat);
+  Alcotest.(check int) "idempotent remove" 0
+    (Tcam.remove t Tcam.Monitoring ~pattern:pat);
+  Alcotest.(check int) "region empty" 0 (Tcam.region_used t Tcam.Monitoring)
+
+(* ------------------------------------------------------------------ *)
+(* Topology & Routing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_spine_leaf_shape () =
+  let t = Topology.spine_leaf ~spines:2 ~leaves:4 ~hosts_per_leaf:3 in
+  Alcotest.(check int) "switch count" 6 (List.length (Topology.switches t));
+  Alcotest.(check int) "host count" 12 (List.length (Topology.hosts t));
+  (* each leaf has 2 spines + 3 hosts = 5 ports; spine has 4 *)
+  let leaf =
+    List.find (fun (n : Topology.node) -> n.name = "leaf0") (Topology.nodes t)
+  in
+  Alcotest.(check int) "leaf degree" 5 (Topology.port_count t leaf.id);
+  let spine =
+    List.find (fun (n : Topology.node) -> n.name = "spine0") (Topology.nodes t)
+  in
+  Alcotest.(check int) "spine degree" 4 (Topology.port_count t spine.id)
+
+let test_fat_tree_shape () =
+  let t = Topology.fat_tree ~k:4 in
+  (* k=4: 4 cores + 8 agg + 8 edge = 20 switches, 16 hosts *)
+  Alcotest.(check int) "switches" 20 (List.length (Topology.switches t));
+  Alcotest.(check int) "hosts" 16 (List.length (Topology.hosts t))
+
+let test_host_of_addr () =
+  let t = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:2 in
+  match Topology.host_of_addr t (Ipaddr.of_string "10.1.2.7") with
+  | Some id ->
+      Alcotest.(check string) "right host" "host0_1" (Topology.node t id).name
+  | None -> Alcotest.fail "host must be found"
+
+let test_shortest_paths_spine_leaf () =
+  let t = Topology.spine_leaf ~spines:3 ~leaves:2 ~hosts_per_leaf:1 in
+  let h0 = Option.get (Topology.host_of_addr t (Ipaddr.of_string "10.1.1.1")) in
+  let h1 = Option.get (Topology.host_of_addr t (Ipaddr.of_string "10.2.1.1")) in
+  let paths = Routing.shortest_paths t ~src:h0 ~dst:h1 in
+  (* host - leaf - spine - leaf - host: one path per spine *)
+  Alcotest.(check int) "ECMP over 3 spines" 3 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "length 5" 5 (List.length p);
+      Alcotest.(check int) "3 switches" 3
+        (List.length (Routing.path_switches t p)))
+    paths
+
+let test_paths_same_leaf () =
+  let t = Topology.spine_leaf ~spines:3 ~leaves:2 ~hosts_per_leaf:2 in
+  let h0 = Option.get (Topology.host_of_addr t (Ipaddr.of_string "10.1.1.1")) in
+  let h1 = Option.get (Topology.host_of_addr t (Ipaddr.of_string "10.1.2.1")) in
+  let paths = Routing.shortest_paths t ~src:h0 ~dst:h1 in
+  Alcotest.(check int) "single intra-leaf path" 1 (List.length paths);
+  Alcotest.(check int) "one switch" 1
+    (List.length (Routing.path_switches t (List.hd paths)))
+
+let test_route_flow_deterministic () =
+  let t = Topology.spine_leaf ~spines:4 ~leaves:3 ~hosts_per_leaf:2 in
+  let tuple = tup ~src:"10.1.1.5" ~dst:"10.3.2.9" () in
+  let p1 = Routing.route_flow t tuple in
+  let p2 = Routing.route_flow t tuple in
+  Alcotest.(check bool) "route exists" true (p1 <> None);
+  Alcotest.(check bool) "ECMP deterministic per tuple" true (p1 = p2)
+
+let test_paths_matching_filter () =
+  let t = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:2 in
+  let f =
+    Filter.(
+      atom (Src_ip (Ipaddr.Prefix.of_string "10.1.1.0/24"))
+      &&& atom (Dst_ip (Ipaddr.Prefix.of_string "10.2.0.0/16")))
+  in
+  let paths = Routing.paths_matching t f in
+  Alcotest.(check bool) "some paths" true (List.length paths > 0);
+  (* all paths start at host0_0 (prefix 10.1.1.0/24) *)
+  List.iter
+    (fun p ->
+      let first = List.hd p in
+      Alcotest.(check string) "src host" "host0_0" (Topology.node t first).name)
+    paths
+
+let test_satisfiable_three_valued () =
+  let src = Ipaddr.Prefix.of_string "10.1.1.0/24" in
+  let dst = Ipaddr.Prefix.of_string "10.2.1.0/24" in
+  let open Filter in
+  Alcotest.(check bool) "positive" true
+    (Routing.satisfiable (atom (Src_ip (Ipaddr.Prefix.of_string "10.1.0.0/16")))
+       ~src ~dst);
+  Alcotest.(check bool) "negative" false
+    (Routing.satisfiable (atom (Src_ip (Ipaddr.Prefix.of_string "10.9.0.0/16")))
+       ~src ~dst);
+  (* not (src in 10.9/16) is certainly true here *)
+  Alcotest.(check bool) "negation of disjoint" true
+    (Routing.satisfiable
+       (Not (atom (Src_ip (Ipaddr.Prefix.of_string "10.9.0.0/16"))))
+       ~src ~dst);
+  (* not (src in 10.1.1/24) is certainly false: src prefix equals it *)
+  Alcotest.(check bool) "negation of superset" false
+    (Routing.satisfiable (Not (atom (Src_ip src))) ~src ~dst)
+
+(* ------------------------------------------------------------------ *)
+(* Switch_model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_switch_counters_integrate () =
+  let sw = Switch_model.create ~id:0 ~ports:4 () in
+  Switch_model.add_flow sw ~time:0. ~flow_id:1 ~tuple:(tup ()) ~rate:1000.
+    ~egress:2 ();
+  check_float "no bytes yet" 0. (Switch_model.port_bytes sw ~time:0. ~port:2);
+  check_float "after 5s" 5000. (Switch_model.port_bytes sw ~time:5. ~port:2);
+  Switch_model.remove_flow sw ~time:10. ~flow_id:1;
+  check_float "stops accumulating" 10_000.
+    (Switch_model.port_bytes sw ~time:20. ~port:2);
+  check_float "other port untouched" 0.
+    (Switch_model.port_bytes sw ~time:20. ~port:1)
+
+let test_switch_subject_counters () =
+  let sw = Switch_model.create ~id:0 ~ports:4 () in
+  let subj = Filter.Port_counter 80 in
+  Switch_model.watch_subject sw ~time:0. subj;
+  Switch_model.add_flow sw ~time:0. ~flow_id:1 ~tuple:(tup ~dport:80 ())
+    ~rate:100. ~egress:0 ();
+  Switch_model.add_flow sw ~time:0. ~flow_id:2 ~tuple:(tup ~dport:443 ())
+    ~rate:900. ~egress:0 ();
+  check_float "only port-80 flow counted" 200.
+    (Switch_model.subject_bytes sw ~time:2. subj);
+  (* watching after flows exist picks up current rates *)
+  let subj2 = Filter.Proto_counter Flow.Tcp in
+  Switch_model.watch_subject sw ~time:2. subj2;
+  check_float "late watch starts from zero" 0.
+    (Switch_model.subject_bytes sw ~time:2. subj2);
+  check_float "late watch accumulates both flows" 1000.
+    (Switch_model.subject_bytes sw ~time:3. subj2)
+
+let test_switch_tcam_reaction () =
+  let sw = Switch_model.create ~id:0 ~ports:4 () in
+  Switch_model.add_flow sw ~time:0. ~flow_id:1 ~tuple:(tup ~dport:80 ())
+    ~rate:1000. ~egress:1 ();
+  (* install a drop rule (a seed's local reaction) and apply it *)
+  (match
+     Tcam.add (Switch_model.tcam sw) Tcam.Monitoring
+       { pattern = Filter.atom (Filter.Dst_port 80); action = Tcam.Drop;
+         priority = 5 }
+   with
+  | Ok _ -> ()
+  | Error `Full -> assert false);
+  Switch_model.apply_tcam_actions sw ~time:10.;
+  check_float "pre-drop bytes" 10_000.
+    (Switch_model.port_bytes sw ~time:10. ~port:1);
+  check_float "flow quenched" 10_000.
+    (Switch_model.port_bytes sw ~time:20. ~port:1);
+  (* rate-limit instead of drop *)
+  ignore (Tcam.remove (Switch_model.tcam sw) Tcam.Monitoring
+            ~pattern:(Filter.atom (Filter.Dst_port 80)));
+  (match
+     Tcam.add (Switch_model.tcam sw) Tcam.Monitoring
+       { pattern = Filter.atom (Filter.Dst_port 80);
+         action = Tcam.Rate_limit 100.; priority = 5 }
+   with
+  | Ok _ -> ()
+  | Error `Full -> assert false);
+  Switch_model.apply_tcam_actions sw ~time:20.;
+  check_float "rate limited" 11_000.
+    (Switch_model.port_bytes sw ~time:30. ~port:1)
+
+let test_switch_sampling () =
+  let sw = Switch_model.create ~id:0 ~ports:2 () in
+  let rng = Rng.create 17 in
+  Alcotest.(check (option reject)) "idle switch yields nothing" None
+    (Option.map ignore (Switch_model.sample_packet sw rng));
+  Switch_model.add_flow sw ~time:0. ~flow_id:1 ~tuple:(tup ~dport:80 ())
+    ~rate:9000. ~egress:0 ();
+  Switch_model.add_flow sw ~time:0. ~flow_id:2 ~tuple:(tup ~dport:443 ())
+    ~rate:1000. ~egress:0 ();
+  let hits80 = ref 0 and total = 1000 in
+  for _ = 1 to total do
+    match Switch_model.sample_packet sw rng with
+    | Some p -> if p.tuple.dport = 80 then incr hits80
+    | None -> Alcotest.fail "busy switch must sample"
+  done;
+  (* 90% of rate belongs to the port-80 flow *)
+  Alcotest.(check bool) "samples weighted by rate" true
+    (!hits80 > 800 && !hits80 < 980)
+
+(* ------------------------------------------------------------------ *)
+(* Fabric & Traffic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fabric_flow_accounting () =
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1 in
+  let fabric = Fabric.create topo in
+  let tuple = tup ~src:"10.1.1.5" ~dst:"10.2.1.5" () in
+  let id =
+    Option.get (Fabric.start_flow fabric ~time:0. ~tuple ~rate:1000. ())
+  in
+  let path = Option.get (Fabric.flow_path fabric id) in
+  let sws = Routing.path_switches topo path in
+  Alcotest.(check int) "leaf-spine-leaf" 3 (List.length sws);
+  (* every switch on the path accumulates the flow's bytes *)
+  List.iter
+    (fun sw ->
+      let m = Fabric.switch fabric sw in
+      let total =
+        List.fold_left
+          (fun acc p -> acc +. Switch_model.port_bytes m ~time:4. ~port:p)
+          0.
+          (List.init (Switch_model.port_count m) Fun.id)
+      in
+      check_float "bytes on path switch" 4000. total)
+    sws;
+  Fabric.stop_flow fabric ~time:4. id;
+  Alcotest.(check int) "no active flows" 0 (Fabric.active_flow_count fabric)
+
+let test_traffic_background_sustains () =
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:3 ~hosts_per_leaf:2 in
+  let fabric = Fabric.create topo in
+  let engine = Engine.create ~seed:7 () in
+  let rng = Rng.split (Engine.rng engine) in
+  let profile =
+    { Traffic.concurrent_flows = 50; mean_rate = 10_000.; zipf_s = 1.;
+      mean_lifetime = 5. }
+  in
+  Traffic.background engine fabric rng profile;
+  Engine.run ~until:20. engine;
+  let n = Fabric.active_flow_count fabric in
+  Alcotest.(check bool) "roughly target concurrency" true (n >= 40 && n <= 60)
+
+let test_traffic_heavy_hitter () =
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1 in
+  let fabric = Fabric.create topo in
+  let engine = Engine.create () in
+  let rng = Rng.split (Engine.rng engine) in
+  let hh = Traffic.heavy_hitter engine fabric rng ~at:5. ~rate:1e6 () in
+  Engine.run ~until:4. engine;
+  Alcotest.(check bool) "not yet started" true (!hh = None);
+  Engine.run ~until:6. engine;
+  Alcotest.(check bool) "started" true (!hh <> None)
+
+let test_traffic_syn_flood_flags () =
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:2 in
+  let fabric = Fabric.create topo in
+  let engine = Engine.create () in
+  let rng = Rng.split (Engine.rng engine) in
+  let victim = Ipaddr.of_string "10.2.1.7" in
+  Traffic.syn_flood engine fabric rng ~at:1. ~duration:10. ~victim
+    ~rate_per_source:5000. ~sources:20;
+  Engine.run ~until:2. engine;
+  (* victim's leaf switch sees SYN packets towards the victim *)
+  let leaf =
+    List.find (fun (n : Topology.node) -> n.name = "leaf1")
+      (Topology.nodes topo)
+  in
+  let sw = Fabric.switch fabric leaf.id in
+  let saw_syn = ref false in
+  for _ = 1 to 100 do
+    match Switch_model.sample_packet sw rng with
+    | Some p when p.flags.syn && Ipaddr.equal p.tuple.dst victim ->
+        saw_syn := true
+    | Some _ | None -> ()
+  done;
+  Alcotest.(check bool) "syn packets observed" true !saw_syn;
+  Engine.run ~until:12. engine;
+  Alcotest.(check int) "attack flows gone" 0 (Fabric.active_flow_count fabric)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "farm_net"
+    [ ( "ipaddr",
+        [ Alcotest.test_case "roundtrip" `Quick test_ip_roundtrip;
+          Alcotest.test_case "invalid" `Quick test_ip_invalid;
+          Alcotest.test_case "prefix mem" `Quick test_prefix_mem;
+          Alcotest.test_case "subset/overlap" `Quick
+            test_prefix_subset_overlap;
+          Alcotest.test_case "normalizes" `Quick test_prefix_normalizes ]
+        @ qsuite [ prop_prefix_member_of_own_prefix ] );
+      ( "filter",
+        [ Alcotest.test_case "atoms" `Quick test_filter_atoms;
+          Alcotest.test_case "boolean" `Quick test_filter_boolean;
+          Alcotest.test_case "subjects" `Quick test_filter_subjects ]
+        @ qsuite [ prop_filter_demorgan ] );
+      ( "tcam",
+        [ Alcotest.test_case "partition" `Quick test_tcam_partition;
+          Alcotest.test_case "priority lookup" `Quick
+            test_tcam_priority_lookup;
+          Alcotest.test_case "counters and remove" `Quick
+            test_tcam_counters_and_remove ] );
+      ( "topology",
+        [ Alcotest.test_case "spine-leaf shape" `Quick test_spine_leaf_shape;
+          Alcotest.test_case "fat-tree shape" `Quick test_fat_tree_shape;
+          Alcotest.test_case "host_of_addr" `Quick test_host_of_addr ] );
+      ( "routing",
+        [ Alcotest.test_case "ECMP spine-leaf" `Quick
+            test_shortest_paths_spine_leaf;
+          Alcotest.test_case "same leaf" `Quick test_paths_same_leaf;
+          Alcotest.test_case "route deterministic" `Quick
+            test_route_flow_deterministic;
+          Alcotest.test_case "paths matching filter" `Quick
+            test_paths_matching_filter;
+          Alcotest.test_case "three-valued satisfiability" `Quick
+            test_satisfiable_three_valued ] );
+      ( "switch_model",
+        [ Alcotest.test_case "counters integrate" `Quick
+            test_switch_counters_integrate;
+          Alcotest.test_case "subject counters" `Quick
+            test_switch_subject_counters;
+          Alcotest.test_case "tcam reaction" `Quick test_switch_tcam_reaction;
+          Alcotest.test_case "sampling" `Quick test_switch_sampling ] );
+      ( "fabric",
+        [ Alcotest.test_case "flow accounting" `Quick
+            test_fabric_flow_accounting ] );
+      ( "traffic",
+        [ Alcotest.test_case "background sustains" `Quick
+            test_traffic_background_sustains;
+          Alcotest.test_case "heavy hitter" `Quick test_traffic_heavy_hitter;
+          Alcotest.test_case "syn flood flags" `Quick
+            test_traffic_syn_flood_flags ] ) ]

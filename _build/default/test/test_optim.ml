@@ -1,0 +1,359 @@
+(* Tests for the LP/MILP substrate: Lin_expr algebra, two-phase simplex,
+   branch-and-bound MILP. *)
+
+open Farm_optim
+
+let feq ?(eps = 1e-5) a b = Float.abs (a -. b) <= eps
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-5)) name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Lin_expr                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lin_expr_basic () =
+  let e = Lin_expr.(add (var ~coeff:2. 0) (add (var ~coeff:3. 1) (const 5.))) in
+  check_float "constant" 5. (Lin_expr.constant e);
+  check_float "coeff x0" 2. (Lin_expr.coeff e 0);
+  check_float "coeff x1" 3. (Lin_expr.coeff e 1);
+  check_float "coeff x2" 0. (Lin_expr.coeff e 2);
+  let env = function 0 -> 1. | 1 -> 2. | _ -> 0. in
+  check_float "eval" 13. (Lin_expr.eval env e)
+
+let test_lin_expr_cancel () =
+  let e = Lin_expr.(sub (var 0) (var 0)) in
+  Alcotest.(check bool) "x - x is constant" true (Lin_expr.is_constant e);
+  Alcotest.(check bool) "x - x = 0" true Lin_expr.(equal e zero)
+
+let test_lin_expr_subst () =
+  (* substitute x0 := 2*x1 + 1 in 3*x0 + x1 -> 7*x1 + 3 *)
+  let e = Lin_expr.(add (var ~coeff:3. 0) (var 1)) in
+  let by = Lin_expr.(add (var ~coeff:2. 1) (const 1.)) in
+  let e' = Lin_expr.subst 0 by e in
+  check_float "coeff x1 after subst" 7. (Lin_expr.coeff e' 1);
+  check_float "const after subst" 3. (Lin_expr.constant e');
+  check_float "coeff x0 gone" 0. (Lin_expr.coeff e' 0)
+
+let lin_expr_gen =
+  (* random linear expression over up to 4 variables *)
+  let open QCheck2.Gen in
+  let* base = float_range (-10.) 10. in
+  let* n = int_range 0 4 in
+  let* coeffs = list_size (return n) (pair (int_range 0 3) (float_range (-5.) 5.)) in
+  return
+    (List.fold_left
+       (fun acc (v, c) -> Lin_expr.(add acc (var ~coeff:c v)))
+       (Lin_expr.const base) coeffs)
+
+let prop_add_comm =
+  QCheck2.Test.make ~name:"Lin_expr.add commutative" ~count:200
+    (QCheck2.Gen.pair lin_expr_gen lin_expr_gen) (fun (a, b) ->
+      Lin_expr.(equal (add a b) (add b a)))
+
+let prop_scale_distrib =
+  QCheck2.Test.make ~name:"Lin_expr.scale distributes over add" ~count:200
+    (QCheck2.Gen.triple QCheck2.Gen.(float_range (-3.) 3.) lin_expr_gen
+       lin_expr_gen) (fun (k, a, b) ->
+      Lin_expr.(equal ~eps:1e-6 (scale k (add a b)) (add (scale k a) (scale k b))))
+
+let prop_eval_linear =
+  QCheck2.Test.make ~name:"Lin_expr.eval is linear" ~count:200
+    (QCheck2.Gen.pair lin_expr_gen lin_expr_gen) (fun (a, b) ->
+      let env i = float_of_int ((i * 7) + 3) /. 4. in
+      feq ~eps:1e-6
+        (Lin_expr.eval env (Lin_expr.add a b))
+        (Lin_expr.eval env a +. Lin_expr.eval env b))
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let solve_max ~nvars obj cs =
+  match Simplex.maximize ~nvars ~objective:obj cs with
+  | Simplex.Optimal s -> s
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_basic () =
+  (* max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12 *)
+  let x = Lin_expr.var 0 and y = Lin_expr.var 1 in
+  let s =
+    solve_max ~nvars:2
+      Lin_expr.(add (scale 3. x) (scale 2. y))
+      [ Simplex.constr (Lin_expr.add x y) Simplex.Le 4.;
+        Simplex.constr Lin_expr.(add x (scale 3. y)) Simplex.Le 6. ]
+  in
+  check_float "objective" 12. s.objective;
+  check_float "x" 4. s.values.(0);
+  check_float "y" 0. s.values.(1)
+
+let test_simplex_degenerate () =
+  (* classic degenerate LP still solves *)
+  let x = Lin_expr.var 0 and y = Lin_expr.var 1 in
+  let s =
+    solve_max ~nvars:2 (Lin_expr.add x y)
+      [ Simplex.constr x Simplex.Le 1.;
+        Simplex.constr y Simplex.Le 1.;
+        Simplex.constr (Lin_expr.add x y) Simplex.Le 2. ]
+  in
+  check_float "objective" 2. s.objective
+
+let test_simplex_eq_ge () =
+  (* max x + y st x + y = 10, x >= 2, y >= 3 -> obj 10 *)
+  let x = Lin_expr.var 0 and y = Lin_expr.var 1 in
+  let s =
+    solve_max ~nvars:2 (Lin_expr.add x y)
+      [ Simplex.constr (Lin_expr.add x y) Simplex.Eq 10.;
+        Simplex.constr x Simplex.Ge 2.;
+        Simplex.constr y Simplex.Ge 3. ]
+  in
+  check_float "objective" 10. s.objective;
+  check_float "sum" 10. (s.values.(0) +. s.values.(1))
+
+let test_simplex_infeasible () =
+  let x = Lin_expr.var 0 in
+  match
+    Simplex.maximize ~nvars:1 ~objective:x
+      [ Simplex.constr x Simplex.Le 1.; Simplex.constr x Simplex.Ge 2. ]
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  let x = Lin_expr.var 0 and y = Lin_expr.var 1 in
+  match
+    Simplex.maximize ~nvars:2 ~objective:(Lin_expr.add x y)
+      [ Simplex.constr (Lin_expr.sub x y) Simplex.Le 1. ]
+  with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_minimize () =
+  (* min x + y st x + 2y >= 4, 3x + y >= 6 -> x=1.6, y=1.2, obj=2.8 *)
+  let x = Lin_expr.var 0 and y = Lin_expr.var 1 in
+  match
+    Simplex.minimize ~nvars:2 ~objective:(Lin_expr.add x y)
+      [ Simplex.constr Lin_expr.(add x (scale 2. y)) Simplex.Ge 4.;
+        Simplex.constr Lin_expr.(add (scale 3. x) y) Simplex.Ge 6. ]
+  with
+  | Simplex.Optimal s -> check_float "objective" 2.8 s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_const_in_expr () =
+  (* constants inside expressions are moved to the rhs *)
+  let x = Lin_expr.var 0 in
+  let s =
+    solve_max ~nvars:1 x
+      [ Simplex.constr Lin_expr.(add x (const 3.)) Simplex.Le 5. ]
+  in
+  check_float "x" 2. s.values.(0)
+
+(* Random LP property: returned point is feasible and dominates random
+   feasible points. *)
+let random_lp_gen =
+  let open QCheck2.Gen in
+  let* nvars = int_range 1 4 in
+  let* nconstr = int_range 1 5 in
+  let coeff = float_range 0.1 3. in
+  let* obj_coeffs = list_size (return nvars) (float_range 0.1 2.) in
+  let* rows =
+    list_size (return nconstr)
+      (pair (list_size (return nvars) coeff) (float_range 1. 10.))
+  in
+  let obj =
+    List.fold_left
+      (fun (i, acc) c -> (i + 1, Lin_expr.(add acc (var ~coeff:c i))))
+      (0, Lin_expr.zero) obj_coeffs
+    |> snd
+  in
+  let cs =
+    List.map
+      (fun (coeffs, rhs) ->
+        let e =
+          List.fold_left
+            (fun (i, acc) c -> (i + 1, Lin_expr.(add acc (var ~coeff:c i))))
+            (0, Lin_expr.zero) coeffs
+          |> snd
+        in
+        Simplex.constr e Simplex.Le rhs)
+      rows
+  in
+  return (nvars, obj, cs)
+
+let feasible values cs =
+  List.for_all
+    (fun (c : Simplex.constr) ->
+      let lhs = Lin_expr.eval (fun i -> values.(i)) c.expr in
+      match c.cmp with
+      | Simplex.Le -> lhs <= c.rhs +. 1e-5
+      | Simplex.Ge -> lhs >= c.rhs -. 1e-5
+      | Simplex.Eq -> feq lhs c.rhs)
+    cs
+
+let prop_simplex_feasible_and_dominant =
+  QCheck2.Test.make ~name:"simplex optimum feasible and dominant" ~count:150
+    random_lp_gen (fun (nvars, obj, cs) ->
+      (* all coeffs positive, rhs positive: always feasible & bounded *)
+      match Simplex.maximize ~nvars ~objective:obj cs with
+      | Simplex.Optimal s ->
+          feasible s.values cs
+          && s.values |> Array.for_all (fun v -> v >= -1e-6)
+          &&
+          (* compare against a grid of scaled feasible points *)
+          let opt = s.objective in
+          List.for_all
+            (fun frac ->
+              (* point: x_i = frac * min_j rhs_j / (nvars * a_ij) is feasible *)
+              let candidate =
+                Array.init nvars (fun i ->
+                    List.fold_left
+                      (fun acc (c : Simplex.constr) ->
+                        let a = Lin_expr.coeff c.expr i in
+                        if a > 0. then
+                          Float.min acc (c.rhs /. (a *. float_of_int nvars))
+                        else acc)
+                      1000. cs
+                    *. frac)
+              in
+              let v = Lin_expr.eval (fun i -> candidate.(i)) obj in
+              v <= opt +. 1e-4)
+            [ 0.0; 0.3; 0.7; 1.0 ]
+      | Simplex.Infeasible | Simplex.Unbounded -> false)
+
+(* ------------------------------------------------------------------ *)
+(* MILP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_milp_knapsack () =
+  (* knapsack: values 10,13,7; weights 3,4,2; cap 6; binaries.
+     best = items 1+3 (items 0-indexed: 0 and 2): value 17, weight 5 *)
+  let x i = Lin_expr.var i in
+  let obj =
+    Lin_expr.(add (scale 10. (x 0)) (add (scale 13. (x 1)) (scale 7. (x 2))))
+  in
+  let weight =
+    Lin_expr.(add (scale 3. (x 0)) (add (scale 4. (x 1)) (scale 2. (x 2))))
+  in
+  let cs =
+    Simplex.constr weight Simplex.Le 6.
+    :: List.init 3 (fun i -> Simplex.constr (x i) Simplex.Le 1.)
+  in
+  let r =
+    Milp.solve ~nvars:3 ~integer:[| true; true; true |] ~objective:obj cs
+  in
+  Alcotest.(check bool) "optimal" true (r.status = Milp.Optimal);
+  check_float "objective" 20. r.objective
+  (* items 1+2: weight 6, value 20 — fits exactly *)
+
+let test_milp_integrality_matters () =
+  (* max x st 2x <= 3, x integer -> x = 1 (LP relaxation would give 1.5) *)
+  let x = Lin_expr.var 0 in
+  let r =
+    Milp.solve ~nvars:1 ~integer:[| true |] ~objective:x
+      [ Simplex.constr (Lin_expr.scale 2. x) Simplex.Le 3. ]
+  in
+  Alcotest.(check bool) "optimal" true (r.status = Milp.Optimal);
+  check_float "x" 1. r.values.(0)
+
+let test_milp_infeasible () =
+  let x = Lin_expr.var 0 in
+  let r =
+    Milp.solve ~nvars:1 ~integer:[| true |] ~objective:x
+      [ Simplex.constr x Simplex.Ge 0.4; Simplex.constr x Simplex.Le 0.6 ]
+  in
+  Alcotest.(check bool) "infeasible" true (r.status = Milp.Infeasible)
+
+let test_milp_warm_start () =
+  (* with a zero node budget, the warm start is returned as incumbent *)
+  let x = Lin_expr.var 0 in
+  let r =
+    Milp.solve ~max_nodes:0 ~warm_start:[| 1. |] ~nvars:1 ~integer:[| true |]
+      ~objective:x
+      [ Simplex.constr x Simplex.Le 5. ]
+  in
+  Alcotest.(check bool) "feasible from warm start" true
+    (r.status = Milp.Feasible);
+  check_float "objective" 1. r.objective
+
+let test_milp_mixed () =
+  (* mixed problem: y continuous. max 2x + y st x + y <= 2.5, x int *)
+  let x = Lin_expr.var 0 and y = Lin_expr.var 1 in
+  let r =
+    Milp.solve ~nvars:2 ~integer:[| true; false |]
+      ~objective:Lin_expr.(add (scale 2. x) y)
+      [ Simplex.constr (Lin_expr.add x y) Simplex.Le 2.5 ]
+  in
+  Alcotest.(check bool) "optimal" true (r.status = Milp.Optimal);
+  check_float "objective" 4.5 r.objective;
+  check_float "x" 2. r.values.(0);
+  check_float "y" 0.5 r.values.(1)
+
+(* brute force 0/1 knapsack comparison *)
+let prop_milp_matches_bruteforce =
+  let gen =
+    let open QCheck2.Gen in
+    let* n = int_range 1 6 in
+    let* values = list_size (return n) (int_range 1 20) in
+    let* weights = list_size (return n) (int_range 1 10) in
+    let* cap = int_range 5 25 in
+    return (n, values, weights, cap)
+  in
+  QCheck2.Test.make ~name:"MILP knapsack matches brute force" ~count:60 gen
+    (fun (n, values, weights, cap) ->
+      let values = Array.of_list values and weights = Array.of_list weights in
+      (* brute force *)
+      let best = ref 0 in
+      for mask = 0 to (1 lsl n) - 1 do
+        let v = ref 0 and w = ref 0 in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) <> 0 then begin
+            v := !v + values.(i);
+            w := !w + weights.(i)
+          end
+        done;
+        if !w <= cap && !v > !best then best := !v
+      done;
+      (* milp *)
+      let obj =
+        Array.to_list values
+        |> List.mapi (fun i v -> Lin_expr.var ~coeff:(float_of_int v) i)
+        |> List.fold_left Lin_expr.add Lin_expr.zero
+      in
+      let wexpr =
+        Array.to_list weights
+        |> List.mapi (fun i w -> Lin_expr.var ~coeff:(float_of_int w) i)
+        |> List.fold_left Lin_expr.add Lin_expr.zero
+      in
+      let cs =
+        Simplex.constr wexpr Simplex.Le (float_of_int cap)
+        :: List.init n (fun i -> Simplex.constr (Lin_expr.var i) Simplex.Le 1.)
+      in
+      let r = Milp.solve ~nvars:n ~integer:(Array.make n true) ~objective:obj cs in
+      r.status = Milp.Optimal && feq r.objective (float_of_int !best))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "farm_optim"
+    [ ( "lin_expr",
+        [ Alcotest.test_case "basic" `Quick test_lin_expr_basic;
+          Alcotest.test_case "cancellation" `Quick test_lin_expr_cancel;
+          Alcotest.test_case "subst" `Quick test_lin_expr_subst ]
+        @ qsuite [ prop_add_comm; prop_scale_distrib; prop_eval_linear ] );
+      ( "simplex",
+        [ Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "eq and ge rows" `Quick test_simplex_eq_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "minimize" `Quick test_simplex_minimize;
+          Alcotest.test_case "const in expr" `Quick test_simplex_const_in_expr ]
+        @ qsuite [ prop_simplex_feasible_and_dominant ] );
+      ( "milp",
+        [ Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
+          Alcotest.test_case "integrality" `Quick test_milp_integrality_matters;
+          Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+          Alcotest.test_case "warm start" `Quick test_milp_warm_start;
+          Alcotest.test_case "mixed" `Quick test_milp_mixed ]
+        @ qsuite [ prop_milp_matches_bruteforce ] ) ]

@@ -1,0 +1,385 @@
+(* Tests for the seed-placement model (§IV), the Alg. 1 heuristic and the
+   MILP formulation: constraints C1-C4, aggregation benefits, migration
+   behaviour, and heuristic-vs-MILP utility on small instances. *)
+
+open Farm_placement
+module Analysis = Farm_almanac.Analysis
+module Filter = Farm_net.Filter
+module Lin = Farm_optim.Lin_expr
+module Rng = Farm_sim.Rng
+
+let vcpu = Analysis.resource_index Analysis.VCpu
+let ram = Analysis.resource_index Analysis.Ram
+let pcie = Analysis.resource_index Analysis.Pcie
+
+let mk_caps node ?(cpu = 4.) ?(mem = 1024.) ?(tcam = 128.) ?(bus = 100.) () =
+  let avail = Array.make Analysis.n_resources 0. in
+  avail.(vcpu) <- cpu;
+  avail.(ram) <- mem;
+  avail.(Analysis.resource_index Analysis.TcamR) <- tcam;
+  avail.(pcie) <- bus;
+  { Model.node; avail }
+
+(* a seed needing [cpu] cores and [mem] MB, utility 10*vCPU capped at [cap] *)
+let mk_seed ?(polls = []) ~id ~task ~candidates ?(cpu = 1.) ?(mem = 100.)
+    ?(cap = 10.) () =
+  { Model.seed_id = id; task_id = task; candidates;
+    branches =
+      [ { Analysis.constraints =
+            [ Lin.sub (Lin.var vcpu) (Lin.const cpu);
+              Lin.sub (Lin.var ram) (Lin.const mem) ];
+          utility = [ Lin.var ~coeff:10. vcpu; Lin.const cap ] } ];
+    polls }
+
+let poll_every ?(subject = Filter.All_ports) iv =
+  { Model.subject; ival = Analysis.Const_ival iv }
+
+let mk_instance ?(alpha = 1.) ?(previous = []) seeds switches =
+  { Model.seeds; switches; alpha_poll = alpha; previous }
+
+let assert_valid inst placement =
+  match Model.validate inst placement.Model.assignments with
+  | [] -> ()
+  | problems -> Alcotest.failf "invalid placement: %s" (String.concat "; " problems)
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_catches_violations () =
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ();
+        mk_seed ~id:1 ~task:0 ~candidates:[ 0 ] () ]
+      [ mk_caps 0 ~cpu:1.5 () ]
+  in
+  let res = Array.make Analysis.n_resources 0. in
+  res.(vcpu) <- 1.;
+  res.(ram) <- 100.;
+  (* partial task placement violates C1 *)
+  let a0 = { Model.a_seed = 0; a_node = 0; a_branch = 0; a_res = res } in
+  let problems = Model.validate inst [ a0 ] in
+  Alcotest.(check bool) "C1 violation reported" true
+    (List.exists (fun m -> String.length m > 0 && String.sub m 0 4 = "task")
+       problems);
+  (* both seeds exceed the 1.5-core switch: C4 *)
+  let a1 = { Model.a_seed = 1; a_node = 0; a_branch = 0; a_res = res } in
+  let problems = Model.validate inst [ a0; a1 ] in
+  Alcotest.(check bool) "C4 violation reported" true
+    (List.exists
+       (fun m ->
+         String.length m >= 6 && String.sub m 0 6 = "switch")
+       problems);
+  (* under-resourced seed violates C2 *)
+  let low = Array.make Analysis.n_resources 0. in
+  low.(vcpu) <- 0.1;
+  let problems =
+    Model.validate inst
+      [ { Model.a_seed = 0; a_node = 0; a_branch = 0; a_res = low };
+        a1 ]
+  in
+  Alcotest.(check bool) "C2 violation reported" true
+    (List.exists
+       (fun m ->
+         let n = String.length m in
+         n >= 4 && String.sub m (n - 4) 4 = "(C2)")
+       problems)
+
+let test_poll_aggregation_max_not_sum () =
+  (* two seeds polling the same subject at 10/s and 4/s: demand is 10, not
+     14 (aggregation); different subjects: 14 *)
+  let same =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ~polls:[ poll_every 0.1 ] ();
+        mk_seed ~id:1 ~task:1 ~candidates:[ 0 ] ~polls:[ poll_every 0.25 ] () ]
+      [ mk_caps 0 () ]
+  in
+  let res = Array.make Analysis.n_resources 0. in
+  res.(vcpu) <- 1.;
+  res.(ram) <- 100.;
+  let assignments =
+    [ { Model.a_seed = 0; a_node = 0; a_branch = 0; a_res = res };
+      { Model.a_seed = 1; a_node = 0; a_branch = 0; a_res = res } ]
+  in
+  Alcotest.(check (float 1e-9)) "aggregated demand is the max" 10.
+    (Model.poll_demand same assignments ~node:0);
+  let diff =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ~polls:[ poll_every 0.1 ] ();
+        mk_seed ~id:1 ~task:1 ~candidates:[ 0 ]
+          ~polls:[ poll_every ~subject:(Filter.Port_counter 80) 0.25 ] () ]
+      [ mk_caps 0 () ]
+  in
+  Alcotest.(check (float 1e-9)) "distinct subjects add up" 14.
+    (Model.poll_demand diff assignments ~node:0)
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_heuristic_places_simple () =
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0; 1 ] ();
+        mk_seed ~id:1 ~task:0 ~candidates:[ 0; 1 ] () ]
+      [ mk_caps 0 (); mk_caps 1 () ]
+  in
+  let placement, stats = Heuristic.optimize inst in
+  Alcotest.(check int) "both seeds placed" 2 stats.placed_seeds;
+  Alcotest.(check int) "no drops" 0 stats.dropped_tasks;
+  assert_valid inst placement;
+  Alcotest.(check bool) "positive utility" true (placement.utility > 0.)
+
+let test_heuristic_redistribution_improves () =
+  (* one seed alone on a big switch: redistribution should push utility to
+     the min(10*vCPU, cap) ceiling *)
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ~cap:25. () ]
+      [ mk_caps 0 ~cpu:4. () ]
+  in
+  let greedy, _ = Heuristic.optimize ~phases:Heuristic.greedy_only inst in
+  let full, _ = Heuristic.optimize inst in
+  assert_valid inst full;
+  (* greedy gives the minimal allocation: 10 * 1 vCPU = 10 *)
+  Alcotest.(check (float 1e-6)) "greedy at min alloc" 10. greedy.utility;
+  (* redistribution grants up to 4 cores -> capped at 25 *)
+  Alcotest.(check (float 1e-6)) "LP fills spare capacity" 25. full.utility
+
+let test_heuristic_respects_capacity () =
+  (* 3 seeds of 1 core each, switch has 2.5 cores: only 2 fit; the third
+     seed's task (task 1 with 1 seed) must be dropped... all seeds same
+     task -> whole task dropped; use separate tasks *)
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ();
+        mk_seed ~id:1 ~task:1 ~candidates:[ 0 ] ();
+        mk_seed ~id:2 ~task:2 ~candidates:[ 0 ] () ]
+      [ mk_caps 0 ~cpu:2.5 () ]
+  in
+  let placement, stats = Heuristic.optimize inst in
+  assert_valid inst placement;
+  Alcotest.(check int) "two seeds fit" 2 stats.placed_seeds;
+  Alcotest.(check int) "one task dropped" 1 stats.dropped_tasks
+
+let test_heuristic_c1_all_or_nothing () =
+  (* task with two seeds, but only room for one -> entire task dropped *)
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ();
+        mk_seed ~id:1 ~task:0 ~candidates:[ 0 ] () ]
+      [ mk_caps 0 ~cpu:1.2 () ]
+  in
+  let placement, stats = Heuristic.optimize inst in
+  Alcotest.(check int) "nothing placed" 0 stats.placed_seeds;
+  Alcotest.(check int) "task dropped" 1 stats.dropped_tasks;
+  Alcotest.(check (float 0.)) "zero utility" 0. placement.utility
+
+let test_heuristic_aggregation_enables_fit () =
+  (* polling budget 12: two seeds each demanding 10 polls/s only fit when
+     they share the subject (aggregated max = 10 <= 12). *)
+  let shared =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ~polls:[ poll_every 0.1 ] ();
+        mk_seed ~id:1 ~task:1 ~candidates:[ 0 ] ~polls:[ poll_every 0.1 ] () ]
+      [ mk_caps 0 ~bus:12. () ]
+  in
+  let placement, stats = Heuristic.optimize shared in
+  assert_valid shared placement;
+  Alcotest.(check int) "both fit thanks to aggregation" 2 stats.placed_seeds;
+  let unshared =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ~polls:[ poll_every 0.1 ] ();
+        mk_seed ~id:1 ~task:1 ~candidates:[ 0 ]
+          ~polls:[ poll_every ~subject:(Filter.Port_counter 9) 0.1 ] () ]
+      [ mk_caps 0 ~bus:12. () ]
+  in
+  let placement2, stats2 = Heuristic.optimize unshared in
+  assert_valid unshared placement2;
+  Alcotest.(check int) "only one fits without sharing" 1 stats2.placed_seeds
+
+let test_heuristic_prefers_previous_location () =
+  (* seed can go to switch 0 or 1; it previously ran on switch 1 *)
+  let res = Array.make Analysis.n_resources 0. in
+  res.(vcpu) <- 1.;
+  res.(ram) <- 100.;
+  let previous = [ { Model.a_seed = 0; a_node = 1; a_branch = 0; a_res = res } ] in
+  let inst =
+    mk_instance ~previous
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0; 1 ] () ]
+      [ mk_caps 0 (); mk_caps 1 () ]
+  in
+  let placement, _ = Heuristic.optimize inst in
+  match placement.assignments with
+  | [ a ] -> Alcotest.(check int) "stays on switch 1" 1 a.a_node
+  | _ -> Alcotest.fail "expected one assignment"
+
+let test_heuristic_migrates_for_utility () =
+  (* Seed 0 sits on tiny switch 0 (cap just enough for min alloc).  A big
+     switch 1 is available; migration should move it there for higher
+     utility. *)
+  let res = Array.make Analysis.n_resources 0. in
+  res.(vcpu) <- 1.;
+  res.(ram) <- 100.;
+  let previous = [ { Model.a_seed = 0; a_node = 0; a_branch = 0; a_res = res } ] in
+  let inst =
+    mk_instance ~previous
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0; 1 ] ~cap:30. () ]
+      [ mk_caps 0 ~cpu:1. (); mk_caps 1 ~cpu:4. () ]
+  in
+  let placement, stats = Heuristic.optimize inst in
+  assert_valid inst placement;
+  (match placement.assignments with
+  | [ a ] -> Alcotest.(check int) "migrated to big switch" 1 a.a_node
+  | _ -> Alcotest.fail "expected one assignment");
+  Alcotest.(check bool) "migration counted" true (stats.migrations >= 1);
+  Alcotest.(check (float 1e-6)) "utility after migration" 30. placement.utility
+
+let test_heuristic_task_priority () =
+  (* High-min-utility task placed first gets the scarce switch. *)
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ~cap:5. ();
+        mk_seed ~id:1 ~task:1 ~candidates:[ 0 ] ~cap:50. ~cpu:2. () ]
+      [ mk_caps 0 ~cpu:2.5 () ]
+  in
+  (* task 1 min utility = 10*2 = 20 > task 0's 10 -> placed first, and
+     after that only 0.5 cores remain: task 0 cannot fit *)
+  let placement, _ = Heuristic.optimize inst in
+  assert_valid inst placement;
+  match placement.assignments with
+  | [ a ] -> Alcotest.(check int) "high-utility seed placed" 1 a.a_seed
+  | _ -> Alcotest.fail "expected exactly one placed seed"
+
+let prop_heuristic_always_valid =
+  QCheck2.Test.make ~name:"heuristic placements satisfy C1-C4" ~count:40
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 1 6))
+    (fun (seed, tasks) ->
+      let rng = Rng.create seed in
+      let inst =
+        Model.random_instance ~rng ~switches:(2 + (seed mod 7)) ~tasks
+          ~seeds_per_task:(1 + (seed mod 5)) ()
+      in
+      let placement, _ = Heuristic.optimize inst in
+      Model.validate inst placement.assignments = [])
+
+(* ------------------------------------------------------------------ *)
+(* MILP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_milp_simple_optimal () =
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0; 1 ] ~cap:25. () ]
+      [ mk_caps 0 ~cpu:1. (); mk_caps 1 ~cpu:4. () ]
+  in
+  let r = Milp_formulation.solve ~timeout:10. inst in
+  Alcotest.(check bool) "optimal" true (r.status = Farm_optim.Milp.Optimal);
+  assert_valid inst r.placement;
+  (* best: switch 1 with 2.5 cores -> min(10*2.5, 25) = 25 *)
+  Alcotest.(check (float 1e-4)) "utility" 25. r.placement.utility;
+  match r.placement.assignments with
+  | [ a ] -> Alcotest.(check int) "big switch chosen" 1 a.a_node
+  | _ -> Alcotest.fail "expected one assignment"
+
+let test_milp_beats_or_ties_heuristic () =
+  (* on small random instances the exact solver's utility must be >= the
+     heuristic's (modulo tolerance) *)
+  let rng = Rng.create 99 in
+  for _ = 1 to 5 do
+    let inst = Model.random_instance ~rng ~switches:3 ~tasks:2 ~seeds_per_task:2 () in
+    let hp, _ = Heuristic.optimize inst in
+    let r = Milp_formulation.solve ~timeout:20. ~warm_start:hp inst in
+    assert_valid inst r.placement;
+    Alcotest.(check bool)
+      (Printf.sprintf "milp %.2f >= heuristic %.2f" r.placement.utility
+         hp.utility)
+      true
+      (r.placement.utility >= hp.utility -. 1e-4)
+  done
+
+let test_milp_c1_in_formulation () =
+  (* two-seed task that cannot fully fit: MILP must place nothing *)
+  let inst =
+    mk_instance
+      [ mk_seed ~id:0 ~task:0 ~candidates:[ 0 ] ();
+        mk_seed ~id:1 ~task:0 ~candidates:[ 0 ] () ]
+      [ mk_caps 0 ~cpu:1.2 () ]
+  in
+  let r = Milp_formulation.solve ~timeout:10. inst in
+  Alcotest.(check int) "no partial placement" 0
+    (List.length r.placement.assignments)
+
+let test_milp_size_guard () =
+  (* a big instance with a warm start: the guard returns the warm start *)
+  let rng = Rng.create 7 in
+  let inst = Model.random_instance ~rng ~switches:20 ~tasks:8 ~seeds_per_task:40 () in
+  let hp, _ = Heuristic.optimize inst in
+  let r = Milp_formulation.solve ~timeout:0.5 ~max_cells:1000 ~warm_start:hp inst in
+  Alcotest.(check bool) "feasible via warm start" true
+    (r.status = Farm_optim.Milp.Feasible);
+  Alcotest.(check (float 1e-9)) "warm-start utility" hp.utility
+    r.placement.utility
+
+let test_milp_migration_cost () =
+  (* Seed 0 previously ran on switch 0 with 100 MB.  Seed 1 (a different
+     task) can only run on switch 0 and needs 60 MB; the switch has 120 MB.
+     Without history both fit (seed 0 moves to switch 1).  With history,
+     moving seed 0 doubles its 100 MB on switch 0 during the state
+     transfer (migr term in C4), so 100 + 60 > 120: seed 1's task cannot
+     be placed in the same run. *)
+  let res = Array.make Analysis.n_resources 0. in
+  res.(vcpu) <- 1.;
+  res.(ram) <- 100.;
+  let seeds =
+    [ mk_seed ~id:0 ~task:0 ~candidates:[ 0; 1 ] ~cap:10. ();
+      mk_seed ~id:1 ~task:1 ~candidates:[ 0 ] ~mem:60. ~cap:10. () ]
+  in
+  let switches = [ mk_caps 0 ~cpu:4. ~mem:120. (); mk_caps 1 ~cpu:4. () ] in
+  let free = mk_instance seeds switches in
+  let r_free = Milp_formulation.solve ~timeout:20. free in
+  assert_valid free r_free.placement;
+  Alcotest.(check int) "without history both seeds fit" 2
+    (List.length r_free.placement.assignments);
+  let hist =
+    mk_instance
+      ~previous:[ { Model.a_seed = 0; a_node = 0; a_branch = 0; a_res = res } ]
+      seeds switches
+  in
+  let r_hist = Milp_formulation.solve ~timeout:20. hist in
+  Alcotest.(check int) "migration overhead blocks the second task" 1
+    (List.length r_hist.placement.assignments)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "farm_placement"
+    [ ( "model",
+        [ Alcotest.test_case "validate catches violations" `Quick
+            test_validate_catches_violations;
+          Alcotest.test_case "poll aggregation is max" `Quick
+            test_poll_aggregation_max_not_sum ] );
+      ( "heuristic",
+        [ Alcotest.test_case "places simple" `Quick test_heuristic_places_simple;
+          Alcotest.test_case "redistribution improves" `Quick
+            test_heuristic_redistribution_improves;
+          Alcotest.test_case "respects capacity" `Quick
+            test_heuristic_respects_capacity;
+          Alcotest.test_case "C1 all-or-nothing" `Quick
+            test_heuristic_c1_all_or_nothing;
+          Alcotest.test_case "aggregation enables fit" `Quick
+            test_heuristic_aggregation_enables_fit;
+          Alcotest.test_case "prefers previous location" `Quick
+            test_heuristic_prefers_previous_location;
+          Alcotest.test_case "migrates for utility" `Quick
+            test_heuristic_migrates_for_utility;
+          Alcotest.test_case "task priority" `Quick test_heuristic_task_priority ]
+        @ qsuite [ prop_heuristic_always_valid ] );
+      ( "milp",
+        [ Alcotest.test_case "simple optimal" `Quick test_milp_simple_optimal;
+          Alcotest.test_case "beats or ties heuristic" `Slow
+            test_milp_beats_or_ties_heuristic;
+          Alcotest.test_case "C1 in formulation" `Quick
+            test_milp_c1_in_formulation;
+          Alcotest.test_case "size guard" `Quick test_milp_size_guard;
+          Alcotest.test_case "migration cost" `Quick test_milp_migration_cost ] ) ]

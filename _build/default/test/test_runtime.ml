@@ -1,0 +1,695 @@
+(* Tests for the FARM runtime: CPU/IPC models, soil (aggregation, PCIe
+   bottleneck, TCAM mediation), seed execution and the seeder's end-to-end
+   deploy -> poll -> detect -> react -> harvest pipeline, plus migration. *)
+
+open Farm_runtime
+module Engine = Farm_sim.Engine
+module Rng = Farm_sim.Rng
+module Topology = Farm_net.Topology
+module Fabric = Farm_net.Fabric
+module Filter = Farm_net.Filter
+module Flow = Farm_net.Flow
+module Tcam = Farm_net.Tcam
+module Switch_model = Farm_net.Switch_model
+module Value = Farm_almanac.Value
+module Typecheck = Farm_almanac.Typecheck
+
+(* ------------------------------------------------------------------ *)
+(* Cpu_model / Ipc                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_model_accounting () =
+  let u = Cpu_model.usage () in
+  Cpu_model.charge u 2.;
+  Cpu_model.charge u 6.;
+  Alcotest.(check (float 1e-9)) "busy" 8. (Cpu_model.busy_seconds u);
+  Alcotest.(check (float 1e-9)) "offered load 800%" 8.
+    (Cpu_model.offered_load u ~window:1.);
+  let m = Cpu_model.default in
+  Alcotest.(check (float 1e-9)) "achieved capped at cores" m.cores
+    (Cpu_model.achieved_load m u ~window:1.);
+  Alcotest.(check (float 1e-9)) "accuracy = cores/offered" (m.cores /. 8.)
+    (Cpu_model.accuracy m u ~window:1.);
+  Cpu_model.charge u (-7.9);
+  ignore (Cpu_model.accuracy m u ~window:1.)
+
+let test_ipc_latency_shape () =
+  (* gRPC grows fast with seed count; shared buffer stays nearly flat
+     (Fig. 10) *)
+  let g10 = Ipc.latency Ipc.Grpc Ipc.Threads ~seeds:10 in
+  let g150 = Ipc.latency Ipc.Grpc Ipc.Threads ~seeds:150 in
+  let s10 = Ipc.latency Ipc.Shared_buffer Ipc.Threads ~seeds:10 in
+  let s150 = Ipc.latency Ipc.Shared_buffer Ipc.Threads ~seeds:150 in
+  Alcotest.(check bool) "gRPC grows" true (g150 > g10 *. 2.);
+  Alcotest.(check bool) "shared buffer nearly flat" true
+    (s150 < s10 *. 3.);
+  Alcotest.(check bool) "shared buffer much faster" true (s150 *. 20. < g150);
+  (* processes cost more than threads on both schemes *)
+  Alcotest.(check bool) "processes slower (gRPC)" true
+    (Ipc.latency Ipc.Grpc Ipc.Processes ~seeds:50
+    > Ipc.latency Ipc.Grpc Ipc.Threads ~seeds:50);
+  Alcotest.(check bool) "processes slower (shm)" true
+    (Ipc.latency Ipc.Shared_buffer Ipc.Processes ~seeds:50
+    > Ipc.latency Ipc.Shared_buffer Ipc.Threads ~seeds:50)
+
+(* ------------------------------------------------------------------ *)
+(* Soil                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_soil ?config () =
+  let engine = Engine.create () in
+  let sw = Switch_model.create ~id:0 ~ports:8 () in
+  let soil = Soil.create ?config engine sw in
+  (engine, sw, soil)
+
+let test_soil_poll_delivery () =
+  let engine, sw, soil = make_soil () in
+  Switch_model.add_flow sw ~time:0. ~flow_id:1
+    ~tuple:{ Flow.src = Farm_net.Ipaddr.of_int 1;
+             dst = Farm_net.Ipaddr.of_int 2; sport = 1; dport = 80;
+             proto = Flow.Tcp }
+    ~rate:1000. ~egress:3 ();
+  let deliveries = ref [] in
+  let _sub =
+    Soil.subscribe_poll soil ~seed_id:0 ~subject:Filter.All_ports ~period:0.1
+      (fun data -> deliveries := data :: !deliveries)
+  in
+  Engine.run ~until:1.05 engine;
+  Alcotest.(check bool) "about 10 deliveries" true
+    (List.length !deliveries >= 9 && List.length !deliveries <= 11);
+  (* latest delivery sees accumulated bytes on port 3 *)
+  (match !deliveries with
+  | last :: _ ->
+      Alcotest.(check bool) "port 3 counted" true (last.(3) > 800.)
+  | [] -> Alcotest.fail "no deliveries")
+
+let test_soil_aggregation_saves_asic_polls () =
+  (* two seeds polling the same subject: aggregated = one ASIC poll stream
+     at the fastest rate *)
+  let run aggregate =
+    let config = { Soil.default_config with aggregate_polls = aggregate } in
+    let engine, _sw, soil = make_soil ~config () in
+    let _s1 =
+      Soil.subscribe_poll soil ~seed_id:1 ~subject:Filter.All_ports
+        ~period:0.01 (fun _ -> ())
+    in
+    let _s2 =
+      Soil.subscribe_poll soil ~seed_id:2 ~subject:Filter.All_ports
+        ~period:0.01 (fun _ -> ())
+    in
+    Engine.run ~until:1. engine;
+    (Soil.poll_stats soil).asic_polls
+  in
+  let agg = run true and non_agg = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregation halves ASIC polls (%d vs %d)" agg non_agg)
+    true
+    (float_of_int agg < 0.6 *. float_of_int non_agg)
+
+let test_soil_aggregated_rate_is_fastest () =
+  let engine, _sw, soil = make_soil () in
+  let fast = ref 0 and slow = ref 0 in
+  let _s1 =
+    Soil.subscribe_poll soil ~seed_id:1 ~subject:Filter.All_ports
+      ~period:0.01 (fun _ -> incr fast)
+  in
+  let _s2 =
+    Soil.subscribe_poll soil ~seed_id:2 ~subject:Filter.All_ports
+      ~period:0.1 (fun _ -> incr slow)
+  in
+  Engine.run ~until:1. engine;
+  (* both are served at the fast seed's rate: the slow seed sees at least
+     its requested accuracy *)
+  Alcotest.(check bool) "fast seed ~100 polls" true (!fast >= 95);
+  Alcotest.(check bool) "slow seed served at aggregate rate" true
+    (!slow >= 95)
+
+let test_soil_pcie_saturation () =
+  (* Demand far beyond the 8 Mbit/s polling budget: polls are dropped and
+     completions cap at the bus capacity (Fig. 8). *)
+  let engine, _sw, soil = make_soil () in
+  (* a 64 B counter read is 512 bits; the 8 Mbit/s budget sustains
+     ~15625 polls/s.  Ask for 20 seeds x 5000 polls/s = 51 Mbit/s. *)
+  for i = 1 to 20 do
+    ignore
+      (Soil.subscribe_poll soil ~seed_id:i
+         ~subject:(Filter.Port_counter i) ~period:0.0002 (fun _ -> ()))
+  done;
+  Engine.run ~until:2. engine;
+  let stats = Soil.poll_stats soil in
+  Alcotest.(check bool) "drops occurred" true (stats.dropped > 0);
+  (* completed transfer volume stays within bus capacity *)
+  let achieved_bps = stats.pcie_bytes *. 8. /. 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "achieved %.0f <= capacity" achieved_bps)
+    true
+    (achieved_bps <= 8.1e6)
+
+let test_soil_probe_sampling () =
+  let engine, sw, soil = make_soil () in
+  Switch_model.add_flow sw ~time:0. ~flow_id:1
+    ~tuple:{ Flow.src = Farm_net.Ipaddr.of_int 1;
+             dst = Farm_net.Ipaddr.of_int 2; sport = 5; dport = 443;
+             proto = Flow.Tcp }
+    ~rate:1e6 ~egress:0 ();
+  let got = ref 0 in
+  let _sub =
+    Soil.subscribe_probe soil ~seed_id:0
+      ~filter:(Filter.atom (Filter.Dst_port 443)) ~period:0.01 (fun pkt ->
+        Alcotest.(check int) "filtered packets only" 443 pkt.tuple.dport;
+        incr got)
+  in
+  Engine.run ~until:1. engine;
+  Alcotest.(check bool) "packets sampled" true (!got > 50)
+
+let test_soil_tcam_mediation () =
+  let engine, sw, soil = make_soil () in
+  ignore engine;
+  let pattern = Filter.atom (Filter.Dst_port 80) in
+  (match Soil.add_tcam_rule soil { pattern; action = Tcam.Drop; priority = 5 } with
+  | Ok () -> ()
+  | Error `Full -> Alcotest.fail "rule must fit");
+  (* rule landed in the monitoring region only *)
+  Alcotest.(check int) "monitoring region used" 1
+    (Tcam.region_used (Switch_model.tcam sw) Tcam.Monitoring);
+  Alcotest.(check int) "forwarding region untouched" 0
+    (Tcam.region_used (Switch_model.tcam sw) Tcam.Forwarding);
+  Alcotest.(check bool) "lookup finds it" true
+    (Soil.get_tcam_rule soil ~pattern <> None);
+  Alcotest.(check int) "removed" 1 (Soil.remove_tcam_rule soil ~pattern)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end deployment                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A watchdog task: polls all port counters; when the total byte count
+   exceeds [limit] it reports to the harvester, installs a local drop rule
+   for port 80, and moves to a quenched state. *)
+let watchdog_source =
+  {|
+machine Watchdog {
+  place all;
+  poll counters = Poll { .ival = 0.01, .what = port ANY };
+  external long limit = 1000000;
+  state observe {
+    when (counters as stats) do {
+      if (stats_sum(stats) >= limit) then {
+        transit alerting;
+      }
+    }
+  }
+  state alerting {
+    when (enter) do {
+      send stats_to_report() to harvester;
+      addTCAMRule(mkRule(dstPort 80, drop_action()));
+      transit quenched;
+    }
+  }
+  state quenched {
+  }
+}
+|}
+
+let watchdog_sigs =
+  [ ("stats_to_report", { Typecheck.args = []; ret = Typecheck.Numeric }) ]
+
+let watchdog_builtins = [ ("stats_to_report", fun _ -> Value.Num 42.) ]
+
+let make_world () =
+  let engine = Engine.create ~seed:11 () in
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1 in
+  let fabric = Fabric.create topo in
+  let seeder = Seeder.create engine fabric in
+  (engine, topo, fabric, seeder)
+
+let test_seeder_deploy_and_detect () =
+  let engine, topo, fabric, seeder = make_world () in
+  let spec =
+    { (Seeder.simple_spec ~name:"watchdog" ~source:watchdog_source) with
+      Seeder.ts_extra_sigs = watchdog_sigs;
+      ts_builtins = watchdog_builtins;
+      ts_externals = [ ("Watchdog", [ ("limit", Value.Num 50_000.) ]) ] }
+  in
+  let task =
+    match Seeder.deploy seeder spec with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Alcotest.(check bool) "placed" true (Seeder.is_placed task);
+  (* place all: one seed per switch *)
+  Alcotest.(check int) "one seed per switch"
+    (List.length (Topology.switches topo))
+    (List.length (Seeder.seeds seeder task));
+  (* a 100 kB/s flow crosses the 50 kB total within ~0.5 s on its path *)
+  let tuple =
+    { Flow.src = Farm_net.Ipaddr.of_string "10.1.1.10";
+      dst = Farm_net.Ipaddr.of_string "10.2.1.10"; sport = 1234; dport = 80;
+      proto = Flow.Tcp }
+  in
+  let _ = Fabric.start_flow fabric ~time:0. ~tuple ~rate:100_000. () in
+  Engine.run ~until:2. engine;
+  let h = Seeder.harvester task in
+  Alcotest.(check bool) "harvester got alerts" true
+    (Harvester.received_count h >= 1);
+  (* alert payload comes from the task builtin *)
+  (match Harvester.received h with
+  | (_, _, Value.Num v) :: _ -> Alcotest.(check (float 0.)) "payload" 42. v
+  | _ -> Alcotest.fail "expected a numeric alert");
+  (* local reaction: drop rule installed on the path switches *)
+  let rule_somewhere =
+    List.exists
+      (fun soil ->
+        Soil.get_tcam_rule soil ~pattern:(Filter.atom (Filter.Dst_port 80))
+        <> None)
+      (Seeder.soils seeder)
+  in
+  Alcotest.(check bool) "drop rule installed locally" true rule_somewhere;
+  (* seeds on the flow's path are quenched *)
+  let quenched =
+    List.filter (fun s -> Seed_exec.state s = "quenched")
+      (Seeder.seeds seeder task)
+  in
+  Alcotest.(check bool) "path seeds quenched" true (List.length quenched >= 3)
+
+let test_seeder_harvester_feedback () =
+  (* the harvester reconfigures seeds at runtime via recv *)
+  let source =
+    {|
+machine Adj {
+  place all;
+  external long threshold = 10;
+  state s {
+    when (recv long t from harvester) do { threshold = t; }
+  }
+}
+|}
+  in
+  let engine, _, _, seeder = make_world () in
+  let sent = ref false in
+  let harvester_spec =
+    { Harvester.on_start =
+        (fun ctx ->
+          sent := true;
+          ctx.broadcast (Value.Num 77.));
+      on_message = (fun _ ~from_switch:_ _ -> ()) }
+  in
+  let spec =
+    { (Seeder.simple_spec ~name:"adj" ~source) with
+      Seeder.ts_harvester = harvester_spec }
+  in
+  let task =
+    match Seeder.deploy seeder spec with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Engine.run ~until:0.1 engine;
+  Alcotest.(check bool) "harvester started" true !sent;
+  List.iter
+    (fun s ->
+      match Seed_exec.var s "threshold" with
+      | Some (Value.Num v) ->
+          Alcotest.(check (float 0.)) "threshold pushed to all seeds" 77. v
+      | _ -> Alcotest.fail "threshold unbound")
+    (Seeder.seeds seeder task)
+
+let test_seeder_collector_accounting () =
+  let engine, _, fabric, seeder = make_world () in
+  let spec =
+    { (Seeder.simple_spec ~name:"watchdog" ~source:watchdog_source) with
+      Seeder.ts_extra_sigs = watchdog_sigs;
+      ts_builtins = watchdog_builtins;
+      ts_externals = [ ("Watchdog", [ ("limit", Value.Num 10_000.) ]) ] }
+  in
+  (match Seeder.deploy seeder spec with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "deploy failed: %s" m);
+  Alcotest.(check (float 0.)) "no traffic, no collector load" 0.
+    (Seeder.collector_bytes seeder);
+  let tuple =
+    { Flow.src = Farm_net.Ipaddr.of_string "10.1.1.10";
+      dst = Farm_net.Ipaddr.of_string "10.2.1.10"; sport = 1; dport = 80;
+      proto = Flow.Tcp }
+  in
+  let _ = Fabric.start_flow fabric ~time:0. ~tuple ~rate:1e6 () in
+  Engine.run ~until:1. engine;
+  Alcotest.(check bool) "alerts counted" true
+    (Seeder.collector_messages seeder >= 1);
+  Alcotest.(check bool) "bytes counted" true
+    (Seeder.collector_bytes seeder > 0.)
+
+let test_seeder_undeploy_releases () =
+  let engine, _, _, seeder = make_world () in
+  ignore engine;
+  let spec =
+    { (Seeder.simple_spec ~name:"watchdog" ~source:watchdog_source) with
+      Seeder.ts_extra_sigs = watchdog_sigs;
+      ts_builtins = watchdog_builtins }
+  in
+  let task =
+    match Seeder.deploy seeder spec with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  let n_seeds = List.length (Seeder.seeds seeder task) in
+  Alcotest.(check bool) "seeds deployed" true (n_seeds > 0);
+  Seeder.undeploy seeder task;
+  Alcotest.(check int) "seeds gone" 0 (List.length (Seeder.seeds seeder task));
+  Alcotest.(check bool) "not placed" false (Seeder.is_placed task)
+
+let test_seeder_rejects_bad_programs () =
+  let _, _, _, seeder = make_world () in
+  (match Seeder.deploy seeder (Seeder.simple_spec ~name:"bad" ~source:"machine {") with
+  | Error m ->
+      Alcotest.(check bool) "syntax error surfaced" true
+        (String.length m > 0)
+  | Ok _ -> Alcotest.fail "syntax error must fail");
+  match
+    Seeder.deploy seeder
+      (Seeder.simple_spec ~name:"bad2"
+         ~source:
+           "machine M { long x; state s { when (enter) do { x = nope; } } }")
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "type error must fail"
+
+let test_seed_migration_preserves_state () =
+  (* Manual migration through the Seed_exec API: snapshot on one soil,
+     restore on another; machine state and variables survive, polling
+     resumes on the target. *)
+  let engine = Engine.create () in
+  let sw0 = Switch_model.create ~id:0 ~ports:4 () in
+  let sw1 = Switch_model.create ~id:1 ~ports:4 () in
+  let soil0 = Soil.create engine sw0 in
+  let soil1 = Soil.create engine sw1 in
+  let source =
+    {|
+machine Counting {
+  place all;
+  poll ticks = Poll { .ival = 0.01, .what = port ANY };
+  long count = 0;
+  state s {
+    when (ticks as stats) do { count = count + 1; }
+  }
+}
+|}
+  in
+  let program = Typecheck.check (Farm_almanac.Parser.program source) in
+  let machine = List.hd program.machines in
+  let polls =
+    match Farm_almanac.Analysis.polls machine with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let resources = Array.make Farm_almanac.Analysis.n_resources 1. in
+  let deploy soil restore =
+    Seed_exec.deploy ~soil ~program ~machine:"Counting" ?restore ~resources
+      ~polls
+      ~send:(fun _ _ _ -> ())
+      ~seed_id:7 ()
+  in
+  let s0 = deploy soil0 None in
+  Engine.run ~until:0.5 engine;
+  let count_at_migration =
+    match Seed_exec.var s0 "count" with
+    | Some (Value.Num n) -> n
+    | _ -> Alcotest.fail "count unbound"
+  in
+  Alcotest.(check bool) "polled before migration" true
+    (count_at_migration > 10.);
+  let snapshot = Seed_exec.snapshot s0 in
+  Seed_exec.destroy s0;
+  Alcotest.(check bool) "origin stopped" false (Seed_exec.is_alive s0);
+  let s1 = deploy soil1 (Some snapshot) in
+  Alcotest.(check int) "runs on target switch" 1 (Seed_exec.node s1);
+  Engine.run ~until:1. engine;
+  (match Seed_exec.var s1 "count" with
+  | Some (Value.Num n) ->
+      Alcotest.(check bool) "state carried over and polling resumed" true
+        (n > count_at_migration +. 10.)
+  | _ -> Alcotest.fail "count unbound after migration");
+  (* origin soil no longer polls *)
+  Soil.reset_stats soil0;
+  Engine.run ~until:1.5 engine;
+  Alcotest.(check int) "origin soil idle" 0 (Soil.poll_stats soil0).asic_polls
+
+let test_seed_realloc_changes_poll_rate () =
+  (* a seed whose ival = 10/PCIe polls faster after more PCIe is granted *)
+  let engine = Engine.create () in
+  let sw = Switch_model.create ~id:0 ~ports:4 () in
+  let soil = Soil.create engine sw in
+  let source =
+    {|
+machine R {
+  place all;
+  poll ticks = Poll { .ival = 10 / res().PCIe, .what = port ANY };
+  long count = 0;
+  long reallocs = 0;
+  state s {
+    when (ticks as stats) do { count = count + 1; }
+    when (realloc) do { reallocs = reallocs + 1; }
+  }
+}
+|}
+  in
+  let program = Typecheck.check (Farm_almanac.Parser.program source) in
+  let polls =
+    match Farm_almanac.Analysis.polls (List.hd program.machines) with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let res = Array.make Farm_almanac.Analysis.n_resources 1. in
+  res.(Farm_almanac.Analysis.resource_index Farm_almanac.Analysis.Pcie) <- 100.;
+  (* ival = 10/100 = 0.1 s *)
+  let seed =
+    Seed_exec.deploy ~soil ~program ~machine:"R" ~resources:res ~polls
+      ~send:(fun _ _ _ -> ())
+      ~seed_id:1 ()
+  in
+  Engine.run ~until:1. engine;
+  let c1 =
+    match Seed_exec.var seed "count" with
+    | Some (Value.Num n) -> n
+    | _ -> 0.
+  in
+  Alcotest.(check bool) "about 10 polls in 1s" true (c1 >= 8. && c1 <= 12.);
+  (* grant 10x the polling capacity *)
+  let res2 = Array.copy res in
+  res2.(Farm_almanac.Analysis.resource_index Farm_almanac.Analysis.Pcie) <-
+    1000.;
+  Seed_exec.set_resources seed res2;
+  Engine.run ~until:2. engine;
+  let c2 =
+    match Seed_exec.var seed "count" with
+    | Some (Value.Num n) -> n
+    | _ -> 0.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "10x faster after realloc (%.0f then %.0f)" c1 (c2 -. c1))
+    true
+    (c2 -. c1 >= 80.);
+  match Seed_exec.var seed "reallocs" with
+  | Some (Value.Num n) -> Alcotest.(check (float 0.)) "realloc event fired" 1. n
+  | _ -> Alcotest.fail "reallocs unbound"
+
+let test_inter_seed_messaging () =
+  (* two machine types in one task: Sensor seeds broadcast to the Mirror
+     machine; a directed send (@ switch) reaches only that switch's seed *)
+  let engine = Engine.create ~seed:17 () in
+  let topo = Topology.linear ~n:2 in
+  let fabric = Fabric.create topo in
+  let seeder = Seeder.create engine fabric in
+  let source =
+    {|
+machine Sensor {
+  place all;
+  time tick = Time { .ival = 0.5 };
+  long fired = 0;
+  state s {
+    when (tick as t) do {
+      if (fired == 0) then {
+        send 41 to Mirror;                  // broadcast to all Mirror seeds
+        send 1 to Mirror @ 0;               // directed: switch 0 only
+        fired = 1;
+      }
+    }
+  }
+}
+machine Mirror {
+  place all;
+  long total = 0;
+  state s {
+    when (recv long v from Sensor) do { total = total + v; }
+  }
+}
+|}
+  in
+  let task =
+    match Seeder.deploy seeder (Seeder.simple_spec ~name:"pair" ~source) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Engine.run ~until:2. engine;
+  let mirror_total node =
+    match Seeder.seed_on seeder task ~machine:"Mirror" ~node with
+    | Some s -> (
+        match Seed_exec.var s "total" with
+        | Some (Value.Num n) -> n
+        | _ -> Alcotest.fail "total unbound")
+    | None -> Alcotest.failf "no Mirror seed on switch %d" node
+  in
+  (* both sensors broadcast 41 once (2x41); switch 0 additionally got two
+     directed 1s (one from each sensor) *)
+  Alcotest.(check (float 0.)) "switch 0: broadcasts + directed" 84.
+    (mirror_total 0);
+  Alcotest.(check (float 0.)) "switch 1: broadcasts only" 82.
+    (mirror_total 1)
+
+let test_switch_failure_recovery () =
+  (* a task placeable anywhere survives a switch failure: its seed is lost
+     with the switch and restarted elsewhere by re-optimization *)
+  let engine = Engine.create ~seed:13 () in
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1 in
+  let fabric = Fabric.create topo in
+  let seeder = Seeder.create engine fabric in
+  let source =
+    {|
+machine Roam {
+  place any;
+  poll ticks = Poll { .ival = 0.01, .what = port ANY };
+  long polls = 0;
+  state s { when (ticks as stats) do { polls = polls + 1; } }
+}
+|}
+  in
+  let task =
+    match Seeder.deploy seeder (Seeder.simple_spec ~name:"roam" ~source) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Engine.run ~until:1. engine;
+  let seed = List.hd (Seeder.seeds seeder task) in
+  let home = Seed_exec.node seed in
+  Seeder.fail_switch seeder home;
+  Alcotest.(check (list int)) "marked failed" [ home ]
+    (Seeder.failed_switches seeder);
+  (* the replacement seed lives on another switch and polls again *)
+  (match Seeder.seeds seeder task with
+  | [ replacement ] ->
+      Alcotest.(check bool) "moved off the failed switch" true
+        (Seed_exec.node replacement <> home);
+      Engine.run ~until:2. engine;
+      (match Seed_exec.var replacement "polls" with
+      | Some (Value.Num n) ->
+          Alcotest.(check bool) "polling resumed" true (n > 10.)
+      | _ -> Alcotest.fail "polls unbound")
+  | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds));
+  (* the old instance is dead *)
+  Alcotest.(check bool) "old instance destroyed" false (Seed_exec.is_alive seed)
+
+let test_switch_failure_drops_pinned_task () =
+  (* a task pinned to one switch cannot survive that switch's failure *)
+  let engine = Engine.create ~seed:14 () in
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1 in
+  let fabric = Fabric.create topo in
+  let seeder = Seeder.create engine fabric in
+  let source =
+    {|
+machine Pinned {
+  place any "leaf0";
+  long x;
+  state s { }
+}
+|}
+  in
+  let task =
+    match Seeder.deploy seeder (Seeder.simple_spec ~name:"pinned" ~source) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  let node = Seed_exec.node (List.hd (Seeder.seeds seeder task)) in
+  Seeder.fail_switch seeder node;
+  Alcotest.(check int) "task dropped with its only switch" 0
+    (List.length (Seeder.seeds seeder task))
+
+let test_reoptimize_migrates_on_arrival () =
+  (* a later, more valuable task can push an existing movable seed to its
+     other candidate switch; the migrated seed keeps its state *)
+  let engine = Engine.create ~seed:15 () in
+  let topo = Topology.linear ~n:2 in
+  let fabric = Fabric.create topo in
+  let seeder = Seeder.create engine fabric in
+  let source =
+    {|
+machine Counting {
+  place any;
+  poll ticks = Poll { .ival = 0.01, .what = port ANY };
+  long polls = 0;
+  state s { when (ticks as stats) do { polls = polls + 1; } }
+}
+|}
+  in
+  let task =
+    match Seeder.deploy seeder (Seeder.simple_spec ~name:"count" ~source) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Engine.run ~until:1. engine;
+  let seed = List.hd (Seeder.seeds seeder task) in
+  let polls_before =
+    match Seed_exec.var seed "polls" with
+    | Some (Value.Num n) -> n
+    | _ -> 0.
+  in
+  Alcotest.(check bool) "accumulated state" true (polls_before > 50.);
+  (* migration through the seeder API *)
+  Seeder.reoptimize seeder;
+  Engine.run ~until:3. engine;
+  match Seeder.seeds seeder task with
+  | [ s ] -> (
+      match Seed_exec.var s "polls" with
+      | Some (Value.Num n) ->
+          Alcotest.(check bool) "state preserved across reoptimize" true
+            (n >= polls_before)
+      | _ -> Alcotest.fail "polls unbound")
+  | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds)
+
+let () =
+  Alcotest.run "farm_runtime"
+    [ ( "models",
+        [ Alcotest.test_case "cpu accounting" `Quick test_cpu_model_accounting;
+          Alcotest.test_case "ipc latency shape" `Quick test_ipc_latency_shape ] );
+      ( "soil",
+        [ Alcotest.test_case "poll delivery" `Quick test_soil_poll_delivery;
+          Alcotest.test_case "aggregation saves ASIC polls" `Quick
+            test_soil_aggregation_saves_asic_polls;
+          Alcotest.test_case "aggregated rate is fastest" `Quick
+            test_soil_aggregated_rate_is_fastest;
+          Alcotest.test_case "PCIe saturation" `Quick test_soil_pcie_saturation;
+          Alcotest.test_case "probe sampling" `Quick test_soil_probe_sampling;
+          Alcotest.test_case "tcam mediation" `Quick test_soil_tcam_mediation ] );
+      ( "seeder",
+        [ Alcotest.test_case "deploy and detect" `Quick
+            test_seeder_deploy_and_detect;
+          Alcotest.test_case "harvester feedback" `Quick
+            test_seeder_harvester_feedback;
+          Alcotest.test_case "collector accounting" `Quick
+            test_seeder_collector_accounting;
+          Alcotest.test_case "undeploy releases" `Quick
+            test_seeder_undeploy_releases;
+          Alcotest.test_case "rejects bad programs" `Quick
+            test_seeder_rejects_bad_programs ] );
+      ( "migration",
+        [ Alcotest.test_case "migration preserves state" `Quick
+            test_seed_migration_preserves_state;
+          Alcotest.test_case "realloc changes poll rate" `Quick
+            test_seed_realloc_changes_poll_rate;
+          Alcotest.test_case "reoptimize keeps state" `Quick
+            test_reoptimize_migrates_on_arrival ] );
+      ( "messaging",
+        [ Alcotest.test_case "inter-seed broadcast and directed" `Quick
+            test_inter_seed_messaging ] );
+      ( "fault tolerance",
+        [ Alcotest.test_case "switch failure recovery" `Quick
+            test_switch_failure_recovery;
+          Alcotest.test_case "pinned task dropped" `Quick
+            test_switch_failure_drops_pinned_task ] ) ]

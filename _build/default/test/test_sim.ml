@@ -1,0 +1,252 @@
+(* Tests for the discrete-event simulation core: RNG determinism and
+   distributions, heap ordering, engine scheduling semantics, metrics. *)
+
+open Farm_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  (* after splitting, drawing from one stream does not affect the other's
+     reproducibility *)
+  let a' = Rng.create 7 in
+  let c' = Rng.split a' in
+  let _ = Rng.int a 10 in
+  Alcotest.(check int) "split streams deterministic" (Rng.int c 1000)
+    (Rng.int c' 1000)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 17);
+    let f = Rng.float r in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0. && f < 1.);
+    let u = Rng.uniform r 2. 5. in
+    Alcotest.(check bool) "uniform in range" true (u >= 2. && u < 5.)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r 2.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "exponential mean near 0.5" true
+    (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_zipf_skew () =
+  let r = Rng.create 5 in
+  let n = 1000 in
+  let counts = Array.make n 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let k = Rng.zipf r ~n ~s:1. in
+    Alcotest.(check bool) "zipf in range" true (k >= 0 && k < n);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* rank 0 must be far more popular than rank n/2 *)
+  Alcotest.(check bool) "zipf skewed" true (counts.(0) > 10 * counts.(n / 2))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 9 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.push h ~time:t t) [ 5.; 1.; 3.; 2.; 4. ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ]
+    (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun x -> Heap.push h ~time:1. x) [ "a"; "b"; "c" ];
+  let next () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let x1 = next () in
+  let x2 = next () in
+  let x3 = next () in
+  Alcotest.(check (list string)) "fifo on equal times" [ "a"; "b"; "c" ]
+    [ x1; x2; x3 ]
+
+let prop_heap_sorted =
+  QCheck2.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck2.Gen.(list (float_range 0. 100.))
+    (fun times ->
+      let h = Heap.create () in
+      List.iter (fun t -> Heap.push h ~time:t ()) times;
+      let rec check last =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= last && check t
+      in
+      check neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_order_and_clock () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2. (fun e ->
+      log := ("b", Engine.now e) :: !log);
+  Engine.schedule e ~delay:1. (fun e ->
+      log := ("a", Engine.now e) :: !log;
+      Engine.schedule e ~delay:0.5 (fun e ->
+          log := ("a2", Engine.now e) :: !log));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "event order and times"
+    [ ("a", 1.); ("a2", 1.5); ("b", 2.) ]
+    (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:1. (fun _ -> incr fired);
+  Engine.schedule e ~delay:5. (fun _ -> incr fired);
+  Engine.run ~until:2. e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock stopped at until" 2. (Engine.now e)
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let timer = Engine.every e ~period:1. (fun _ -> incr count) in
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "5 ticks in 5.5s" 5 !count;
+  Engine.cancel timer
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let timer = Engine.every e ~period:1. (fun _ -> incr count) in
+  Engine.schedule e ~delay:2.5 (fun _ -> Engine.cancel timer);
+  Engine.run ~until:10. e;
+  Alcotest.(check int) "cancelled after 2 ticks" 2 !count
+
+let test_engine_set_period () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let timer = Engine.every e ~period:1. (fun _ -> incr count) in
+  (* After 3 s, slow the timer down 10x.  The tick at t=4 was already
+     scheduled with the old period, so ticks land at 1,2,3,4,14,24. *)
+  Engine.schedule e ~delay:3.1 (fun _ -> Engine.set_period timer 10.);
+  Engine.run ~until:25. e;
+  Alcotest.(check int) "adaptive polling rate" 6 !count
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1. (fun e ->
+      Alcotest.check_raises "past scheduling rejected"
+        (Invalid_argument
+           "Engine.schedule_at: time 0.5 is in the past (now 1)") (fun () ->
+          Engine.schedule_at e ~time:0.5 (fun _ -> ())));
+  Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counter () =
+  let c = Metrics.Counter.create () in
+  Metrics.Counter.add c 2.;
+  Metrics.Counter.incr c;
+  check_float "counter" 3. (Metrics.Counter.value c);
+  Metrics.Counter.reset c;
+  check_float "reset" 0. (Metrics.Counter.value c)
+
+let test_metrics_histogram () =
+  let h = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.record h) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  check_float "mean" 3. (Metrics.Histogram.mean h);
+  check_float "p50" 3. (Metrics.Histogram.percentile h 50.);
+  check_float "p0" 1. (Metrics.Histogram.percentile h 0.);
+  check_float "p100" 5. (Metrics.Histogram.percentile h 100.);
+  check_float "max" 5. (Metrics.Histogram.max h)
+
+let test_metrics_busy () =
+  let b = Metrics.Busy.create () in
+  Metrics.Busy.add b 0.5;
+  Metrics.Busy.add b 0.7;
+  check_float "busy time" 1.2 (Metrics.Busy.busy_time b);
+  (* 1.2s busy over 1s wall = 120% load: multi-core overcommit *)
+  check_float "utilization > 1" 1.2
+    (Metrics.Busy.utilization b ~from:0. ~till:1.)
+
+let prop_histogram_percentile_monotone =
+  QCheck2.Test.make ~name:"histogram percentiles monotone" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let h = Metrics.Histogram.create () in
+      List.iter (Metrics.Histogram.record h) xs;
+      let ps = [ 0.; 10.; 25.; 50.; 75.; 90.; 100. ] in
+      let vals = List.map (Metrics.Histogram.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | [ _ ] | [] -> true
+      in
+      mono vals)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "farm_sim"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "exponential mean" `Quick
+            test_rng_exponential_mean;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_rng_shuffle_permutes ] );
+      ( "heap",
+        [ Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties ]
+        @ qsuite [ prop_heap_sorted ] );
+      ( "engine",
+        [ Alcotest.test_case "order and clock" `Quick
+            test_engine_order_and_clock;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "periodic" `Quick test_engine_periodic;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "set_period" `Quick test_engine_set_period;
+          Alcotest.test_case "past raises" `Quick test_engine_past_raises ] );
+      ( "metrics",
+        [ Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "busy" `Quick test_metrics_busy ]
+        @ qsuite [ prop_histogram_percentile_monotone ] ) ]

@@ -1,0 +1,213 @@
+(* Tests for the sketch substrate (count-min, HyperLogLog) and the
+   sketch-based monitoring tasks built on it (§VIII future work). *)
+
+module Count_min = Farm_sketches.Count_min
+module Hyperloglog = Farm_sketches.Hyperloglog
+module Rng = Farm_sim.Rng
+module Engine = Farm_sim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Count-min                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cms_dimensions () =
+  let t = Count_min.create ~epsilon:0.01 ~delta:0.01 () in
+  Alcotest.(check bool) "width ~ e/eps" true (Count_min.width t >= 271);
+  Alcotest.(check bool) "depth ~ ln(1/delta)" true (Count_min.depth t >= 4);
+  Alcotest.(check int) "cells" (Count_min.width t * Count_min.depth t)
+    (Count_min.cells t)
+
+let test_cms_exact_when_sparse () =
+  let t = Count_min.create ~epsilon:0.01 ~delta:0.01 () in
+  Count_min.add t ~count:5. "a";
+  Count_min.add t ~count:3. "a";
+  Count_min.add t ~count:10. "b";
+  Alcotest.(check (float 1e-9)) "a" 8. (Count_min.estimate t "a");
+  Alcotest.(check (float 1e-9)) "b" 10. (Count_min.estimate t "b");
+  Alcotest.(check (float 1e-9)) "absent" 0. (Count_min.estimate t "zzz");
+  Alcotest.(check (float 1e-9)) "total" 18. (Count_min.total t)
+
+let test_cms_heavy_hitters () =
+  let t = Count_min.create ~epsilon:0.005 ~delta:0.01 () in
+  let rng = Rng.create 3 in
+  (* 500 mice of ~10, one elephant of 10000 *)
+  for i = 1 to 500 do
+    Count_min.add t ~count:(float_of_int (1 + Rng.int rng 20))
+      (Printf.sprintf "mouse%d" i)
+  done;
+  Count_min.add t ~count:10_000. "elephant";
+  let candidates =
+    "elephant" :: List.init 500 (fun i -> Printf.sprintf "mouse%d" (i + 1))
+  in
+  let hh = Count_min.heavy_hitters t ~threshold:5_000. ~candidates in
+  Alcotest.(check (list string)) "only the elephant" [ "elephant" ] hh
+
+let prop_cms_never_undercounts =
+  QCheck2.Test.make ~name:"count-min never undercounts" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 30))
+    (fun keys ->
+      let t = Count_min.create ~epsilon:0.02 ~delta:0.05 () in
+      let truth = Hashtbl.create 32 in
+      List.iter
+        (fun k ->
+          let key = "k" ^ string_of_int k in
+          Hashtbl.replace truth key
+            (1. +. Option.value (Hashtbl.find_opt truth key) ~default:0.);
+          Count_min.add t key)
+        keys;
+      Hashtbl.fold
+        (fun key true_count ok ->
+          ok && Count_min.estimate t key >= true_count -. 1e-9)
+        truth true)
+
+let prop_cms_error_bound =
+  QCheck2.Test.make ~name:"count-min overcount within eps*total (whp)"
+    ~count:20
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let eps = 0.01 in
+      let t = Count_min.create ~seed ~epsilon:eps ~delta:0.01 () in
+      let rng = Rng.create seed in
+      for _ = 1 to 2000 do
+        Count_min.add t ("key" ^ string_of_int (Rng.int rng 400))
+      done;
+      (* check a sample of keys; allow the (rare) delta failures across the
+         sample by requiring 95% within bound *)
+      let within = ref 0 and checked = 200 in
+      for i = 0 to checked - 1 do
+        let key = "key" ^ string_of_int i in
+        if Count_min.estimate t key
+           <= (2000. /. 400. *. 4.) +. (eps *. Count_min.total t)
+        then incr within
+      done;
+      !within >= checked * 95 / 100)
+
+(* ------------------------------------------------------------------ *)
+(* HyperLogLog                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_hll_small_exactish () =
+  let t = Hyperloglog.create ~precision:12 () in
+  for i = 1 to 100 do
+    Hyperloglog.add t ("x" ^ string_of_int i);
+    (* duplicates must not inflate the count *)
+    Hyperloglog.add t ("x" ^ string_of_int i)
+  done;
+  let c = Hyperloglog.count t in
+  Alcotest.(check bool)
+    (Printf.sprintf "100 distinct within 10%% (got %.1f)" c)
+    true
+    (c > 90. && c < 110.)
+
+let test_hll_large_within_error () =
+  let t = Hyperloglog.create ~precision:12 () in
+  let n = 50_000 in
+  for i = 1 to n do
+    Hyperloglog.add t ("key" ^ string_of_int i)
+  done;
+  let c = Hyperloglog.count t in
+  let err = Float.abs (c -. float_of_int n) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "relative error %.3f < 5%%" err)
+    true (err < 0.05)
+
+let test_hll_merge () =
+  let a = Hyperloglog.create ~precision:10 () in
+  let b = Hyperloglog.create ~precision:10 () in
+  for i = 1 to 1000 do
+    Hyperloglog.add a ("a" ^ string_of_int i);
+    Hyperloglog.add b ("b" ^ string_of_int i)
+  done;
+  Hyperloglog.merge a b;
+  let c = Hyperloglog.count a in
+  Alcotest.(check bool)
+    (Printf.sprintf "merge ~2000 (got %.1f)" c)
+    true
+    (c > 1800. && c < 2200.);
+  (* mismatched precision rejected *)
+  let d = Hyperloglog.create ~precision:8 () in
+  Alcotest.check_raises "precision mismatch"
+    (Invalid_argument "Hyperloglog.merge: precision mismatch") (fun () ->
+      Hyperloglog.merge a d)
+
+let prop_hll_monotone =
+  QCheck2.Test.make ~name:"HLL count grows with distinct keys" ~count:30
+    QCheck2.Gen.(int_range 2 2000)
+    (fun n ->
+      let t = Hyperloglog.create ~precision:11 () in
+      for i = 1 to n / 2 do
+        Hyperloglog.add t ("k" ^ string_of_int i)
+      done;
+      let half = Hyperloglog.count t in
+      for i = (n / 2) + 1 to n do
+        Hyperloglog.add t ("k" ^ string_of_int i)
+      done;
+      Hyperloglog.count t >= half)
+
+(* ------------------------------------------------------------------ *)
+(* Sketch-based tasks end to end                                       *)
+(* ------------------------------------------------------------------ *)
+
+let deploy_sketch_task name =
+  let engine = Engine.create ~seed:9 () in
+  let topo = Farm_net.Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:2 in
+  let fabric = Farm_net.Fabric.create topo in
+  let seeder = Farm_runtime.Seeder.create engine fabric in
+  let entry = Farm_tasks.Catalog.find name in
+  let task =
+    match
+      Farm_runtime.Seeder.deploy seeder
+        (Farm_tasks.Task_common.to_task_spec entry)
+    with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy %s failed: %s" name m
+  in
+  (engine, fabric, seeder, task)
+
+let test_sketch_hh_detects () =
+  let engine, fabric, _seeder, task = deploy_sketch_task "sketch-heavy-hitter" in
+  let rng = Rng.split (Engine.rng engine) in
+  Farm_net.Traffic.background engine fabric rng
+    { Farm_net.Traffic.default_profile with concurrent_flows = 20;
+      mean_rate = 5_000. };
+  let _ =
+    Farm_net.Traffic.heavy_hitter engine fabric rng ~at:1. ~rate:2e7 ()
+  in
+  Engine.run ~until:4. engine;
+  let h = Farm_runtime.Seeder.harvester task in
+  Alcotest.(check bool) "sketch HH reported" true
+    (Farm_runtime.Harvester.received_count h >= 1)
+
+let test_sketch_superspreader_detects () =
+  let engine, fabric, _seeder, task =
+    deploy_sketch_task "sketch-superspreader"
+  in
+  let rng = Rng.split (Engine.rng engine) in
+  Farm_net.Traffic.superspreader engine fabric rng ~at:1. ~duration:4.
+    ~fanout:60;
+  Engine.run ~until:4. engine;
+  let h = Farm_runtime.Seeder.harvester task in
+  Alcotest.(check bool) "sketch spreader reported" true
+    (Farm_runtime.Harvester.received_count h >= 1)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "farm_sketches"
+    [ ( "count-min",
+        [ Alcotest.test_case "dimensions" `Quick test_cms_dimensions;
+          Alcotest.test_case "exact when sparse" `Quick
+            test_cms_exact_when_sparse;
+          Alcotest.test_case "heavy hitters" `Quick test_cms_heavy_hitters ]
+        @ qsuite [ prop_cms_never_undercounts; prop_cms_error_bound ] );
+      ( "hyperloglog",
+        [ Alcotest.test_case "small cardinalities" `Quick
+            test_hll_small_exactish;
+          Alcotest.test_case "large within error" `Quick
+            test_hll_large_within_error;
+          Alcotest.test_case "merge" `Quick test_hll_merge ]
+        @ qsuite [ prop_hll_monotone ] );
+      ( "sketch tasks",
+        [ Alcotest.test_case "sketch HH detects" `Quick test_sketch_hh_detects;
+          Alcotest.test_case "sketch superspreader detects" `Quick
+            test_sketch_superspreader_detects ] ) ]
