@@ -1,0 +1,74 @@
+(* Smoke benchmark of the Almanac hot path: events/sec of the HH poll
+   activation under the tree-walking interpreter vs the compiled
+   (slot-indexed closure) engine.  Emits BENCH_micro.json — to the path
+   given as the first argument, or to the working directory.
+
+   Run via [dune build @bench-smoke] or directly:
+     dune exec bench/bench_smoke.exe -- BENCH_micro.json *)
+
+open Farm
+
+let bench_events ?(warmup = 5_000) ?(min_time = 0.5) fire value =
+  for _ = 1 to warmup do
+    fire value
+  done;
+  let batch = 1_000 in
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < min_time do
+    for _ = 1 to batch do
+      fire value
+    done;
+    n := !n + batch;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int !n /. !elapsed
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
+  let source = (Tasks.Catalog.find "heavy-hitter").source in
+  let program = Almanac.Typecheck.check (Almanac.Parser.program source) in
+  let stats = Almanac.Value.Stats (Array.make 16 100.) in
+
+  let interp =
+    Almanac.Interp.create ~program ~machine:"HH" Almanac.Host.null_host
+  in
+  Almanac.Interp.start interp;
+  let interp_fire = Almanac.Interp.prepare_trigger interp "pollStats" in
+  let interp_eps = bench_events interp_fire stats in
+
+  let compiled =
+    Almanac.Exec.create ~program ~machine:"HH" Almanac.Host.null_host
+  in
+  Almanac.Exec.start compiled;
+  let compiled_fire = Almanac.Exec.prepare_trigger compiled "pollStats" in
+  let compiled_eps = bench_events compiled_fire stats in
+
+  let speedup = compiled_eps /. interp_eps in
+  Printf.printf "almanac HH poll activation:\n";
+  Printf.printf "  interp   %12.0f events/sec\n" interp_eps;
+  Printf.printf "  compiled %12.0f events/sec\n" compiled_eps;
+  Printf.printf "  speedup  %12.2fx\n%!" speedup;
+
+  let oc =
+    try open_out out
+    with Sys_error m ->
+      Printf.eprintf "bench_smoke: cannot write %s (%s)\n%!" out m;
+      exit 2
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"almanac_hh_poll_activation\",\n\
+    \  \"interp_events_per_sec\": %.1f,\n\
+    \  \"compiled_events_per_sec\": %.1f,\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    interp_eps compiled_eps speedup;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if speedup < 3.0 then begin
+    Printf.eprintf "FAIL: compiled engine speedup %.2fx is below the 3x target\n%!"
+      speedup;
+    exit 1
+  end

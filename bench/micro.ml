@@ -40,12 +40,24 @@ let interp_test =
   in
   Almanac.Interp.start t;
   let stats = Almanac.Value.Stats (Array.make 16 100.) in
-  Test.make ~name:"almanac: HH poll activation"
+  Test.make ~name:"almanac: HH poll activation (interp)"
     (Staged.stage (fun () -> Almanac.Interp.fire_trigger t "pollStats" stats))
+
+let compiled_test =
+  let source = (Tasks.Catalog.find "heavy-hitter").source in
+  let program = Almanac.Typecheck.check (Almanac.Parser.program source) in
+  let t = Almanac.Exec.create ~program ~machine:"HH" Almanac.Host.null_host in
+  Almanac.Exec.start t;
+  let stats = Almanac.Value.Stats (Array.make 16 100.) in
+  let fire = Almanac.Exec.prepare_trigger t "pollStats" in
+  Test.make ~name:"almanac: HH poll activation (compiled)"
+    (Staged.stage (fun () -> fire stats))
 
 let run () =
   Bench_common.section "Micro-benchmarks (bechamel)";
-  let tests = [ lp_test; heuristic_test; parse_test; interp_test ] in
+  let tests =
+    [ lp_test; heuristic_test; parse_test; interp_test; compiled_test ]
+  in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
   List.iter

@@ -1,0 +1,167 @@
+(** Pure built-in functions of the Almanac runtime library (List. 1 plus
+    list/stats helpers), shared by the reference interpreter and the
+    compiled engine.  [table host] binds every built-in to a host once, so
+    engines resolve a name to a closure a single time instead of string
+    matching on every call. *)
+
+let fail = Host.fail
+
+let num f = Value.Num f
+let arg1 = function [ a ] -> a | _ -> fail "expected 1 argument"
+let arg2 = function [ a; b ] -> (a, b) | _ -> fail "expected 2 arguments"
+
+let proto_of_string = function
+  | "tcp" -> Farm_net.Flow.Tcp
+  | "udp" -> Farm_net.Flow.Udp
+  | "icmp" -> Farm_net.Flow.Icmp
+  | s -> fail "unknown protocol %S" s
+
+(* Evaluate a filter atom head applied to an already-evaluated argument. *)
+let filter_atom_value head (arg : Value.t) : Farm_net.Filter.t =
+  let open Farm_net in
+  match (head, arg) with
+  | _, Value.FilterV f -> f  (* ANY evaluates to a filter already *)
+  | (Ast.SrcIP | Ast.DstIP), Value.Str s -> (
+      match Ipaddr.Prefix.of_string_opt s with
+      | Some p ->
+          Filter.atom
+            (if head = Ast.SrcIP then Filter.Src_ip p else Filter.Dst_ip p)
+      | None -> fail "bad IP prefix %S in filter" s)
+  | Ast.SrcPort, v -> Filter.atom (Filter.Src_port (int_of_float (Value.as_num v)))
+  | Ast.DstPort, v -> Filter.atom (Filter.Dst_port (int_of_float (Value.as_num v)))
+  | Ast.PortF, v -> Filter.atom (Filter.Port (int_of_float (Value.as_num v)))
+  | Ast.ProtoF, Value.Str s -> Filter.atom (Filter.Proto (proto_of_string s))
+  | _ -> fail "bad filter atom argument"
+
+let min_fn args =
+  let a, b = arg2 args in
+  num (Float.min (Value.as_num a) (Value.as_num b))
+
+let max_fn args =
+  let a, b = arg2 args in
+  num (Float.max (Value.as_num a) (Value.as_num b))
+
+let size_fn args = num (float_of_int (List.length (Value.as_list (arg1 args))))
+
+let is_list_empty_fn args = Value.Bool (Value.as_list (arg1 args) = [])
+
+let append_fn args =
+  let l, x = arg2 args in
+  Value.List (Value.as_list l @ [ x ])
+
+let nth_fn args =
+  let l, i = arg2 args in
+  let l = Value.as_list l and i = int_of_float (Value.as_num i) in
+  match List.nth_opt l i with
+  | Some v -> v
+  | None -> fail "nth: index %d out of bounds (size %d)" i (List.length l)
+
+let contains_elem_fn args =
+  let l, x = arg2 args in
+  Value.Bool (List.exists (Value.equal x) (Value.as_list l))
+
+let remove_elem_fn args =
+  let l, x = arg2 args in
+  Value.List (List.filter (fun v -> not (Value.equal x v)) (Value.as_list l))
+
+let index_of_fn args =
+  let l, x = arg2 args in
+  let rec go i = function
+    | [] -> -1.
+    | v :: rest -> if Value.equal x v then float_of_int i else go (i + 1) rest
+  in
+  num (go 0 (Value.as_list l))
+
+let set_nth_fn args =
+  match args with
+  | [ l; i; x ] ->
+      let l = Value.as_list l and i = int_of_float (Value.as_num i) in
+      if i < 0 || i >= List.length l then
+        fail "set_nth: index %d out of bounds (size %d)" i (List.length l)
+      else Value.List (List.mapi (fun j v -> if j = i then x else v) l)
+  | _ -> fail "set_nth expects 3 arguments"
+
+let stat_fn args =
+  let s, i = arg2 args in
+  let s = Value.as_stats s and i = int_of_float (Value.as_num i) in
+  if i >= 0 && i < Array.length s then num s.(i)
+  else fail "stat: index %d out of bounds (size %d)" i (Array.length s)
+
+let stats_size_fn args =
+  num (float_of_int (Array.length (Value.as_stats (arg1 args))))
+
+let stats_sum_fn args =
+  num (Array.fold_left ( +. ) 0. (Value.as_stats (arg1 args)))
+
+let drop_action_fn _ = Value.Action Farm_net.Tcam.Drop
+let count_action_fn _ = Value.Action Farm_net.Tcam.Count
+
+let rate_limit_action_fn args =
+  Value.Action (Farm_net.Tcam.Rate_limit (Value.as_num (arg1 args)))
+
+let qos_action_fn args =
+  Value.Action (Farm_net.Tcam.Set_qos (int_of_float (Value.as_num (arg1 args))))
+
+let mk_rule_fn args =
+  let p, a = arg2 args in
+  Value.Struct
+    ("Rule", [ ("pattern", Value.FilterV (Value.as_filter p));
+               ("act", Value.Action (Value.as_action a)) ])
+
+let str_fn args = Value.Str (Value.to_string (arg1 args))
+
+let str_contains_fn args =
+  let s, sub = arg2 args in
+  let s = Value.as_str s and sub = Value.as_str sub in
+  let n = String.length sub in
+  let found = ref false in
+  for i = 0 to String.length s - n do
+    if String.sub s i n = sub then found := true
+  done;
+  Value.Bool !found
+
+let floor_fn args = num (Float.floor (Value.as_num (arg1 args)))
+let abs_fn args = num (Float.abs (Value.as_num (arg1 args)))
+
+let log2_fn args =
+  let x = Value.as_num (arg1 args) in
+  num (if x <= 0. then 0. else Float.log x /. Float.log 2.)
+
+let hash_fn args =
+  num (float_of_int (Hashtbl.hash (Value.to_string (arg1 args)) land 0xFFFFFF))
+
+(* Host-bound built-ins. *)
+
+let log_fn (host : Host.host) args =
+  host.h_log (Value.to_string (arg1 args));
+  Value.Unit
+
+let res_fn (host : Host.host) _args =
+  let r = host.h_resources () in
+  let field res =
+    ( Analysis.resource_name res,
+      num
+        (let i = Analysis.resource_index res in
+         if i < Array.length r then r.(i) else 0.) )
+  in
+  Value.Struct ("Resources", List.map field Analysis.all_resources)
+
+let table (host : Host.host) : (string, Value.t list -> Value.t) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (name, f) -> Hashtbl.replace tbl name f)
+    [ ("min", min_fn); ("max", max_fn); ("size", size_fn);
+      ("is_list_empty", is_list_empty_fn); ("append", append_fn);
+      ("nth", nth_fn); ("contains_elem", contains_elem_fn);
+      ("remove_elem", remove_elem_fn); ("index_of", index_of_fn);
+      ("set_nth", set_nth_fn); ("stat", stat_fn);
+      ("stats_size", stats_size_fn); ("stats_sum", stats_sum_fn);
+      ("drop_action", drop_action_fn); ("count_action", count_action_fn);
+      ("rate_limit_action", rate_limit_action_fn);
+      ("qos_action", qos_action_fn); ("mkRule", mk_rule_fn);
+      ("now", (fun _ -> num (host.h_now ())));
+      ("log", log_fn host); ("str", str_fn);
+      ("str_contains", str_contains_fn); ("floor", floor_fn);
+      ("abs", abs_fn); ("log2", log2_fn); ("hash", hash_fn);
+      ("res", res_fn host) ];
+  tbl

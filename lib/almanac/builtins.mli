@@ -1,0 +1,14 @@
+(** Pure built-in functions of the Almanac runtime library, shared by the
+    reference interpreter and the compiled engine. *)
+
+(** Parse a protocol name ("tcp" / "udp" / "icmp"). *)
+val proto_of_string : string -> Farm_net.Flow.proto
+
+(** Evaluate a filter atom head applied to an already-evaluated argument
+    (an [ANY] argument is a filter already and passes through). *)
+val filter_atom_value : Ast.filter_head -> Value.t -> Farm_net.Filter.t
+
+(** [table host] binds every built-in to [host] once.  Engines build this
+    table per instance so call sites resolve a built-in name to a closure a
+    single time instead of string-matching on every call. *)
+val table : Host.host -> (string, Value.t list -> Value.t) Hashtbl.t

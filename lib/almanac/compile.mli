@@ -1,0 +1,81 @@
+(** Compilation of type-checked Almanac machines to slot-indexed closures.
+
+    Lowers an [Ast.machine] into closure code executed by {!Exec}: every
+    variable becomes an integer slot in a flat [Value.t array] (globals /
+    per-state locals / per-event frame), every expression and statement
+    compiles once into an OCaml closure, every call site gets an index
+    into a per-instance array of pre-resolved closures, and event dispatch
+    tables are precomputed per (state, trigger) pair.  Observationally
+    equivalent to {!Interp} on type-checked programs (see DESIGN.md,
+    "Almanac execution pipeline").  Compile once per machine; instantiate
+    many times with {!Exec.create_compiled}. *)
+
+(** Sentinel marking a slot whose variable is not bound yet (the
+    interpreter equivalent of a missing hashtable key).  Compared with
+    physical equality; programs cannot forge it. *)
+val absent : Value.t
+
+(** Mutable execution environment threaded through compiled closures.
+    [locals_names] always describes the layout of [locals]; during a
+    transition it still names the old state's locals while initializers
+    of the new state run. *)
+type env = {
+  host : Host.host;
+  globals : Value.t array;
+  mutable state : int;
+  mutable locals : Value.t array;
+  mutable locals_names : string array;
+  mutable frame : Value.t array;
+  mutable pending : string option;
+  mutable calls : (Value.t list -> Value.t) array;
+}
+
+type ecode = env -> Value.t
+type scode = env -> unit
+
+type event_c = {
+  ev_frame_size : int;
+  ev_binding : int option;  (** frame slot of the trigger/recv binding *)
+  ev_body : scode;
+}
+
+type recv_c = { rc_typ : Ast.typ; rc_dest : Ast.dest; rc_ev : event_c }
+
+type state_c = {
+  st_name : string;
+  st_local_names : string array;
+  st_local_inits : (int * ecode) array;
+  st_enter : event_c array;
+  st_exit : event_c array;
+  st_realloc : event_c array;
+  st_triggers : event_c array array;  (** indexed by trigger id *)
+  st_recv : recv_c array;
+}
+
+type func_c = {
+  fn_name : string;
+  fn_nparams : int;
+  fn_param_slots : int array;
+  fn_frame_size : int;
+  fn_body : scode;
+}
+
+type t = {
+  c_machine : Ast.machine;
+  c_n_globals : int;
+  c_global_names : string array;
+  c_global_slots : (string, int) Hashtbl.t;
+  c_global_inits : (int * string * bool * ecode) array;
+  c_states : state_c array;
+  c_state_ids : (string, int) Hashtbl.t;
+  c_trig_ids : (string, int) Hashtbl.t;
+  c_n_trigs : int;
+  c_funcs : (string, func_c) Hashtbl.t;
+  c_call_specs : (string * int) array;
+}
+
+(** Compile machine [machine] of a type-checked, inheritance-resolved
+    program.  Raises {!Host.Runtime_error} on the same conditions as
+    [Interp.create] (unknown machine, unresolved inheritance, no
+    states). *)
+val compile : program:Ast.program -> machine:string -> t

@@ -1,0 +1,300 @@
+(** Execution engine for compiled Almanac machines ({!Compile}).
+
+    Mirrors the {!Interp} API so the two engines are interchangeable
+    behind {!Engine.S}; semantics are the interpreter's (the differential
+    suite in [test/test_almanac.ml] checks observational equivalence over
+    the whole task catalog).  Per event firing this engine does an array
+    index into the (state, trigger) dispatch table and runs pre-compiled
+    closures — no string hashing, no scope-chain walk. *)
+
+let fail = Host.fail
+
+let absent = Compile.absent
+
+type t = {
+  c : Compile.t;
+  env : Compile.env;
+  host : Host.host;
+  mutable started : bool;
+}
+
+let machine t = t.c.Compile.c_machine
+let current_state t = t.c.c_states.(t.env.Compile.state).st_name
+
+(* ------------------------------------------------------------------ *)
+(* Function invocation and call-site resolution                        *)
+(* ------------------------------------------------------------------ *)
+
+let invoke_func (env : Compile.env) (fc : Compile.func_c) argv =
+  if List.length argv <> fc.fn_nparams then
+    fail "%s expects %d arguments, got %d" fc.fn_name fc.fn_nparams
+      (List.length argv);
+  let fr = Array.make fc.fn_frame_size absent in
+  List.iteri (fun i v -> fr.(fc.fn_param_slots.(i)) <- v) argv;
+  let saved = env.Compile.frame in
+  env.frame <- fr;
+  match fc.fn_body env with
+  | () ->
+      env.frame <- saved;
+      Value.Unit
+  | exception Host.Return_exc v ->
+      env.frame <- saved;
+      v
+  | exception e ->
+      env.frame <- saved;
+      raise e
+
+(* Resolve every call site once, in the interpreter's precedence order:
+   host builtin, then Almanac function, then pure builtin.  Unknown names
+   and arity mismatches become closures that fail when (and only when)
+   the call site actually executes. *)
+let resolve_calls (c : Compile.t) (env : Compile.env) (host : Host.host) =
+  let builtins = Builtins.table host in
+  Array.map
+    (fun (fname, nargs) ->
+      match host.h_builtin fname with
+      | Some f -> f
+      | None -> (
+          match Hashtbl.find_opt c.c_funcs fname with
+          | Some fc ->
+              if fc.fn_nparams <> nargs then fun _ ->
+                fail "%s expects %d arguments, got %d" fname fc.fn_nparams
+                  nargs
+              else fun argv -> invoke_func env fc argv
+          | None -> (
+              match Hashtbl.find_opt builtins fname with
+              | Some f -> f
+              | None -> fun _ -> fail "unknown function %s" fname)))
+    c.c_call_specs
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let empty_frame : Value.t array = [||]
+
+let run_event (env : Compile.env) (ec : Compile.event_c) binding =
+  let fr =
+    if ec.ev_frame_size = 0 then empty_frame
+    else Array.make ec.ev_frame_size absent
+  in
+  (match ec.ev_binding with
+  | Some slot -> fr.(slot) <- binding
+  | None -> ());
+  env.frame <- fr;
+  try ec.ev_body env with Host.Return_exc _ -> ()
+
+let run_events env evs binding =
+  for i = 0 to Array.length evs - 1 do
+    run_event env evs.(i) binding
+  done
+
+let rec apply_pending t =
+  match t.env.Compile.pending with
+  | None -> ()
+  | Some target ->
+      t.env.pending <- None;
+      let cur = t.c.c_states.(t.env.state) in
+      if target <> cur.st_name then begin
+        (* exit events of the old state (run before the target is even
+           validated, as in the interpreter) *)
+        run_events t.env cur.st_exit Value.Unit;
+        let tid =
+          match Hashtbl.find_opt t.c.c_state_ids target with
+          | Some i -> i
+          | None ->
+              fail "machine %s has no state %s" t.c.c_machine.mname target
+        in
+        t.env.state <- tid;
+        let ns = t.c.c_states.(tid) in
+        (* fresh locals, with initializers evaluated against the *old*
+           state's locals (env.locals / locals_names are swapped only
+           after all initializers ran) *)
+        let fresh = Array.make (Array.length ns.st_local_names) absent in
+        Array.iter
+          (fun (slot, init) -> fresh.(slot) <- init t.env)
+          ns.st_local_inits;
+        t.env.locals <- fresh;
+        t.env.locals_names <- ns.st_local_names;
+        t.host.h_on_transit cur.st_name target;
+        run_events t.env ns.st_enter Value.Unit;
+        (* an enter handler can itself transit *)
+        apply_pending t
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create_compiled ?(externals = []) (c : Compile.t) (host : Host.host) =
+  let st0 = c.c_states.(0) in
+  let env =
+    { Compile.host;
+      globals = Array.make c.c_n_globals absent;
+      state = 0;
+      locals = Array.make (Array.length st0.st_local_names) absent;
+      locals_names = st0.st_local_names;
+      frame = empty_frame;
+      pending = None;
+      calls = [||] }
+  in
+  env.calls <- resolve_calls c env host;
+  (* machine and trigger variables, progressively (earlier initializers
+     are visible to later ones) *)
+  Array.iter
+    (fun (slot, name, is_external, init) ->
+      let value =
+        match List.assoc_opt name externals with
+        | Some ext when is_external -> ext
+        | Some _ | None -> init env
+      in
+      env.globals.(slot) <- value)
+    c.c_global_inits;
+  { c; env; host; started = false }
+
+let create ?externals ~program ~machine host =
+  create_compiled ?externals (Compile.compile ~program ~machine) host
+
+let var t name =
+  let lookup arr names =
+    let rec go i =
+      if i >= Array.length names then None
+      else if String.equal names.(i) name && arr.(i) != absent then
+        Some arr.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  match lookup t.env.Compile.locals t.env.locals_names with
+  | Some v -> Some v
+  | None -> (
+      match Hashtbl.find_opt t.c.c_global_slots name with
+      | Some g ->
+          let v = t.env.globals.(g) in
+          if v != absent then Some v else None
+      | None -> None)
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    (* initialize the first state's locals progressively (earlier locals
+       are visible to later initializers) *)
+    let st = t.c.c_states.(t.env.Compile.state) in
+    Array.iter
+      (fun (slot, init) -> t.env.locals.(slot) <- init t.env)
+      st.st_local_inits;
+    run_events t.env st.st_enter Value.Unit;
+    apply_pending t
+  end
+
+let fire_id t id value =
+  let st = t.c.c_states.(t.env.Compile.state) in
+  run_events t.env st.st_triggers.(id) value;
+  apply_pending t
+
+let fire_trigger t name value =
+  match Hashtbl.find_opt t.c.c_trig_ids name with
+  | Some id -> fire_id t id value
+  | None -> apply_pending t
+
+let prepare_trigger t name =
+  match Hashtbl.find_opt t.c.c_trig_ids name with
+  | Some id -> fun value -> fire_id t id value
+  | None -> fun _ -> apply_pending t
+
+let value_matches_typ (v : Value.t) (ty : Ast.typ) =
+  match (v, ty) with
+  | Value.Num _, (Ast.Tint | Ast.Tlong | Ast.Tfloat) -> true
+  | Value.Bool _, Ast.Tbool -> true
+  | Value.Str _, Ast.Tstring -> true
+  | Value.List _, Ast.Tlist -> true
+  | Value.Packet _, Ast.Tpacket -> true
+  | Value.Action _, Ast.Taction -> true
+  | Value.FilterV _, Ast.Tfilter -> true
+  | Value.Stats _, Ast.Tstats -> true
+  | Value.Struct ("Rule", _), Ast.Trule -> true
+  | Value.Unit, Ast.Tunit -> true
+  | _ -> false
+
+let deliver t ~from value =
+  let st = t.c.c_states.(t.env.Compile.state) in
+  let recv = st.st_recv in
+  let n = Array.length recv in
+  let rec go i =
+    if i >= n then false
+    else
+      let rc = recv.(i) in
+      let src_ok =
+        match (rc.Compile.rc_dest, (from : Host.source)) with
+        | Ast.Harvester, Host.From_harvester -> true
+        | Ast.Machine (m, _), Host.From_machine m' -> m = m'
+        | Ast.Harvester, Host.From_machine _
+        | Ast.Machine _, Host.From_harvester ->
+            false
+      in
+      if src_ok && value_matches_typ value rc.rc_typ then begin
+        run_event t.env rc.rc_ev value;
+        apply_pending t;
+        true
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let realloc t =
+  let st = t.c.c_states.(t.env.Compile.state) in
+  run_events t.env st.st_realloc Value.Unit;
+  apply_pending t
+
+let snapshot t =
+  let vars = ref [] in
+  Array.iteri
+    (fun i name ->
+      let v = t.env.Compile.globals.(i) in
+      if v != absent then vars := (name, v) :: !vars)
+    t.c.c_global_names;
+  Array.iteri
+    (fun i name ->
+      let v = t.env.locals.(i) in
+      if v != absent then vars := ("state." ^ name, v) :: !vars)
+    t.env.locals_names;
+  (!vars, current_state t)
+
+let restore t ~vars ~state =
+  let sid =
+    match Hashtbl.find_opt t.c.c_state_ids state with
+    | Some i -> i
+    | None -> fail "machine %s has no state %s" t.c.c_machine.mname state
+  in
+  t.env.Compile.state <- sid;
+  let st = t.c.c_states.(sid) in
+  let names = st.st_local_names in
+  t.env.locals <- Array.make (Array.length names) absent;
+  t.env.locals_names <- names;
+  let local_slot name =
+    let rec go i =
+      if i >= Array.length names then None
+      else if String.equal names.(i) name then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.iter
+    (fun (k, v) ->
+      match String.index_opt k '.' with
+      | Some i when String.sub k 0 i = "state" -> (
+          let name = String.sub k (i + 1) (String.length k - i - 1) in
+          match local_slot name with
+          | Some slot -> t.env.locals.(slot) <- v
+          | None -> ())
+      | _ -> (
+          match Hashtbl.find_opt t.c.c_global_slots k with
+          | Some g -> t.env.globals.(g) <- v
+          | None -> ()))
+    vars;
+  t.started <- true
+
+let call_function t name argv =
+  match Hashtbl.find_opt t.c.c_funcs name with
+  | Some fc -> invoke_func t.env fc argv
+  | None -> fail "program has no function %s" name

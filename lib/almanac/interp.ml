@@ -1,12 +1,16 @@
-exception Runtime_error of string
+(* The host interface and the pure built-ins live in {!Host} and
+   {!Builtins}, shared with the compiled engine; re-export them here so
+   existing users of [Interp.host] / [Interp.Runtime_error] keep working. *)
 
-let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+exception Runtime_error = Host.Runtime_error
 
-type source = From_harvester | From_machine of string
+let fail = Host.fail
 
-type target = To_harvester | To_machine of string * int option
+type source = Host.source = From_harvester | From_machine of string
 
-type host = {
+type target = Host.target = To_harvester | To_machine of string * int option
+
+type host = Host.host = {
   h_now : unit -> float;
   h_resources : unit -> float array;
   h_send : target -> Value.t -> unit;
@@ -16,19 +20,13 @@ type host = {
   h_log : string -> unit;
 }
 
-let null_host =
-  { h_now = (fun () -> 0.);
-    h_resources = (fun () -> Array.make Analysis.n_resources 1.);
-    h_send = (fun _ _ -> ());
-    h_set_trigger = (fun _ _ _ -> ());
-    h_builtin = (fun _ -> None);
-    h_on_transit = (fun _ _ -> ());
-    h_log = (fun _ -> ()) }
+let null_host = Host.null_host
 
 type t = {
   m : Ast.machine;
   funcs : (string, Ast.func_decl) Hashtbl.t;
   host : host;
+  builtins : (string, Value.t list -> Value.t) Hashtbl.t;
   globals : (string, Value.t) Hashtbl.t;
   trigger_types : (string, Ast.trigger_type) Hashtbl.t;
   mutable state : string;
@@ -72,137 +70,12 @@ let assign t (frames : frame list) name v =
   go frames
 
 (* ------------------------------------------------------------------ *)
-(* Pure built-ins                                                      *)
-(* ------------------------------------------------------------------ *)
-
-let num f = Value.Num f
-let arg1 = function [ a ] -> a | _ -> fail "expected 1 argument"
-let arg2 = function [ a; b ] -> (a, b) | _ -> fail "expected 2 arguments"
-
-let proto_of_string = function
-  | "tcp" -> Farm_net.Flow.Tcp
-  | "udp" -> Farm_net.Flow.Udp
-  | "icmp" -> Farm_net.Flow.Icmp
-  | s -> fail "unknown protocol %S" s
-
-let pure_builtin t name args =
-  match name with
-  | "min" ->
-      let a, b = arg2 args in
-      Some (num (Float.min (Value.as_num a) (Value.as_num b)))
-  | "max" ->
-      let a, b = arg2 args in
-      Some (num (Float.max (Value.as_num a) (Value.as_num b)))
-  | "size" -> Some (num (float_of_int (List.length (Value.as_list (arg1 args)))))
-  | "is_list_empty" -> Some (Value.Bool (Value.as_list (arg1 args) = []))
-  | "append" ->
-      let l, x = arg2 args in
-      Some (Value.List (Value.as_list l @ [ x ]))
-  | "nth" -> (
-      let l, i = arg2 args in
-      let l = Value.as_list l and i = int_of_float (Value.as_num i) in
-      match List.nth_opt l i with
-      | Some v -> Some v
-      | None -> fail "nth: index %d out of bounds (size %d)" i (List.length l))
-  | "contains_elem" ->
-      let l, x = arg2 args in
-      Some (Value.Bool (List.exists (Value.equal x) (Value.as_list l)))
-  | "remove_elem" ->
-      let l, x = arg2 args in
-      Some
-        (Value.List
-           (List.filter (fun v -> not (Value.equal x v)) (Value.as_list l)))
-  | "index_of" ->
-      let l, x = arg2 args in
-      let rec go i = function
-        | [] -> -1.
-        | v :: rest -> if Value.equal x v then float_of_int i else go (i + 1) rest
-      in
-      Some (num (go 0 (Value.as_list l)))
-  | "set_nth" -> (
-      match args with
-      | [ l; i; x ] ->
-          let l = Value.as_list l and i = int_of_float (Value.as_num i) in
-          if i < 0 || i >= List.length l then
-            fail "set_nth: index %d out of bounds (size %d)" i (List.length l)
-          else Some (Value.List (List.mapi (fun j v -> if j = i then x else v) l))
-      | _ -> fail "set_nth expects 3 arguments")
-  | "stat" -> (
-      let s, i = arg2 args in
-      let s = Value.as_stats s and i = int_of_float (Value.as_num i) in
-      if i >= 0 && i < Array.length s then Some (num s.(i))
-      else fail "stat: index %d out of bounds (size %d)" i (Array.length s))
-  | "stats_size" ->
-      Some (num (float_of_int (Array.length (Value.as_stats (arg1 args)))))
-  | "stats_sum" ->
-      Some (num (Array.fold_left ( +. ) 0. (Value.as_stats (arg1 args))))
-  | "drop_action" -> Some (Value.Action Farm_net.Tcam.Drop)
-  | "count_action" -> Some (Value.Action Farm_net.Tcam.Count)
-  | "rate_limit_action" ->
-      Some (Value.Action (Farm_net.Tcam.Rate_limit (Value.as_num (arg1 args))))
-  | "qos_action" ->
-      Some
-        (Value.Action
-           (Farm_net.Tcam.Set_qos (int_of_float (Value.as_num (arg1 args)))))
-  | "mkRule" ->
-      let p, a = arg2 args in
-      Some
-        (Value.Struct
-           ("Rule", [ ("pattern", Value.FilterV (Value.as_filter p));
-                      ("act", Value.Action (Value.as_action a)) ]))
-  | "now" -> Some (num (t.host.h_now ()))
-  | "log" ->
-      t.host.h_log (Value.to_string (arg1 args));
-      Some Value.Unit
-  | "str" -> Some (Value.Str (Value.to_string (arg1 args)))
-  | "str_contains" ->
-      let s, sub = arg2 args in
-      let s = Value.as_str s and sub = Value.as_str sub in
-      let n = String.length sub in
-      let found = ref false in
-      for i = 0 to String.length s - n do
-        if String.sub s i n = sub then found := true
-      done;
-      Some (Value.Bool !found)
-  | "floor" -> Some (num (Float.floor (Value.as_num (arg1 args))))
-  | "abs" -> Some (num (Float.abs (Value.as_num (arg1 args))))
-  | "log2" ->
-      let x = Value.as_num (arg1 args) in
-      Some (num (if x <= 0. then 0. else Float.log x /. Float.log 2.))
-  | "hash" ->
-      Some (num (float_of_int (Hashtbl.hash (Value.to_string (arg1 args)) land 0xFFFFFF)))
-  | "res" ->
-      let r = t.host.h_resources () in
-      let field res =
-        ( Analysis.resource_name res,
-          num
-            (let i = Analysis.resource_index res in
-             if i < Array.length r then r.(i) else 0.) )
-      in
-      Some (Value.Struct ("Resources", List.map field Analysis.all_resources))
-  | _ -> None
-
-(* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
 (* ------------------------------------------------------------------ *)
 
-exception Return_exc of Value.t
+let num f = Value.Num f
 
-let filter_atom_value head (arg : Value.t) : Farm_net.Filter.t =
-  let open Farm_net in
-  match (head, arg) with
-  | _, Value.FilterV f -> f  (* ANY evaluates to a filter already *)
-  | (Ast.SrcIP | Ast.DstIP), Value.Str s -> (
-      match Ipaddr.Prefix.of_string_opt s with
-      | Some p ->
-          Filter.atom
-            (if head = Ast.SrcIP then Filter.Src_ip p else Filter.Dst_ip p)
-      | None -> fail "bad IP prefix %S in filter" s)
-  | Ast.SrcPort, v -> Filter.atom (Filter.Src_port (int_of_float (Value.as_num v)))
-  | Ast.DstPort, v -> Filter.atom (Filter.Dst_port (int_of_float (Value.as_num v)))
-  | Ast.PortF, v -> Filter.atom (Filter.Port (int_of_float (Value.as_num v)))
-  | Ast.ProtoF, Value.Str s -> Filter.atom (Filter.Proto (proto_of_string s))
-  | _ -> fail "bad filter atom argument"
+exception Return_exc = Host.Return_exc
 
 let rec eval t frames (e : Ast.expr) : Value.t =
   match e with
@@ -225,7 +98,7 @@ let rec eval t frames (e : Ast.expr) : Value.t =
   | Ast.Unop (Ast.Neg, a) -> num (-.Value.as_num (eval t frames a))
   | Ast.Binop (op, a, b) -> binop t frames op a b
   | Ast.FilterAtom (head, arg) ->
-      Value.FilterV (filter_atom_value head (eval t frames arg))
+      Value.FilterV (Builtins.filter_atom_value head (eval t frames arg))
   | Ast.StructLit (name, fields) ->
       Value.Struct
         (name, List.map (fun (f, e) -> (f, eval t frames e)) fields)
@@ -290,8 +163,8 @@ and call t frames fname args =
       match Hashtbl.find_opt t.funcs fname with
       | Some fd -> call_almanac t fd argv
       | None -> (
-          match pure_builtin t fname argv with
-          | Some v -> v
+          match Hashtbl.find_opt t.builtins fname with
+          | Some f -> f argv
           | None -> fail "unknown function %s" fname))
 
 and call_almanac t (fd : Ast.func_decl) argv =
@@ -461,7 +334,8 @@ let create ?(externals = []) ~program ~machine host =
     (fun (f : Ast.func_decl) -> Hashtbl.replace funcs f.fname f)
     program.funcs;
   let t =
-    { m; funcs; host; globals = Hashtbl.create 16;
+    { m; funcs; host; builtins = Builtins.table host;
+      globals = Hashtbl.create 16;
       trigger_types = Hashtbl.create 4;
       state =
         (match m.states with
@@ -535,6 +409,10 @@ let fire_trigger t name value =
       run_event t ev bindings)
     evs;
   apply_pending_transit t
+
+(* The reference engine has no per-trigger precomputation; a prepared
+   trigger is just a partial application. *)
+let prepare_trigger t name = fun value -> fire_trigger t name value
 
 let value_matches_typ (v : Value.t) (ty : Ast.typ) =
   match (v, ty) with

@@ -5,16 +5,21 @@
     record.  The FARM runtime wires the host to a soil on a simulated
     switch; tests can wire it to stubs. *)
 
+(** The host interface is shared with the compiled engine ({!Exec}); the
+    definitions live in {!Host} and are re-exported here by equation so
+    [Interp.host] and [Host.host] are the same type, and
+    [Interp.Runtime_error] is {!Host.Runtime_error}. *)
+
 exception Runtime_error of string
 
 (** Where a received message came from (pattern-matched by [recv]). *)
-type source = From_harvester | From_machine of string
+type source = Host.source = From_harvester | From_machine of string
 
 (** A resolved [send] destination: the interpreter evaluates any [@dst]
     expression before handing the message to the host. *)
-type target = To_harvester | To_machine of string * int option
+type target = Host.target = To_harvester | To_machine of string * int option
 
-type host = {
+type host = Host.host = {
   h_now : unit -> float;
   h_resources : unit -> float array;
       (** allocated resources, indexed per {!Analysis.resource_index} *)
@@ -57,6 +62,11 @@ val start : t -> unit
 (** A trigger variable fired, carrying polled stats / a probed packet /
     the current time. *)
 val fire_trigger : t -> string -> Value.t -> unit
+
+(** [prepare_trigger t name] resolves trigger [name] once and returns a
+    closure equivalent to [fire_trigger t name] (hot-path entry point of
+    the {!Engine.S} interface). *)
+val prepare_trigger : t -> string -> Value.t -> unit
 
 (** Deliver a message; [true] when some [recv] event consumed it. *)
 val deliver : t -> from:source -> Value.t -> bool

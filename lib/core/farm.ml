@@ -49,7 +49,12 @@ module Almanac = struct
   module Typecheck = Farm_almanac.Typecheck
   module Value = Farm_almanac.Value
   module Analysis = Farm_almanac.Analysis
+  module Host = Farm_almanac.Host
+  module Builtins = Farm_almanac.Builtins
   module Interp = Farm_almanac.Interp
+  module Compile = Farm_almanac.Compile
+  module Exec = Farm_almanac.Exec
+  module Engine = Farm_almanac.Engine
   module Xml = Farm_almanac.Xml
   module Machine_xml = Farm_almanac.Machine_xml
 end

@@ -1,7 +1,8 @@
-module Engine = Farm_sim.Engine
 module Value = Farm_almanac.Value
 module Ast = Farm_almanac.Ast
 module Interp = Farm_almanac.Interp
+module Host = Farm_almanac.Host
+module Aengine = Farm_almanac.Engine
 module Analysis = Farm_almanac.Analysis
 module Filter = Farm_net.Filter
 module Tcam = Farm_net.Tcam
@@ -9,7 +10,7 @@ module Tcam = Farm_net.Tcam
 type t = {
   sid : int;
   soil : Soil.t;
-  mutable interp : Interp.t option;  (* None before wiring completes *)
+  mutable inst : Aengine.instance option;  (* None before wiring completes *)
   mutable res : float array;
   polls : Analysis.poll_summary list;
   mutable subs : (string * Soil.subscription list) list;  (* per trigger *)
@@ -22,14 +23,15 @@ let node t = Soil.node_id t.soil
 let soil t = t.soil
 let resources t = t.res
 
-let interp t =
-  match t.interp with
+let inst t =
+  match t.inst with
   | Some i -> i
-  | None -> failwith "Seed_exec: interpreter not initialized"
+  | None -> failwith "Seed_exec: machine engine not initialized"
 
-let machine_name t = (Interp.machine (interp t)).Ast.mname
-let state t = Interp.current_state (interp t)
-let var t name = Interp.var (interp t) name
+let engine_kind t = Aengine.kind (inst t)
+let machine_name t = (Aengine.machine (inst t)).Ast.mname
+let state t = Aengine.current_state (inst t)
+let var t name = Aengine.var (inst t) name
 let transitions t = t.transitions
 let is_alive t = t.alive
 
@@ -42,10 +44,14 @@ let period_of_spec spec res =
 
 (* Subscribe one poll variable's triggers; returns the subscriptions. *)
 let subscribe t (p : Analysis.poll_summary) =
+  (* resolved once per subscription, not per event: the handler CPU cost
+     and the trigger's dispatch entry *)
+  let base_cost = (Soil.config t.soil).cpu.handler_base_cost in
+  let fire_trigger = Aengine.prepare_trigger (inst t) p.poll_name in
   let fire value =
     if t.alive then begin
-      Soil.charge_cpu t.soil (Soil.config t.soil).cpu.handler_base_cost;
-      Interp.fire_trigger (interp t) p.poll_name value
+      Soil.charge_cpu t.soil base_cost;
+      fire_trigger value
     end
   in
   let period = period_of_spec p.ival t.res in
@@ -110,10 +116,10 @@ let value_of_installed (e : Tcam.installed) =
         ("bytes", Value.Num e.bytes);
         ("packets", Value.Num e.packets) ] )
 
-let deploy ~soil ~program ~machine ?(externals = []) ?(builtins = [])
-    ?restore ~resources ~polls ~send ~seed_id () =
+let deploy ~soil ~program ~machine ?(engine = `Compiled) ?(externals = [])
+    ?(builtins = []) ?restore ~resources ~polls ~send ~seed_id () =
   let t =
-    { sid = seed_id; soil; interp = None; res = Array.copy resources; polls;
+    { sid = seed_id; soil; inst = None; res = Array.copy resources; polls;
       subs = []; transitions = 0; alive = true }
   in
   let host =
@@ -191,23 +197,23 @@ let deploy ~soil ~program ~machine ?(externals = []) ?(builtins = [])
           Soil.charge_cpu soil (Soil.config soil).cpu.handler_base_cost);
       h_log = (fun _ -> ()) }
   in
-  let itp = Interp.create ~externals ~program ~machine host in
-  t.interp <- Some itp;
+  let i = Aengine.create ~engine ~externals ~program ~machine host in
+  t.inst <- Some i;
   Soil.attach_seed soil seed_id;
   t.subs <- List.map (fun p -> (p.Analysis.poll_name, subscribe t p)) polls;
   (match restore with
-  | Some (vars, state) -> Interp.restore itp ~vars ~state
-  | None -> Interp.start itp);
+  | Some (vars, state) -> Aengine.restore i ~vars ~state
+  | None -> Aengine.start i);
   t
 
 let set_resources t res =
   t.res <- Array.copy res;
   resubscribe_all t;
-  Interp.realloc (interp t)
+  Aengine.realloc (inst t)
 
-let deliver t ~from v = if t.alive then ignore (Interp.deliver (interp t) ~from v)
+let deliver t ~from v = if t.alive then ignore (Aengine.deliver (inst t) ~from v)
 
-let snapshot t = Interp.snapshot (interp t)
+let snapshot t = Aengine.snapshot (inst t)
 
 let destroy t =
   t.alive <- false;

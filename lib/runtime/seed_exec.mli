@@ -13,11 +13,14 @@ type t
     soil's switch, subscribes its poll/probe/time triggers (periods derived
     from the allocated [resources] via the ival analysis) and enters the
     initial state.  [send] routes outgoing messages (wired by the seeder).
-    [restore] resumes from a migrated snapshot instead of a fresh start. *)
+    [restore] resumes from a migrated snapshot instead of a fresh start.
+    [engine] selects the execution engine: the slot-compiled [`Compiled]
+    (default) or the reference interpreter [`Interp]. *)
 val deploy :
   soil:Soil.t ->
   program:Ast.program ->
   machine:string ->
+  ?engine:Farm_almanac.Engine.engine ->
   ?externals:(string * Value.t) list ->
   ?builtins:(string * (Value.t list -> Value.t)) list ->
   ?restore:(string * Value.t) list * string ->
@@ -29,6 +32,10 @@ val deploy :
   t
 
 val seed_id : t -> int
+
+(** Which execution engine this seed runs on. *)
+val engine_kind : t -> Farm_almanac.Engine.engine
+
 val machine_name : t -> string
 val node : t -> int
 val soil : t -> Soil.t

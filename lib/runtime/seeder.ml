@@ -15,13 +15,15 @@ type config = {
   control_latency : float;
   message_overhead_bytes : float;
   migration_time : float;
+  engine : Farm_almanac.Engine.engine;
 }
 
 let default_config =
   { soil_config = Soil.default_config;
     control_latency = 250e-6;  (* DC-internal RTT/2 to the controller *)
     message_overhead_bytes = 64.;
-    migration_time = 5e-3 }
+    migration_time = 5e-3;
+    engine = `Compiled }
 
 type task_spec = {
   ts_name : string;
@@ -228,7 +230,7 @@ let instantiate t (r : reg) (a : Model.assignment) ~restore =
      exactly as the soil does in the paper's implementation *)
   let program = Farm_almanac.Machine_xml.load (Lazy.force r.r_task.xml) in
   let exec =
-    Seed_exec.deploy ~soil:soilv ~program
+    Seed_exec.deploy ~soil:soilv ~program ~engine:t.cfg.engine
       ~machine:r.r_machine ~externals:r.r_externals
       ~builtins:r.r_task.spec.ts_builtins ?restore ~resources:a.a_res
       ~polls:r.r_polls

@@ -16,6 +16,9 @@ type config = {
       (** one-way latency between a switch and the central components *)
   message_overhead_bytes : float;  (** framing per control message *)
   migration_time : float;  (** seed state-transfer duration *)
+  engine : Farm_almanac.Engine.engine;
+      (** execution engine deployed seeds run on: the slot-compiled
+          [`Compiled] (default) or the reference interpreter [`Interp] *)
 }
 
 val default_config : config

@@ -55,20 +55,18 @@ let timer_period timer = timer.period
 let run ?until t =
   let continue = ref true in
   while !continue do
-    match Heap.peek_time t.queue with
-    | None -> continue := false
-    | Some time -> (
-        match until with
-        | Some u when time > u ->
-            t.clock <- u;
-            continue := false
-        | Some _ | None -> (
-            match Heap.pop t.queue with
-            | None -> continue := false
-            | Some (time, f) ->
-                t.clock <- time;
-                t.dispatched <- t.dispatched + 1;
-                f t))
+    if Heap.is_empty t.queue then continue := false
+    else
+      let time = Heap.min_time_exn t.queue in
+      match until with
+      | Some u when time > u ->
+          t.clock <- u;
+          continue := false
+      | Some _ | None ->
+          let f = Heap.pop_min_exn t.queue in
+          t.clock <- time;
+          t.dispatched <- t.dispatched + 1;
+          f t
   done;
   match until with
   | Some u when t.clock < u && Heap.is_empty t.queue -> t.clock <- u

@@ -60,6 +60,36 @@ let pop h =
 
 let peek_time h = if h.n = 0 then None else Some h.a.(0).time
 
+(* Unchecked fast path for the simulator run loop: one emptiness check by
+   the caller, then time and value read without option/tuple allocation
+   and a single sift-down. *)
+
+let min_time_exn h =
+  if h.n = 0 then invalid_arg "Heap.min_time_exn: empty heap";
+  h.a.(0).time
+
+let pop_min_exn h =
+  if h.n = 0 then invalid_arg "Heap.pop_min_exn: empty heap";
+  let top = h.a.(0) in
+  h.n <- h.n - 1;
+  if h.n > 0 then begin
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && lt h.a.(l) h.a.(!m) then m := l;
+      if r < h.n && lt h.a.(r) h.a.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        swap h !i !m;
+        i := !m
+      end
+    done
+  end;
+  top.value
+
 let clear h =
   h.n <- 0;
   h.a <- [||]

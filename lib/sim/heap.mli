@@ -17,4 +17,13 @@ val pop : 'a t -> (float * 'a) option
 (** Earliest time without removing; [None] when empty. *)
 val peek_time : 'a t -> float option
 
+(** Earliest time without removing.  Raises [Invalid_argument] when
+    empty — the allocation-free fast path of the simulator run loop. *)
+val min_time_exn : 'a t -> float
+
+(** Remove and return the earliest element's value (its time was already
+    read via {!min_time_exn}).  Raises [Invalid_argument] when empty.
+    Unlike {!pop}, allocates no option/tuple. *)
+val pop_min_exn : 'a t -> 'a
+
 val clear : 'a t -> unit

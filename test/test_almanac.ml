@@ -1028,6 +1028,303 @@ let test_machine_xml_decode_errors () =
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* ------------------------------------------------------------------ *)
+(* Differential: Interp vs Compiled over the full task catalog         *)
+(*                                                                     *)
+(* Every machine of every catalog task runs under both engines with    *)
+(* identical scripted trigger firings, message deliveries, reallocs    *)
+(* and one mid-sequence snapshot/restore migration.  After every step  *)
+(* the engines must agree on the current state, every variable value,  *)
+(* the transition count, and the full effect log (sends, transits,     *)
+(* trigger reassignments, host logs).                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Flow = Farm_net.Flow
+
+let diff_ip s = Farm_net.Ipaddr.of_string s
+
+let diff_packet round =
+  let tuple =
+    { Flow.src = diff_ip (Printf.sprintf "10.0.%d.%d" (round mod 4) ((round mod 7) + 1));
+      dst = diff_ip "10.1.0.1";
+      sport = 1000 + (round * 13);
+      dport = (match round mod 3 with 0 -> 22 | 1 -> 53 | _ -> 80);
+      proto = (if round mod 5 = 4 then Flow.Udp else Flow.Tcp) }
+  in
+  let flags =
+    match round mod 3 with
+    | 0 -> Flow.syn_only
+    | 1 -> Flow.syn_ack
+    | _ -> Flow.no_flags
+  in
+  Flow.packet ~flags ~payload:"q0.attack.example.com" tuple (200 + (100 * round))
+
+(* Values that cross typical catalog thresholds as rounds advance (round
+   0 stays at zero so the "nothing happening" paths run too). *)
+let diff_trigger_value (tt : Ast.trigger_type) ~round =
+  match tt with
+  | Ast.Poll ->
+      Value.Stats
+        (Array.init 16 (fun i ->
+             if round = 0 then 0.
+             else float_of_int ((round * round * 300) + (i * 157))))
+  | Ast.Probe -> Value.Packet (diff_packet round)
+  | Ast.Time -> Value.Num (float_of_int round *. 0.5)
+
+let diff_recv_value (ty : Ast.typ) ~round =
+  match ty with
+  | Ast.Tint | Ast.Tlong | Ast.Tfloat ->
+      Value.Num (float_of_int (500 + (round * 250)))
+  | Ast.Tbool -> Value.Bool (round mod 2 = 0)
+  | Ast.Tstring -> Value.Str (Printf.sprintf "msg%d" round)
+  | Ast.Tlist -> Value.List [ Value.Num (float_of_int round); Value.Num 2. ]
+  | Ast.Tpacket -> Value.Packet (diff_packet round)
+  | Ast.Taction -> Value.Action Farm_net.Tcam.Drop
+  | Ast.Tfilter -> Value.FilterV (Filter.atom Filter.Any)
+  | Ast.Tstats ->
+      Value.Stats (Array.init 8 (fun i -> float_of_int ((round * 100) + i)))
+  | Ast.Trule ->
+      Value.Struct
+        ("Rule",
+         [ ("pattern", Value.FilterV (Filter.atom Filter.Any));
+           ("act", Value.Action Farm_net.Tcam.Count) ])
+  | Ast.Tresources | Ast.Tunit -> Value.Unit
+
+(* (trigger name, type) and recv (type, source) stimuli of a machine *)
+let diff_stimuli (m : Ast.machine) =
+  let trigs = List.map (fun (td : Ast.trig_decl) -> (td.tname, td.ttyp)) m.mtrigs in
+  let events =
+    List.concat_map (fun (st : Ast.state_decl) -> st.sevents) m.states
+    @ m.mevents
+  in
+  let seen = Hashtbl.create 8 in
+  let recvs =
+    List.filter_map
+      (fun (ev : Ast.event) ->
+        match ev.trigger with
+        | Ast.On_recv (ty, _, dest) ->
+            let from =
+              match dest with
+              | Ast.Harvester -> Host.From_harvester
+              | Ast.Machine (name, _) -> Host.From_machine name
+            in
+            let key = (Ast.typ_to_string ty, from) in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.replace seen key ();
+              Some (ty, from)
+            end
+        | _ -> None)
+      events
+  in
+  (trigs, recvs)
+
+type diff_driver = {
+  dd_engine : Engine.engine;
+  dd_host : Host.host;
+  dd_program : Ast.program;
+  dd_machine : string;
+  dd_externals : (string * Value.t) list;
+  mutable dd_inst : Engine.instance;
+  dd_log : string list ref;
+  dd_transitions : int ref;
+}
+
+let diff_target_str = function
+  | Host.To_harvester -> "harvester"
+  | Host.To_machine (m, None) -> m
+  | Host.To_machine (m, Some d) -> Printf.sprintf "%s@%d" m d
+
+let diff_driver ~engine ~program ~machine ~externals
+    ~(builtins : (string * (Value.t list -> Value.t)) list) =
+  let log = ref [] in
+  let transitions = ref 0 in
+  let now_count = ref 0 in
+  let host =
+    { Host.h_now =
+        (fun () ->
+          incr now_count;
+          float_of_int !now_count *. 0.125);
+      h_resources = (fun () -> [| 2.; 200.; 10.; 5. |]);
+      h_send =
+        (fun target v ->
+          log :=
+            Printf.sprintf "send:%s:%s" (diff_target_str target)
+              (Value.to_string v)
+            :: !log);
+      h_set_trigger =
+        (fun name _tt v ->
+          log := Printf.sprintf "settrig:%s:%s" name (Value.to_string v) :: !log);
+      h_builtin = (fun name -> List.assoc_opt name builtins);
+      h_on_transit =
+        (fun a b ->
+          incr transitions;
+          log := Printf.sprintf "transit:%s->%s" a b :: !log);
+      h_log = (fun m -> log := ("log:" ^ m) :: !log) }
+  in
+  { dd_engine = engine; dd_host = host; dd_program = program;
+    dd_machine = machine; dd_externals = externals;
+    dd_inst =
+      Engine.create ~engine ~externals ~program ~machine host;
+    dd_log = log; dd_transitions = transitions }
+
+type diff_step =
+  | D_start
+  | D_fire of string * Value.t
+  | D_deliver of Host.source * Value.t
+  | D_realloc
+  | D_migrate
+
+let diff_step_str = function
+  | D_start -> "start"
+  | D_fire (name, _) -> "fire " ^ name
+  | D_deliver (Host.From_harvester, _) -> "deliver from harvester"
+  | D_deliver (Host.From_machine m, _) -> "deliver from " ^ m
+  | D_realloc -> "realloc"
+  | D_migrate -> "migrate"
+
+(* Apply one step; runtime/type errors become part of the observable
+   outcome (both engines must fail identically). *)
+let diff_apply d step =
+  try
+    match step with
+    | D_start ->
+        Engine.start d.dd_inst;
+        Ok "()"
+    | D_fire (name, v) ->
+        Engine.fire_trigger d.dd_inst name v;
+        Ok "()"
+    | D_deliver (from, v) ->
+        Ok (string_of_bool (Engine.deliver d.dd_inst ~from v))
+    | D_realloc ->
+        Engine.realloc d.dd_inst;
+        Ok "()"
+    | D_migrate ->
+        let vars, state = Engine.snapshot d.dd_inst in
+        let fresh =
+          Engine.create ~engine:d.dd_engine ~externals:d.dd_externals
+            ~program:d.dd_program ~machine:d.dd_machine d.dd_host
+        in
+        Engine.restore fresh ~vars ~state;
+        d.dd_inst <- fresh;
+        Ok "migrated"
+  with
+  | Host.Runtime_error m -> Error ("runtime error: " ^ m)
+  | Value.Type_error m -> Error ("type error: " ^ m)
+
+let diff_observe d =
+  let vars, state = Engine.snapshot d.dd_inst in
+  let vars =
+    List.sort compare
+      (List.map (fun (k, v) -> k ^ " = " ^ Value.to_string v) vars)
+  in
+  (state, vars, !(d.dd_transitions), List.rev !(d.dd_log))
+
+let diff_check_step ~what di dc step =
+  let ri = diff_apply di step in
+  let rc = diff_apply dc step in
+  let ctx = Printf.sprintf "%s: %s" what (diff_step_str step) in
+  Alcotest.(check (result string string)) (ctx ^ ": outcome") ri rc;
+  let si, vi, ti, li = diff_observe di in
+  let sc, vc, tc, lc = diff_observe dc in
+  Alcotest.(check string) (ctx ^ ": state") si sc;
+  Alcotest.(check (list string)) (ctx ^ ": variables") vi vc;
+  Alcotest.(check int) (ctx ^ ": transitions") ti tc;
+  Alcotest.(check (list string)) (ctx ^ ": effects") li lc;
+  ri
+
+let diff_run_machine ~what ~program ~machine ~externals ~builtins =
+  let m =
+    List.find (fun (m : Ast.machine) -> m.mname = machine) program.Ast.machines
+  in
+  let trigs, recvs = diff_stimuli m in
+  let di = diff_driver ~engine:`Interp ~program ~machine ~externals ~builtins in
+  let dc = diff_driver ~engine:`Compiled ~program ~machine ~externals ~builtins in
+  Alcotest.(check string)
+    (what ^ ": initial state")
+    (Engine.current_state di.dd_inst)
+    (Engine.current_state dc.dd_inst);
+  let steps =
+    D_start
+    :: List.concat
+         (List.init 5 (fun round ->
+              List.map
+                (fun (name, tt) ->
+                  D_fire (name, diff_trigger_value tt ~round))
+                trigs
+              @ List.map
+                  (fun (ty, from) ->
+                    D_deliver (from, diff_recv_value ty ~round))
+                  recvs
+              @ (if round = 2 then [ D_realloc ] else [])
+              @ if round = 3 then [ D_migrate ] else []))
+  in
+  (* stop at the first (identical) error: past it the reference
+     interpreter's own state is unspecified *)
+  let ok_steps = ref 0 in
+  ignore
+    (List.fold_left
+       (fun halted step ->
+         if halted then true
+         else
+           match diff_check_step ~what di dc step with
+           | Ok _ ->
+               incr ok_steps;
+               false
+           | Error _ -> true)
+       false steps);
+  !ok_steps
+
+let test_differential_catalog () =
+  let total_ok = ref 0 in
+  List.iter
+    (fun (entry : Farm_tasks.Task_common.entry) ->
+      let program =
+        Typecheck.check ~extra:entry.extra_sigs (Parser.program entry.source)
+      in
+      List.iter
+        (fun (m : Ast.machine) ->
+          let externals =
+            Option.value ~default:[]
+              (List.assoc_opt m.mname entry.externals)
+          in
+          total_ok :=
+            !total_ok
+            + diff_run_machine
+                ~what:(Printf.sprintf "%s/%s" entry.name m.mname)
+                ~program ~machine:m.mname ~externals ~builtins:entry.builtins)
+        program.machines)
+    Farm_tasks.Catalog.all;
+  (* the sequences must actually run, not halt on an early error *)
+  if !total_ok < 100 then
+    Alcotest.failf "differential catalog only completed %d ok steps" !total_ok
+
+(* The HH machine exercises host builtins (getHH / setHitterRules) that
+   the catalog doesn't; run it differentially too. *)
+let test_differential_hh () =
+  let program = check_hh () in
+  let builtins =
+    [ ("getHH",
+       fun args ->
+         match args with
+         | [ Value.Stats stats; Value.Num threshold ] ->
+             let hitters = ref [] in
+             Array.iteri
+               (fun i v ->
+                 if v > threshold then
+                   hitters := Value.Num (float_of_int i) :: !hitters)
+               stats;
+             Value.List (List.rev !hitters)
+         | _ -> Alcotest.fail "getHH misuse");
+      ("setHitterRules", fun _ -> Value.Unit) ]
+  in
+  let ok =
+    diff_run_machine ~what:"listing2/HH" ~program ~machine:"HH"
+      ~externals:[ ("threshold", Value.Num 700.) ]
+      ~builtins
+  in
+  if ok < 5 then Alcotest.failf "HH differential only completed %d ok steps" ok
+
 let () =
   Alcotest.run "farm_almanac"
     [ ( "lexer",
@@ -1132,4 +1429,9 @@ let () =
           Alcotest.test_case "catalog round-trip" `Quick
             test_machine_xml_roundtrip_catalog;
           Alcotest.test_case "decode errors" `Quick
-            test_machine_xml_decode_errors ] ) ]
+            test_machine_xml_decode_errors ] );
+      ( "differential",
+        [ Alcotest.test_case "catalog: interp vs compiled" `Quick
+            test_differential_catalog;
+          Alcotest.test_case "HH: interp vs compiled" `Quick
+            test_differential_hh ] ) ]

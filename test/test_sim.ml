@@ -98,6 +98,44 @@ let test_heap_fifo_ties () =
   Alcotest.(check (list string)) "fifo on equal times" [ "a"; "b"; "c" ]
     [ x1; x2; x3 ]
 
+let test_heap_pop_min_exn () =
+  let h = Heap.create () in
+  Alcotest.check_raises "min_time_exn on empty"
+    (Invalid_argument "Heap.min_time_exn: empty heap") (fun () ->
+      ignore (Heap.min_time_exn h));
+  Alcotest.check_raises "pop_min_exn on empty"
+    (Invalid_argument "Heap.pop_min_exn: empty heap") (fun () ->
+      ignore (Heap.pop_min_exn h : int));
+  List.iter (fun t -> Heap.push h ~time:t (int_of_float t)) [ 3.; 1.; 2. ];
+  let out = ref [] in
+  while not (Heap.is_empty h) do
+    let time = Heap.min_time_exn h in
+    let v = Heap.pop_min_exn h in
+    out := (time, v) :: !out
+  done;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "exn path drains in order"
+    [ (1., 1); (2., 2); (3., 3) ]
+    (List.rev !out)
+
+let prop_heap_exn_matches_pop =
+  QCheck2.Test.make ~name:"pop_min_exn agrees with pop" ~count:200
+    QCheck2.Gen.(list (float_range 0. 100.))
+    (fun times ->
+      let h1 = Heap.create () and h2 = Heap.create () in
+      List.iteri (fun i t -> Heap.push h1 ~time:t i) times;
+      List.iteri (fun i t -> Heap.push h2 ~time:t i) times;
+      let rec check () =
+        match Heap.pop h1 with
+        | None -> Heap.is_empty h2
+        | Some (t, v) ->
+            (not (Heap.is_empty h2))
+            && Heap.min_time_exn h2 = t
+            && Heap.pop_min_exn h2 = v
+            && check ()
+      in
+      check ())
+
 let prop_heap_sorted =
   QCheck2.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
     QCheck2.Gen.(list (float_range 0. 100.))
@@ -235,8 +273,9 @@ let () =
             test_rng_shuffle_permutes ] );
       ( "heap",
         [ Alcotest.test_case "order" `Quick test_heap_order;
-          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties ]
-        @ qsuite [ prop_heap_sorted ] );
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "pop_min_exn" `Quick test_heap_pop_min_exn ]
+        @ qsuite [ prop_heap_sorted; prop_heap_exn_matches_pop ] );
       ( "engine",
         [ Alcotest.test_case "order and clock" `Quick
             test_engine_order_and_clock;
