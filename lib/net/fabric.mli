@@ -33,6 +33,23 @@ val flow_path : t -> int -> Routing.path option
 
 val active_flow_count : t -> int
 
+(** {2 Link faults}
+
+    Taking a link down reroutes every active flow whose path crosses it
+    (ECMP over the surviving links); flows started with an explicit [?path]
+    are pinned and get dropped instead, as do flows left with no route.
+    Bringing a link back re-runs ECMP for all non-pinned flows so load
+    spreads back over it.  Flow processing order is by flow id, so the
+    outcome is deterministic. *)
+
+val set_link_state : t -> time:float -> int -> int -> up:bool -> unit
+val link_is_up : t -> int -> int -> bool
+
+(** Cumulative counts of flows rerouted / dropped by link faults. *)
+val rerouted_flows : t -> int
+
+val dropped_flows : t -> int
+
 (** Stop all flows (between benchmark repetitions). *)
 val reset : t -> time:float -> unit
 

@@ -14,11 +14,16 @@ type t = {
   (* adjacency: per node, list of (neighbor, latency), insertion order
      defines port numbering *)
   adj : (int, (int * float) list ref) Hashtbl.t;
+  (* administratively/physically down links, keyed (min, max); ports keep
+     their numbering, only reachability changes *)
+  down : (int * int, unit) Hashtbl.t;
 }
 
 let empty () =
   { node_list = []; count = 0; byid = Hashtbl.create 64;
-    adj = Hashtbl.create 64 }
+    adj = Hashtbl.create 64; down = Hashtbl.create 16 }
+
+let link_key a b = if a <= b then (a, b) else (b, a)
 
 let add_node t kind name prefix =
   let id = t.count in
@@ -57,8 +62,36 @@ let switch_ids t = List.map (fun n -> n.id) (switches t)
 
 let is_switch t id = (node t id).kind = Switch
 
-let neighbors t id = List.map fst !(adj t id)
+let has_link t a b =
+  Hashtbl.mem t.adj a && List.mem_assoc b !(adj t a)
+
+let set_link_state t a b ~up =
+  if not (has_link t a b) then
+    invalid_arg (Printf.sprintf "Topology.set_link_state: no link %d-%d" a b);
+  if up then Hashtbl.remove t.down (link_key a b)
+  else Hashtbl.replace t.down (link_key a b) ()
+
+let link_is_up t a b = has_link t a b && not (Hashtbl.mem t.down (link_key a b))
+
+let neighbors t id =
+  List.filter_map
+    (fun (n, _) ->
+      if Hashtbl.mem t.down (link_key id n) then None else Some n)
+    !(adj t id)
+
 let port_count t id = List.length !(adj t id)
+
+let links t =
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun (b, _) -> if n.id < b then Some (n.id, b) else None)
+        !(adj t n.id))
+    (nodes t)
+  |> List.sort compare
+
+let switch_links t =
+  List.filter (fun (a, b) -> is_switch t a && is_switch t b) (links t)
 
 let port_to t a b =
   let rec go i = function

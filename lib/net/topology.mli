@@ -49,7 +49,29 @@ val switches : t -> node list
 val hosts : t -> node list
 val switch_ids : t -> int list
 val is_switch : t -> int -> bool
+
+(** Neighbors reachable over links that are currently up. *)
 val neighbors : t -> int -> int list
+
+(** {2 Link state}
+
+    Links are physical: taking one down never renumbers ports
+    ([port_to]/[port_count] keep counting it), it only removes the link from
+    [neighbors] and hence from routing. *)
+
+val has_link : t -> int -> int -> bool
+
+(** Raises [Invalid_argument] when the link does not exist. *)
+val set_link_state : t -> int -> int -> up:bool -> unit
+
+val link_is_up : t -> int -> int -> bool
+
+(** All physical links, each reported once as [(a, b)] with [a < b],
+    sorted. *)
+val links : t -> (int * int) list
+
+(** [links] restricted to switch-switch links. *)
+val switch_links : t -> (int * int) list
 
 (** Degree of the node = number of ports. *)
 val port_count : t -> int -> int

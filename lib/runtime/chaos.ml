@@ -1,0 +1,46 @@
+module Engine = Farm_sim.Engine
+module Fault = Farm_sim.Fault
+module Fabric = Farm_net.Fabric
+module Topology = Farm_net.Topology
+
+let soil_opt seeder node =
+  if List.exists (fun s -> Soil.node_id s = node) (Seeder.soils seeder) then
+    Some (Seeder.soil seeder node)
+  else None
+
+let handlers seeder =
+  let fabric = Seeder.fabric seeder in
+  let topo = Fabric.topology fabric in
+  let engine = Seeder.engine seeder in
+  let with_soil node f = match soil_opt seeder node with
+    | Some s -> f s
+    | None -> ()
+  in
+  let is_switch node =
+    List.mem node (Topology.switch_ids topo)
+  in
+  {
+    Fault.on_switch_down =
+      (fun node -> if is_switch node then Seeder.fail_switch seeder node);
+    on_switch_up =
+      (fun node -> if is_switch node then Seeder.recover_switch seeder node);
+    on_link_down =
+      (fun a b ->
+        if Topology.has_link topo a b then
+          Fabric.set_link_state fabric ~time:(Engine.now engine) a b ~up:false);
+    on_link_up =
+      (fun a b ->
+        if Topology.has_link topo a b then
+          Fabric.set_link_state fabric ~time:(Engine.now engine) a b ~up:true);
+    on_ctrl_degrade =
+      (fun ~loss ~delay ~dup ->
+        Seeder.set_ctrl_faults seeder { Seeder.loss; delay; dup });
+    on_ctrl_restore =
+      (fun () -> Seeder.set_ctrl_faults seeder Seeder.perfect_ctrl);
+    on_counter_freeze = (fun node -> with_soil node (fun s -> Soil.set_frozen s true));
+    on_counter_thaw = (fun node -> with_soil node (fun s -> Soil.set_frozen s false));
+    on_counter_glitch = (fun node -> with_soil node (fun s -> Soil.glitch s));
+  }
+
+let inject ?on_applied seeder plan =
+  Fault.inject ?on_applied (Seeder.engine seeder) (handlers seeder) plan

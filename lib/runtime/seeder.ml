@@ -16,6 +16,8 @@ type config = {
   message_overhead_bytes : float;
   migration_time : float;
   engine : Farm_almanac.Engine.engine;
+  retry_backoff : float;
+  max_retries : int;
 }
 
 let default_config =
@@ -23,7 +25,13 @@ let default_config =
     control_latency = 250e-6;  (* DC-internal RTT/2 to the controller *)
     message_overhead_bytes = 64.;
     migration_time = 5e-3;
-    engine = `Compiled }
+    engine = `Compiled;
+    retry_backoff = 1e-3;
+    max_retries = 5 }
+
+type ctrl_faults = { loss : float; delay : float; dup : float }
+
+let perfect_ctrl = { loss = 0.; delay = 0.; dup = 0. }
 
 type task_spec = {
   ts_name : string;
@@ -72,6 +80,15 @@ type t = {
   mutable migration_count : int;
   collector_bytes : Farm_sim.Metrics.Counter.t;
   mutable collector_messages : int;
+  (* control-plane fault injection; the rng is split lazily so fault-free
+     runs draw exactly the same random streams as before this existed *)
+  mutable ctrl : ctrl_faults;
+  ctrl_rng : Farm_sim.Rng.t Lazy.t;
+  mutable retransmissions : int;
+  mutable lost_messages : int;
+  (* utility the optimizer reported for the current placement; checked
+     against a from-scratch recomputation by the chaos suite *)
+  mutable reported_utility : float;
 }
 
 let create ?(config = default_config) engine fabric =
@@ -86,7 +103,10 @@ let create ?(config = default_config) engine fabric =
     next_seed = 0; next_task = 0; assignments = [];
     migration_count = 0;
     collector_bytes = Farm_sim.Metrics.Counter.create ();
-    collector_messages = 0 }
+    collector_messages = 0;
+    ctrl = perfect_ctrl;
+    ctrl_rng = lazy (Farm_sim.Rng.split (Engine.rng engine));
+    retransmissions = 0; lost_messages = 0; reported_utility = 0. }
 
 let engine t = t.engine
 let fabric t = t.fabric
@@ -96,7 +116,14 @@ let soil t node =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Seeder.soil: no soil on node %d" node)
 
-let soils t = Hashtbl.fold (fun _ s acc -> s :: acc) t.soils []
+let soils t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.soils []
+  |> List.sort (fun a b -> Int.compare (Soil.node_id a) (Soil.node_id b))
+
+let set_ctrl_faults t f = t.ctrl <- f
+let ctrl_faults t = t.ctrl
+let retransmissions t = t.retransmissions
+let lost_messages t = t.lost_messages
 
 let task_name task = task.spec.ts_name
 
@@ -128,6 +155,7 @@ let instance_stub t =
         avail.(pcie) <- caps.pcie_bps /. (8. *. Soil.counter_record_bytes);
         { Model.node; avail } :: acc)
       t.soils []
+    |> List.sort (fun (a : Model.switch_caps) b -> Int.compare a.node b.node)
   in
   let alive (s : Model.seed_spec) =
     { s with
@@ -142,6 +170,10 @@ let instance_stub t =
     switches; alpha_poll = 1.; previous = t.assignments }
 
 let current_utility t = Model.total_utility (instance_stub t) t.assignments
+
+let placement_instance = instance_stub
+let current_assignments t = t.assignments
+let reported_utility t = t.reported_utility
 
 let collector_bytes t = Farm_sim.Metrics.Counter.value t.collector_bytes
 let collector_messages t = t.collector_messages
@@ -161,10 +193,14 @@ let rec value_bytes (v : Value.t) =
   | Value.Struct (_, fs) ->
       List.fold_left (fun a (_, v) -> a +. value_bytes v) 16. fs
 
+let sorted_regs t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.registry []
+  |> List.sort (fun a b -> Int.compare a.r_spec.seed_id b.r_spec.seed_id)
+
 let regs_of_task t task =
-  Hashtbl.fold
-    (fun _ r acc -> if r.r_task.task_id = task.task_id then r :: acc else acc)
-    t.registry []
+  List.filter (fun r -> r.r_task.task_id = task.task_id) (sorted_regs t)
+
+let seed_specs t task = List.map (fun r -> r.r_spec) (regs_of_task t task)
 
 let seeds t task =
   List.filter_map (fun r -> r.r_exec) (regs_of_task t task)
@@ -183,14 +219,67 @@ let seed_on t task ~machine ~node =
 (* Message routing                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Unicast over the (possibly degraded) control plane.  [deliver] runs at
+   the receiver and reports whether the recipient took the message
+   ([`Delivered]), is temporarily away — migrating or being re-placed — and
+   worth a retry ([`Absent]), or is gone for good ([`Gone]).  Loss and
+   absence are retried with exponential backoff up to [max_retries]; all
+   draws are skipped on a perfect control plane so fault-free runs are
+   byte-identical to the pre-fault-injection behavior. *)
+let rec control_send t ?(tries = 0) deliver =
+  let c = t.ctrl in
+  let resend () =
+    if tries < t.cfg.max_retries then begin
+      t.retransmissions <- t.retransmissions + 1;
+      let backoff = t.cfg.retry_backoff *. (2. ** float_of_int tries) in
+      Engine.schedule t.engine
+        ~delay:(t.cfg.control_latency +. c.delay +. backoff)
+        (fun _ -> control_send t ~tries:(tries + 1) deliver)
+    end
+    else t.lost_messages <- t.lost_messages + 1
+  in
+  let lost =
+    c.loss > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.loss
+  in
+  if lost then resend ()
+  else begin
+    let dup =
+      c.dup > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.dup
+    in
+    Engine.schedule t.engine ~delay:(t.cfg.control_latency +. c.delay)
+      (fun _ ->
+        match deliver () with
+        | `Delivered -> ()
+        | `Absent -> resend ()
+        | `Gone -> t.lost_messages <- t.lost_messages + 1);
+    if dup then
+      (* duplicated in flight: second copy, delivery outcome ignored *)
+      Engine.schedule t.engine
+        ~delay:(t.cfg.control_latency +. c.delay +. t.cfg.retry_backoff)
+        (fun _ -> ignore (deliver () : [ `Delivered | `Absent | `Gone ]))
+  end
+
 let deliver_to_harvester t task ~from_switch v =
   Farm_sim.Metrics.Counter.add t.collector_bytes
     (value_bytes v +. t.cfg.message_overhead_bytes);
   t.collector_messages <- t.collector_messages + 1;
-  Engine.schedule t.engine ~delay:t.cfg.control_latency (fun _ ->
+  control_send t (fun () ->
       match task.harvester with
-      | Some h -> Harvester.handle h ~from_switch v
-      | None -> ())
+      | Some h ->
+          Harvester.handle h ~from_switch v;
+          `Delivered
+      | None -> `Gone)
+
+(* Deliver to one registered seed; retried while the seed is away
+   (migrating, or waiting to be re-placed after a switch failure). *)
+let send_to_reg t (r : reg) ~from v =
+  control_send t (fun () ->
+      match r.r_exec with
+      | Some e ->
+          Seed_exec.deliver e ~from v;
+          `Delivered
+      | None ->
+          if Hashtbl.mem t.registry r.r_spec.seed_id then `Absent else `Gone)
 
 let deliver_to_seeds t task ~machine ~node v ~from =
   let targets =
@@ -204,13 +293,7 @@ let deliver_to_seeds t task ~machine ~node v ~from =
         | _, None -> false)
       (regs_of_task t task)
   in
-  List.iter
-    (fun r ->
-      Engine.schedule t.engine ~delay:t.cfg.control_latency (fun _ ->
-          match r.r_exec with
-          | Some e -> Seed_exec.deliver e ~from v
-          | None -> ()))
-    targets
+  List.iter (fun r -> send_to_reg t r ~from v) targets
 
 let seed_send t task exec (target : Interp.target) v =
   match target with
@@ -245,9 +328,11 @@ let apply_placement t (placement : Model.placement) =
   List.iter
     (fun (a : Model.assignment) -> Hashtbl.replace by_seed a.a_seed a)
     new_assignments;
-  (* destroy / migrate / retune existing seeds *)
-  Hashtbl.iter
-    (fun seed_id (r : reg) ->
+  (* destroy / migrate / retune existing seeds, in seed-id order so
+     same-time engine events are enqueued deterministically *)
+  List.iter
+    (fun (r : reg) ->
+      let seed_id = r.r_spec.seed_id in
       match (r.r_exec, Hashtbl.find_opt by_seed seed_id) with
       | Some exec, None ->
           (* dropped from the placement *)
@@ -269,8 +354,9 @@ let apply_placement t (placement : Model.placement) =
       | None, Some a when not r.r_migrating ->
           instantiate t r a ~restore:None
       | None, _ -> ())
-    t.registry;
+    (sorted_regs t);
   t.assignments <- new_assignments;
+  t.reported_utility <- placement.utility;
   (* task placement flags *)
   let tasks = Hashtbl.create 8 in
   Hashtbl.iter
@@ -390,9 +476,7 @@ let deploy t spec =
               (fun r ->
                 match r.r_exec with
                 | Some e when Seed_exec.node e = switch ->
-                    Engine.schedule t.engine ~delay:t.cfg.control_latency
-                      (fun _ ->
-                        Seed_exec.deliver e ~from:Interp.From_harvester v)
+                    send_to_reg t r ~from:Interp.From_harvester v
                 | Some _ | None -> ())
               (regs_of_task t task));
         broadcast =
@@ -400,10 +484,7 @@ let deploy t spec =
             List.iter
               (fun r ->
                 match r.r_exec with
-                | Some e ->
-                    Engine.schedule t.engine ~delay:t.cfg.control_latency
-                      (fun _ ->
-                        Seed_exec.deliver e ~from:Interp.From_harvester v)
+                | Some _ -> send_to_reg t r ~from:Interp.From_harvester v
                 | None -> ())
               (regs_of_task t task));
         now = (fun () -> Engine.now t.engine);
@@ -435,14 +516,14 @@ let deploy t spec =
 let fail_switch t node =
   if Hashtbl.mem t.soils node && not (Hashtbl.mem t.failed node) then begin
     Hashtbl.replace t.failed node ();
-    Hashtbl.iter
-      (fun _ (r : reg) ->
+    List.iter
+      (fun (r : reg) ->
         match r.r_exec with
         | Some exec when Seed_exec.node exec = node ->
             Seed_exec.destroy exec;
             r.r_exec <- None
         | Some _ | None -> ())
-      t.registry;
+      (sorted_regs t);
     (* the failed switch's assignments are gone *)
     t.assignments <-
       List.filter (fun (a : Model.assignment) -> a.a_node <> node)
@@ -450,7 +531,20 @@ let fail_switch t node =
     reoptimize t
   end
 
-let failed_switches t = Hashtbl.fold (fun n () acc -> n :: acc) t.failed []
+(* Recovery: the switch rejoins the pool of candidate sites.  Crash
+   semantics mean its previous seed state is gone, so recovery is purely a
+   re-optimization over the enlarged instance — seeds that were displaced
+   (or dropped, if pinned) move back or restart there.  [reoptimize:false]
+   exists so the chaos suite can demonstrate that skipping the
+   re-optimization step is an invariant violation the suite catches. *)
+let recover_switch ?reoptimize:(reopt = true) t node =
+  if Hashtbl.mem t.failed node then begin
+    Hashtbl.remove t.failed node;
+    if reopt then reoptimize t
+  end
+
+let failed_switches t =
+  Hashtbl.fold (fun n () acc -> n :: acc) t.failed [] |> List.sort Int.compare
 
 let undeploy t task =
   List.iter
@@ -464,4 +558,5 @@ let undeploy t task =
     List.filter
       (fun (a : Model.assignment) -> Hashtbl.mem t.registry a.a_seed)
       t.assignments;
+  t.reported_utility <- Model.total_utility (instance_stub t) t.assignments;
   task.placed <- false

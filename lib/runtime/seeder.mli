@@ -19,9 +19,27 @@ type config = {
   engine : Farm_almanac.Engine.engine;
       (** execution engine deployed seeds run on: the slot-compiled
           [`Compiled] (default) or the reference interpreter [`Interp] *)
+  retry_backoff : float;
+      (** initial retransmission backoff for control messages whose
+          recipient is temporarily away (doubles per attempt) *)
+  max_retries : int;  (** retransmission attempts before giving up *)
 }
 
 val default_config : config
+
+(** {2 Control-plane faults}
+
+    Degradation applied to every seed↔harvester control message: [loss] is
+    the per-transmission drop probability, [delay] adds one-way latency,
+    [dup] duplicates delivered messages.  Lost messages and messages to a
+    seed that is temporarily away (migrating, or awaiting re-placement
+    after a switch failure) are retransmitted with exponential backoff; the
+    defaults ([perfect_ctrl]) keep the control plane lossless and runs
+    byte-identical to the pre-fault behavior. *)
+
+type ctrl_faults = { loss : float; delay : float; dup : float }
+
+val perfect_ctrl : ctrl_faults
 
 type task_spec = {
   ts_name : string;
@@ -66,7 +84,23 @@ val reoptimize : t -> unit
     the failed switch are dropped (C1). *)
 val fail_switch : t -> int -> unit
 
+(** Undo [fail_switch]: the switch rejoins the candidate pool (its previous
+    seed state is lost — crash semantics) and the global placement
+    re-optimizes, moving displaced seeds back and re-placing tasks that had
+    been dropped.  [reoptimize:false] skips the re-optimization — only
+    useful to demonstrate that the chaos suite catches that bug. *)
+val recover_switch : ?reoptimize:bool -> t -> int -> unit
+
+(** Failed switches, sorted. *)
 val failed_switches : t -> int list
+
+val set_ctrl_faults : t -> ctrl_faults -> unit
+val ctrl_faults : t -> ctrl_faults
+
+(** Control messages retransmitted / given up on so far. *)
+val retransmissions : t -> int
+
+val lost_messages : t -> int
 
 (** {2 Introspection} *)
 
@@ -81,6 +115,22 @@ val seeds : t -> task -> Seed_exec.t list
 val seed_on : t -> task -> machine:string -> node:int -> Seed_exec.t option
 
 val current_utility : t -> float
+
+(** The live optimization instance (healthy switches; registered seeds with
+    failed switches removed from their candidate sets) and the assignments
+    currently in force — the inputs the chaos suite feeds to
+    [Model.validate] and [Model.total_utility] to cross-check the runtime's
+    own bookkeeping. *)
+val placement_instance : t -> Farm_placement.Model.instance
+
+val current_assignments : t -> Farm_placement.Model.assignment list
+
+(** Utility reported by the optimizer for the placement in force. *)
+val reported_utility : t -> float
+
+(** Raw (unfiltered) seed specs registered for the task, sorted by seed
+    id. *)
+val seed_specs : t -> task -> Farm_placement.Model.seed_spec list
 
 (** Bytes and messages shipped to centralized components since start —
     the "network load towards the collector" of Fig. 4. *)

@@ -64,6 +64,10 @@ type t = {
   mutable asic_polls : int;
   latency : Farm_sim.Metrics.Histogram.t;
       (* seed-observed delivery latency: ASIC read issue -> handler *)
+  (* counter fault injection (Fault.Counter_freeze / Counter_glitch) *)
+  mutable frozen : bool;
+  mutable frozen_cache : (Filter.subject * float array) list;
+  mutable glitch_budget : int;
 }
 
 let create ?(config = default_config) engine sw =
@@ -71,7 +75,8 @@ let create ?(config = default_config) engine sw =
     rng = Farm_sim.Rng.split (Engine.rng engine); seeds = [];
     next_sub = 0; groups = []; pcie_free_at = 0.; requested = 0;
     completed = 0; dropped = 0; pcie_bytes = 0.; asic_polls = 0;
-    latency = Farm_sim.Metrics.Histogram.create () }
+    latency = Farm_sim.Metrics.Histogram.create ();
+    frozen = false; frozen_cache = []; glitch_budget = 0 }
 
 let node_id t = Switch_model.id t.sw
 let switch t = t.sw
@@ -142,6 +147,47 @@ let ipc_deliver ?issued t f =
       | None -> ());
       f ())
 
+(* ------------------------------------------------------------------ *)
+(* Counter fault injection                                             *)
+(* ------------------------------------------------------------------ *)
+
+let set_frozen t on =
+  t.frozen <- on;
+  if not on then t.frozen_cache <- []
+
+let is_frozen t = t.frozen
+
+let glitch ?(polls = 1) t = t.glitch_budget <- t.glitch_budget + polls
+
+(* ASIC counter read, possibly degraded: while frozen, every subject keeps
+   returning the snapshot taken at freeze time; a pending glitch corrupts
+   one read with deterministic garbage drawn from the soil's rng. *)
+let read_counters t subject =
+  let fresh () =
+    Switch_model.poll_subject t.sw ~time:(Engine.now t.engine) subject
+  in
+  let data =
+    if t.frozen then
+      match
+        List.find_opt
+          (fun (s, _) -> Filter.subject_equal s subject)
+          t.frozen_cache
+      with
+      | Some (_, d) -> Array.copy d
+      | None ->
+          let d = fresh () in
+          t.frozen_cache <- (subject, Array.copy d) :: t.frozen_cache;
+          d
+  else fresh ()
+  in
+  if t.glitch_budget > 0 then begin
+    t.glitch_budget <- t.glitch_budget - 1;
+    Array.map
+      (fun v -> Farm_sim.Rng.uniform t.rng 0. (Float.max (2. *. v) 1e9))
+      data
+  end
+  else data
+
 (* Issue one ASIC poll for [subject] and deliver the result to [subs]. *)
 let issue_poll t subject subs =
   let issued = Engine.now t.engine in
@@ -151,9 +197,7 @@ let issue_poll t subject subs =
   let bytes = poll_payload t subject in
   (* the ASIC snapshots the counters when the read is issued; the data
      then crosses the PCIe bus *)
-  let data =
-    Switch_model.poll_subject t.sw ~time:(Engine.now t.engine) subject
-  in
+  let data = read_counters t subject in
   let ok =
     pcie_transfer t ~bytes (fun _engine ->
         let records = Float.max 1. (bytes /. counter_record_bytes) in

@@ -87,6 +87,18 @@ val add_tcam_rule :
 val remove_tcam_rule : t -> pattern:Filter.t -> int
 val get_tcam_rule : t -> pattern:Filter.t -> Farm_net.Tcam.installed option
 
+(** {2 Counter fault injection}
+
+    Hooks for [Farm_sim.Fault]'s counter faults.  While frozen, ASIC reads
+    keep returning the per-subject snapshot taken at the first read after
+    the freeze; thawing clears the snapshots.  A glitch corrupts the next
+    [polls] ASIC reads with deterministic garbage (drawn from the soil's own
+    rng, so runs stay reproducible). *)
+
+val set_frozen : t -> bool -> unit
+val is_frozen : t -> bool
+val glitch : ?polls:int -> t -> unit
+
 (** {2 Accounting} *)
 
 val charge_cpu : t -> float -> unit

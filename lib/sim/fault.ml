@@ -1,0 +1,170 @@
+type event =
+  | Switch_down of int
+  | Switch_up of int
+  | Link_down of int * int
+  | Link_up of int * int
+  | Ctrl_degrade of { loss : float; delay : float; dup : float }
+  | Ctrl_restore
+  | Counter_freeze of int
+  | Counter_thaw of int
+  | Counter_glitch of int
+
+type entry = { at : float; event : event }
+
+type plan = entry list
+
+type handlers = {
+  on_switch_down : int -> unit;
+  on_switch_up : int -> unit;
+  on_link_down : int -> int -> unit;
+  on_link_up : int -> int -> unit;
+  on_ctrl_degrade : loss:float -> delay:float -> dup:float -> unit;
+  on_ctrl_restore : unit -> unit;
+  on_counter_freeze : int -> unit;
+  on_counter_thaw : int -> unit;
+  on_counter_glitch : int -> unit;
+}
+
+let null_handlers =
+  {
+    on_switch_down = (fun _ -> ());
+    on_switch_up = (fun _ -> ());
+    on_link_down = (fun _ _ -> ());
+    on_link_up = (fun _ _ -> ());
+    on_ctrl_degrade = (fun ~loss:_ ~delay:_ ~dup:_ -> ());
+    on_ctrl_restore = (fun () -> ());
+    on_counter_freeze = (fun _ -> ());
+    on_counter_thaw = (fun _ -> ());
+    on_counter_glitch = (fun _ -> ());
+  }
+
+let dispatch h = function
+  | Switch_down n -> h.on_switch_down n
+  | Switch_up n -> h.on_switch_up n
+  | Link_down (a, b) -> h.on_link_down a b
+  | Link_up (a, b) -> h.on_link_up a b
+  | Ctrl_degrade { loss; delay; dup } -> h.on_ctrl_degrade ~loss ~delay ~dup
+  | Ctrl_restore -> h.on_ctrl_restore ()
+  | Counter_freeze n -> h.on_counter_freeze n
+  | Counter_thaw n -> h.on_counter_thaw n
+  | Counter_glitch n -> h.on_counter_glitch n
+
+let event_to_string = function
+  | Switch_down n -> Printf.sprintf "switch_down %d" n
+  | Switch_up n -> Printf.sprintf "switch_up %d" n
+  | Link_down (a, b) -> Printf.sprintf "link_down %d-%d" a b
+  | Link_up (a, b) -> Printf.sprintf "link_up %d-%d" a b
+  | Ctrl_degrade { loss; delay; dup } ->
+      Printf.sprintf "ctrl_degrade loss=%.3f delay=%.6f dup=%.3f" loss delay
+        dup
+  | Ctrl_restore -> "ctrl_restore"
+  | Counter_freeze n -> Printf.sprintf "counter_freeze %d" n
+  | Counter_thaw n -> Printf.sprintf "counter_thaw %d" n
+  | Counter_glitch n -> Printf.sprintf "counter_glitch %d" n
+
+let entry_to_string e = Printf.sprintf "%.6f %s" e.at (event_to_string e.event)
+
+let to_string plan =
+  String.concat "\n" (List.map entry_to_string plan)
+
+let normalize plan =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) plan
+
+let inject ?(on_applied = fun _ _ -> ()) engine handlers plan =
+  List.iter
+    (fun { at; event } ->
+      let at = Float.max at (Engine.now engine) in
+      Engine.schedule_at engine ~time:at (fun _ ->
+          dispatch handlers event;
+          on_applied at event))
+    (normalize plan)
+
+(* Paired-episode generator.  Each episode picks a fault kind, a subject and
+   a [t0, t1) window inside the horizon; "down" events usually come with the
+   matching "up".  A subject that is currently down is not crashed again:
+   windows for the same subject are drawn disjoint by construction (we track
+   per-subject busy intervals and skip colliding draws). *)
+let random_plan ~rng ~switches ?(links = []) ?(episodes = 4) ~horizon () =
+  let entries = ref [] in
+  let push at event = entries := { at; event } :: !entries in
+  let busy : (string, (float * float) list) Hashtbl.t = Hashtbl.create 8 in
+  (* Reserve a [t0, t1) window disjoint from previous ones for [key] (up to
+     8 attempts).  [extend] widens the reservation to the whole horizon —
+     used when the "down" half of an episode never recovers, so the subject
+     is not downed twice. *)
+  let window ?(extend = false) key =
+    let rec try_ n =
+      if n = 0 then None
+      else
+        let t0 = Rng.uniform rng (0.02 *. horizon) (0.7 *. horizon) in
+        let t1 = t0 +. Rng.uniform rng (0.05 *. horizon) (0.25 *. horizon) in
+        let taken = Option.value ~default:[] (Hashtbl.find_opt busy key) in
+        (* a down that never recovers occupies [t0, inf): both the
+           collision check and the reservation must use that interval *)
+        let upper = if extend then infinity else t1 in
+        if List.exists (fun (a, b) -> t0 < b && a < upper) taken then
+          try_ (n - 1)
+        else begin
+          Hashtbl.replace busy key ((t0, upper) :: taken);
+          Some (t0, t1)
+        end
+    in
+    try_ 8
+  in
+  let switch_arr = Array.of_list switches in
+  let link_arr = Array.of_list links in
+  let kinds =
+    List.concat
+      [
+        (if Array.length switch_arr > 0 then
+           [ `Crash; `Crash; `Freeze; `Glitch ]
+         else []);
+        (if Array.length link_arr > 0 then [ `Link; `Link ] else []);
+        [ `Ctrl ];
+      ]
+  in
+  let kind_arr = Array.of_list kinds in
+  if Array.length kind_arr > 0 then
+    for _ = 1 to episodes do
+      match kind_arr.(Rng.int rng (Array.length kind_arr)) with
+      | `Crash ->
+          let sw = switch_arr.(Rng.int rng (Array.length switch_arr)) in
+          (* ~75% of crashes recover within the horizon *)
+          let recovers = Rng.bernoulli rng 0.75 in
+          (match window ~extend:(not recovers) (Printf.sprintf "sw%d" sw) with
+          | None -> ()
+          | Some (t0, t1) ->
+              push t0 (Switch_down sw);
+              if recovers then push t1 (Switch_up sw))
+      | `Link ->
+          let a, b = link_arr.(Rng.int rng (Array.length link_arr)) in
+          let recovers = Rng.bernoulli rng 0.85 in
+          (match
+             window ~extend:(not recovers) (Printf.sprintf "ln%d-%d" a b)
+           with
+          | None -> ()
+          | Some (t0, t1) ->
+              push t0 (Link_down (a, b));
+              if recovers then push t1 (Link_up (a, b)))
+      | `Ctrl -> (
+          match window "ctrl" with
+          | None -> ()
+          | Some (t0, t1) ->
+              let loss = Rng.uniform rng 0. 0.5 in
+              let delay = Rng.uniform rng 0. 2e-3 in
+              let dup = Rng.uniform rng 0. 0.3 in
+              push t0 (Ctrl_degrade { loss; delay; dup });
+              push t1 Ctrl_restore)
+      | `Freeze ->
+          let sw = switch_arr.(Rng.int rng (Array.length switch_arr)) in
+          (match window (Printf.sprintf "frz%d" sw) with
+          | None -> ()
+          | Some (t0, t1) ->
+              push t0 (Counter_freeze sw);
+              push t1 (Counter_thaw sw))
+      | `Glitch ->
+          let sw = switch_arr.(Rng.int rng (Array.length switch_arr)) in
+          let t = Rng.uniform rng (0.02 *. horizon) (0.9 *. horizon) in
+          push t (Counter_glitch sw)
+    done;
+  normalize (List.rev !entries)

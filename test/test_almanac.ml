@@ -1325,6 +1325,119 @@ let test_differential_hh () =
   in
   if ok < 5 then Alcotest.failf "HH differential only completed %d ok steps" ok
 
+(* Randomized interleavings over the same catalog: rather than the fixed
+   round-robin schedule above, fire/deliver/realloc/migrate in a random
+   order drawn from a printable seed, so engine-divergence bugs that only
+   show up under a particular ordering (e.g. migrate directly after an
+   unconsumed message) are hunted too. *)
+
+let diff_cases =
+  lazy
+    (List.concat_map
+       (fun (entry : Farm_tasks.Task_common.entry) ->
+         let program =
+           Typecheck.check ~extra:entry.extra_sigs (Parser.program entry.source)
+         in
+         List.map
+           (fun (m : Ast.machine) ->
+             let externals =
+               Option.value ~default:[]
+                 (List.assoc_opt m.mname entry.externals)
+             in
+             ( Printf.sprintf "%s/%s" entry.name m.mname,
+               program, m, externals, entry.builtins ))
+           program.machines)
+       Farm_tasks.Catalog.all)
+
+let diff_prop_step what di dc step =
+  let ri = diff_apply di step in
+  let rc = diff_apply dc step in
+  let ctx = Printf.sprintf "%s: %s" what (diff_step_str step) in
+  if ri <> rc then
+    QCheck2.Test.fail_reportf "%s: outcomes differ (interp %s, compiled %s)"
+      ctx
+      (match ri with Ok s -> "ok " ^ s | Error e -> e)
+      (match rc with Ok s -> "ok " ^ s | Error e -> e);
+  let si, vi, ti, li = diff_observe di in
+  let sc, vc, tc, lc = diff_observe dc in
+  if si <> sc then
+    QCheck2.Test.fail_reportf "%s: states differ (%s vs %s)" ctx si sc;
+  if vi <> vc then
+    QCheck2.Test.fail_reportf "%s: variables differ\n  interp: %s\n  compiled: %s"
+      ctx (String.concat "; " vi) (String.concat "; " vc);
+  if ti <> tc then
+    QCheck2.Test.fail_reportf "%s: transition counts differ (%d vs %d)" ctx ti
+      tc;
+  if li <> lc then
+    QCheck2.Test.fail_reportf "%s: effect logs differ\n  interp: %s\n  compiled: %s"
+      ctx (String.concat " | " li) (String.concat " | " lc);
+  ri
+
+let prop_differential_random =
+  QCheck2.Test.make ~name:"interp vs compiled agree on random interleavings"
+    ~count:120
+    ~print:(fun (idx, seed, len) ->
+      Printf.sprintf "case=%d seed=%d len=%d" idx seed len)
+    QCheck2.Gen.(
+      triple (int_bound 1_000) (int_bound 1_000_000) (int_range 8 30))
+    (fun (idx, seed, len) ->
+      let cases = Lazy.force diff_cases in
+      let what, program, (m : Ast.machine), externals, builtins =
+        List.nth cases (idx mod List.length cases)
+      in
+      let trigs, recvs = diff_stimuli m in
+      let trig_arr = Array.of_list trigs and recv_arr = Array.of_list recvs in
+      let rng = Farm_sim.Rng.create (0xd1ff + seed) in
+      let kinds =
+        Array.of_list
+          (List.concat
+             [ (if Array.length trig_arr > 0 then [ `Fire; `Fire; `Fire ]
+                else []);
+               (if Array.length recv_arr > 0 then [ `Deliver; `Deliver ]
+                else []);
+               [ `Realloc; `Migrate ] ])
+      in
+      let random_step () =
+        let round = Farm_sim.Rng.int rng 7 in
+        match kinds.(Farm_sim.Rng.int rng (Array.length kinds)) with
+        | `Fire ->
+            let name, tt =
+              trig_arr.(Farm_sim.Rng.int rng (Array.length trig_arr))
+            in
+            D_fire (name, diff_trigger_value tt ~round)
+        | `Deliver ->
+            let ty, from =
+              recv_arr.(Farm_sim.Rng.int rng (Array.length recv_arr))
+            in
+            D_deliver (from, diff_recv_value ty ~round)
+        | `Realloc -> D_realloc
+        | `Migrate -> D_migrate
+      in
+      let steps = ref [] in
+      for _ = 1 to len do
+        steps := random_step () :: !steps
+      done;
+      let steps = D_start :: List.rev !steps in
+      let di =
+        diff_driver ~engine:`Interp ~program ~machine:m.mname ~externals
+          ~builtins
+      in
+      let dc =
+        diff_driver ~engine:`Compiled ~program ~machine:m.mname ~externals
+          ~builtins
+      in
+      if Engine.current_state di.dd_inst <> Engine.current_state dc.dd_inst
+      then QCheck2.Test.fail_reportf "%s: initial state differs" what;
+      (* stop at the first (identical) error, as in the scripted run *)
+      let rec go = function
+        | [] -> true
+        | step :: rest -> (
+            match diff_prop_step what di dc step with
+            | Ok _ -> go rest
+            | Error _ -> true)
+      in
+      go steps)
+
 let () =
   Alcotest.run "farm_almanac"
     [ ( "lexer",
@@ -1434,4 +1547,5 @@ let () =
         [ Alcotest.test_case "catalog: interp vs compiled" `Quick
             test_differential_catalog;
           Alcotest.test_case "HH: interp vs compiled" `Quick
-            test_differential_hh ] ) ]
+            test_differential_hh ]
+        @ qsuite [ prop_differential_random ] ) ]

@@ -459,6 +459,203 @@ let test_traffic_syn_flood_flags () =
   Engine.run ~until:12. engine;
   Alcotest.(check int) "attack flows gone" 0 (Fabric.active_flow_count fabric)
 
+(* ------------------------------------------------------------------ *)
+(* Property tests: round-trips, model-based TCAM, ECMP validity        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ip_roundtrip =
+  QCheck2.Test.make ~name:"ipaddr int/string round-trip" ~count:500
+    QCheck2.Gen.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (hi, lo) ->
+      let n = (hi lsl 16) lor lo in
+      let a = Ipaddr.of_int n in
+      Ipaddr.to_int a = n
+      && Ipaddr.equal a (Ipaddr.of_string (Ipaddr.to_string a)))
+
+let prop_prefix_roundtrip =
+  QCheck2.Test.make ~name:"prefix print/parse round-trip" ~count:500
+    QCheck2.Gen.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (int_range 0 32))
+    (fun (hi, lo, len) ->
+      let p = Ipaddr.Prefix.make (Ipaddr.of_int ((hi lsl 16) lor lo)) len in
+      Ipaddr.Prefix.equal p
+        (Ipaddr.Prefix.of_string (Ipaddr.Prefix.to_string p)))
+
+(* TCAM model test: rules live in a flat association list and lookup is a
+   naive scan.  Prefix rules get priority = prefix length, so the test also
+   exercises longest-prefix-match-by-priority, the way seeds install
+   drill-down rules. *)
+
+let gen_tcam_rule =
+  let open QCheck2.Gen in
+  let* region =
+    map (fun b -> if b then Tcam.Forwarding else Tcam.Monitoring) bool
+  in
+  let* pattern, priority =
+    oneof
+      [
+        (let* len = int_range 8 32 in
+         let* b = int_bound 0xFF in
+         let pfx = Ipaddr.Prefix.make (Ipaddr.of_int ((10 lsl 24) lor b)) len in
+         return (Filter.atom (Filter.Dst_ip pfx), len));
+        (let* p = int_range 1 5 in
+         let* prio = int_range 0 40 in
+         return (Filter.atom (Filter.Dst_port p), prio));
+        (let* p = int_range 1 5 in
+         let* prio = int_range 0 40 in
+         return (Filter.atom (Filter.Src_port p), prio));
+        (let* prio = int_range 0 40 in
+         return (Filter.atom (Filter.Proto Flow.Tcp), prio));
+        (let* prio = int_range 0 40 in
+         return (Filter.True, prio));
+      ]
+  in
+  return (region, { Tcam.pattern; action = Tcam.Count; priority })
+
+let gen_tcam_tuple =
+  let open QCheck2.Gen in
+  let* s = int_bound 0xFF in
+  let* d = int_bound 0xFF in
+  let* sport = int_range 1 5 in
+  let* dport = int_range 1 5 in
+  let* proto = map (fun b -> if b then Flow.Tcp else Flow.Udp) bool in
+  return
+    {
+      Flow.src = Ipaddr.of_int ((10 lsl 24) lor s);
+      dst = Ipaddr.of_int ((10 lsl 24) lor d);
+      sport;
+      dport;
+      proto;
+    }
+
+(* Mirrors the documented semantics: within a region highest priority wins,
+   insertion order breaks ties (both the TCAM's insert_sorted and this
+   stable_sort preserve it); across regions forwarding wins unless a
+   monitoring rule has strictly higher priority. *)
+let tcam_oracle model tuple =
+  let best region =
+    List.filter
+      (fun (r, _, (rule : Tcam.rule)) ->
+        r = region && Filter.matches rule.pattern tuple)
+      model
+    |> List.stable_sort (fun (_, _, (a : Tcam.rule)) (_, _, (b : Tcam.rule)) ->
+           Int.compare b.priority a.priority)
+    |> function
+    | [] -> None
+    | x :: _ -> Some x
+  in
+  match (best Tcam.Forwarding, best Tcam.Monitoring) with
+  | None, None -> None
+  | Some (_, id, _), None | None, Some (_, id, _) -> Some id
+  | Some (_, fid, (fr : Tcam.rule)), Some (_, mid, (mr : Tcam.rule)) ->
+      if mr.priority > fr.priority then Some mid else Some fid
+
+let prop_tcam_vs_oracle =
+  QCheck2.Test.make ~name:"tcam lookup matches list-scan oracle" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) gen_tcam_rule)
+        (list_size (int_range 1 12) gen_tcam_tuple))
+    (fun (rules, tuples) ->
+      (* capacity below the rule count so the [Error `Full] path (rule
+         silently absent from both tcam and model) is exercised too *)
+      let t = Tcam.create ~monitoring_share:0.5 ~capacity:20 () in
+      let model =
+        List.filter_map
+          (fun (region, rule) ->
+            match Tcam.add t region rule with
+            | Ok inst -> Some (region, inst.Tcam.id, rule)
+            | Error `Full -> None)
+          rules
+      in
+      List.for_all
+        (fun tuple ->
+          Option.map (fun (i : Tcam.installed) -> i.id) (Tcam.lookup t tuple)
+          = tcam_oracle model tuple)
+        tuples)
+
+let prop_ecmp_paths_valid =
+  QCheck2.Test.make
+    ~name:"ECMP paths: endpoints, loop-free, minimal, live links" ~count:150
+    QCheck2.Gen.(
+      let* spines = int_range 2 3 in
+      let* leaves = int_range 2 4 in
+      let* pick = int_bound 10_000 in
+      let* cut = int_bound 10_000 in
+      return (spines, leaves, pick, cut))
+    (fun (spines, leaves, pick, cut) ->
+      let topo = Topology.spine_leaf ~spines ~leaves ~hosts_per_leaf:2 in
+      let hosts = Array.of_list (Topology.hosts topo) in
+      let n = Array.length hosts in
+      let si = pick mod n in
+      let di = (pick / n) mod n in
+      let di = if di = si then (di + 1) mod n else di in
+      let src = hosts.(si).Topology.id and dst = hosts.(di).Topology.id in
+      let valid () =
+        match Routing.shortest_paths topo ~src ~dst with
+        | [] -> false
+        | paths ->
+            let min_len =
+              List.fold_left (fun acc p -> min acc (List.length p)) max_int
+                paths
+            in
+            List.for_all
+              (fun p ->
+                List.length p = min_len
+                && List.hd p = src
+                && List.nth p (List.length p - 1) = dst
+                && List.length (List.sort_uniq Int.compare p) = List.length p
+                &&
+                let rec live = function
+                  | a :: (b :: _ as rest) ->
+                      Topology.link_is_up topo a b && live rest
+                  | _ -> true
+                in
+                live p)
+              paths
+      in
+      let ok_before = valid () in
+      (* cut one leaf-spine link: with >= 2 spines the fabric stays
+         connected and surviving paths must route around it *)
+      let sw_links = Array.of_list (Topology.switch_links topo) in
+      let a, b = sw_links.(cut mod Array.length sw_links) in
+      Topology.set_link_state topo a b ~up:false;
+      ok_before && valid ())
+
+let test_fabric_link_failover () =
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1 in
+  let fabric = Fabric.create topo in
+  let tuple = tup ~src:"10.1.1.5" ~dst:"10.2.1.5" () in
+  let id =
+    Option.get (Fabric.start_flow fabric ~time:0. ~tuple ~rate:1000. ())
+  in
+  let path0 = Option.get (Fabric.flow_path fabric id) in
+  (* host - leaf - spine - leaf - host *)
+  let leaf = List.nth path0 1 and spine = List.nth path0 2 in
+  Fabric.set_link_state fabric ~time:1. leaf spine ~up:false;
+  let path1 = Option.get (Fabric.flow_path fabric id) in
+  Alcotest.(check bool) "moved off the dead link" true (path1 <> path0);
+  let rec uses = function
+    | a :: (b :: _ as rest) ->
+        (a = leaf && b = spine) || (a = spine && b = leaf) || uses rest
+    | _ -> false
+  in
+  Alcotest.(check bool) "new path avoids dead link" false (uses path1);
+  Alcotest.(check int) "reroute counted" 1 (Fabric.rerouted_flows fabric);
+  Fabric.set_link_state fabric ~time:2. leaf spine ~up:true;
+  let path2 = Option.get (Fabric.flow_path fabric id) in
+  Alcotest.(check (list int)) "repair restores the ECMP choice" path0 path2;
+  (* cut every uplink of the source leaf: no route is left so the flow is
+     torn down rather than silently black-holed *)
+  let uplinks =
+    List.filter (fun s -> Topology.is_switch topo s)
+      (Topology.neighbors topo leaf)
+  in
+  List.iter
+    (fun s -> Fabric.set_link_state fabric ~time:3. leaf s ~up:false)
+    uplinks;
+  Alcotest.(check int) "flow dropped" 0 (Fabric.active_flow_count fabric);
+  Alcotest.(check int) "drop counted" 1 (Fabric.dropped_flows fabric)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -470,7 +667,9 @@ let () =
           Alcotest.test_case "subset/overlap" `Quick
             test_prefix_subset_overlap;
           Alcotest.test_case "normalizes" `Quick test_prefix_normalizes ]
-        @ qsuite [ prop_prefix_member_of_own_prefix ] );
+        @ qsuite
+            [ prop_prefix_member_of_own_prefix; prop_ip_roundtrip;
+              prop_prefix_roundtrip ] );
       ( "filter",
         [ Alcotest.test_case "atoms" `Quick test_filter_atoms;
           Alcotest.test_case "boolean" `Quick test_filter_boolean;
@@ -481,7 +680,8 @@ let () =
           Alcotest.test_case "priority lookup" `Quick
             test_tcam_priority_lookup;
           Alcotest.test_case "counters and remove" `Quick
-            test_tcam_counters_and_remove ] );
+            test_tcam_counters_and_remove ]
+        @ qsuite [ prop_tcam_vs_oracle ] );
       ( "topology",
         [ Alcotest.test_case "spine-leaf shape" `Quick test_spine_leaf_shape;
           Alcotest.test_case "fat-tree shape" `Quick test_fat_tree_shape;
@@ -495,7 +695,8 @@ let () =
           Alcotest.test_case "paths matching filter" `Quick
             test_paths_matching_filter;
           Alcotest.test_case "three-valued satisfiability" `Quick
-            test_satisfiable_three_valued ] );
+            test_satisfiable_three_valued ]
+        @ qsuite [ prop_ecmp_paths_valid ] );
       ( "switch_model",
         [ Alcotest.test_case "counters integrate" `Quick
             test_switch_counters_integrate;
@@ -505,7 +706,8 @@ let () =
           Alcotest.test_case "sampling" `Quick test_switch_sampling ] );
       ( "fabric",
         [ Alcotest.test_case "flow accounting" `Quick
-            test_fabric_flow_accounting ] );
+            test_fabric_flow_accounting;
+          Alcotest.test_case "link failover" `Quick test_fabric_link_failover ] );
       ( "traffic",
         [ Alcotest.test_case "background sustains" `Quick
             test_traffic_background_sustains;

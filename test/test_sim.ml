@@ -149,6 +149,149 @@ let prop_heap_sorted =
       in
       check neg_infinity)
 
+(* Model-based: arbitrary push/pop interleavings against a sorted-list
+   model.  Times are quantized to quarters so equal-time ties are frequent
+   and the FIFO tie-break is genuinely exercised. *)
+let prop_heap_model =
+  QCheck2.Test.make ~name:"heap matches sorted-list model (FIFO ties)"
+    ~count:300
+    QCheck2.Gen.(
+      list
+        (oneof
+           [ map (fun i -> `Push (float_of_int i /. 4.)) (int_bound 40);
+             return `Pop ]))
+    (fun ops ->
+      let h = Heap.create () in
+      (* model: (time, seq) pairs kept time-sorted, insertion-stable *)
+      let model = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push time ->
+              Heap.push h ~time !seq;
+              model :=
+                List.stable_sort
+                  (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+                  (!model @ [ (time, !seq) ]);
+              incr seq;
+              Heap.size h = List.length !model
+          | `Pop -> (
+              match !model with
+              | [] -> Heap.is_empty h && Heap.pop h = None
+              | (time, v) :: rest ->
+                  (not (Heap.is_empty h))
+                  && Heap.min_time_exn h = time
+                  && Heap.pop_min_exn h = v
+                  &&
+                  (model := rest;
+                   true)))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fault_plan_well_formed =
+  QCheck2.Test.make ~name:"random_plan is well-formed" ~count:200
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 8))
+    (fun (seed, episodes) ->
+      let rng = Rng.create seed in
+      let switches = [ 0; 1; 2 ] in
+      let links = [ (0, 1); (1, 2) ] in
+      let horizon = 10. in
+      let plan =
+        Fault.random_plan ~rng ~switches ~links ~episodes ~horizon ()
+      in
+      (* sorted, in range *)
+      let rec sorted = function
+        | { Fault.at = a; _ } :: ({ Fault.at = b; _ } :: _ as rest) ->
+            a <= b && sorted rest
+        | [ _ ] | [] -> true
+      in
+      let in_range { Fault.at; _ } = at >= 0. && at <= horizon in
+      (* per subject, downs and ups alternate starting with a down *)
+      let alternates sel =
+        let seqs = Hashtbl.create 4 in
+        List.iter
+          (fun { Fault.event; _ } ->
+            match sel event with
+            | Some (key, phase) ->
+                let cur =
+                  Option.value ~default:[] (Hashtbl.find_opt seqs key)
+                in
+                Hashtbl.replace seqs key (phase :: cur)
+            | None -> ())
+          plan;
+        Hashtbl.fold
+          (fun _ phases ok ->
+            let rec alt expected = function
+              | [] -> true
+              | p :: rest -> p = expected && alt (not expected) rest
+            in
+            ok && alt true (List.rev phases))
+          seqs true
+      in
+      let switch_ok =
+        alternates (function
+          | Fault.Switch_down n -> Some (n, true)
+          | Fault.Switch_up n -> Some (n, false)
+          | _ -> None)
+      in
+      let link_ok =
+        alternates (function
+          | Fault.Link_down (a, b) -> Some ((a, b), true)
+          | Fault.Link_up (a, b) -> Some ((a, b), false)
+          | _ -> None)
+      in
+      let subjects_ok =
+        List.for_all
+          (fun { Fault.event; _ } ->
+            match event with
+            | Fault.Switch_down n | Fault.Switch_up n
+            | Fault.Counter_freeze n | Fault.Counter_thaw n
+            | Fault.Counter_glitch n ->
+                List.mem n switches
+            | Fault.Link_down (a, b) | Fault.Link_up (a, b) ->
+                List.mem (a, b) links
+            | Fault.Ctrl_degrade { loss; delay; dup } ->
+                loss >= 0. && loss <= 0.5 && delay >= 0. && dup >= 0.
+                && dup <= 0.3
+            | Fault.Ctrl_restore -> true)
+          plan
+      in
+      sorted plan
+      && List.for_all in_range plan
+      && switch_ok && link_ok && subjects_ok)
+
+let test_fault_inject_order () =
+  (* events dispatch at their plan times, in order, with on_applied seeing
+     the engine clock; past entries are clamped to now *)
+  let engine = Engine.create () in
+  let applied = ref [] in
+  let handlers =
+    { Fault.null_handlers with
+      Fault.on_switch_down =
+        (fun n -> applied := (`H n, Engine.now engine) :: !applied) }
+  in
+  let plan =
+    [ { Fault.at = 0.5; event = Fault.Switch_down 2 };
+      { Fault.at = 0.1; event = Fault.Switch_down 1 };
+      { Fault.at = -1.; event = Fault.Switch_down 0 } ]
+  in
+  Fault.inject engine handlers plan ~on_applied:(fun at ev ->
+      applied := (`A (at, Fault.event_to_string ev), Engine.now engine)
+                 :: !applied);
+  Engine.run engine;
+  let got = List.rev !applied in
+  Alcotest.(check int) "handler + on_applied per event" 6 (List.length got);
+  let times = List.map snd got in
+  Alcotest.(check (list (float 1e-12))) "dispatch times"
+    [ 0.; 0.; 0.1; 0.1; 0.5; 0.5 ] times;
+  match got with
+  | (`H 0, _) :: (`A (0., "switch_down 0"), _) :: (`H 1, _) :: _ -> ()
+  | _ -> Alcotest.fail "unexpected dispatch order"
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -275,7 +418,12 @@ let () =
         [ Alcotest.test_case "order" `Quick test_heap_order;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "pop_min_exn" `Quick test_heap_pop_min_exn ]
-        @ qsuite [ prop_heap_sorted; prop_heap_exn_matches_pop ] );
+        @ qsuite
+            [ prop_heap_sorted; prop_heap_exn_matches_pop; prop_heap_model ]
+      );
+      ( "fault",
+        [ Alcotest.test_case "inject order" `Quick test_fault_inject_order ]
+        @ qsuite [ prop_fault_plan_well_formed ] );
       ( "engine",
         [ Alcotest.test_case "order and clock" `Quick
             test_engine_order_and_clock;
