@@ -2,15 +2,19 @@
 
    Subcommands:
      farmc check <file.alm>      parse + type-check
+     farmc lint <file.alm>...    full static verification (P/T/L/B codes)
      farmc format <file.alm>     pretty-print the parsed program
      farmc compile <file.alm>    emit the XML interchange form
      farmc analyze <file.alm>    run the seeder's static analyses
      farmc tasks                 list the built-in Table I catalog
      farmc run <task> [-d SECS]  simulate a catalog task under its workload
-*)
+
+   All commands report problems as positioned diagnostics
+   (file:line:col: severity[CODE]: message) on stderr. *)
 
 open Farm
 open Cmdliner
+module Diagnostic = Almanac.Diagnostic
 
 let read_file path =
   let ic = open_in_bin path in
@@ -18,24 +22,24 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load path =
-  match Almanac.Parser.program (read_file path) with
-  | p -> Ok p
-  | exception Almanac.Parser.Error m ->
-      Error (Printf.sprintf "%s: syntax error: %s" path m)
+(* parse + type-check, accumulating positioned diagnostics *)
+let load_diags ?extra source =
+  match Almanac.Parser.program_result source with
+  | Error d -> Error [ d ]
+  | Ok parsed -> (
+      match Almanac.Typecheck.check_diags ?extra parsed with
+      | Ok p -> Ok p
+      | Error ds -> Error ds)
 
 let check_program path =
-  match load path with
-  | Error m -> Error m
-  | Ok parsed -> (
-      match Almanac.Typecheck.check_result parsed with
-      | Ok p -> Ok p
-      | Error m -> Error (Printf.sprintf "%s: type error: %s" path m))
+  match load_diags (read_file path) with
+  | Ok p -> Ok p
+  | Error ds -> Error (Diagnostic.with_file path ds)
 
 let or_die = function
   | Ok v -> v
-  | Error m ->
-      prerr_endline m;
+  | Error ds ->
+      Diagnostic.print_all stderr ds;
       exit 1
 
 (* ---------------- check ---------------- *)
@@ -51,6 +55,155 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc:"Parse and type-check an Almanac program")
     Term.(const run $ file_arg)
+
+(* ---------------- lint ---------------- *)
+
+let ref_topo () = Net.Topology.spine_leaf ~spines:2 ~leaves:4 ~hosts_per_leaf:2
+
+(* analysis-time bindings: deployment-provided externals, falling back to
+   literal machine-variable initializers (mirrors the seeder) *)
+let analysis_bindings (m : Almanac.Ast.machine) bound : Almanac.Analysis.bindings
+    =
+  let static name =
+    List.find_map
+      (fun (v : Almanac.Ast.var_decl) ->
+        if v.vname = name then
+          match v.vinit with
+          | Some (Almanac.Ast.Int i) -> Some (Almanac.Value.Num (float_of_int i))
+          | Some (Almanac.Ast.Float f) -> Some (Almanac.Value.Num f)
+          | Some (Almanac.Ast.String s) -> Some (Almanac.Value.Str s)
+          | Some (Almanac.Ast.Bool b) -> Some (Almanac.Value.Bool b)
+          | _ -> None
+        else None)
+      m.mvars
+  in
+  fun name ->
+    match List.assoc_opt name bound with
+    | Some v -> Some v
+    | None -> static name
+
+let machine_bound externals mname =
+  Option.value (List.assoc_opt mname externals) ~default:[]
+
+(* lint one program: parse/type diagnostics, the lint pass, and the
+   per-machine resource-bound cross-check (B201) *)
+let lint_program ~file ?extra ?(externals = []) source =
+  match load_diags ?extra source with
+  | Error ds -> (Diagnostic.with_file file ds, None)
+  | Ok p ->
+      let bound_names =
+        List.map (fun (m, vs) -> (m, List.map fst vs)) externals
+      in
+      let lint = Almanac.Lint.check_program ~file ~externals:bound_names p in
+      let bounds =
+        List.concat_map
+          (fun (m : Almanac.Ast.machine) ->
+            let bindings =
+              analysis_bindings m (machine_bound externals m.mname)
+            in
+            match Almanac.Analysis.polls ~bindings m with
+            | Error _ -> []
+            | Ok polls ->
+                let state_utils =
+                  List.filter_map
+                    (fun (st : Almanac.Ast.state_decl) ->
+                      Option.bind st.sutil (fun u ->
+                          match Almanac.Analysis.utility ~bindings u with
+                          | Ok branches -> Some (st.sname, branches)
+                          | Error _ -> None))
+                    m.states
+                in
+                Almanac.Bounds.cross_check ~file ~machine:m ~polls
+                  ~state_utils ())
+          p.machines
+      in
+      (Diagnostic.sort (lint @ bounds), Some p)
+
+(* cross-task conflicts over a set of linted programs, on the reference
+   fabric *)
+let conflict_diags linted =
+  let topo = ref_topo () in
+  let profiles =
+    List.filter_map
+      (fun (name, externals, p) ->
+        match p with
+        | None -> None
+        | Some (p : Almanac.Ast.program) ->
+            let summaries =
+              List.filter_map
+                (fun (m : Almanac.Ast.machine) ->
+                  let bindings =
+                    analysis_bindings m (machine_bound externals m.mname)
+                  in
+                  match Almanac.Analysis.summarize ~bindings ~topo m with
+                  | Ok s -> Some (s, bindings)
+                  | Error _ -> None)
+                p.machines
+            in
+            Some (Placement.Conflict.profile ~task:name summaries))
+      linted
+  in
+  Placement.Conflict.check profiles
+
+let lint_cmd =
+  let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE.alm") in
+  let catalog_arg =
+    Arg.(
+      value & flag
+      & info [ "catalog" ] ~doc:"Also lint every built-in catalog task")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as a JSON array on stdout")
+  in
+  let run files catalog json =
+    let file_results =
+      List.map
+        (fun path ->
+          let ds, p = lint_program ~file:path (read_file path) in
+          (path, ([] : (string * (string * Almanac.Value.t) list) list), p, ds))
+        files
+    in
+    let catalog_results =
+      if not catalog then []
+      else
+        List.map
+          (fun (e : Tasks.Task_common.entry) ->
+            let file = "catalog:" ^ e.name in
+            let ds, p =
+              lint_program ~file ~extra:e.extra_sigs ~externals:e.externals
+                e.source
+            in
+            (file, e.externals, p, ds))
+          Tasks.Catalog.all
+    in
+    let results = file_results @ catalog_results in
+    let conflicts =
+      conflict_diags (List.map (fun (n, ex, p, _) -> (n, ex, p)) results)
+    in
+    let all =
+      Diagnostic.sort (List.concat_map (fun (_, _, _, ds) -> ds) results)
+      @ conflicts
+    in
+    if json then print_string (Almanac.Diagnostic.to_json all)
+    else begin
+      Diagnostic.print_all stdout all;
+      let errors = List.length (List.filter Diagnostic.is_error all) in
+      Printf.printf "%d program(s): %d error(s), %d warning(s)\n"
+        (List.length results) errors
+        (List.length all - errors)
+    end;
+    if Diagnostic.has_errors all then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify Almanac programs: positioned parse/type errors, \
+          lint checks (unreachable states, dead transitions, unused \
+          variables and subscriptions, non-linear util, missing externals, \
+          livelocks), resource-bound cross-checks and cross-task conflicts")
+    Term.(const run $ files_arg $ catalog_arg $ json_arg)
 
 (* ---------------- format ---------------- *)
 
@@ -157,7 +310,12 @@ let run_cmd =
         Runtime.Seeder.deploy world.seeder
           (Tasks.Task_common.to_task_spec entry)
       with
-      | Ok t -> t
+      | Ok t ->
+          (* surface non-blocking deploy-time diagnostics (lint warnings,
+             cross-task conflicts) *)
+          Diagnostic.print_all stderr
+            (Runtime.Seeder.last_deploy_diagnostics world.seeder);
+          t
       | Error m ->
           prerr_endline m;
           exit 1
@@ -195,5 +353,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "farmc" ~version:"1.0.0" ~doc)
-          [ check_cmd; format_cmd; compile_cmd; analyze_cmd; tasks_cmd;
-            run_cmd ]))
+          [ check_cmd; lint_cmd; format_cmd; compile_cmd; analyze_cmd;
+            tasks_cmd; run_cmd ]))

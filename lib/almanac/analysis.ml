@@ -228,7 +228,7 @@ let utility ?(bindings = no_bindings) (u : Ast.util_decl) =
   let rec walk conds stmts acc =
     match stmts with
     | [] -> Ok acc
-    | Ast.If (c, t, f) :: rest ->
+    | { Ast.sk = Ast.If (c, t, f); _ } :: rest ->
         let* dnf = cond_dnf ~bindings ~resvars c in
         let* acc =
           List.fold_left
@@ -243,7 +243,7 @@ let utility ?(bindings = no_bindings) (u : Ast.util_decl) =
            are additional alternatives without the negation. *)
         let* acc = walk conds f acc in
         walk conds rest acc
-    | Ast.Return (Some e) :: _ ->
+    | { Ast.sk = Ast.Return (Some e); _ } :: _ ->
         let* v = to_uval ~bindings ~resvars e in
         let branches = u_branches v in
         let conj = List.concat conds in
@@ -252,9 +252,11 @@ let utility ?(bindings = no_bindings) (u : Ast.util_decl) =
           @ List.map
               (fun utility -> { constraints = conj; utility })
               branches)
-    | Ast.Return None :: _ -> err "util must return a value"
-    | (Ast.Decl _ | Ast.Assign _ | Ast.Transit _ | Ast.While _ | Ast.Send _
-      | Ast.ExprStmt _)
+    | { Ast.sk = Ast.Return None; _ } :: _ -> err "util must return a value"
+    | { Ast.sk =
+          ( Ast.Decl _ | Ast.Assign _ | Ast.Transit _ | Ast.While _
+          | Ast.Send _ | Ast.ExprStmt _ );
+        _ }
       :: _ ->
         err "util may contain only if-then-else and return"
   in
@@ -598,7 +600,9 @@ let placement ?(bindings = no_bindings) ~topo (m : Ast.machine) =
                  per_path))
   in
   let places =
-    if m.places = [] then [ { Ast.pquant = Ast.QAny; pconstraint = Ast.Anywhere } ]
+    if m.places = [] then
+      [ { Ast.pquant = Ast.QAny; pconstraint = Ast.Anywhere;
+          ploc = Ast.no_pos } ]
     else m.places
   in
   List.fold_left

@@ -5,6 +5,17 @@
     validates it, the static analyses (placement, utility, polling) consume
     it, and the interpreter executes it. *)
 
+(** Source position (1-based line/column) carried from the lexer through
+    the parser, so every later pass — type checking, lint, bounds — can
+    report positioned diagnostics. *)
+type pos = { line : int; col : int }
+
+(** Placeholder for synthesized nodes (XML-decompiled machines, default
+    [place] directives, tests). *)
+let no_pos = { line = 0; col = 0 }
+
+let pos_to_string { line; col } = Printf.sprintf "%d:%d" line col
+
 (** Value types ([typ] in the grammar). *)
 type typ =
   | Tbool
@@ -65,7 +76,11 @@ type dest =
   | Harvester
   | Machine of string * expr option  (** machine name, optional [@dst] *)
 
-type stmt =
+(** Statements carry the position of their first token ([sloc]); the
+    position of a synthesized statement is {!no_pos}. *)
+type stmt = { sk : stmt_kind; sloc : pos }
+
+and stmt_kind =
   | Decl of typ * string * expr option  (** local variable declaration *)
   | Assign of string * expr
   | Transit of expr
@@ -75,6 +90,9 @@ type stmt =
   | Send of expr * dest
   | ExprStmt of expr
 
+(** Wrap a statement kind, defaulting to an unknown position. *)
+let stmt ?(loc = no_pos) sk = { sk; sloc = loc }
+
 type trigger =
   | On_enter
   | On_exit
@@ -82,30 +100,33 @@ type trigger =
   | On_trigger_var of string * string option  (** [when (pollStats as stats)] *)
   | On_recv of typ * string * dest  (** [recv long newTh from harvester] *)
 
-type event = { trigger : trigger; body : stmt list }
+type event = { trigger : trigger; body : stmt list; evloc : pos }
 
 type var_decl = {
   is_external : bool;
   vtyp : typ;
   vname : string;
   vinit : expr option;
+  vloc : pos;
 }
 
 type trig_decl = {
   ttyp : trigger_type;
   tname : string;
   tinit : expr option;  (** a [Poll]/[Probe]/[Time] struct literal *)
+  tloc : pos;
 }
 
 (** [util (x) { body }]: utility callback with syntactic restrictions
     (§III-A f) enforced by the type checker. *)
-type util_decl = { uparam : string; ubody : stmt list }
+type util_decl = { uparam : string; ubody : stmt list; uloc : pos }
 
 type state_decl = {
   sname : string;
   slocals : var_decl list;
   sutil : util_decl option;
   sevents : event list;
+  stloc : pos;
 }
 
 type quant = QAll | QAny
@@ -123,7 +144,7 @@ type place_constraint =
       rbound : expr;
     }
 
-type place_decl = { pquant : quant; pconstraint : place_constraint }
+type place_decl = { pquant : quant; pconstraint : place_constraint; ploc : pos }
 
 type machine = {
   mname : string;
@@ -133,6 +154,7 @@ type machine = {
   mtrigs : trig_decl list;
   states : state_decl list;
   mevents : event list;  (** machine-level events: apply in every state *)
+  mloc : pos;
 }
 
 type func_decl = {
@@ -140,9 +162,53 @@ type func_decl = {
   fret : typ;
   fparams : (typ * string) list;
   fbody : stmt list;
+  floc : pos;
 }
 
 type program = { funcs : func_decl list; machines : machine list }
+
+(* Erase every source position — for structural comparison of programs
+   from different frontends (parser, XML interchange, pretty round-trip). *)
+let rec strip_stmt (s : stmt) =
+  let sk =
+    match s.sk with
+    | (Decl _ | Assign _ | Transit _ | Return _ | Send _ | ExprStmt _) as k ->
+        k
+    | If (c, t, f) -> If (c, List.map strip_stmt t, List.map strip_stmt f)
+    | While (c, b) -> While (c, List.map strip_stmt b)
+  in
+  { sk; sloc = no_pos }
+
+let strip_event (ev : event) =
+  { ev with body = List.map strip_stmt ev.body; evloc = no_pos }
+
+let strip_var (v : var_decl) = { v with vloc = no_pos }
+
+let strip_state (st : state_decl) =
+  { st with
+    slocals = List.map strip_var st.slocals;
+    sutil =
+      Option.map
+        (fun u -> { u with ubody = List.map strip_stmt u.ubody; uloc = no_pos })
+        st.sutil;
+    sevents = List.map strip_event st.sevents;
+    stloc = no_pos }
+
+let strip_pos_machine (m : machine) =
+  { m with
+    places = List.map (fun p -> { p with ploc = no_pos }) m.places;
+    mvars = List.map strip_var m.mvars;
+    mtrigs = List.map (fun t -> { t with tloc = no_pos }) m.mtrigs;
+    states = List.map strip_state m.states;
+    mevents = List.map strip_event m.mevents;
+    mloc = no_pos }
+
+let strip_pos (p : program) =
+  { funcs =
+      List.map
+        (fun f -> { f with fbody = List.map strip_stmt f.fbody; floc = no_pos })
+        p.funcs;
+    machines = List.map strip_pos_machine p.machines }
 
 let typ_to_string = function
   | Tbool -> "bool"

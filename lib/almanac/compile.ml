@@ -148,7 +148,7 @@ let layout_add_bound lay name =
 let rec collect_decls lay stmts =
   List.iter
     (fun (s : Ast.stmt) ->
-      match s with
+      match s.Ast.sk with
       | Ast.Decl (_, n, _) -> ignore (layout_add lay n)
       | Ast.If (_, a, b) ->
           collect_decls lay a;
@@ -450,7 +450,7 @@ let seq (codes : scode list) : scode =
         done
 
 let rec compile_stmt ctx scope (s : Ast.stmt) : scode =
-  match s with
+  match s.Ast.sk with
   | Ast.Decl (typ, n, init) -> (
       let lay =
         match scope.sc_frame with

@@ -185,7 +185,7 @@ and call_almanac t (fd : Ast.func_decl) argv =
 and exec_stmts t frames stmts = List.iter (exec_stmt t frames) stmts
 
 and exec_stmt t frames (s : Ast.stmt) =
-  match s with
+  match s.Ast.sk with
   | Ast.Decl (typ, n, init) ->
       let v =
         match init with

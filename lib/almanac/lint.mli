@@ -1,0 +1,39 @@
+(** Lint: machine-level semantic checks over type-checked Almanac programs.
+
+    The pass runs after {!Typecheck.check} (it expects inheritance to be
+    resolved) and reports {!Diagnostic.t}s with stable [L1xx] codes:
+
+    - [L101] (warning) unreachable state: no chain of [transit]s from the
+      initial state reaches it.
+    - [L102] (warning) dead or shadowed transition: a [transit] whose
+      pending target is always overwritten by a later [transit] in the
+      same handler — an unconditional one, or one under a syntactically
+      identical guard.
+    - [L103] (warning) unused variable: a machine or state variable that
+      no expression, assignment or handler references.
+    - [L104] (warning) unused trigger subscription: a [poll]/[probe]/[time]
+      variable no [when] clause or expression references; its subscription
+      still polls the ASIC and burns switch CPU.
+    - [L105] (error) non-linear [util]: a utility or constraint expression
+      that is not linear in the resource parameter — {!Analysis.utility}
+      would reject it at deploy time; caught here with a precise span.
+    - [L106] (error) missing [external] binding: an [external] variable
+      with neither an initializer nor a deployment-provided binding.
+    - [L107] (error) livelock: states whose [enter] handlers
+      unconditionally [transit] in a cycle (including self-loops) — the
+      machine would spin on the switch CPU without yielding to a
+      timer/poll trigger. *)
+
+(** [check_program ?file ?externals p] lints every machine of a
+    type-checked program.  [externals] lists, per machine name, the
+    [external] variables the deployment binds (see [L106]).  [file] is
+    stamped on every diagnostic. *)
+val check_program :
+  ?file:string ->
+  ?externals:(string * string list) list ->
+  Ast.program ->
+  Diagnostic.t list
+
+(** Lint a single resolved machine. *)
+val check_machine :
+  ?file:string -> ?bound_externals:string list -> Ast.machine -> Diagnostic.t list

@@ -92,7 +92,7 @@ let dest_to_xml (d : Ast.dest) =
       el "machine-dest" ~attrs:[ ("name", m) ] [ expr_to_xml e ]
 
 let rec stmt_to_xml (s : Ast.stmt) =
-  match s with
+  match s.Ast.sk with
   | Ast.Decl (t, n, init) ->
       el "decl"
         ~attrs:[ ("type", typ_attr t); ("name", n) ]
@@ -275,7 +275,9 @@ let dest_of_xml x =
       | _ -> fail "machine-dest expects at most one child")
   | n -> fail "unknown destination <%s>" n
 
-let rec stmt_of_xml x =
+let rec stmt_of_xml x = Ast.stmt (stmt_kind_of_xml x)
+
+and stmt_kind_of_xml x =
   match Xml.name x with
   | "decl" ->
       Ast.Decl
@@ -366,7 +368,8 @@ let trigger_of_xml x =
 let event_of_xml x =
   match elements x with
   | [ trg; body ] when Xml.name body = "body" ->
-      { Ast.trigger = trigger_of_xml trg; body = body_of_xml body }
+      { Ast.trigger = trigger_of_xml trg; body = body_of_xml body;
+        evloc = Ast.no_pos }
   | _ -> fail "event expects a trigger and a body"
 
 let var_of_xml x =
@@ -377,7 +380,8 @@ let var_of_xml x =
       (match elements x with
       | [] -> None
       | [ e ] -> Some (expr_of_xml e)
-      | _ -> fail "var expects at most one initializer") }
+      | _ -> fail "var expects at most one initializer");
+    vloc = Ast.no_pos }
 
 let trig_of_xml x =
   let ttyp =
@@ -392,7 +396,8 @@ let trig_of_xml x =
       (match elements x with
       | [] -> None
       | [ e ] -> Some (expr_of_xml e)
-      | _ -> fail "trigger expects at most one initializer") }
+      | _ -> fail "trigger expects at most one initializer");
+    tloc = Ast.no_pos }
 
 let place_of_xml x =
   let pquant =
@@ -434,17 +439,20 @@ let place_of_xml x =
             rbound }
     | s -> fail "unknown place kind %S" s
   in
-  { Ast.pquant; pconstraint }
+  { Ast.pquant; pconstraint; ploc = Ast.no_pos }
 
 let state_of_xml x =
   let slocals = List.map var_of_xml (Xml.select x "var") in
   let sutil =
     Option.map
-      (fun u -> { Ast.uparam = Xml.attr_exn u "param"; ubody = body_of_xml u })
+      (fun u ->
+        { Ast.uparam = Xml.attr_exn u "param"; ubody = body_of_xml u;
+          uloc = Ast.no_pos })
       (Xml.first x "util")
   in
   let sevents = List.map event_of_xml (Xml.select x "event") in
-  { Ast.sname = Xml.attr_exn x "name"; slocals; sutil; sevents }
+  { Ast.sname = Xml.attr_exn x "name"; slocals; sutil; sevents;
+    stloc = Ast.no_pos }
 
 let machine_of_xml x =
   { Ast.mname = Xml.attr_exn x "name";
@@ -453,7 +461,8 @@ let machine_of_xml x =
     mvars = List.map var_of_xml (Xml.select x "var");
     mtrigs = List.map trig_of_xml (Xml.select x "trigger");
     states = List.map state_of_xml (Xml.select x "state");
-    mevents = List.map event_of_xml (Xml.select x "event") }
+    mevents = List.map event_of_xml (Xml.select x "event");
+    mloc = Ast.no_pos }
 
 let func_of_xml x =
   { Ast.fname = Xml.attr_exn x "name";
@@ -465,7 +474,8 @@ let func_of_xml x =
     fbody =
       (match Xml.first x "body" with
       | Some b -> body_of_xml b
-      | None -> fail "function misses <body>") }
+      | None -> fail "function misses <body>");
+    floc = Ast.no_pos }
 
 let program_of_xml x =
   if Xml.name x <> "almanac" then fail "expected an <almanac> document";

@@ -1,15 +1,23 @@
 exception Error of string
 
+(* Structured variant carrying a positioned diagnostic; the legacy
+   [program]/[expression] entry points convert it to [Error]. *)
+exception Error_diag of Diagnostic.t
+
 type state = { toks : Lexer.located array; mutable pos : int }
+
+let pos_of st =
+  let { Lexer.line; col; _ } = st.toks.(st.pos) in
+  { Ast.line; col }
 
 let error st fmt =
   let { Lexer.token; line; col } = st.toks.(st.pos) in
   Printf.ksprintf
     (fun m ->
       raise
-        (Error
-           (Printf.sprintf "%d:%d: %s (found %s)" line col m
-              (Token.to_string token))))
+        (Error_diag
+           (Diagnostic.error ~pos:{ Ast.line; col } ~code:"P002"
+              (Printf.sprintf "%s (found %s)" m (Token.to_string token)))))
     fmt
 
 let cur st = st.toks.(st.pos).Lexer.token
@@ -291,6 +299,10 @@ let parse_dest st =
   | _ -> error st "expected a message destination"
 
 let rec parse_stmt st =
+  let sloc = pos_of st in
+  { Ast.sk = parse_stmt_kind st; sloc }
+
+and parse_stmt_kind st =
   match cur st with
   | Token.KW_IF ->
       advance st;
@@ -386,27 +398,29 @@ let parse_trigger st =
       else Ast.On_trigger_var (y, None)
   | _ -> error st "expected an event trigger"
 
-let parse_event st =
-  (* the [when] keyword has been consumed *)
+let parse_event st ~loc =
+  (* the [when] keyword has been consumed; [loc] is its position *)
   eat st Token.LPAREN;
   let trigger = parse_trigger st in
   eat st Token.RPAREN;
   eat st Token.KW_DO;
   let body = parse_block st in
-  { Ast.trigger; body }
+  { Ast.trigger; body; evloc = loc }
 
 (* ------------------------------------------------------------------ *)
 (* Declarations                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let parse_var_decl st ~is_external =
+  let vloc = pos_of st in
   let vtyp = parse_typ st in
   let vname = ident st in
   let vinit = if accept st Token.ASSIGN then Some (parse_expr st) else None in
   eat st Token.SEMI;
-  { Ast.is_external; vtyp; vname; vinit }
+  { Ast.is_external; vtyp; vname; vinit; vloc }
 
 let parse_trig_decl st =
+  let tloc = pos_of st in
   let ttyp =
     match trigger_type_of_token (cur st) with
     | Some t ->
@@ -417,18 +431,18 @@ let parse_trig_decl st =
   let tname = ident st in
   let tinit = if accept st Token.ASSIGN then Some (parse_expr st) else None in
   eat st Token.SEMI;
-  { Ast.ttyp; tname; tinit }
+  { Ast.ttyp; tname; tinit; tloc }
 
-let parse_util st =
-  (* the [util] keyword has been consumed *)
+let parse_util st ~loc =
+  (* the [util] keyword has been consumed; [loc] is its position *)
   eat st Token.LPAREN;
   let uparam = ident st in
   eat st Token.RPAREN;
   let ubody = parse_block st in
-  { Ast.uparam; ubody }
+  { Ast.uparam; ubody; uloc = loc }
 
-let parse_state st =
-  (* the [state] keyword has been consumed *)
+let parse_state st ~loc =
+  (* the [state] keyword has been consumed; [loc] is its position *)
   let sname = ident st in
   eat st Token.LBRACE;
   let locals = ref [] and util = ref None and events = ref [] in
@@ -437,12 +451,14 @@ let parse_state st =
     else begin
       (match cur st with
       | Token.KW_UTIL ->
+          let uloc = pos_of st in
           advance st;
           if !util <> None then error st "duplicate util block";
-          util := Some (parse_util st)
+          util := Some (parse_util st ~loc:uloc)
       | Token.KW_WHEN ->
+          let evloc = pos_of st in
           advance st;
-          events := parse_event st :: !events
+          events := parse_event st ~loc:evloc :: !events
       | Token.KW_EXTERNAL ->
           error st "external variables are not allowed inside states"
       | _ when decl_starts st ->
@@ -453,10 +469,10 @@ let parse_state st =
   in
   go ();
   { Ast.sname; slocals = List.rev !locals; sutil = !util;
-    sevents = List.rev !events }
+    sevents = List.rev !events; stloc = loc }
 
-let parse_place st =
-  (* the [place] keyword has been consumed *)
+let parse_place st ~loc =
+  (* the [place] keyword has been consumed; [loc] is its position *)
   let pquant =
     match cur st with
     | Token.KW_ALL ->
@@ -467,7 +483,8 @@ let parse_place st =
         Ast.QAny
     | _ -> error st "expected 'all' or 'any'"
   in
-  if accept st Token.SEMI then { Ast.pquant; pconstraint = Ast.Anywhere }
+  if accept st Token.SEMI then
+    { Ast.pquant; pconstraint = Ast.Anywhere; ploc = loc }
   else begin
     let role =
       match cur st with
@@ -501,7 +518,8 @@ let parse_place st =
         let rbound = parse_expr st in
         eat st Token.SEMI;
         { Ast.pquant;
-          pconstraint = Ast.On_range { role; pfilter; rop; rbound } }
+          pconstraint = Ast.On_range { role; pfilter; rop; rbound };
+          ploc = loc }
     | None ->
         (* explicit node list *)
         let rec go acc =
@@ -512,11 +530,11 @@ let parse_place st =
             List.rev (e :: acc)
           end
         in
-        { Ast.pquant; pconstraint = Ast.At_nodes (go []) }
+        { Ast.pquant; pconstraint = Ast.At_nodes (go []); ploc = loc }
   end
 
-let parse_machine st =
-  (* the [machine] keyword has been consumed *)
+let parse_machine st ~loc =
+  (* the [machine] keyword has been consumed; [loc] is its position *)
   let mname = ident st in
   let extends = if accept st Token.KW_EXTENDS then Some (ident st) else None in
   eat st Token.LBRACE;
@@ -527,14 +545,17 @@ let parse_machine st =
     else begin
       (match cur st with
       | Token.KW_PLACE ->
+          let ploc = pos_of st in
           advance st;
-          places := parse_place st :: !places
+          places := parse_place st ~loc:ploc :: !places
       | Token.KW_STATE ->
+          let stloc = pos_of st in
           advance st;
-          states := parse_state st :: !states
+          states := parse_state st ~loc:stloc :: !states
       | Token.KW_WHEN ->
+          let evloc = pos_of st in
           advance st;
-          events := parse_event st :: !events
+          events := parse_event st ~loc:evloc :: !events
       | Token.KW_EXTERNAL ->
           advance st;
           vars := parse_var_decl st ~is_external:true :: !vars
@@ -549,9 +570,10 @@ let parse_machine st =
   go ();
   { Ast.mname; extends; places = List.rev !places; mvars = List.rev !vars;
     mtrigs = List.rev !trigs; states = List.rev !states;
-    mevents = List.rev !events }
+    mevents = List.rev !events; mloc = loc }
 
 let parse_fundec st =
+  let floc = pos_of st in
   let fret = parse_typ st in
   let fname = ident st in
   eat st Token.LPAREN;
@@ -571,7 +593,7 @@ let parse_fundec st =
     end
   in
   let fbody = parse_block st in
-  { Ast.fname; fret; fparams; fbody }
+  { Ast.fname; fret; fparams; fbody; floc }
 
 let parse_program st =
   let funcs = ref [] and machines = ref [] in
@@ -579,8 +601,9 @@ let parse_program st =
     match cur st with
     | Token.EOF -> ()
     | Token.KW_MACHINE ->
+        let mloc = pos_of st in
         advance st;
-        machines := parse_machine st :: !machines;
+        machines := parse_machine st ~loc:mloc :: !machines;
         go ()
     | t when typ_of_token t <> None ->
         funcs := parse_fundec st :: !funcs;
@@ -590,16 +613,51 @@ let parse_program st =
   go ();
   { Ast.funcs = List.rev !funcs; machines = List.rev !machines }
 
+(* The lexer reports errors as "line:col: message" strings; recover the
+   position for the structured diagnostic. *)
+let diag_of_lexer_error m =
+  let pos, message =
+    match String.index_opt m ':' with
+    | Some i -> (
+        match String.index_from_opt m (i + 1) ':' with
+        | Some j -> (
+            let line = int_of_string_opt (String.sub m 0 i) in
+            let col = int_of_string_opt (String.sub m (i + 1) (j - i - 1)) in
+            match (line, col) with
+            | Some line, Some col ->
+                ( { Ast.line; col },
+                  String.trim
+                    (String.sub m (j + 1) (String.length m - j - 1)) )
+            | _ -> (Ast.no_pos, m))
+        | None -> (Ast.no_pos, m))
+    | None -> (Ast.no_pos, m)
+  in
+  Diagnostic.error ~pos ~code:"P001" message
+
 let make_state src =
   let toks =
-    try Lexer.tokenize src with Lexer.Error m -> raise (Error m)
+    try Lexer.tokenize src
+    with Lexer.Error m -> raise (Error_diag (diag_of_lexer_error m))
   in
   { toks = Array.of_list toks; pos = 0 }
 
-let program src = parse_program (make_state src)
+(* Legacy string payload: "line:col: message", as before diagnostics. *)
+let string_of_diag (d : Diagnostic.t) =
+  if d.pos = Ast.no_pos then d.message
+  else Printf.sprintf "%s: %s" (Ast.pos_to_string d.pos) d.message
+
+let program_result src =
+  try Ok (parse_program (make_state src))
+  with Error_diag d -> Stdlib.Error d
+
+let program src =
+  try parse_program (make_state src)
+  with Error_diag d -> raise (Error (string_of_diag d))
 
 let expression src =
-  let st = make_state src in
-  let e = parse_expr st in
-  if cur st <> Token.EOF then error st "trailing input after expression";
-  e
+  try
+    let st = make_state src in
+    let e = parse_expr st in
+    if cur st <> Token.EOF then error st "trailing input after expression";
+    e
+  with Error_diag d -> raise (Error (string_of_diag d))

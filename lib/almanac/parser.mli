@@ -4,8 +4,16 @@
 exception Error of string
 (** Syntax error with a "line:col: message" payload. *)
 
+exception Error_diag of Diagnostic.t
+(** Structured variant of {!Error}; raised by the internals, converted by
+    the legacy entry points. *)
+
 (** Parse a full program (auxiliary functions + machines). *)
 val program : string -> Ast.program
+
+(** Like {!program} but returning the positioned diagnostic ([P001] for
+    lexical errors, [P002] for syntax errors) instead of raising. *)
+val program_result : string -> (Ast.program, Diagnostic.t) result
 
 (** Parse a single expression (used by tests and the REPL-ish tooling). *)
 val expression : string -> Ast.expr

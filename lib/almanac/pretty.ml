@@ -48,7 +48,7 @@ let pp_dest ppf = function
   | Ast.Machine (m, Some d) -> fprintf ppf "%s @ %a" m pp_expr d
 
 let rec pp_stmt ppf (s : Ast.stmt) =
-  match s with
+  match s.Ast.sk with
   | Ast.Decl (t, n, None) -> fprintf ppf "%s %s;" (Ast.typ_to_string t) n
   | Ast.Decl (t, n, Some e) ->
       fprintf ppf "%s %s = %a;" (Ast.typ_to_string t) n pp_expr e

@@ -1,6 +1,22 @@
 exception Error of string
 
-let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+exception Error_diag of Diagnostic.t
+
+(* The position of the declaration/statement currently being checked:
+   [fail] attaches it to the diagnostic it raises.  Checking is
+   single-threaded and the ref is updated on entry to every positioned
+   construct, so expression-level errors inherit their statement's span. *)
+let cur_pos = ref Ast.no_pos
+
+let at (pos : Ast.pos) = if pos <> Ast.no_pos then cur_pos := pos
+
+let failc code fmt =
+  Printf.ksprintf
+    (fun m -> raise (Error_diag (Diagnostic.error ~pos:!cur_pos ~code m)))
+    fmt
+
+(* Generic type error; the more specific T-codes use [failc]. *)
+let fail fmt = failc "T001" fmt
 
 type sigty = Any | Numeric | Ty of Ast.typ
 
@@ -55,7 +71,7 @@ let resolve_inheritance machines =
   List.iter
     (fun (m : Ast.machine) ->
       if Hashtbl.mem by_name m.mname then
-        fail "duplicate machine %s" m.mname;
+        failc "T007" "duplicate machine %s" m.mname;
       Hashtbl.replace by_name m.mname m)
     machines;
   let resolved : (string, Ast.machine) Hashtbl.t = Hashtbl.create 8 in
@@ -69,12 +85,12 @@ let resolve_inheritance machines =
             m
         | Some parent_name ->
             if List.mem parent_name seen then
-              fail "inheritance cycle involving machine %s" m.mname;
+              failc "T008" "inheritance cycle involving machine %s" m.mname;
             let parent =
               match Hashtbl.find_opt by_name parent_name with
               | Some p -> p
               | None ->
-                  fail "machine %s extends unknown machine %s" m.mname
+                  failc "T008" "machine %s extends unknown machine %s" m.mname
                     parent_name
             in
             let parent = resolve (m.mname :: seen) parent in
@@ -86,7 +102,7 @@ let resolve_inheritance machines =
                     (fun (pv : Ast.var_decl) -> pv.vname = v.vname)
                     parent.mvars
                 then
-                  fail "machine %s shadows inherited variable %s" m.mname
+                  failc "T008" "machine %s shadows inherited variable %s" m.mname
                     v.vname)
               m.mvars;
             List.iter
@@ -96,7 +112,7 @@ let resolve_inheritance machines =
                     (fun (pv : Ast.trig_decl) -> pv.tname = v.tname)
                     parent.mtrigs
                 then
-                  fail "machine %s shadows inherited trigger %s" m.mname
+                  failc "T008" "machine %s shadows inherited trigger %s" m.mname
                     v.tname)
               m.mtrigs;
             (* states: child overrides same-named parent states *)
@@ -195,45 +211,45 @@ let rec check_expr env (e : Ast.expr) : ty =
   | Ast.Var v -> (
       match lookup_var env v with
       | Some t -> t
-      | None -> fail "machine %s: unbound variable %s" env.machine v)
+      | None -> failc "T002" "machine %s: unbound variable %s" env.machine v)
   | Ast.Field (b, f) -> (
       let bt = check_expr env b in
       match bt with
       | TAst Ast.Tresources ->
           if List.mem f resource_fields then TAst Ast.Tfloat
           else
-            fail "machine %s: unknown resource field %s (expected %s)"
+            failc "T009" "machine %s: unknown resource field %s (expected %s)"
               env.machine f
               (String.concat "/" resource_fields)
       | TAst Ast.Tpacket -> (
           match List.assoc_opt f packet_fields with
           | Some t -> t
-          | None -> fail "machine %s: unknown packet field %s" env.machine f)
+          | None -> failc "T009" "machine %s: unknown packet field %s" env.machine f)
       | TAst Ast.Trule -> (
           match f with
           | "pattern" -> TAst Ast.Tfilter
           | "act" -> TAst Ast.Taction
-          | _ -> fail "machine %s: unknown rule field %s" env.machine f)
+          | _ -> failc "T009" "machine %s: unknown rule field %s" env.machine f)
       | TAny -> TAny
       | t ->
-          fail "machine %s: %s values have no field %s" env.machine
+          failc "T009" "machine %s: %s values have no field %s" env.machine
             (ty_name t) f)
   | Ast.Call (f, args) -> (
       if env.in_util && f <> "min" && f <> "max" then
-        fail
+        failc "T005"
           "machine %s: util may only call min and max, not %s (§III-A f)"
           env.machine f;
       match List.assoc_opt f env.funcs with
-      | None -> fail "machine %s: unknown function %s" env.machine f
+      | None -> failc "T003" "machine %s: unknown function %s" env.machine f
       | Some fsig ->
           if List.length fsig.args <> List.length args then
-            fail "machine %s: %s expects %d argument(s), got %d" env.machine
+            failc "T004" "machine %s: %s expects %d argument(s), got %d" env.machine
               f (List.length fsig.args) (List.length args);
           List.iter2
             (fun want arg ->
               let got = check_expr env arg in
               if not (sig_compat want got) then
-                fail "machine %s: bad argument to %s: got %s" env.machine f
+                failc "T004" "machine %s: bad argument to %s: got %s" env.machine f
                   (ty_name got))
             fsig.args args;
           (match fsig.ret with
@@ -251,7 +267,7 @@ let rec check_expr env (e : Ast.expr) : ty =
       else fail "machine %s: negation of %s" env.machine (ty_name t)
   | Ast.Binop (op, a, b) -> (
       if env.in_util && not (List.mem op util_ops) then
-        fail "machine %s: operator %s is not allowed in util (§III-A f)"
+        failc "T005" "machine %s: operator %s is not allowed in util (§III-A f)"
           env.machine (Ast.binop_to_string op);
       let ta = check_expr env a and tb = check_expr env b in
       match op with
@@ -317,7 +333,7 @@ let rec check_expr env (e : Ast.expr) : ty =
         List.iter
           (fun (f, _) ->
             if not (List.mem f allowed) then
-              fail "machine %s: %s literal has unknown field %s" env.machine
+              failc "T009" "machine %s: %s literal has unknown field %s" env.machine
                 name f)
           fields
       in
@@ -341,7 +357,7 @@ let rec check_expr env (e : Ast.expr) : ty =
           check_field "pattern" (Ty Ast.Tfilter);
           check_field "act" (Ty Ast.Taction);
           TAst Ast.Trule
-      | _ -> fail "machine %s: unknown struct %s" env.machine name)
+      | _ -> failc "T009" "machine %s: unknown struct %s" env.machine name)
   | Ast.ListLit es ->
       List.iter (fun e -> ignore (check_expr env e)) es;
       TAst Ast.Tlist
@@ -351,7 +367,8 @@ let rec check_expr env (e : Ast.expr) : ty =
 (* ------------------------------------------------------------------ *)
 
 let rec check_stmt env ~ret (s : Ast.stmt) : env =
-  match s with
+  at s.Ast.sloc;
+  match s.Ast.sk with
   | Ast.Decl (t, n, init) ->
       (match init with
       | None -> ()
@@ -363,7 +380,7 @@ let rec check_stmt env ~ret (s : Ast.stmt) : env =
       { env with vars = (n, TAst t) :: env.vars }
   | Ast.Assign (n, e) -> (
       match lookup_var env n with
-      | None -> fail "machine %s: assignment to unbound variable %s" env.machine n
+      | None -> failc "T002" "machine %s: assignment to unbound variable %s" env.machine n
       | Some (TTrig tt) -> (
           let et = check_expr env e in
           match et with
@@ -382,8 +399,8 @@ let rec check_stmt env ~ret (s : Ast.stmt) : env =
       (match e with
       | Ast.Var s | Ast.String s ->
           if not (List.mem s env.states) then
-            fail "machine %s: transit to unknown state %s" env.machine s
-      | _ -> fail "machine %s: transit target must be a state name" env.machine);
+            failc "T006" "machine %s: transit to unknown state %s" env.machine s
+      | _ -> failc "T006" "machine %s: transit target must be a state name" env.machine);
       env
   | Ast.If (c, t, f) ->
       let ct = check_expr env c in
@@ -394,7 +411,7 @@ let rec check_stmt env ~ret (s : Ast.stmt) : env =
       env
   | Ast.While (c, b) ->
       if env.in_util then
-        fail "machine %s: while is not allowed in util (§III-A f)" env.machine;
+        failc "T005" "machine %s: while is not allowed in util (§III-A f)" env.machine;
       let ct = check_expr env c in
       if not (compat ct (TAst Ast.Tbool)) then
         fail "machine %s: while condition must be boolean" env.machine;
@@ -416,7 +433,7 @@ let rec check_stmt env ~ret (s : Ast.stmt) : env =
       env
   | Ast.Send (e, dest) ->
       if env.in_util then
-        fail "machine %s: send is not allowed in util" env.machine;
+        failc "T005" "machine %s: send is not allowed in util" env.machine;
       ignore (check_expr env e);
       (match dest with
       | Ast.Harvester | Ast.Machine (_, None) -> ()
@@ -432,7 +449,9 @@ and check_stmts env ~ret stmts =
 (* util restriction: only if/return statements *)
 let rec check_util_stmts env stmts =
   List.iter
-    (function
+    (fun (s : Ast.stmt) ->
+      at s.Ast.sloc;
+      match s.Ast.sk with
       | Ast.If (c, t, f) ->
           let ct = check_expr env c in
           if not (compat ct (TAst Ast.Tbool)) then
@@ -442,11 +461,11 @@ let rec check_util_stmts env stmts =
       | Ast.Return (Some e) ->
           let t = check_expr env e in
           if not (is_numeric t) then
-            fail "machine %s: util must return a number" env.machine
-      | Ast.Return None -> fail "machine %s: util must return a value" env.machine
+            failc "T005" "machine %s: util must return a number" env.machine
+      | Ast.Return None -> failc "T005" "machine %s: util must return a value" env.machine
       | Ast.Decl _ | Ast.Assign _ | Ast.Transit _ | Ast.While _ | Ast.Send _
       | Ast.ExprStmt _ ->
-          fail
+          failc "T005"
             "machine %s: util may contain only if-then-else and return \
              (§III-A f)"
             env.machine)
@@ -476,11 +495,13 @@ let trigger_binding env (m : Ast.machine) (trigger : Ast.trigger) =
   | Ast.On_recv (t, n, _) -> { env with vars = (n, TAst t) :: env.vars }
 
 let check_event env m (ev : Ast.event) =
+  at ev.evloc;
   let env = trigger_binding env m ev.trigger in
   ignore (check_stmts env ~ret:None ev.body)
 
 let check_machine funcs (m : Ast.machine) =
-  if m.states = [] then fail "machine %s has no states" m.mname;
+  cur_pos := m.mloc;
+  if m.states = [] then failc "T010" "machine %s has no states" m.mname;
   let state_names = List.map (fun (s : Ast.state_decl) -> s.sname) m.states in
   let dup l =
     let rec go = function
@@ -490,14 +511,14 @@ let check_machine funcs (m : Ast.machine) =
     go l
   in
   (match dup state_names with
-  | Some s -> fail "machine %s: duplicate state %s" m.mname s
+  | Some s -> failc "T007" "machine %s: duplicate state %s" m.mname s
   | None -> ());
   let var_names =
     List.map (fun (v : Ast.var_decl) -> v.vname) m.mvars
     @ List.map (fun (t : Ast.trig_decl) -> t.tname) m.mtrigs
   in
   (match dup var_names with
-  | Some v -> fail "machine %s: duplicate variable %s" m.mname v
+  | Some v -> failc "T007" "machine %s: duplicate variable %s" m.mname v
   | None -> ());
   let base_vars =
     List.map (fun (v : Ast.var_decl) -> (v.vname, TAst v.vtyp)) m.mvars
@@ -510,6 +531,7 @@ let check_machine funcs (m : Ast.machine) =
   (* variable initializers *)
   List.iter
     (fun (v : Ast.var_decl) ->
+      at v.vloc;
       match v.vinit with
       | None -> ()
       | Some e ->
@@ -520,6 +542,7 @@ let check_machine funcs (m : Ast.machine) =
     m.mvars;
   List.iter
     (fun (t : Ast.trig_decl) ->
+      at t.tloc;
       match t.tinit with
       | None -> ()
       | Some e -> (
@@ -532,6 +555,7 @@ let check_machine funcs (m : Ast.machine) =
   (* placement directives *)
   List.iter
     (fun (p : Ast.place_decl) ->
+      at p.ploc;
       match p.pconstraint with
       | Ast.Anywhere -> ()
       | Ast.At_nodes es -> List.iter (fun e -> ignore (check_expr env e)) es
@@ -550,6 +574,7 @@ let check_machine funcs (m : Ast.machine) =
   (* states *)
   List.iter
     (fun (s : Ast.state_decl) ->
+      at s.stloc;
       let senv =
         { env with
           vars =
@@ -564,6 +589,7 @@ let check_machine funcs (m : Ast.machine) =
       in
       List.iter
         (fun (v : Ast.var_decl) ->
+          at v.vloc;
           match v.vinit with
           | None -> ()
           | Some e ->
@@ -575,6 +601,7 @@ let check_machine funcs (m : Ast.machine) =
       (match s.sutil with
       | None -> ()
       | Some u ->
+          at u.uloc;
           let uenv =
             { senv with
               vars = (u.uparam, TAst Ast.Tresources) :: senv.vars;
@@ -587,6 +614,7 @@ let check_machine funcs (m : Ast.machine) =
   List.iter (check_event env m) m.mevents
 
 let check_func funcs (f : Ast.func_decl) =
+  cur_pos := f.floc;
   let env =
     { vars = List.map (fun (t, n) -> (n, TAst t)) f.fparams;
       funcs; states = []; machine = Printf.sprintf "<function %s>" f.fname;
@@ -594,8 +622,7 @@ let check_func funcs (f : Ast.func_decl) =
   in
   ignore (check_stmts env ~ret:(Some (TAst f.fret)) f.fbody)
 
-let check ?(extra = []) (p : Ast.program) =
-  let machines = resolve_inheritance p.machines in
+let signatures ?(extra = []) (p : Ast.program) =
   let user_sigs =
     List.map
       (fun (f : Ast.func_decl) ->
@@ -604,12 +631,36 @@ let check ?(extra = []) (p : Ast.program) =
         ))
       p.funcs
   in
-  let funcs = user_sigs @ extra @ builtin_signatures in
-  List.iter (check_func funcs) p.funcs;
-  List.iter (check_machine funcs) machines;
-  { p with machines }
+  user_sigs @ extra @ builtin_signatures
+
+let check ?extra (p : Ast.program) =
+  cur_pos := Ast.no_pos;
+  try
+    let machines = resolve_inheritance p.machines in
+    let funcs = signatures ?extra p in
+    List.iter (check_func funcs) p.funcs;
+    List.iter (check_machine funcs) machines;
+    { p with machines }
+  with Error_diag d -> raise (Error d.Diagnostic.message)
 
 let check_result ?extra p =
   match check ?extra p with
   | p -> Ok p
   | exception Error m -> Result.Error m
+
+(* Multi-error variant: one diagnostic per failing function/machine (the
+   checker still stops at the first error within each). *)
+let check_diags ?extra (p : Ast.program) =
+  cur_pos := Ast.no_pos;
+  match resolve_inheritance p.machines with
+  | exception Error_diag d -> Stdlib.Error [ d ]
+  | machines ->
+      let funcs = signatures ?extra p in
+      let errs = ref [] in
+      let guard f x =
+        try f x with Error_diag d -> errs := d :: !errs
+      in
+      List.iter (guard (check_func funcs)) p.funcs;
+      List.iter (guard (check_machine funcs)) machines;
+      if !errs = [] then Ok { p with machines }
+      else Stdlib.Error (Diagnostic.sort (List.rev !errs))

@@ -14,6 +14,11 @@
 
 exception Error of string
 
+exception Error_diag of Diagnostic.t
+(** Structured variant of {!Error} with a stable [T0xx] code and the
+    position of the failing declaration or statement; raised by the
+    internals, converted by {!check}/{!check_result}. *)
+
 (** Argument/return types for builtin and auxiliary function signatures. *)
 type sigty =
   | Any
@@ -36,6 +41,13 @@ val check_result :
   ?extra:(string * func_sig) list ->
   Ast.program ->
   (Ast.program, string) result
+
+(** Like {!check} but accumulating positioned diagnostics — one per
+    failing function/machine — instead of stopping at the first. *)
+val check_diags :
+  ?extra:(string * func_sig) list ->
+  Ast.program ->
+  (Ast.program, Diagnostic.t list) result
 
 (** Flatten inheritance only (no type checking) — exposed for tests. *)
 val resolve_inheritance : Ast.machine list -> Ast.machine list

@@ -7,7 +7,6 @@ type config = { loop_period : float; collector_latency : float }
 let default_config = { loop_period = 77e-3; collector_latency = 250e-6 }
 
 type t = {
-  cfg : config;
   mutable timer : Engine.timer option;
   reported : (int * int, unit) Hashtbl.t;
   mutable detections : (float * int * int) list;
@@ -16,7 +15,7 @@ type t = {
 
 let deploy ?(config = default_config) engine fabric ~hh_threshold =
   let t =
-    { cfg = config; timer = None; reported = Hashtbl.create 64;
+    { timer = None; reported = Hashtbl.create 64;
       detections = []; rx_bytes = 0. }
   in
   let switches = Fabric.switch_models fabric in

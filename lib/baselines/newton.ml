@@ -15,7 +15,6 @@ let default_config =
     aggregation_factor = 0.75; collector_latency = 250e-6 }
 
 type t = {
-  cfg : config;
   mutable threshold : float;
   mutable timer : Engine.timer option;
   reported : (int, unit) Hashtbl.t;  (* host-facing port identity *)
@@ -28,7 +27,7 @@ type t = {
    central job sums the per-switch contributions before thresholding. *)
 let deploy ?(config = default_config) engine fabric ~hh_threshold =
   let t =
-    { cfg = config; threshold = hh_threshold; timer = None;
+    { threshold = hh_threshold; timer = None;
       reported = Hashtbl.create 32; detections = []; rx_bytes = 0. }
   in
   let switches = Fabric.switch_models fabric in

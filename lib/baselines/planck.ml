@@ -16,7 +16,6 @@ let default_config =
     mirror_latency = 100e-6 }
 
 type t = {
-  cfg : config;
   mutable timers : Engine.timer list;
   reported : (int * int, unit) Hashtbl.t;
   mutable detections : (float * int * int) list;
@@ -25,7 +24,7 @@ type t = {
 
 let deploy ?(config = default_config) engine fabric ~hh_threshold =
   let t =
-    { cfg = config; timers = []; reported = Hashtbl.create 64;
+    { timers = []; reported = Hashtbl.create 64;
       detections = []; rx_bytes = 0. }
   in
   let rng = Farm_sim.Rng.split (Engine.rng engine) in

@@ -20,7 +20,6 @@ let default_config =
     collector_process_cost = 2e-6 }
 
 type t = {
-  cfg : config;
   collector : Collector.t;
   mutable timers : Engine.timer list;
   reported : (int * int, unit) Hashtbl.t;
@@ -34,7 +33,7 @@ let deploy ?(config = default_config) engine fabric ~hh_threshold =
       ~process_cost:config.collector_process_cost ~hh_threshold
   in
   let t =
-    { cfg = config; collector; timers = []; reported = Hashtbl.create 64;
+    { collector; timers = []; reported = Hashtbl.create 64;
       detections = []; hh_threshold }
   in
   let timers =

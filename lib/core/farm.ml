@@ -47,6 +47,9 @@ module Almanac = struct
   module Parser = Farm_almanac.Parser
   module Pretty = Farm_almanac.Pretty
   module Typecheck = Farm_almanac.Typecheck
+  module Diagnostic = Farm_almanac.Diagnostic
+  module Lint = Farm_almanac.Lint
+  module Bounds = Farm_almanac.Bounds
   module Value = Farm_almanac.Value
   module Analysis = Farm_almanac.Analysis
   module Host = Farm_almanac.Host
@@ -63,6 +66,7 @@ module Placement = struct
   module Model = Farm_placement.Model
   module Heuristic = Farm_placement.Heuristic
   module Milp_formulation = Farm_placement.Milp_formulation
+  module Conflict = Farm_placement.Conflict
 end
 
 module Runtime = struct

@@ -14,7 +14,6 @@ type tableau = {
   basis : int array;
   m : int;
   cols : int;
-  nart : int;  (* artificial columns occupy [cols - nart .. cols - 1] *)
 }
 
 let pivot tb ~row ~col =
@@ -195,7 +194,7 @@ let maximize ?deadline ~nvars ~objective constrs =
           incr next_art
       | Le -> ())
     rows;
-  let tb = { t; basis; m; cols; nart } in
+  let tb = { t; basis; m; cols } in
   let art_start = nvars + nslack in
   let infeasible = ref false in
   if nart > 0 then begin

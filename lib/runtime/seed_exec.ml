@@ -1,7 +1,6 @@
 module Value = Farm_almanac.Value
 module Ast = Farm_almanac.Ast
 module Interp = Farm_almanac.Interp
-module Host = Farm_almanac.Host
 module Aengine = Farm_almanac.Engine
 module Analysis = Farm_almanac.Analysis
 module Filter = Farm_net.Filter

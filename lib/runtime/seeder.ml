@@ -5,8 +5,11 @@ module Parser = Farm_almanac.Parser
 module Typecheck = Farm_almanac.Typecheck
 module Analysis = Farm_almanac.Analysis
 module Interp = Farm_almanac.Interp
+module Lint = Farm_almanac.Lint
+module Diagnostic = Farm_almanac.Diagnostic
 module Model = Farm_placement.Model
 module Heuristic = Farm_placement.Heuristic
+module Conflict = Farm_placement.Conflict
 module Fabric = Farm_net.Fabric
 module Switch_model = Farm_net.Switch_model
 
@@ -18,6 +21,7 @@ type config = {
   engine : Farm_almanac.Engine.engine;
   retry_backoff : float;
   max_retries : int;
+  refuse_conflicts : bool;
 }
 
 let default_config =
@@ -27,7 +31,8 @@ let default_config =
     migration_time = 5e-3;
     engine = `Compiled;
     retry_backoff = 1e-3;
-    max_retries = 5 }
+    max_retries = 5;
+    refuse_conflicts = false }
 
 type ctrl_faults = { loss : float; delay : float; dup : float }
 
@@ -49,7 +54,6 @@ let simple_spec ~name ~source =
 type task = {
   task_id : int;
   spec : task_spec;
-  program : Ast.program;
   xml : string Lazy.t;
       (* the interchange form shipped to switches (§V-A d) *)
   mutable harvester : Harvester.t option;
@@ -89,6 +93,10 @@ type t = {
   (* utility the optimizer reported for the current placement; checked
      against a from-scratch recomputation by the chaos suite *)
   mutable reported_utility : float;
+  (* conflict-detection profiles of deployed tasks, by task id *)
+  mutable profiles : (int * Conflict.profile) list;
+  (* every diagnostic (lint, conflicts) of the most recent deploy *)
+  mutable last_diags : Diagnostic.t list;
 }
 
 let create ?(config = default_config) engine fabric =
@@ -106,7 +114,8 @@ let create ?(config = default_config) engine fabric =
     collector_messages = 0;
     ctrl = perfect_ctrl;
     ctrl_rng = lazy (Farm_sim.Rng.split (Engine.rng engine));
-    retransmissions = 0; lost_messages = 0; reported_utility = 0. }
+    retransmissions = 0; lost_messages = 0; reported_utility = 0.;
+    profiles = []; last_diags = [] }
 
 let engine t = t.engine
 let fabric t = t.fabric
@@ -400,28 +409,56 @@ let analysis_bindings (m : Ast.machine) externals : Analysis.bindings =
     | Some v -> Some v
     | None -> static name
 
+let last_deploy_diagnostics t = Diagnostic.sort t.last_diags
+
 let deploy t spec =
+  t.last_diags <- [];
+  let record ds = t.last_diags <- t.last_diags @ ds in
   let parse () =
-    match Parser.program spec.ts_source with
-    | p -> Ok p
-    | exception Parser.Error m -> Error ("syntax error: " ^ m)
+    match Parser.program_result spec.ts_source with
+    | Ok p -> Ok p
+    | Error d ->
+        record [ d ];
+        Error ("syntax error: " ^ Diagnostic.to_string d)
   in
   let* parsed = parse () in
   let* program =
-    Typecheck.check_result ~extra:spec.ts_extra_sigs parsed
+    match Typecheck.check_diags ~extra:spec.ts_extra_sigs parsed with
+    | Ok p -> Ok p
+    | Error ds ->
+        record ds;
+        Error
+          (match ds with
+          | d :: _ -> d.Diagnostic.message
+          | [] -> "type error")
+  in
+  (* deploy-time verification: lint the resolved program, refusing on
+     error-severity diagnostics; warnings are recorded and deployment
+     proceeds *)
+  let bound_externals =
+    List.map (fun (m, vs) -> (m, List.map fst vs)) spec.ts_externals
+  in
+  let lint_diags = Lint.check_program ~externals:bound_externals program in
+  record lint_diags;
+  let* () =
+    if Diagnostic.has_errors lint_diags then
+      Error
+        ("lint: "
+        ^ Diagnostic.to_string (List.find Diagnostic.is_error lint_diags))
+    else Ok ()
   in
   let task =
-    { task_id = t.next_task; spec; program;
+    { task_id = t.next_task; spec;
       xml = lazy (Farm_almanac.Machine_xml.compile program);
       harvester = None; placed = false }
   in
   t.next_task <- t.next_task + 1;
   (* analyze every machine and register its seeds *)
   let topo = Fabric.topology t.fabric in
-  let* registered =
+  let* registered, analyzed =
     List.fold_left
       (fun acc (m : Ast.machine) ->
-        let* acc = acc in
+        let* acc, analyzed = acc in
         let externals =
           Option.value
             (List.assoc_opt m.mname spec.ts_externals)
@@ -460,8 +497,19 @@ let deploy t spec =
                 r_migrating = false })
             summary.seeds
         in
-        Ok (regs @ acc))
-      (Ok []) program.machines
+        Ok (regs @ acc, (summary, bindings) :: analyzed))
+      (Ok ([], [])) program.machines
+  in
+  (* cross-task conflicts against already-deployed tasks *)
+  let profile = Conflict.profile ~task:spec.ts_name (List.rev analyzed) in
+  let conflicts =
+    Conflict.check_against profile (List.map snd t.profiles)
+  in
+  record conflicts;
+  let* () =
+    if conflicts <> [] && t.cfg.refuse_conflicts then
+      Error ("conflict: " ^ Diagnostic.to_string (List.hd conflicts))
+    else Ok ()
   in
   if registered = [] then Error "task has no seeds to place"
   else begin
@@ -504,6 +552,7 @@ let deploy t spec =
     end
     else begin
       Harvester.start h;
+      t.profiles <- (task.task_id, profile) :: t.profiles;
       Ok task
     end
   end
@@ -559,4 +608,5 @@ let undeploy t task =
       (fun (a : Model.assignment) -> Hashtbl.mem t.registry a.a_seed)
       t.assignments;
   t.reported_utility <- Model.total_utility (instance_stub t) t.assignments;
+  t.profiles <- List.filter (fun (id, _) -> id <> task.task_id) t.profiles;
   task.placed <- false

@@ -8,7 +8,6 @@
     seeds and harvesters. *)
 
 module Value := Farm_almanac.Value
-module Ast := Farm_almanac.Ast
 
 type config = {
   soil_config : Soil.config;
@@ -23,6 +22,11 @@ type config = {
       (** initial retransmission backoff for control messages whose
           recipient is temporarily away (doubles per attempt) *)
   max_retries : int;  (** retransmission attempts before giving up *)
+  refuse_conflicts : bool;
+      (** refuse deployment when cross-task conflict detection
+          ([Farm_placement.Conflict]) reports [C3xx] warnings against
+          already-deployed tasks; [false] (default) deploys and records
+          them in {!last_deploy_diagnostics} *)
 }
 
 val default_config : config
@@ -66,10 +70,18 @@ val fabric : t -> Farm_net.Fabric.t
 val soil : t -> int -> Soil.t
 val soils : t -> Soil.t list
 
-(** Deploy a task: parse, check, analyze, re-optimize the global placement
-    and instantiate the task's seeds.  Fails (with a message) on
-    syntax/type/analysis errors or when the task cannot be placed. *)
+(** Deploy a task: parse, check, lint, analyze, verify against deployed
+    tasks, re-optimize the global placement and instantiate the task's
+    seeds.  Fails (with a message) on syntax/type errors, error-severity
+    lint diagnostics ([L105]–[L107]), analysis errors, or when the task
+    cannot be placed.  Every diagnostic the verification passes produced
+    — including warnings that did not block the deployment — is available
+    from {!last_deploy_diagnostics} afterwards. *)
 val deploy : t -> task_spec -> (task, string) result
+
+(** All diagnostics (lint, cross-task conflicts) produced by the most
+    recent {!deploy} call, sorted. *)
+val last_deploy_diagnostics : t -> Farm_almanac.Diagnostic.t list
 
 (** Tear a task down, releasing its switch resources. *)
 val undeploy : t -> task -> unit

@@ -23,7 +23,6 @@ type sub_kind =
 
 type subscription = {
   sub_id : int;
-  seed_id : int;
   kind : sub_kind;
   mutable period : float;
   mutable timer : Engine.timer option;
@@ -242,9 +241,9 @@ let rearm_group t g =
 let find_group t subject =
   List.find_opt (fun g -> Filter.subject_equal g.g_subject subject) t.groups
 
-let fresh_sub t ~seed_id ~period kind =
+let fresh_sub t ~seed_id:_ ~period kind =
   let s =
-    { sub_id = t.next_sub; seed_id; kind; period; timer = None; active = true }
+    { sub_id = t.next_sub; kind; period; timer = None; active = true }
   in
   t.next_sub <- t.next_sub + 1;
   s

@@ -8,7 +8,7 @@ type t = {
 type timer = {
   mutable period : float;
   mutable cancelled : bool;
-  mutable callback : t -> unit;
+  callback : t -> unit;
 }
 
 let create ?(seed = 42) () =

@@ -95,15 +95,12 @@ let flood_defender_source =
 machine FloodDefender {
   place all;
   probe synPkts = Probe { .ival = 0.002, .what = port ANY };
-  poll counters = Poll { .ival = 0.01, .what = port ANY };
   time win = Time { .ival = 0.25 };
   external long synLimit = 30;
   external long residualLimit = 5;
   long synSeen = 0;
   long ackSeen = 0;
   list attackers = [];
-  list prev = [];
-  float baseline = 0;
   state observe {
     util (res) {
       if (res.vCPU >= 0.3 and res.RAM >= 128 and res.TCAM >= 8) then {

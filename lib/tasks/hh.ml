@@ -149,10 +149,14 @@ let hhh_inherited =
     description = "HHH as a 1-state override of the HH machine";
     source = hhh_inherited_source;
     externals =
+      (* hitterAction must be bound in both machines: HHH inherits the
+         HHdetected TCAM reaction from HH (caught by lint L106) *)
       [ ("HH",
-         [ ("threshold", Value.Num 1e6); ("interval", Value.Num 1e-3) ]);
+         [ ("threshold", Value.Num 1e6); ("interval", Value.Num 1e-3);
+           ("hitterAction", Value.Action (Farm_net.Tcam.Set_qos 1)) ]);
         ("HHH",
-         [ ("threshold", Value.Num 1e6); ("interval", Value.Num 1e-3) ]) ];
+         [ ("threshold", Value.Num 1e6); ("interval", Value.Num 1e-3);
+           ("hitterAction", Value.Action (Farm_net.Tcam.Set_qos 1)) ]) ];
     builtins = [];
     extra_sigs = [];
     harvester = hhh_harvester ();

@@ -10,7 +10,6 @@ let link_failure_source =
 machine LinkFailure {
   place all;
   poll counters = Poll { .ival = 0.05, .what = port ANY };
-  external float activeRate = 1000;
   list prev = [];
   long deadPort = 0;
   state watching {

@@ -175,16 +175,18 @@ let test_parse_place_variants () =
     (List.hd p.machines).places
   in
   (match place_of "place all;" with
-  | [ { Ast.pquant = Ast.QAll; pconstraint = Ast.Anywhere } ] -> ()
+  | [ { Ast.pquant = Ast.QAll; pconstraint = Ast.Anywhere; _ } ] -> ()
   | _ -> Alcotest.fail "place all");
   (match place_of "place any 1, 2, 3;" with
-  | [ { Ast.pquant = Ast.QAny; pconstraint = Ast.At_nodes [ _; _; _ ] } ] -> ()
+  | [ { Ast.pquant = Ast.QAny; pconstraint = Ast.At_nodes [ _; _; _ ]; _ } ] ->
+      ()
   | _ -> Alcotest.fail "place any nodes");
   match place_of {|place any receiver srcIP "10.1.1.4" range <= 1;|} with
   | [ { Ast.pquant = Ast.QAny;
         pconstraint =
           Ast.On_range { role = Ast.Receiver; pfilter = Some _;
-                         rop = Ast.Le; rbound = Ast.Int 1 } } ] ->
+                         rop = Ast.Le; rbound = Ast.Int 1 };
+        _ } ] ->
       ()
   | _ -> Alcotest.fail "place range"
 
@@ -212,7 +214,15 @@ let test_parse_else_if_chain () =
   in
   let m = List.hd p.machines in
   match (List.hd m.states).sevents with
-  | [ { body = [ Ast.If (_, _, [ Ast.If (_, _, [ Ast.Assign ("x", _) ]) ]) ];
+  | [ { body =
+          [ { Ast.sk =
+                Ast.If
+                  ( _, _,
+                    [ { Ast.sk =
+                          Ast.If
+                            (_, _, [ { Ast.sk = Ast.Assign ("x", _); _ } ]);
+                        _ } ] );
+              _ } ];
         _ } ] ->
       ()
   | _ -> Alcotest.fail "else-if chain shape"
@@ -266,7 +276,8 @@ let test_roundtrip_hh () =
     with Parser.Error m ->
       Alcotest.failf "re-parse failed: %s\n%s" m printed
   in
-  Alcotest.(check bool) "round trip" true (p1 = p2)
+  Alcotest.(check bool) "round trip" true
+    (Ast.strip_pos p1 = Ast.strip_pos p2)
 
 (* expression round-trip property over generated expressions *)
 let gen_expr =
@@ -411,7 +422,8 @@ let test_inheritance_override () =
     List.find (fun (s : Ast.state_decl) -> s.sname = "HHdetected") hhh.states
   in
   (match det.sutil with
-  | Some { ubody = [ Ast.Return (Some (Ast.Int 200)) ]; _ } -> ()
+  | Some { ubody = [ { Ast.sk = Ast.Return (Some (Ast.Int 200)); _ } ]; _ } ->
+      ()
   | _ -> Alcotest.fail "child util must override");
   (* variables inherited *)
   Alcotest.(check int) "vars inherited" 3 (List.length hhh.mvars)
@@ -1004,7 +1016,8 @@ let test_machine_xml_roundtrip_hh () =
   let p = parse_hh () in
   let xml = Machine_xml.compile p in
   let back = Machine_xml.load xml in
-  Alcotest.(check bool) "structural round-trip" true (p = back)
+  Alcotest.(check bool) "structural round-trip" true
+    (Ast.strip_pos p = Ast.strip_pos back)
 
 let test_machine_xml_roundtrip_catalog () =
   (* every Table I task survives compile -> XML -> load *)
@@ -1014,7 +1027,8 @@ let test_machine_xml_roundtrip_catalog () =
       let back = Machine_xml.load (Machine_xml.compile p) in
       Alcotest.(check bool)
         (Printf.sprintf "%s survives XML" e.name)
-        true (p = back))
+        true
+        (Ast.strip_pos p = Ast.strip_pos back))
     Farm_tasks.Catalog.all
 
 let test_machine_xml_decode_errors () =

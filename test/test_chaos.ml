@@ -389,7 +389,8 @@ let deploy_hh seeder =
     { entry with
       Farm_tasks.Task_common.externals =
         [ ("HH",
-           [ ("threshold", Value.Num 1e7); ("interval", Value.Num 1e-3) ]) ] }
+           [ ("threshold", Value.Num 1e7); ("interval", Value.Num 1e-3);
+             ("hitterAction", Value.Action (Farm_net.Tcam.Set_qos 1)) ]) ] }
   in
   match Seeder.deploy seeder (Farm_tasks.Task_common.to_task_spec entry) with
   | Ok t -> t
