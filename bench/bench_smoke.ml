@@ -1,7 +1,9 @@
 (* Smoke benchmark of the Almanac hot path: events/sec of the HH poll
    activation under the tree-walking interpreter vs the compiled
-   (slot-indexed closure) engine.  Emits BENCH_micro.json — to the path
-   given as the first argument, or to the working directory.
+   (slot-indexed closure) engine, plus an MTTR micro-bench of the
+   self-healing control plane (crash -> detection -> checkpoint-restore
+   re-placement latency percentiles).  Emits BENCH_micro.json — to the
+   path given as the first argument, or to the working directory.
 
    Run via [dune build @bench-smoke] or directly:
      dune exec bench/bench_smoke.exe -- BENCH_micro.json *)
@@ -24,6 +26,62 @@ let bench_events ?(warmup = 5_000) ?(min_time = 0.5) fire value =
     elapsed := Unix.gettimeofday () -. t0
   done;
   float_of_int !n /. !elapsed
+
+(* MTTR micro-bench: a healing-enabled world where the switch hosting a
+   roaming seed is crashed (silently) every 300 ms and rebooted 150 ms
+   later.  Every crash must be noticed by the failure detector and the
+   seed re-placed from its last checkpoint, so the detection-latency and
+   recovery-time histograms accumulate one sample per episode. *)
+let mttr_bench ~crashes =
+  let module Seeder = Runtime.Seeder in
+  let module Seed_exec = Runtime.Seed_exec in
+  let module Engine = Sim.Engine in
+  let config = { Seeder.default_config with Seeder.auto_heal = true } in
+  let w =
+    World.create ~seed:42 ~spines:2 ~leaves:4 ~hosts_per_leaf:1
+      ~seeder_config:config ()
+  in
+  let roamer =
+    {|
+machine Roam {
+  place any;
+  poll ticks = Poll { .ival = 0.01, .what = port ANY };
+  long count = 0;
+  state s { when (ticks as stats) do { count = count + 1; } }
+}
+|}
+  in
+  let pinned =
+    {|
+machine Pinned {
+  place all;
+  time tick = Time { .ival = 0.02 };
+  long beats = 0;
+  state s { when (tick as t) do { beats = beats + 1; } }
+}
+|}
+  in
+  let deploy name source =
+    match World.deploy_source w ~name source with
+    | Ok t -> t
+    | Error m -> failwith (Printf.sprintf "mttr bench deploy %s: %s" name m)
+  in
+  let roam_task = deploy "roam" roamer in
+  let _pinned_task = deploy "pinned" pinned in
+  let seeder = w.World.seeder in
+  for k = 0 to crashes - 1 do
+    let t0 = 0.5 +. (0.3 *. float_of_int k) in
+    Engine.schedule w.World.engine ~delay:t0 (fun _ ->
+        match Seeder.seeds seeder roam_task with
+        | exec :: _ ->
+            let node = Seed_exec.node exec in
+            Seeder.crash_switch seeder node;
+            Engine.schedule w.World.engine ~delay:0.15 (fun _ ->
+                Seeder.revive_switch seeder node)
+        | [] -> ())
+  done;
+  World.run ~until:(0.5 +. (0.3 *. float_of_int crashes) +. 0.5) w;
+  seeder
 
 let () =
   let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
@@ -51,6 +109,27 @@ let () =
   Printf.printf "  compiled %12.0f events/sec\n" compiled_eps;
   Printf.printf "  speedup  %12.2fx\n%!" speedup;
 
+  let crashes = 30 in
+  let seeder = mttr_bench ~crashes in
+  let module Seeder = Runtime.Seeder in
+  let module Histogram = Sim.Metrics.Histogram in
+  let dl = Seeder.detection_latency seeder in
+  let rt = Seeder.recovery_time seeder in
+  let ms h q = 1000. *. Histogram.percentile h q in
+  let stats h =
+    (ms h 50., ms h 95., ms h 99., 1000. *. Histogram.max h)
+  in
+  let d50, d95, d99, dmax = stats dl in
+  let r50, r95, r99, rmax = stats rt in
+  Printf.printf "self-healing MTTR (%d crash/reboot episodes):\n" crashes;
+  Printf.printf "  detection  p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f ms  max %6.2f ms (%d samples)\n"
+    d50 d95 d99 dmax (Histogram.count dl);
+  Printf.printf "  recovery   p50 %6.2f ms  p95 %6.2f ms  p99 %6.2f ms  max %6.2f ms (%d samples)\n"
+    r50 r95 r99 rmax (Histogram.count rt);
+  Printf.printf "  checkpoints %d shipped, %.0f ctrl bytes\n%!"
+    (Seeder.checkpoints_shipped seeder)
+    (Seeder.checkpoint_bytes seeder);
+
   let oc =
     try open_out out
     with Sys_error m ->
@@ -62,13 +141,44 @@ let () =
     \  \"benchmark\": \"almanac_hh_poll_activation\",\n\
     \  \"interp_events_per_sec\": %.1f,\n\
     \  \"compiled_events_per_sec\": %.1f,\n\
-    \  \"speedup\": %.2f\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"self_healing_mttr\": {\n\
+    \    \"crash_episodes\": %d,\n\
+    \    \"detection_samples\": %d,\n\
+    \    \"detection_ms\": { \"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f },\n\
+    \    \"recovery_samples\": %d,\n\
+    \    \"recovery_ms\": { \"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f },\n\
+    \    \"checkpoints_shipped\": %d,\n\
+    \    \"checkpoint_ctrl_bytes\": %.0f\n\
+    \  }\n\
      }\n"
-    interp_eps compiled_eps speedup;
+    interp_eps compiled_eps speedup crashes (Histogram.count dl) d50 d95 d99
+    dmax (Histogram.count rt) r50 r95 r99 rmax
+    (Seeder.checkpoints_shipped seeder)
+    (Seeder.checkpoint_bytes seeder);
   close_out oc;
   Printf.printf "wrote %s\n%!" out;
   if speedup < 3.0 then begin
     Printf.eprintf "FAIL: compiled engine speedup %.2fx is below the 3x target\n%!"
       speedup;
+    exit 1
+  end;
+  (* the detector is configured for 35 ms timeouts at a 10 ms heartbeat:
+     every episode must be detected, and recovery must stay within the
+     timeout plus two heartbeats of slack *)
+  let bound_ms =
+    1000.
+    *. (Seeder.default_config.Seeder.detection_timeout
+       +. (2. *. Seeder.default_config.Seeder.heartbeat_interval))
+  in
+  if Histogram.count dl < crashes then begin
+    Printf.eprintf "FAIL: only %d of %d crashes were detected\n%!"
+      (Histogram.count dl) crashes;
+    exit 1
+  end;
+  if dmax > bound_ms || rmax > bound_ms then begin
+    Printf.eprintf
+      "FAIL: detection max %.2f ms / recovery max %.2f ms exceed the %.0f ms bound\n%!"
+      dmax rmax bound_ms;
     exit 1
   end

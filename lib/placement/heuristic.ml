@@ -475,3 +475,74 @@ let optimize ?(phases = all_phases) (inst : Model.instance) =
   ( { Model.assignments; utility },
     { placed_seeds = List.length assignments; dropped_tasks = !dropped;
       migrations = !migrations; runtime_s = Unix.gettimeofday () -. t0 } )
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-optimization                                         *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_incremental ?(phases = all_phases) (inst : Model.instance)
+    ~affected =
+  let is_affected id = List.mem id affected in
+  let prev_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (a : Model.assignment) -> Hashtbl.replace tbl a.a_seed a.a_node)
+      inst.previous;
+    fun id -> Hashtbl.find_opt tbl id
+  in
+  let live node =
+    List.exists (fun (c : Model.switch_caps) -> c.node = node) inst.switches
+  in
+  (* Pin every unaffected seed with a live previous location to that
+     location; affected seeds (orphans of a failed switch, new arrivals)
+     keep their full candidate sets.  Seeds whose previous site vanished
+     are affected by definition. *)
+  let pinned =
+    { inst with
+      seeds =
+        List.map
+          (fun (s : Model.seed_spec) ->
+            match prev_of s.seed_id with
+            | Some node
+              when (not (is_affected s.seed_id))
+                   && live node
+                   && List.mem node s.candidates ->
+                { s with candidates = [ node ] }
+            | _ -> s)
+          inst.seeds }
+  in
+  let placement, stats = optimize ~phases pinned in
+  (* Pinning shrinks the solution space: if a task that the previous
+     placement carried would now be dropped only because unaffected seeds
+     cannot move, fall back to a full re-optimization (correctness beats
+     incrementality). *)
+  let placed_task tid (p : Model.placement) =
+    List.exists
+      (fun (a : Model.assignment) ->
+        match
+          List.find_opt
+            (fun (s : Model.seed_spec) -> s.seed_id = a.a_seed)
+            inst.seeds
+        with
+        | Some s -> s.task_id = tid
+        | None -> false)
+      p.assignments
+  in
+  let previously_placed tid =
+    List.exists
+      (fun (a : Model.assignment) ->
+        match
+          List.find_opt
+            (fun (s : Model.seed_spec) -> s.seed_id = a.a_seed)
+            inst.seeds
+        with
+        | Some s -> s.task_id = tid
+        | None -> false)
+      inst.previous
+  in
+  let regression =
+    List.exists
+      (fun (tid, _) -> previously_placed tid && not (placed_task tid placement))
+      (Model.tasks inst)
+  in
+  if regression then optimize ~phases inst else (placement, stats)

@@ -26,3 +26,16 @@ type stats = {
 }
 
 val optimize : ?phases:phases -> Model.instance -> Model.placement * stats
+
+(** Incremental re-optimization after a localized change (a switch
+    failure, one task arriving): only the [affected] seed ids are
+    re-decided; every other seed with a live previous location is pinned
+    there, so the pass costs one greedy placement over a mostly-fixed
+    instance and never migrates unaffected seeds.  Falls back to a full
+    {!optimize} if pinning would drop a task the previous placement
+    carried. *)
+val optimize_incremental :
+  ?phases:phases ->
+  Model.instance ->
+  affected:int list ->
+  Model.placement * stats

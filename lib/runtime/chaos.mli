@@ -3,7 +3,14 @@
     {!Farm_net.Fabric} (rerouting flows), control-plane degradation hits the
     seeder's message path, and counter faults hit the per-switch {!Soil}.
     Events naming unknown switches or links are ignored, so randomly
-    generated plans can be applied to any topology. *)
+    generated plans can be applied to any topology.
+
+    Switch events depend on the seeder's healing mode: with [auto_heal]
+    they become {e silent} ground-truth crashes/reboots
+    ([Seeder.crash_switch]/[revive_switch]) that the control plane must
+    discover through missing heartbeats; without it they take the legacy
+    omniscient [fail_switch]/[recover_switch] path, which keeps pre-healing
+    runs byte-identical. *)
 
 val handlers : Seeder.t -> Farm_sim.Fault.handlers
 

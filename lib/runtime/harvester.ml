@@ -15,19 +15,78 @@ type spec = {
 let collector_spec =
   { on_start = (fun _ -> ()); on_message = (fun _ ~from_switch:_ _ -> ()) }
 
+type provenance = { p_seed : int; p_epoch : int; p_seq : int }
+
 type t = {
   spec : spec;
   ctx : ctx;
   mutable log : (float * int * Value.t) list;
+  (* epoch fencing: per seed, the minimum epoch whose reports are valid.
+     The seeder raises the fence whenever it (re)instantiates a seed, so a
+     zombie instance left behind by a false failure detection — or a
+     message still in flight from before a migration — cannot corrupt task
+     state. *)
+  fences : (int, int) Hashtbl.t;
+  seen : (int, Ipc.Dedup.t) Hashtbl.t;  (* per-seed seqs of the fence epoch *)
+  mutable prov_log : (float * provenance) list;  (* accepted, newest first *)
+  mutable stale_dropped : int;
+  mutable dup_dropped : int;
 }
 
-let create spec ctx = { spec; ctx; log = [] }
+let create spec ctx =
+  { spec; ctx; log = []; fences = Hashtbl.create 16; seen = Hashtbl.create 16;
+    prov_log = []; stale_dropped = 0; dup_dropped = 0 }
 
 let start t = t.spec.on_start t.ctx
 
-let handle t ~from_switch v =
-  t.log <- (t.ctx.now (), from_switch, v) :: t.log;
-  t.spec.on_message t.ctx ~from_switch v
+let fence t ~seed_id ~epoch =
+  let cur = Option.value (Hashtbl.find_opt t.fences seed_id) ~default:(-1) in
+  if epoch > cur then begin
+    Hashtbl.replace t.fences seed_id epoch;
+    Hashtbl.replace t.seen seed_id (Ipc.Dedup.create ())
+  end
+
+let fence_epoch t ~seed_id = Hashtbl.find_opt t.fences seed_id
+
+(* Admission control: drop stale-epoch reports, dedup (seed, epoch, seq).
+   Reports from an epoch *newer* than the fence are accepted and raise the
+   fence — the instantiate-side fence call and the first report race over
+   the control channel, and both orders must converge. *)
+let admit t p =
+  let cur = Option.value (Hashtbl.find_opt t.fences p.p_seed) ~default:(-1) in
+  if p.p_epoch < cur then begin
+    t.stale_dropped <- t.stale_dropped + 1;
+    false
+  end
+  else begin
+    if p.p_epoch > cur then fence t ~seed_id:p.p_seed ~epoch:p.p_epoch;
+    let dedup =
+      match Hashtbl.find_opt t.seen p.p_seed with
+      | Some d -> d
+      | None ->
+          let d = Ipc.Dedup.create () in
+          Hashtbl.replace t.seen p.p_seed d;
+          d
+    in
+    if Ipc.Dedup.register dedup p.p_seq then true
+    else begin
+      t.dup_dropped <- t.dup_dropped + 1;
+      false
+    end
+  end
+
+let handle ?provenance t ~from_switch v =
+  let accept = match provenance with None -> true | Some p -> admit t p in
+  if accept then begin
+    (match provenance with
+    | Some p -> t.prov_log <- (t.ctx.now (), p) :: t.prov_log
+    | None -> ());
+    t.log <- (t.ctx.now (), from_switch, v) :: t.log;
+    t.spec.on_message t.ctx ~from_switch v
+  end
 
 let received t = t.log
 let received_count t = List.length t.log
+let accepted_provenance t = t.prov_log
+let stale_dropped t = t.stale_dropped
+let dup_dropped t = t.dup_dropped

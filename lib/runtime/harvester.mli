@@ -27,11 +27,40 @@ type t
 val create : spec -> ctx -> t
 val start : t -> unit
 
-(** Called by the runtime when a seed message arrives. *)
-val handle : t -> from_switch:int -> Value.t -> unit
+(** Report provenance: which seed {e instance} produced it.  [p_epoch] is
+    the seed's instance epoch (bumped by the seeder on every
+    (re)instantiation — deploy, migration, failure recovery); [p_seq] is a
+    per-instance monotonic sequence number. *)
+type provenance = { p_seed : int; p_epoch : int; p_seq : int }
+
+(** Raise the fence for a seed: reports with a lower epoch are dropped
+    from now on.  Called by the seeder whenever it (re)instantiates the
+    seed, so a zombie instance surviving a false failure detection cannot
+    corrupt task state.  Fences only move forward. *)
+val fence : t -> seed_id:int -> epoch:int -> unit
+
+(** Current fence epoch of a seed, if any reports/fences were seen. *)
+val fence_epoch : t -> seed_id:int -> int option
+
+(** Called by the runtime when a seed message arrives.  With [provenance],
+    stale-epoch reports are dropped and (epoch, seq) duplicates — control
+    retransmissions, ctrl-dup faults — are suppressed, making delivery
+    exactly-once; without it the message is accepted unconditionally. *)
+val handle : ?provenance:provenance -> t -> from_switch:int -> Value.t -> unit
 
 (** All messages received so far, most recent first:
     (arrival time, source switch, value). *)
 val received : t -> (float * int * Value.t) list
 
 val received_count : t -> int
+
+(** Provenance of accepted reports, most recent first — per seed, epochs
+    are non-decreasing going forward in time (the chaos suite asserts
+    this). *)
+val accepted_provenance : t -> (float * provenance) list
+
+(** Reports dropped because their epoch was behind the fence. *)
+val stale_dropped : t -> int
+
+(** Reports dropped as (seed, epoch, seq) duplicates. *)
+val dup_dropped : t -> int

@@ -9,15 +9,26 @@ module Tcam = Farm_net.Tcam
 type t = {
   sid : int;
   soil : Soil.t;
+  epoch : int;  (* instance epoch, carried by every report (fencing) *)
   mutable inst : Aengine.instance option;  (* None before wiring completes *)
   mutable res : float array;
   polls : Analysis.poll_summary list;
   mutable subs : (string * Soil.subscription list) list;  (* per trigger *)
   mutable transitions : int;
   mutable alive : bool;
+  mutable next_seq : int;  (* per-instance report sequence numbers *)
+  dedup : Ipc.Dedup.t;  (* inbound control-message ids seen *)
 }
 
 let seed_id t = t.sid
+let epoch t = t.epoch
+
+let alloc_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let duplicates_dropped t = Ipc.Dedup.duplicates t.dedup
 let node t = Soil.node_id t.soil
 let soil t = t.soil
 let resources t = t.res
@@ -116,10 +127,12 @@ let value_of_installed (e : Tcam.installed) =
         ("packets", Value.Num e.packets) ] )
 
 let deploy ~soil ~program ~machine ?(engine = `Compiled) ?(externals = [])
-    ?(builtins = []) ?restore ~resources ~polls ~send ~seed_id () =
+    ?(builtins = []) ?restore ?(epoch = 0) ~resources ~polls ~send ~seed_id ()
+    =
   let t =
-    { sid = seed_id; soil; inst = None; res = Array.copy resources; polls;
-      subs = []; transitions = 0; alive = true }
+    { sid = seed_id; soil; epoch; inst = None; res = Array.copy resources;
+      polls; subs = []; transitions = 0; alive = true; next_seq = 0;
+      dedup = Ipc.Dedup.create () }
   in
   let host =
     { Interp.h_now = (fun () -> Soil.now soil);
@@ -210,7 +223,14 @@ let set_resources t res =
   resubscribe_all t;
   Aengine.realloc (inst t)
 
-let deliver t ~from v = if t.alive then ignore (Aengine.deliver (inst t) ~from v)
+(* Deliver an inbound control message.  [msg_id] identifies the logical
+   message across retransmissions and ctrl-dup copies: repeats are dropped
+   so handling is idempotent (exactly-once on an at-least-once channel). *)
+let deliver ?msg_id t ~from v =
+  let fresh =
+    match msg_id with Some id -> Ipc.Dedup.register t.dedup id | None -> true
+  in
+  if fresh && t.alive then ignore (Aengine.deliver (inst t) ~from v)
 
 let snapshot t = Aengine.snapshot (inst t)
 

@@ -24,6 +24,7 @@ val deploy :
   ?externals:(string * Value.t) list ->
   ?builtins:(string * (Value.t list -> Value.t)) list ->
   ?restore:(string * Value.t) list * string ->
+  ?epoch:int ->
   resources:float array ->
   polls:Analysis.poll_summary list ->
   send:(t -> Farm_almanac.Interp.target -> Value.t -> unit) ->
@@ -32,6 +33,17 @@ val deploy :
   t
 
 val seed_id : t -> int
+
+(** Instance epoch (default 0): bumped by the seeder on every
+    (re)instantiation of the logical seed and stamped on every report so
+    harvesters can fence off zombie instances. *)
+val epoch : t -> int
+
+(** Allocate the next report sequence number (monotonic per instance). *)
+val alloc_seq : t -> int
+
+(** Inbound control messages suppressed as duplicates (same [msg_id]). *)
+val duplicates_dropped : t -> int
 
 (** Which execution engine this seed runs on. *)
 val engine_kind : t -> Farm_almanac.Engine.engine
@@ -48,8 +60,11 @@ val resources : t -> float array
     fire. *)
 val set_resources : t -> float array -> unit
 
-(** Deliver a message from the harvester or another seed. *)
-val deliver : t -> from:Farm_almanac.Interp.source -> Value.t -> unit
+(** Deliver a message from the harvester or another seed.  [msg_id]
+    identifies the logical message across retransmissions / ctrl-dup
+    copies; repeated ids are dropped (idempotent receipt). *)
+val deliver :
+  ?msg_id:int -> t -> from:Farm_almanac.Interp.source -> Value.t -> unit
 
 (** Snapshot (variables, state) for migration. *)
 val snapshot : t -> (string * Value.t) list * string

@@ -1,4 +1,5 @@
 module Engine = Farm_sim.Engine
+module Metrics = Farm_sim.Metrics
 module Value = Farm_almanac.Value
 module Ast = Farm_almanac.Ast
 module Parser = Farm_almanac.Parser
@@ -22,6 +23,13 @@ type config = {
   retry_backoff : float;
   max_retries : int;
   refuse_conflicts : bool;
+  (* self-healing control plane *)
+  auto_heal : bool;
+  heartbeat_interval : float;
+  detection_timeout : float;
+  checkpoint_interval : float;
+  checkpoint_full_every : int;
+  ctrl_bandwidth_bps : float;
 }
 
 let default_config =
@@ -32,7 +40,13 @@ let default_config =
     engine = `Compiled;
     retry_backoff = 1e-3;
     max_retries = 5;
-    refuse_conflicts = false }
+    refuse_conflicts = false;
+    auto_heal = false;
+    heartbeat_interval = 10e-3;
+    detection_timeout = 35e-3;  (* > 3 missed beats at the default rate *)
+    checkpoint_interval = 50e-3;
+    checkpoint_full_every = 4;
+    ctrl_bandwidth_bps = 1e9 }
 
 type ctrl_faults = { loss : float; delay : float; dup : float }
 
@@ -60,6 +74,15 @@ type task = {
   mutable placed : bool;
 }
 
+(* last checkpoint of a seed accumulated at the seeder (deltas merged) *)
+type store = {
+  st_epoch : int;  (* stores are replaced wholesale on an epoch change *)
+  mutable st_seq : int;
+  mutable st_vars : (string * Value.t) list;
+  mutable st_state : string;
+  mutable st_time : float;
+}
+
 (* registry entry for one seed of one task *)
 type reg = {
   r_spec : Model.seed_spec;
@@ -69,6 +92,11 @@ type reg = {
   r_externals : (string * Value.t) list;
   mutable r_exec : Seed_exec.t option;
   mutable r_migrating : bool;
+  mutable r_epoch : int;  (* epoch of the current/last instance *)
+  mutable r_ck_timer : Engine.timer option;
+  mutable r_next_ck : int;  (* next checkpoint seq (sender side) *)
+  mutable r_last_shipped : (string * Value.t) list option;  (* delta base *)
+  mutable r_store : store option;  (* seeder-side accumulated checkpoint *)
 }
 
 type t = {
@@ -76,13 +104,21 @@ type t = {
   fabric : Fabric.t;
   cfg : config;
   soils : (int, Soil.t) Hashtbl.t;
-  failed : (int, unit) Hashtbl.t;  (* switches marked down *)
+  failed : (int, unit) Hashtbl.t;  (* control-plane view: marked down *)
+  (* ground truth: switches whose management plane actually crashed, with
+     the crash time.  The seeder only learns about these through missing
+     heartbeats — [failed] and [down] can disagree in both directions. *)
+  down : (int, float) Hashtbl.t;
+  last_crash : (int, float) Hashtbl.t;  (* survives revival, for metrics *)
+  last_seen : (int, float) Hashtbl.t;  (* last heartbeat arrival per switch *)
+  detected : (int, unit) Hashtbl.t;  (* failed entries owed to the detector *)
   registry : (int, reg) Hashtbl.t;  (* seed_id -> reg *)
   mutable next_seed : int;
   mutable next_task : int;
+  mutable next_msg : int;  (* control-message ids (idempotent receipt) *)
   mutable assignments : Model.assignment list;
   mutable migration_count : int;
-  collector_bytes : Farm_sim.Metrics.Counter.t;
+  collector_bytes : Metrics.Counter.t;
   mutable collector_messages : int;
   (* control-plane fault injection; the rng is split lazily so fault-free
      runs draw exactly the same random streams as before this existed *)
@@ -97,25 +133,24 @@ type t = {
   mutable profiles : (int * Conflict.profile) list;
   (* every diagnostic (lint, conflicts) of the most recent deploy *)
   mutable last_diags : Diagnostic.t list;
+  (* demoted instances on suspected switches: (node, seed_id, exec).
+     Only false positives produce zombies — a genuinely crashed switch has
+     no live instance left to demote. *)
+  mutable zombies : (int * int * Seed_exec.t) list;
+  (* self-healing instrumentation *)
+  detection_latency : Metrics.Histogram.t;
+  recovery_time : Metrics.Histogram.t;
+  checkpoint_bytes : Metrics.Counter.t;
+  mutable heartbeats_sent : int;
+  mutable heartbeats_delivered : int;
+  mutable checkpoints_shipped : int;
+  mutable checkpoint_gaps : int;
+  mutable detections : int;
+  mutable false_detections : int;
+  mutable auto_recoveries : int;
+  mutable zombies_fenced : int;
+  mutable fenced_sends : int;
 }
-
-let create ?(config = default_config) engine fabric =
-  let soils = Hashtbl.create 32 in
-  List.iter
-    (fun sw ->
-      Hashtbl.replace soils (Switch_model.id sw)
-        (Soil.create ~config:config.soil_config engine sw))
-    (Fabric.switch_models fabric);
-  { engine; fabric; cfg = config; soils; failed = Hashtbl.create 4;
-    registry = Hashtbl.create 64;
-    next_seed = 0; next_task = 0; assignments = [];
-    migration_count = 0;
-    collector_bytes = Farm_sim.Metrics.Counter.create ();
-    collector_messages = 0;
-    ctrl = perfect_ctrl;
-    ctrl_rng = lazy (Farm_sim.Rng.split (Engine.rng engine));
-    retransmissions = 0; lost_messages = 0; reported_utility = 0.;
-    profiles = []; last_diags = [] }
 
 let engine t = t.engine
 let fabric t = t.fabric
@@ -184,7 +219,7 @@ let placement_instance = instance_stub
 let current_assignments t = t.assignments
 let reported_utility t = t.reported_utility
 
-let collector_bytes t = Farm_sim.Metrics.Counter.value t.collector_bytes
+let collector_bytes t = Metrics.Counter.value t.collector_bytes
 let collector_messages t = t.collector_messages
 let migrations t = t.migration_count
 
@@ -268,24 +303,49 @@ let rec control_send t ?(tries = 0) deliver =
         (fun _ -> ignore (deliver () : [ `Delivered | `Absent | `Gone ]))
   end
 
-let deliver_to_harvester t task ~from_switch v =
+(* Fire-and-forget transmission: heartbeats and checkpoints.  No retry —
+   a retried heartbeat would defeat timeout-based detection, and a stale
+   checkpoint is superseded by the next interval anyway.  [extra] models
+   serialization time on the control link (checkpoint bytes over
+   [ctrl_bandwidth_bps]). *)
+let oneshot_send t ?(extra = 0.) deliver =
+  let c = t.ctrl in
+  let lost =
+    c.loss > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.loss
+  in
+  if not lost then begin
+    let dup =
+      c.dup > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.dup
+    in
+    let delay = t.cfg.control_latency +. c.delay +. extra in
+    Engine.schedule t.engine ~delay (fun _ -> deliver ());
+    if dup then
+      Engine.schedule t.engine ~delay:(delay +. t.cfg.retry_backoff)
+        (fun _ -> deliver ())
+  end
+
+let deliver_to_harvester t task ~from_switch ~prov v =
   Farm_sim.Metrics.Counter.add t.collector_bytes
     (value_bytes v +. t.cfg.message_overhead_bytes);
   t.collector_messages <- t.collector_messages + 1;
   control_send t (fun () ->
       match task.harvester with
       | Some h ->
-          Harvester.handle h ~from_switch v;
+          Harvester.handle ~provenance:prov h ~from_switch v;
           `Delivered
       | None -> `Gone)
 
 (* Deliver to one registered seed; retried while the seed is away
-   (migrating, or waiting to be re-placed after a switch failure). *)
+   (migrating, or waiting to be re-placed after a switch failure).  Every
+   logical message gets a fresh id so the receiving instance can drop the
+   retransmitted / ctrl-duplicated copies (idempotent receipt). *)
 let send_to_reg t (r : reg) ~from v =
+  let msg_id = t.next_msg in
+  t.next_msg <- t.next_msg + 1;
   control_send t (fun () ->
       match r.r_exec with
       | Some e ->
-          Seed_exec.deliver e ~from v;
+          Seed_exec.deliver ~msg_id e ~from v;
           `Delivered
       | None ->
           if Hashtbl.mem t.registry r.r_spec.seed_id then `Absent else `Gone)
@@ -307,29 +367,148 @@ let deliver_to_seeds t task ~machine ~node v ~from =
 let seed_send t task exec (target : Interp.target) v =
   match target with
   | Interp.To_harvester ->
-      deliver_to_harvester t task ~from_switch:(Seed_exec.node exec) v
+      (* stamp provenance: the harvester fences stale epochs and dedups
+         (epoch, seq) so zombies and duplicated deliveries are harmless *)
+      let prov =
+        { Harvester.p_seed = Seed_exec.seed_id exec;
+          p_epoch = Seed_exec.epoch exec;
+          p_seq = Seed_exec.alloc_seq exec }
+      in
+      deliver_to_harvester t task ~from_switch:(Seed_exec.node exec) ~prov v
   | Interp.To_machine (m, node) ->
-      deliver_to_seeds t task ~machine:m ~node v
-        ~from:(Interp.From_machine (Seed_exec.machine_name exec))
+      (* seed→seed messages route through the seeder, which drops traffic
+         from instances it has already superseded (fencing at the router) *)
+      let live =
+        match Hashtbl.find_opt t.registry (Seed_exec.seed_id exec) with
+        | Some r -> Seed_exec.epoch exec = r.r_epoch
+        | None -> false
+      in
+      if live then
+        deliver_to_seeds t task ~machine:m ~node v
+          ~from:(Interp.From_machine (Seed_exec.machine_name exec))
+      else t.fenced_sends <- t.fenced_sends + 1
 
 (* ------------------------------------------------------------------ *)
 (* Placement application                                               *)
 (* ------------------------------------------------------------------ *)
 
+let stop_ck_timer r =
+  match r.r_ck_timer with
+  | Some tm ->
+      Engine.cancel tm;
+      r.r_ck_timer <- None
+  | None -> ()
+
+let retire_exec r =
+  (match r.r_exec with
+  | Some exec ->
+      Seed_exec.destroy exec;
+      r.r_exec <- None
+  | None -> ());
+  stop_ck_timer r
+
+let stored_checkpoint r =
+  Option.map (fun st -> (st.st_vars, st.st_state)) r.r_store
+
+(* Accept one checkpoint at the seeder.  Deltas merge only when they are
+   contiguous with the accumulated state and belong to the current
+   instance; anything else waits for the next full snapshot. *)
+let receive_checkpoint t (r : reg) (ck : Checkpoint.t) =
+  if ck.ck_epoch = r.r_epoch then
+    match r.r_store with
+    | Some st when st.st_epoch = ck.ck_epoch ->
+        if ck.ck_seq <= st.st_seq then ()  (* duplicate / reordered *)
+        else if ck.ck_full || ck.ck_seq = st.st_seq + 1 then begin
+          st.st_vars <- Checkpoint.apply ~base:st.st_vars ck;
+          st.st_state <- ck.ck_state;
+          st.st_seq <- ck.ck_seq;
+          st.st_time <- Engine.now t.engine
+        end
+        else t.checkpoint_gaps <- t.checkpoint_gaps + 1
+    | _ ->
+        if ck.ck_full then
+          r.r_store <-
+            Some
+              { st_epoch = ck.ck_epoch; st_seq = ck.ck_seq;
+                st_vars = ck.ck_vars; st_state = ck.ck_state;
+                st_time = Engine.now t.engine }
+        else t.checkpoint_gaps <- t.checkpoint_gaps + 1
+
+let ship_checkpoint t (r : reg) =
+  match r.r_exec with
+  | None -> ()
+  | Some exec ->
+      let vars, state = Seed_exec.snapshot exec in
+      let seq = r.r_next_ck in
+      r.r_next_ck <- seq + 1;
+      let full_every = max 1 t.cfg.checkpoint_full_every in
+      let ck_full, ck_vars, ck_removed =
+        match r.r_last_shipped with
+        | None -> (true, vars, [])
+        | Some _ when seq mod full_every = 0 -> (true, vars, [])
+        | Some base ->
+            let changed, removed = Checkpoint.delta ~base vars in
+            (false, changed, removed)
+      in
+      r.r_last_shipped <- Some vars;
+      let ck =
+        { Checkpoint.ck_seed = r.r_spec.seed_id;
+          ck_epoch = Seed_exec.epoch exec; ck_seq = seq; ck_full; ck_vars;
+          ck_removed; ck_state = state }
+      in
+      let bytes = Checkpoint.wire_bytes ck in
+      t.checkpoints_shipped <- t.checkpoints_shipped + 1;
+      Metrics.Counter.add t.checkpoint_bytes bytes;
+      (* serializing state burns management CPU on the switch *)
+      Soil.charge_cpu (Seed_exec.soil exec) (2e-6 +. (bytes *. 5e-9));
+      (* shipping it competes for control-channel bandwidth *)
+      let extra = bytes *. 8. /. t.cfg.ctrl_bandwidth_bps in
+      oneshot_send t ~extra (fun () -> receive_checkpoint t r ck)
+
+let start_ck_timer t r =
+  stop_ck_timer r;
+  if t.cfg.auto_heal && t.cfg.checkpoint_interval > 0. then
+    r.r_ck_timer <-
+      Some
+        (Engine.every t.engine ~period:t.cfg.checkpoint_interval (fun _ ->
+             ship_checkpoint t r))
+
 let instantiate t (r : reg) (a : Model.assignment) ~restore =
+  (* ground truth beats belief: a push to a switch whose management plane
+     is down is a lost control message — the seeder still thinks the seed
+     is placed, the failure detector eventually tells it otherwise.  (The
+     race is real: a pre-crash in-flight heartbeat can trigger a re-push
+     to a switch that just died.) *)
+  if Hashtbl.mem t.down a.a_node then ()
+  else begin
   let soilv = soil t a.a_node in
   (* the switch receives the task as XML and decompiles it into a seed,
      exactly as the soil does in the paper's implementation *)
   let program = Farm_almanac.Machine_xml.load (Lazy.force r.r_task.xml) in
+  (* every (re)instantiation is a new epoch: harvesters fence on it, so a
+     zombie of the previous instance can never outvote this one *)
+  r.r_epoch <- r.r_epoch + 1;
+  let restore =
+    match restore with
+    | Some _ -> restore  (* live migration snapshot *)
+    | None -> stored_checkpoint r  (* crash recovery: last checkpoint *)
+  in
   let exec =
     Seed_exec.deploy ~soil:soilv ~program ~engine:t.cfg.engine
       ~machine:r.r_machine ~externals:r.r_externals
-      ~builtins:r.r_task.spec.ts_builtins ?restore ~resources:a.a_res
-      ~polls:r.r_polls
+      ~builtins:r.r_task.spec.ts_builtins ?restore ~epoch:r.r_epoch
+      ~resources:a.a_res ~polls:r.r_polls
       ~send:(fun exec target v -> seed_send t r.r_task exec target v)
       ~seed_id:r.r_spec.seed_id ()
   in
-  r.r_exec <- Some exec
+  r.r_exec <- Some exec;
+  r.r_next_ck <- 0;
+  r.r_last_shipped <- None;
+  (match r.r_task.harvester with
+  | Some h -> Harvester.fence h ~seed_id:r.r_spec.seed_id ~epoch:r.r_epoch
+  | None -> ());
+  start_ck_timer t r
+  end
 
 let apply_placement t (placement : Model.placement) =
   let new_assignments = placement.assignments in
@@ -343,20 +522,33 @@ let apply_placement t (placement : Model.placement) =
     (fun (r : reg) ->
       let seed_id = r.r_spec.seed_id in
       match (r.r_exec, Hashtbl.find_opt by_seed seed_id) with
-      | Some exec, None ->
+      | Some _, None ->
           (* dropped from the placement *)
-          Seed_exec.destroy exec;
-          r.r_exec <- None
+          retire_exec r
       | Some exec, Some a when Seed_exec.node exec <> a.a_node ->
           (* migrate: snapshot, transfer state, resume at the target *)
           let snapshot = Seed_exec.snapshot exec in
-          Seed_exec.destroy exec;
-          r.r_exec <- None;
+          retire_exec r;
           r.r_migrating <- true;
           t.migration_count <- t.migration_count + 1;
           Engine.schedule t.engine ~delay:t.cfg.migration_time (fun _ ->
               r.r_migrating <- false;
-              instantiate t r a ~restore:(Some snapshot))
+              (* the fabric may have changed while the state was in
+                 flight: land on the seed's *current* assignment, and only
+                 if that switch is still up — otherwise the shipped
+                 checkpoint is the surviving copy and the healing layer
+                 re-places the seed *)
+              let a' =
+                List.find_opt
+                  (fun (a' : Model.assignment) -> a'.a_seed = seed_id)
+                  t.assignments
+              in
+              match (r.r_exec, a') with
+              | None, Some a'
+                when (not (Hashtbl.mem t.failed a'.a_node))
+                     && not (Hashtbl.mem t.down a'.a_node) ->
+                  instantiate t r a' ~restore:(Some snapshot)
+              | _ -> ())
       | Some exec, Some a ->
           if Seed_exec.resources exec <> a.a_res then
             Seed_exec.set_resources exec a.a_res
@@ -383,6 +575,201 @@ let reoptimize t =
   let inst = instance_stub t in
   let placement, _stats = Heuristic.optimize inst in
   apply_placement t placement
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing: heartbeats, failure detection, automatic migration    *)
+(* ------------------------------------------------------------------ *)
+
+let kill_zombies_on t node =
+  let mine, rest = List.partition (fun (n, _, _) -> n = node) t.zombies in
+  t.zombies <- rest;
+  List.iter
+    (fun (_, _, exec) ->
+      if Seed_exec.is_alive exec then Seed_exec.destroy exec;
+      t.zombies_fenced <- t.zombies_fenced + 1)
+    mine
+
+(* Tell the (possibly only suspected-dead) switch to terminate a demoted
+   instance.  If the zombie was already cleaned up by the time the message
+   lands, it is simply gone. *)
+let send_kill t exec =
+  control_send t (fun () ->
+      if List.exists (fun (_, _, e) -> e == exec) t.zombies then begin
+        t.zombies <- List.filter (fun (_, _, e) -> not (e == exec)) t.zombies;
+        Seed_exec.destroy exec;
+        t.zombies_fenced <- t.zombies_fenced + 1;
+        `Delivered
+      end
+      else `Gone)
+
+(* Re-place only the orphaned seeds; everything else stays pinned.  Falls
+   back to a full optimize inside [optimize_incremental] if pinning would
+   drop a task. *)
+let heal_replace t ~affected =
+  let inst = instance_stub t in
+  let placement, _stats = Heuristic.optimize_incremental inst ~affected in
+  apply_placement t placement
+
+(* The detector declared [node] dead: fence it off and migrate its seeds.
+   If the declaration is a false positive (the switch is merely
+   partitioned), its instances cannot be reached to be stopped — they are
+   demoted to zombies, sent a kill order, and fenced by epoch at the
+   harvesters until the switch rejoins. *)
+let declare_failed t node =
+  let now = Engine.now t.engine in
+  t.detections <- t.detections + 1;
+  (match Hashtbl.find_opt t.down node with
+  | Some t0 -> Metrics.Histogram.record t.detection_latency (now -. t0)
+  | None -> t.false_detections <- t.false_detections + 1);
+  Hashtbl.replace t.failed node ();
+  Hashtbl.replace t.detected node ();
+  List.iter
+    (fun (r : reg) ->
+      match r.r_exec with
+      | Some exec when Seed_exec.node exec = node ->
+          r.r_exec <- None;
+          stop_ck_timer r;
+          t.zombies <- t.zombies @ [ (node, r.r_spec.seed_id, exec) ];
+          send_kill t exec
+      | Some _ | None -> ())
+    (sorted_regs t);
+  let orphans =
+    List.filter_map
+      (fun (a : Model.assignment) ->
+        if a.a_node = node then Some a.a_seed else None)
+      t.assignments
+    |> List.sort Int.compare
+  in
+  t.assignments <-
+    List.filter (fun (a : Model.assignment) -> a.a_node <> node) t.assignments;
+  heal_replace t ~affected:orphans;
+  (* instrumentation: seeds whose new instance is already up recovered in
+     one detection + re-placement pass *)
+  List.iter
+    (fun seed_id ->
+      match Hashtbl.find_opt t.registry seed_id with
+      | Some r when r.r_exec <> None ->
+          t.auto_recoveries <- t.auto_recoveries + 1;
+          (match Hashtbl.find_opt t.down node with
+          | Some t0 -> Metrics.Histogram.record t.recovery_time (now -. t0)
+          | None -> ())
+      | _ -> ())
+    orphans
+
+(* A switch the control plane had written off is provably alive and
+   reachable again: lift the fence and re-optimize over the enlarged
+   fabric.  Any zombies still on it are terminated as part of the rejoin
+   handshake. *)
+let control_recover t node =
+  Hashtbl.remove t.failed node;
+  Hashtbl.remove t.detected node;
+  kill_zombies_on t node;
+  Hashtbl.replace t.last_seen node (Engine.now t.engine);
+  reoptimize t
+
+(* A heartbeat proves the switch's management plane is up.  If it was
+   detector-failed this is either a false positive or a post-crash reboot
+   — rejoin it.  Otherwise re-push any seed assigned here whose instance
+   died with a crash the detector never saw (down and back up within the
+   detection timeout). *)
+let rejoin_orphans t node =
+  let now = Engine.now t.engine in
+  List.iter
+    (fun (a : Model.assignment) ->
+      if a.a_node = node then
+        match Hashtbl.find_opt t.registry a.a_seed with
+        | Some r when r.r_exec = None && not r.r_migrating ->
+            instantiate t r a ~restore:None;
+            (* the re-push is itself lost if the switch died again in the
+               meantime — only count recoveries that took effect *)
+            if r.r_exec <> None then begin
+              t.auto_recoveries <- t.auto_recoveries + 1;
+              match Hashtbl.find_opt t.last_crash node with
+              | Some t0 when t0 <= now ->
+                  Metrics.Histogram.record t.recovery_time (now -. t0)
+              | _ -> ()
+            end
+        | _ -> ())
+    t.assignments
+
+let on_heartbeat t node =
+  t.heartbeats_delivered <- t.heartbeats_delivered + 1;
+  Hashtbl.replace t.last_seen node (Engine.now t.engine);
+  if Hashtbl.mem t.detected node then control_recover t node
+  else if not (Hashtbl.mem t.failed node) then rejoin_orphans t node
+
+let beat t node =
+  if not (Hashtbl.mem t.down node) then begin
+    t.heartbeats_sent <- t.heartbeats_sent + 1;
+    oneshot_send t (fun () -> on_heartbeat t node)
+  end
+
+let detect t =
+  let now = Engine.now t.engine in
+  List.iter
+    (fun soilv ->
+      let node = Soil.node_id soilv in
+      if not (Hashtbl.mem t.failed node) then
+        let seen =
+          match Hashtbl.find_opt t.last_seen node with
+          | Some at -> at
+          | None -> now
+        in
+        if now -. seen > t.cfg.detection_timeout then declare_failed t node)
+    (soils t)
+
+let install_healing t =
+  if t.cfg.heartbeat_interval <= 0. then
+    invalid_arg "Seeder: auto_heal requires heartbeat_interval > 0";
+  let now = Engine.now t.engine in
+  List.iter
+    (fun soilv ->
+      let node = Soil.node_id soilv in
+      Hashtbl.replace t.last_seen node now;
+      ignore
+        (Engine.every t.engine ~period:t.cfg.heartbeat_interval (fun _ ->
+             beat t node)
+          : Engine.timer))
+    (soils t);
+  ignore
+    (Engine.every t.engine ~period:t.cfg.heartbeat_interval (fun _ ->
+         detect t)
+      : Engine.timer)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) engine fabric =
+  let soils = Hashtbl.create 32 in
+  List.iter
+    (fun sw ->
+      Hashtbl.replace soils (Switch_model.id sw)
+        (Soil.create ~config:config.soil_config engine sw))
+    (Fabric.switch_models fabric);
+  let t =
+    { engine; fabric; cfg = config; soils; failed = Hashtbl.create 4;
+      down = Hashtbl.create 4; last_crash = Hashtbl.create 4;
+      last_seen = Hashtbl.create 16; detected = Hashtbl.create 4;
+      registry = Hashtbl.create 64;
+      next_seed = 0; next_task = 0; next_msg = 0; assignments = [];
+      migration_count = 0;
+      collector_bytes = Metrics.Counter.create ();
+      collector_messages = 0;
+      ctrl = perfect_ctrl;
+      ctrl_rng = lazy (Farm_sim.Rng.split (Engine.rng engine));
+      retransmissions = 0; lost_messages = 0; reported_utility = 0.;
+      profiles = []; last_diags = []; zombies = [];
+      detection_latency = Metrics.Histogram.create ();
+      recovery_time = Metrics.Histogram.create ();
+      checkpoint_bytes = Metrics.Counter.create ();
+      heartbeats_sent = 0; heartbeats_delivered = 0;
+      checkpoints_shipped = 0; checkpoint_gaps = 0; detections = 0;
+      false_detections = 0; auto_recoveries = 0; zombies_fenced = 0;
+      fenced_sends = 0 }
+  in
+  if config.auto_heal then install_healing t;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Deploy                                                              *)
@@ -494,7 +881,8 @@ let deploy t spec =
                     branches = initial_state_util; polls = poll_reqs };
                 r_task = task; r_machine = m.mname; r_polls = polls;
                 r_externals = externals; r_exec = None;
-                r_migrating = false })
+                r_migrating = false; r_epoch = -1; r_ck_timer = None;
+                r_next_ck = 0; r_last_shipped = None; r_store = None })
             summary.seeds
         in
         Ok (regs @ acc, (summary, bindings) :: analyzed))
@@ -557,22 +945,52 @@ let deploy t spec =
     end
   end
 
-(* Fault tolerance (the paper's stated future work): mark a switch as
-   failed.  Its seeds are lost (crash semantics: no state snapshot); the
-   global placement re-optimizes and restarts them on surviving candidate
-   switches where possible.  Tasks whose seeds were pinned solely to the
-   failed switch are dropped (C1). *)
+(* ------------------------------------------------------------------ *)
+(* Failures: injected crashes and the legacy omniscient path           *)
+(* ------------------------------------------------------------------ *)
+
+(* Ground-truth crash: the switch's management plane dies silently.  Every
+   instance on it stops; the control plane is NOT informed — with
+   [auto_heal] the failure detector notices the missing heartbeats, and
+   without it the seeds stay dark until an operator calls
+   {!fail_switch}/{!recover_switch}. *)
+let crash_switch t node =
+  if Hashtbl.mem t.soils node && not (Hashtbl.mem t.down node) then begin
+    let now = Engine.now t.engine in
+    Hashtbl.replace t.down node now;
+    Hashtbl.replace t.last_crash node now;
+    List.iter
+      (fun (r : reg) ->
+        match r.r_exec with
+        | Some exec when Seed_exec.node exec = node -> retire_exec r
+        | Some _ | None -> ())
+      (sorted_regs t);
+    (* any zombie instances die with the switch too *)
+    kill_zombies_on t node
+  end
+
+(* The switch's management plane boots back up.  Nothing else happens
+   here: the seeder finds out when heartbeats resume (auto_heal) or when
+   an operator calls {!recover_switch}. *)
+let revive_switch t node = Hashtbl.remove t.down node
+
+let down_switches t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.down [] |> List.sort Int.compare
+
+(* Fault tolerance, omniscient flavor: an operator (or a test) marks a
+   switch as failed.  Its seeds are torn down cleanly and the global
+   placement re-optimizes; with checkpointing enabled the re-placed seeds
+   resume from their last checkpoint, otherwise they restart cold. *)
 let fail_switch t node =
   if Hashtbl.mem t.soils node && not (Hashtbl.mem t.failed node) then begin
     Hashtbl.replace t.failed node ();
     List.iter
       (fun (r : reg) ->
         match r.r_exec with
-        | Some exec when Seed_exec.node exec = node ->
-            Seed_exec.destroy exec;
-            r.r_exec <- None
+        | Some exec when Seed_exec.node exec = node -> retire_exec r
         | Some _ | None -> ())
       (sorted_regs t);
+    kill_zombies_on t node;
     (* the failed switch's assignments are gone *)
     t.assignments <-
       List.filter (fun (a : Model.assignment) -> a.a_node <> node)
@@ -580,15 +998,19 @@ let fail_switch t node =
     reoptimize t
   end
 
-(* Recovery: the switch rejoins the pool of candidate sites.  Crash
-   semantics mean its previous seed state is gone, so recovery is purely a
-   re-optimization over the enlarged instance — seeds that were displaced
-   (or dropped, if pinned) move back or restart there.  [reoptimize:false]
-   exists so the chaos suite can demonstrate that skipping the
-   re-optimization step is an invariant violation the suite catches. *)
+(* Recovery: a thin wrapper over the same rejoin path the failure detector
+   uses.  Calling it on a healthy switch is a no-op; on a crashed one it
+   models the reboot, and on a control-plane-failed one it lifts the fence
+   and re-optimizes.  [reoptimize:false] skips the re-optimization — only
+   useful to demonstrate that the chaos suite catches that bug. *)
 let recover_switch ?reoptimize:(reopt = true) t node =
+  revive_switch t node;
   if Hashtbl.mem t.failed node then begin
     Hashtbl.remove t.failed node;
+    Hashtbl.remove t.detected node;
+    kill_zombies_on t node;
+    if Hashtbl.mem t.soils node then
+      Hashtbl.replace t.last_seen node (Engine.now t.engine);
     if reopt then reoptimize t
   end
 
@@ -598,9 +1020,7 @@ let failed_switches t =
 let undeploy t task =
   List.iter
     (fun r ->
-      (match r.r_exec with
-      | Some exec -> Seed_exec.destroy exec
-      | None -> ());
+      retire_exec r;
       Hashtbl.remove t.registry r.r_spec.seed_id)
     (regs_of_task t task);
   t.assignments <-
@@ -610,3 +1030,55 @@ let undeploy t task =
   t.reported_utility <- Model.total_utility (instance_stub t) t.assignments;
   t.profiles <- List.filter (fun (id, _) -> id <> task.task_id) t.profiles;
   task.placed <- false
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing introspection                                          *)
+(* ------------------------------------------------------------------ *)
+
+let healing_enabled t = t.cfg.auto_heal
+
+let suspicion_level t node =
+  if not t.cfg.auto_heal then 0
+  else
+    match Hashtbl.find_opt t.last_seen node with
+    | None -> 0
+    | Some seen ->
+        let gap = (Engine.now t.engine -. seen) /. t.cfg.heartbeat_interval in
+        max 0 (int_of_float gap - 1)
+
+(* registered seeds that hold an assignment but have no running instance
+   and are not mid-migration — transiently non-empty between a crash and
+   its detection; must drain to [] once healing settles *)
+let orphaned_seeds t =
+  List.filter_map
+    (fun (a : Model.assignment) ->
+      match Hashtbl.find_opt t.registry a.a_seed with
+      | Some r when r.r_exec = None && not r.r_migrating -> Some a.a_seed
+      | _ -> None)
+    t.assignments
+  |> List.sort Int.compare
+
+let last_checkpoint t seed_id =
+  match Hashtbl.find_opt t.registry seed_id with
+  | Some r ->
+      Option.map (fun st -> (st.st_time, st.st_vars, st.st_state)) r.r_store
+  | None -> None
+
+let seed_epoch t seed_id =
+  match Hashtbl.find_opt t.registry seed_id with
+  | Some r -> Some r.r_epoch
+  | None -> None
+
+let detection_latency t = t.detection_latency
+let recovery_time t = t.recovery_time
+let heartbeats_sent t = t.heartbeats_sent
+let heartbeats_delivered t = t.heartbeats_delivered
+let checkpoints_shipped t = t.checkpoints_shipped
+let checkpoint_gaps t = t.checkpoint_gaps
+let checkpoint_bytes t = Metrics.Counter.value t.checkpoint_bytes
+let detections t = t.detections
+let false_detections t = t.false_detections
+let auto_recoveries t = t.auto_recoveries
+let zombies_fenced t = t.zombies_fenced
+let fenced_sends t = t.fenced_sends
+let zombie_count t = List.length t.zombies

@@ -5,7 +5,17 @@
     utility polynomials, polling), solves the {e global} placement problem
     across {e all} co-deployed tasks with the Alg. 1 heuristic, instantiates
     or migrates seed instances accordingly, and routes messages between
-    seeds and harvesters. *)
+    seeds and harvesters.
+
+    With [auto_heal] it is also a self-healing control plane: switches
+    send periodic heartbeats, a timeout-based failure detector declares
+    silent switches dead, running seeds ship periodic delta checkpoints of
+    their machine state, and on detection the orphaned seeds are
+    automatically re-placed (incremental greedy pass) and resumed from
+    their last checkpoint.  Every (re)instantiation bumps the seed's
+    {e epoch}; harvesters fence reports by epoch, so an instance that
+    survives a false detection (a "zombie") can never corrupt task
+    state. *)
 
 module Value := Farm_almanac.Value
 
@@ -27,6 +37,26 @@ type config = {
           ([Farm_placement.Conflict]) reports [C3xx] warnings against
           already-deployed tasks; [false] (default) deploys and records
           them in {!last_deploy_diagnostics} *)
+  auto_heal : bool;
+      (** enable the self-healing layer: heartbeats, failure detection,
+          checkpoint shipping and automatic re-placement.  [false]
+          (default) keeps runs byte-identical to the pre-healing
+          behavior. *)
+  heartbeat_interval : float;
+      (** period of per-switch heartbeats over the control channel *)
+  detection_timeout : float;
+      (** silence (no heartbeat) after which a switch is declared dead;
+          should exceed a few heartbeat intervals or lossy control planes
+          produce false positives (which are safe, but cost migrations) *)
+  checkpoint_interval : float;
+      (** period of per-seed state checkpoints; one interval is the most
+          state a crash can lose.  Smaller intervals cost control-channel
+          bandwidth and switch CPU ({!checkpoint_bytes}). *)
+  checkpoint_full_every : int;
+      (** every n-th checkpoint is a full snapshot (the rest are deltas);
+          lost deltas leave the seeder's copy stale until the next full *)
+  ctrl_bandwidth_bps : float;
+      (** control-channel bandwidth checkpoints are costed against *)
 }
 
 val default_config : config
@@ -39,7 +69,9 @@ val default_config : config
     seed that is temporarily away (migrating, or awaiting re-placement
     after a switch failure) are retransmitted with exponential backoff; the
     defaults ([perfect_ctrl]) keep the control plane lossless and runs
-    byte-identical to the pre-fault behavior. *)
+    byte-identical to the pre-fault behavior.  Heartbeats and checkpoints
+    are fire-and-forget: they are subject to the same loss/delay/dup but
+    never retried. *)
 
 type ctrl_faults = { loss : float; delay : float; dup : float }
 
@@ -90,20 +122,46 @@ val undeploy : t -> task -> unit
     migrates seeds whose optimal location changed. *)
 val reoptimize : t -> unit
 
-(** Fault tolerance (the paper's §VIII future work): mark a switch as
-    failed.  Seeds running there are lost and restarted on surviving
-    candidate switches by a global re-optimization; tasks pinned solely to
-    the failed switch are dropped (C1). *)
+(** {2 Failures}
+
+    Two failure paths exist.  {!crash_switch}/{!revive_switch} are the
+    {e ground truth}: the management plane silently dies / reboots, and the
+    control plane only learns about it through missing heartbeats (with
+    [auto_heal]) or an operator call.  {!fail_switch}/{!recover_switch}
+    are the legacy omniscient path: the control plane is told directly. *)
+
+(** Silently crash a switch's management plane: every seed instance on it
+    stops; the seeder is {e not} informed.  With [auto_heal] the failure
+    detector notices within [detection_timeout] and auto-migrates the
+    orphans; without it they stay dark until {!recover_switch}. *)
+val crash_switch : t -> int -> unit
+
+(** The crashed switch's management plane boots back up.  Heartbeats
+    resume on their own; the seeder re-pushes the seeds assigned there
+    when it hears one (or when {!recover_switch} is called). *)
+val revive_switch : t -> int -> unit
+
+(** Ground-truth crashed switches, sorted (tests/instrumentation). *)
+val down_switches : t -> int list
+
+(** Omnisciently mark a switch as failed.  Seeds running there are torn
+    down and restarted on surviving candidate switches by a global
+    re-optimization (resuming from their last checkpoint when [auto_heal]
+    shipped one); tasks pinned solely to the failed switch are dropped
+    (C1). *)
 val fail_switch : t -> int -> unit
 
-(** Undo [fail_switch]: the switch rejoins the candidate pool (its previous
-    seed state is lost — crash semantics) and the global placement
-    re-optimizes, moving displaced seeds back and re-placing tasks that had
-    been dropped.  [reoptimize:false] skips the re-optimization — only
-    useful to demonstrate that the chaos suite catches that bug. *)
+(** Rejoin a switch: a thin wrapper over the same path the failure
+    detector's rejoin uses.  On a healthy switch it is a no-op (calling it
+    twice is safe); on a crashed one it models the reboot; on a failed one
+    it lifts the fence, terminates any zombie instances, and re-optimizes
+    the global placement — moving displaced seeds back and re-placing
+    tasks that had been dropped.  [reoptimize:false] skips the
+    re-optimization — only useful to demonstrate that the chaos suite
+    catches that bug. *)
 val recover_switch : ?reoptimize:bool -> t -> int -> unit
 
-(** Failed switches, sorted. *)
+(** Failed switches (control-plane view), sorted. *)
 val failed_switches : t -> int list
 
 val set_ctrl_faults : t -> ctrl_faults -> unit
@@ -152,3 +210,64 @@ val collector_messages : t -> int
 
 (** Count of seed migrations performed so far. *)
 val migrations : t -> int
+
+(** {2 Self-healing introspection} *)
+
+val healing_enabled : t -> bool
+
+(** How many heartbeat intervals of silence the detector has accumulated
+    for a switch beyond the expected gap (0 = healthy or healing off). *)
+val suspicion_level : t -> int -> int
+
+(** Seeds that hold an assignment but have no running instance and are
+    not mid-migration, sorted.  Transiently non-empty between a crash and
+    its detection; the chaos suite asserts it drains to [[]] once healing
+    settles. *)
+val orphaned_seeds : t -> int list
+
+(** The seeder's accumulated checkpoint for a seed:
+    (arrival time of the newest merged checkpoint, variables, state). *)
+val last_checkpoint :
+  t -> int -> (float * (string * Value.t) list * string) option
+
+(** Current instance epoch of a registered seed ([-1] = never placed). *)
+val seed_epoch : t -> int -> int option
+
+(** Crash → detector declaration latency, over true failures only. *)
+val detection_latency : t -> Farm_sim.Metrics.Histogram.t
+
+(** Crash → replacement-instance-running latency, per recovered seed. *)
+val recovery_time : t -> Farm_sim.Metrics.Histogram.t
+
+val heartbeats_sent : t -> int
+val heartbeats_delivered : t -> int
+val checkpoints_shipped : t -> int
+
+(** Checkpoints discarded at the seeder because a lost delta left a gap
+    (resynced by the next full snapshot). *)
+val checkpoint_gaps : t -> int
+
+(** Control-channel bytes spent on checkpoints (the cost side of the
+    checkpoint-frequency trade-off; kept separate from
+    {!collector_bytes}). *)
+val checkpoint_bytes : t -> float
+
+(** Detector declarations, and the subset that were false positives (the
+    switch was merely slow/partitioned, not crashed). *)
+val detections : t -> int
+
+val false_detections : t -> int
+
+(** Seed instances automatically re-placed and resumed by the healing
+    layer (both after detections and on reboot-rejoin). *)
+val auto_recoveries : t -> int
+
+(** Demoted instances terminated (kill order or rejoin handshake). *)
+val zombies_fenced : t -> int
+
+(** Seed→seed messages dropped at the router because the sending instance
+    had been superseded (epoch fencing). *)
+val fenced_sends : t -> int
+
+(** Currently live demoted instances awaiting termination. *)
+val zombie_count : t -> int

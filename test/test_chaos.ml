@@ -10,8 +10,19 @@
        [current_utility] matches an independent from-scratch recomputation;
    I4  the same (seed, plan) pair reproduces byte-identical metrics.
 
+   With [auto_heal] the same plans run as *silent* crashes the control
+   plane must discover through missing heartbeats, and a fifth invariant
+   is checked once healing settles:
+
+   I5  every orphaned seed has been automatically re-placed (or its task
+       correctly dropped), live seeds run only on switches that are up,
+       no harvester ever accepted a stale-epoch report, and detection /
+       recovery latencies stay within the detector's configured bounds.
+
    A failing case prints its generator input and the fault plan, which is
-   enough to replay it deterministically (see README "Testing"). *)
+   enough to replay it deterministically (see README "Testing").
+   FARM_CHAOS_SEED_OFFSET shifts the engine seeds, letting CI sweep
+   independent RNG universes over the same generator cases. *)
 
 open Farm_runtime
 module Engine = Farm_sim.Engine
@@ -29,6 +40,13 @@ module Switch_model = Farm_net.Switch_model
 module Tcam = Farm_net.Tcam
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* CI sweeps several RNG universes over the same generated cases by
+   setting FARM_CHAOS_SEED_OFFSET=n (default 0). *)
+let seed_offset =
+  match Sys.getenv_opt "FARM_CHAOS_SEED_OFFSET" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
+  | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Task templates                                                      *)
@@ -212,6 +230,62 @@ let check_invariants seeder tasks ~at ~what violations =
   if Float.abs (u -. u') > 1e-6 *. Float.max 1. (Float.abs u) then
     vio "current_utility %.9f <> recomputed %.9f" u u'
 
+(* I5: once healing settles, no seed is left orphaned, nothing runs on a
+   dead switch, harvesters never accepted a stale epoch, and detector
+   latencies respect the configured bounds.  The latency bound allows one
+   detector tick of granularity plus in-flight control latency on top of
+   the timeout. *)
+let heal_bound =
+  Seeder.default_config.Seeder.detection_timeout
+  +. (2. *. Seeder.default_config.Seeder.heartbeat_interval)
+
+let check_healed seeder tasks violations =
+  let vio fmt =
+    Printf.ksprintf
+      (fun s -> violations := ("healing settled: " ^ s) :: !violations)
+      fmt
+  in
+  (match Seeder.orphaned_seeds seeder with
+  | [] -> ()
+  | l ->
+      vio "seeds [%s] still orphaned"
+        (String.concat "," (List.map string_of_int l)));
+  let down = Seeder.down_switches seeder in
+  List.iter
+    (fun (name, task) ->
+      List.iter
+        (fun e ->
+          if List.mem (Seed_exec.node e) down then
+            vio "task %s: seed %d runs on down switch %d" name
+              (Seed_exec.seed_id e) (Seed_exec.node e))
+        (Seeder.seeds seeder task);
+      (* zero stale-epoch reports accepted: walking the acceptance log
+         backwards in time, per-seed epochs never increase, and no
+         accepted epoch exceeds the seed's current one *)
+      let h = Seeder.harvester task in
+      let newest = Hashtbl.create 8 in
+      List.iter
+        (fun (_, (p : Harvester.provenance)) ->
+          (match Hashtbl.find_opt newest p.Harvester.p_seed with
+          | Some e when p.Harvester.p_epoch > e ->
+              vio "task %s: seed %d accepted epoch %d after epoch %d" name
+                p.Harvester.p_seed p.Harvester.p_epoch e
+          | _ -> Hashtbl.replace newest p.Harvester.p_seed p.Harvester.p_epoch);
+          match Seeder.seed_epoch seeder p.Harvester.p_seed with
+          | Some cur when p.Harvester.p_epoch > cur ->
+              vio "task %s: seed %d accepted epoch %d beyond current %d" name
+                p.Harvester.p_seed p.Harvester.p_epoch cur
+          | _ -> ())
+        (Harvester.accepted_provenance h))
+    tasks;
+  let open Farm_sim.Metrics in
+  let dl = Seeder.detection_latency seeder in
+  if Histogram.count dl > 0 && Histogram.max dl > heal_bound then
+    vio "detection latency %.4f exceeds %.4f" (Histogram.max dl) heal_bound;
+  let rt = Seeder.recovery_time seeder in
+  if Histogram.count rt > 0 && Histogram.max rt > heal_bound then
+    vio "recovery time %.4f exceeds %.4f" (Histogram.max rt) heal_bound
+
 (* ------------------------------------------------------------------ *)
 (* Case execution                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -264,6 +338,46 @@ let digest seeder engine fabric tasks =
     tasks;
   Buffer.contents b
 
+(* healing counters join the determinism digest when auto_heal is on *)
+let healing_digest seeder tasks =
+  let hist h =
+    Printf.sprintf "%d/%.9f"
+      (Farm_sim.Metrics.Histogram.count h)
+      (Farm_sim.Metrics.Histogram.mean h)
+  in
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "heal: hb=%d/%d ck=%d gaps=%d bytes=%.3f det=%d false=%d rec=%d \
+     zfenced=%d fsends=%d zlive=%d\n"
+    (Seeder.heartbeats_sent seeder)
+    (Seeder.heartbeats_delivered seeder)
+    (Seeder.checkpoints_shipped seeder)
+    (Seeder.checkpoint_gaps seeder)
+    (Seeder.checkpoint_bytes seeder)
+    (Seeder.detections seeder)
+    (Seeder.false_detections seeder)
+    (Seeder.auto_recoveries seeder)
+    (Seeder.zombies_fenced seeder)
+    (Seeder.fenced_sends seeder)
+    (Seeder.zombie_count seeder);
+  Printf.bprintf b "heal: dl=%s rt=%s\n"
+    (hist (Seeder.detection_latency seeder))
+    (hist (Seeder.recovery_time seeder));
+  List.iter
+    (fun (name, task) ->
+      let h = Seeder.harvester task in
+      Printf.bprintf b "heal %s: stale=%d dup=%d epochs=[%s]\n" name
+        (Harvester.stale_dropped h) (Harvester.dup_dropped h)
+        (String.concat ";"
+           (Seeder.seeds seeder task
+           |> List.sort (fun a b ->
+                  Int.compare (Seed_exec.seed_id a) (Seed_exec.seed_id b))
+           |> List.map (fun e ->
+                  Printf.sprintf "%d:%d" (Seed_exec.seed_id e)
+                    (Seed_exec.epoch e)))))
+    tasks;
+  Buffer.contents b
+
 let deploy_mix seeder topo prng mix =
   List.mapi
     (fun i idx ->
@@ -282,11 +396,11 @@ let deploy_mix seeder topo prng mix =
       | Error m -> failwith (Printf.sprintf "chaos deploy %s: %s" name m))
     mix
 
-let run_case ~seed (c : case) =
+let run_case ?(config = Seeder.default_config) ~seed (c : case) =
   let engine = Engine.create ~seed () in
   let topo = build_topo c.ck_topo in
   let fabric = Fabric.create topo in
-  let seeder = Seeder.create engine fabric in
+  let seeder = Seeder.create ~config engine fabric in
   (* the plan rng is independent of the engine seed, so both engine-seed
      runs of a case see the same faults *)
   let prng = Rng.create (0x5eed + c.ck_plan_seed) in
@@ -312,14 +426,22 @@ let run_case ~seed (c : case) =
         violations);
   Engine.run ~until:2. engine;
   check_invariants seeder tasks ~at:2. ~what:"end of run" violations;
-  (List.rev !violations, digest seeder engine fabric tasks, plan)
+  let d = digest seeder engine fabric tasks in
+  let d =
+    if Seeder.healing_enabled seeder then begin
+      (* the plan's horizon is 1.5 and we ran to 2.0: healing has settled *)
+      check_healed seeder tasks violations;
+      d ^ healing_digest seeder tasks
+    end
+    else d
+  in
+  (List.rev !violations, d, plan)
 
-let prop_chaos =
-  QCheck2.Test.make ~name:"chaos: invariants hold under random fault plans"
-    ~count:100 ~print:show_case gen_case (fun c ->
-      let v1, d1, plan = run_case ~seed:101 c in
-      let v1b, d1b, _ = run_case ~seed:101 c in
-      let v2, _, _ = run_case ~seed:202 c in
+let chaos_property ?config name =
+  QCheck2.Test.make ~name ~count:100 ~print:show_case gen_case (fun c ->
+      let v1, d1, plan = run_case ?config ~seed:(101 + seed_offset) c in
+      let v1b, d1b, _ = run_case ?config ~seed:(101 + seed_offset) c in
+      let v2, _, _ = run_case ?config ~seed:(202 + seed_offset) c in
       if v1 <> [] || v2 <> [] then
         QCheck2.Test.fail_reportf "invariant violations:\n%s\nplan:\n%s"
           (String.concat "\n" (v1 @ v2))
@@ -332,6 +454,15 @@ let prop_chaos =
       else (
         ignore v1b;
         true))
+
+let prop_chaos = chaos_property "chaos: invariants hold under random fault plans"
+
+(* the same plans, but crashes are silent and the control plane must heal
+   itself: heartbeats -> detector -> checkpoint-restore re-placement *)
+let prop_chaos_healing =
+  chaos_property
+    ~config:{ Seeder.default_config with Seeder.auto_heal = true }
+    "chaos: self-healing re-places every orphan (I5)"
 
 (* ------------------------------------------------------------------ *)
 (* The suite catches a deliberately broken recovery path               *)
@@ -458,7 +589,7 @@ let () =
     [ ( "chaos",
         Alcotest.test_case "broken recovery caught" `Quick
           test_broken_recovery_caught
-        :: qsuite [ prop_chaos ] );
+        :: qsuite [ prop_chaos; prop_chaos_healing ] );
       ( "roundtrip",
         [ Alcotest.test_case "fig4 fail/recover round-trip" `Quick
             test_fig4_fail_recover_roundtrip ] );

@@ -653,6 +653,506 @@ machine Counting {
       | _ -> Alcotest.fail "polls unbound")
   | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds)
 
+(* ------------------------------------------------------------------ *)
+(* Self-healing: checkpoints, idempotence, detection, recovery         *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* -- checkpoint codec round-trip (qcheck) -------------------------- *)
+
+let value_gen =
+  let open QCheck2.Gen in
+  let finite_float =
+    oneof
+      [ float_range (-1e12) 1e12;
+        oneofl [ 0.; -0.; 1e-300; 4.2; 1.5e9; -7.25 ] ]
+  in
+  let ipaddr = map Farm_net.Ipaddr.of_int (int_range 0 0xFFFFFFFF) in
+  let prefix =
+    map2
+      (fun a l -> Farm_net.Ipaddr.Prefix.make a l)
+      ipaddr (int_range 0 32)
+  in
+  let proto = oneofl [ Flow.Tcp; Flow.Udp; Flow.Icmp ] in
+  let fatom =
+    oneof
+      [ map (fun p -> Filter.Src_ip p) prefix;
+        map (fun p -> Filter.Dst_ip p) prefix;
+        map (fun p -> Filter.Src_port p) (int_range 0 65535);
+        map (fun p -> Filter.Dst_port p) (int_range 0 65535);
+        map (fun p -> Filter.Port p) (int_range 0 65535);
+        map (fun p -> Filter.Proto p) proto;
+        return Filter.Any ]
+  in
+  let filter =
+    sized
+      (fix (fun self n ->
+           if n <= 0 then
+             oneof [ oneofl [ Filter.True; Filter.False ]; map Filter.atom fatom ]
+           else
+             oneof
+               [ map Filter.atom fatom;
+                 map2 (fun a b -> Filter.And (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Filter.Or (a, b)) (self (n / 2)) (self (n / 2));
+                 map (fun a -> Filter.Not a) (self (n / 2)) ]))
+  in
+  let action =
+    oneof
+      [ map (fun p -> Tcam.Forward p) (int_range 0 64);
+        return Tcam.Drop;
+        map (fun r -> Tcam.Rate_limit r) (float_range 0. 1e9);
+        map (fun q -> Tcam.Set_qos q) (int_range 0 7);
+        return Tcam.Mirror; return Tcam.Count ]
+  in
+  let str = string_small_of printable in
+  let packet =
+    let* src = ipaddr and* dst = ipaddr in
+    let* sport = int_range 0 65535 and* dport = int_range 0 65535 in
+    let* proto = proto and* size = int_range 0 9000 in
+    let* syn = bool and* ack = bool and* fin = bool and* rst = bool in
+    let* payload = str in
+    return
+      { Flow.tuple = { Flow.src; dst; sport; dport; proto }; size;
+        flags = { Flow.syn; ack; fin; rst }; payload }
+  in
+  let stats = map (fun l -> Array.of_list l) (list_size (int_range 0 8) finite_float) in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  sized
+    (fix (fun self n ->
+         let leaf =
+           oneof
+             [ return Value.Unit;
+               map (fun b -> Value.Bool b) bool;
+               map (fun f -> Value.Num f) finite_float;
+               map (fun s -> Value.Str s) str;
+               map (fun p -> Value.Packet p) packet;
+               map (fun a -> Value.Action a) action;
+               map (fun f -> Value.FilterV f) filter;
+               map (fun a -> Value.Stats a) stats ]
+         in
+         if n <= 0 then leaf
+         else
+           oneof
+             [ leaf;
+               map (fun l -> Value.List l)
+                 (list_size (int_range 0 4) (self (n / 3)));
+               map2
+                 (fun nm fs -> Value.Struct (nm, fs))
+                 name
+                 (list_size (int_range 0 4)
+                    (pair name (self (n / 3)))) ]))
+
+let prop_value_roundtrip =
+  QCheck2.Test.make ~name:"checkpoint: value codec round-trips" ~count:300
+    ~print:Value.to_string value_gen (fun v ->
+      Value.equal v (Checkpoint.value_of_xml (Checkpoint.value_to_xml v)))
+
+(* machine-state snapshots: distinctly-named vars + a state string *)
+let snapshot_gen =
+  let open QCheck2.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let* names = list_size (int_range 0 8) name in
+  let names = List.sort_uniq String.compare names in
+  let* vals = flatten_l (List.map (fun _ -> value_gen) names) in
+  let* state = name in
+  return (List.combine names vals, state)
+
+let vars_equal a b =
+  let norm l =
+    List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) l
+  in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && Value.equal v1 v2)
+       (norm a) (norm b)
+
+let prop_checkpoint_roundtrip =
+  (* encode -> decode is the identity on full checkpoints, and
+     delta + apply reconstructs the follow-up snapshot exactly *)
+  QCheck2.Test.make ~name:"checkpoint: delta/apply + wire round-trip"
+    ~count:200
+    QCheck2.Gen.(pair snapshot_gen snapshot_gen)
+    (fun ((base_vars, state0), (next_vars, state1)) ->
+      let full =
+        { Checkpoint.ck_seed = 3; ck_epoch = 1; ck_seq = 0; ck_full = true;
+          ck_vars = base_vars; ck_removed = []; ck_state = state0 }
+      in
+      let full' = Checkpoint.decode (Checkpoint.encode full) in
+      let changed, removed = Checkpoint.delta ~base:base_vars next_vars in
+      let delta_ck =
+        { Checkpoint.ck_seed = 3; ck_epoch = 1; ck_seq = 1; ck_full = false;
+          ck_vars = changed; ck_removed = removed; ck_state = state1 }
+      in
+      let delta_ck' = Checkpoint.decode (Checkpoint.encode delta_ck) in
+      let reconstructed =
+        Checkpoint.apply ~base:(Checkpoint.apply ~base:[] full') delta_ck'
+      in
+      full' = full (* int/bool/string fields *)
+      && vars_equal full'.ck_vars base_vars
+      && String.equal full'.ck_state state0
+      && vars_equal reconstructed next_vars)
+
+(* -- restored checkpoints resume identically on both engines ------- *)
+
+let counting_source =
+  {|
+machine Counting {
+  place any;
+  poll ticks = Poll { .ival = 0.01, .what = port ANY };
+  long count = 0;
+  state s { when (ticks as stats) do { count = count + 1; } }
+}
+|}
+
+let test_checkpoint_restore_engine_equivalence () =
+  (* run a seed, checkpoint it through the wire codec, restore the decoded
+     state into a fresh interpreter AND a fresh compiled instance: both
+     resume from the same point and stay in lockstep *)
+  let program =
+    Typecheck.check (Farm_almanac.Parser.program counting_source)
+  in
+  let polls =
+    match Farm_almanac.Analysis.polls (List.hd program.machines) with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let resources = Array.make Farm_almanac.Analysis.n_resources 1. in
+  let fresh_exec ?restore engine_kind =
+    let engine = Engine.create () in
+    let sw = Switch_model.create ~id:0 ~ports:4 () in
+    let soil = Soil.create engine sw in
+    let exec =
+      Seed_exec.deploy ~soil ~program ~machine:"Counting" ~engine:engine_kind
+        ?restore ~resources ~polls
+        ~send:(fun _ _ _ -> ())
+        ~seed_id:1 ()
+    in
+    (engine, exec)
+  in
+  let engine0, exec0 = fresh_exec `Compiled in
+  Engine.run ~until:0.5 engine0;
+  let vars, state = Seed_exec.snapshot exec0 in
+  (* through the wire format *)
+  let ck =
+    { Checkpoint.ck_seed = 1; ck_epoch = 0; ck_seq = 0; ck_full = true;
+      ck_vars = vars; ck_removed = []; ck_state = state }
+  in
+  let ck = Checkpoint.decode (Checkpoint.encode ck) in
+  let restore = (ck.Checkpoint.ck_vars, ck.Checkpoint.ck_state) in
+  let count exec =
+    match Seed_exec.var exec "count" with
+    | Some (Value.Num n) -> n
+    | _ -> Alcotest.fail "count unbound"
+  in
+  let c0 = count exec0 in
+  Alcotest.(check bool) "accumulated state" true (c0 > 10.);
+  let engine_i, exec_i = fresh_exec ~restore `Interp in
+  let engine_c, exec_c = fresh_exec ~restore `Compiled in
+  Alcotest.(check (float 0.)) "interp resumes at checkpoint" c0 (count exec_i);
+  Alcotest.(check (float 0.)) "compiled resumes at checkpoint" c0
+    (count exec_c);
+  Engine.run ~until:0.5 engine_i;
+  Engine.run ~until:0.5 engine_c;
+  Alcotest.(check (float 0.)) "lockstep after resume" (count exec_i)
+    (count exec_c);
+  Alcotest.(check bool) "both progressed" true (count exec_i > c0);
+  Alcotest.(check string) "same machine state" (Seed_exec.state exec_i)
+    (Seed_exec.state exec_c)
+
+(* -- idempotent control-message handling --------------------------- *)
+
+let test_ctrl_dup_idempotence () =
+  (* a fully duplicating control plane: every message is delivered twice,
+     but seeds and harvesters process each logical message exactly once *)
+  let engine = Engine.create ~seed:19 () in
+  let fabric = Fabric.create (Topology.linear ~n:2) in
+  let seeder = Seeder.create engine fabric in
+  Seeder.set_ctrl_faults seeder { Seeder.loss = 0.; delay = 0.; dup = 1.0 };
+  let source =
+    {|
+machine Adj {
+  place all;
+  long count = 0;
+  state s {
+    when (recv long t from harvester) do {
+      count = count + 1;
+      send count to harvester;
+    }
+  }
+}
+|}
+  in
+  let harvester_spec =
+    { Harvester.on_start = (fun ctx -> ctx.broadcast (Value.Num 7.));
+      on_message = (fun _ ~from_switch:_ _ -> ()) }
+  in
+  let spec =
+    { (Seeder.simple_spec ~name:"adj" ~source) with
+      Seeder.ts_harvester = harvester_spec }
+  in
+  let task =
+    match Seeder.deploy seeder spec with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Engine.run ~until:0.5 engine;
+  let seeds = Seeder.seeds seeder task in
+  Alcotest.(check int) "both seeds placed" 2 (List.length seeds);
+  List.iter
+    (fun s ->
+      (match Seed_exec.var s "count" with
+      | Some (Value.Num n) ->
+          Alcotest.(check (float 0.)) "broadcast handled exactly once" 1. n
+      | _ -> Alcotest.fail "count unbound");
+      Alcotest.(check bool) "duplicate inbound copies dropped" true
+        (Seed_exec.duplicates_dropped s >= 1))
+    seeds;
+  let h = Seeder.harvester task in
+  Alcotest.(check int) "one report per seed despite duplication" 2
+    (Harvester.received_count h);
+  Alcotest.(check bool) "harvester dropped the duplicate copies" true
+    (Harvester.dup_dropped h >= 2)
+
+(* -- recover on a healthy switch is a no-op ------------------------ *)
+
+let test_double_recovery_noop () =
+  let engine = Engine.create ~seed:21 () in
+  let fabric = Fabric.create (Topology.linear ~n:2) in
+  let seeder = Seeder.create engine fabric in
+  let task =
+    match
+      Seeder.deploy seeder (Seeder.simple_spec ~name:"c" ~source:counting_source)
+    with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Engine.run ~until:0.2 engine;
+  let exec = List.hd (Seeder.seeds seeder task) in
+  let before = Seeder.current_assignments seeder in
+  let migrations = Seeder.migrations seeder in
+  let epoch = Seed_exec.epoch exec in
+  (* both switches are healthy: recovery must change nothing, repeatedly *)
+  Seeder.recover_switch seeder 0;
+  Seeder.recover_switch seeder 0;
+  Seeder.recover_switch ~reoptimize:false seeder 1;
+  Seeder.recover_switch seeder 1;
+  Engine.run ~until:0.4 engine;
+  Alcotest.(check bool) "same instance still running" true
+    (match Seeder.seeds seeder task with
+    | [ e ] -> e == exec && Seed_exec.is_alive e
+    | _ -> false);
+  Alcotest.(check int) "epoch unchanged" epoch (Seed_exec.epoch exec);
+  Alcotest.(check bool) "assignments unchanged" true
+    (Seeder.current_assignments seeder = before);
+  Alcotest.(check int) "no migrations" migrations (Seeder.migrations seeder)
+
+(* -- failure detection and automatic recovery ---------------------- *)
+
+let heal_config ?(hb = 0.01) ?(timeout = 0.035) ?(ck = 0.02) () =
+  { Seeder.default_config with
+    auto_heal = true; heartbeat_interval = hb; detection_timeout = timeout;
+    checkpoint_interval = ck }
+
+let make_heal_world ?config ?(seed = 23) ?(source = counting_source) () =
+  let engine = Engine.create ~seed () in
+  let topo = Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1 in
+  let fabric = Fabric.create topo in
+  let config = match config with Some c -> c | None -> heal_config () in
+  let seeder = Seeder.create ~config engine fabric in
+  let task =
+    match Seeder.deploy seeder (Seeder.simple_spec ~name:"heal" ~source) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  (engine, seeder, task)
+
+let seed_count exec =
+  match Seed_exec.var exec "count" with
+  | Some (Value.Num n) -> n
+  | _ -> Alcotest.fail "count unbound"
+
+let test_auto_heal_detects_and_recovers () =
+  let engine, seeder, task = make_heal_world () in
+  Engine.run ~until:0.5 engine;
+  let exec = List.hd (Seeder.seeds seeder task) in
+  let home = Seed_exec.node exec in
+  Alcotest.(check bool) "checkpoints shipped while running" true
+    (Seeder.checkpoints_shipped seeder > 0);
+  Alcotest.(check bool) "checkpoint bytes costed" true
+    (Seeder.checkpoint_bytes seeder > 0.);
+  Engine.schedule engine ~delay:0. (fun _ -> Seeder.crash_switch seeder home);
+  Engine.run ~until:1. engine;
+  (* the detector noticed within its timeout (+ one heartbeat of slack) *)
+  Alcotest.(check int) "one detection" 1 (Seeder.detections seeder);
+  Alcotest.(check int) "no false positives" 0 (Seeder.false_detections seeder);
+  let dl = Seeder.detection_latency seeder in
+  Alcotest.(check int) "latency recorded" 1 (Farm_sim.Metrics.Histogram.count dl);
+  let latency = Farm_sim.Metrics.Histogram.mean dl in
+  Alcotest.(check bool)
+    (Printf.sprintf "detection latency %.4f within bound" latency)
+    true
+    (latency > 0.02 && latency < 0.035 +. 0.01 +. 0.002);
+  (* the orphan was re-placed automatically, off the dead switch *)
+  Alcotest.(check bool) "auto recovery happened" true
+    (Seeder.auto_recoveries seeder >= 1);
+  (match Seeder.seeds seeder task with
+  | [ replacement ] ->
+      Alcotest.(check bool) "moved off the crashed switch" true
+        (Seed_exec.node replacement <> home);
+      Alcotest.(check bool) "replacement polls again" true
+        (seed_count replacement > 10.)
+  | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds));
+  let rt = Seeder.recovery_time seeder in
+  Alcotest.(check bool) "recovery within detection + re-placement" true
+    (Farm_sim.Metrics.Histogram.count rt >= 1
+    && Farm_sim.Metrics.Histogram.max rt < 0.035 +. 0.01 +. 0.005);
+  Alcotest.(check (list int)) "no orphans left" []
+    (Seeder.orphaned_seeds seeder);
+  Alcotest.(check (list int)) "failure is on the books" [ home ]
+    (Seeder.failed_switches seeder)
+
+let test_bounded_state_loss () =
+  (* a crash loses at most one checkpoint interval of machine state: the
+     count restored from the last checkpoint trails the pre-crash count by
+     no more than interval/poll-period ticks (plus in-flight slack) *)
+  let config = heal_config ~ck:0.05 () in
+  let engine, seeder, task = make_heal_world ~config () in
+  Engine.run ~until:0.4 engine;
+  let exec = List.hd (Seeder.seeds seeder task) in
+  let home = Seed_exec.node exec in
+  let seed_id = Seed_exec.seed_id exec in
+  let pre = ref 0. in
+  Engine.schedule engine ~delay:0.1 (fun _ ->
+      pre := seed_count exec;
+      Seeder.crash_switch seeder home);
+  (* stop after the crash but before detection: the seeder's stored
+     checkpoint is the one recovery will restore from *)
+  Engine.run ~until:0.52 engine;
+  Alcotest.(check bool) "had accumulated state" true (!pre > 30.);
+  let ck_count =
+    match Seeder.last_checkpoint seeder seed_id with
+    | Some (_, vars, state) ->
+        Alcotest.(check string) "machine state checkpointed" "s" state;
+        (match List.assoc_opt "count" vars with
+        | Some (Value.Num n) -> n
+        | _ -> Alcotest.fail "count not in checkpoint")
+    | None -> Alcotest.fail "no checkpoint stored"
+  in
+  let lost = !pre -. ck_count in
+  Alcotest.(check bool)
+    (Printf.sprintf "lost %.0f ticks <= one interval" lost)
+    true
+    (lost >= 0. && lost <= (0.05 /. 0.01) +. 2.);
+  Engine.run ~until:1. engine;
+  (* and the replacement resumed from that checkpoint, not from zero *)
+  match Seeder.seeds seeder task with
+  | [ replacement ] ->
+      Alcotest.(check bool) "resumed from the checkpoint" true
+        (seed_count replacement >= ck_count +. 30.)
+  | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds)
+
+let test_crash_during_recovery () =
+  (* an operator repairs the switch before the detector fires: the seed is
+     re-pushed on the next heartbeat; a second, unattended crash is then
+     healed by the detector.  Epochs increase across both recoveries. *)
+  let engine, seeder, task = make_heal_world ~config:(heal_config ~ck:0.02 ()) () in
+  Engine.run ~until:0.3 engine;
+  let exec = List.hd (Seeder.seeds seeder task) in
+  let home = Seed_exec.node exec in
+  let seed_id = Seed_exec.seed_id exec in
+  Engine.schedule engine ~delay:0. (fun _ -> Seeder.crash_switch seeder home);
+  Engine.run ~until:0.305 engine;
+  Alcotest.(check (list int)) "crash is silent" [] (Seeder.failed_switches seeder);
+  Alcotest.(check (list int)) "seed orphaned" [ seed_id ]
+    (Seeder.orphaned_seeds seeder);
+  (* operator wins the race against the detector *)
+  Seeder.recover_switch seeder home;
+  Engine.run ~until:0.4 engine;
+  Alcotest.(check int) "detector never fired" 0 (Seeder.detections seeder);
+  Alcotest.(check int) "rejoined on heartbeat" 1 (Seeder.auto_recoveries seeder);
+  (match Seeder.seeds seeder task with
+  | [ e ] ->
+      Alcotest.(check int) "restarted in place" home (Seed_exec.node e);
+      Alcotest.(check int) "epoch bumped by rejoin" 1 (Seed_exec.epoch e)
+  | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds));
+  (* second crash: nobody calls recover; the detector must heal it *)
+  Engine.schedule engine ~delay:0. (fun _ -> Seeder.crash_switch seeder home);
+  Engine.run ~until:0.8 engine;
+  Alcotest.(check int) "detector healed the second crash" 1
+    (Seeder.detections seeder);
+  (match Seeder.seeds seeder task with
+  | [ e ] ->
+      Alcotest.(check bool) "moved off the dead switch" true
+        (Seed_exec.node e <> home);
+      Alcotest.(check int) "epoch bumped again" 2 (Seed_exec.epoch e)
+  | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds));
+  Alcotest.(check (list int)) "no orphans left" []
+    (Seeder.orphaned_seeds seeder)
+
+(* -- false positives: zombies are fenced, never corrupt state ------ *)
+
+let epochs_non_decreasing h =
+  (* accepted_provenance is most-recent-first *)
+  let by_seed = Hashtbl.create 8 in
+  List.iter
+    (fun (_, p) ->
+      (* walking most-recent-first, epochs must never increase *)
+      match Hashtbl.find_opt by_seed p.Harvester.p_seed with
+      | Some newer when p.Harvester.p_epoch > newer -> Alcotest.fail
+            (Printf.sprintf "seed %d accepted epoch %d after %d"
+               p.Harvester.p_seed p.Harvester.p_epoch newer)
+      | _ -> Hashtbl.replace by_seed p.Harvester.p_seed p.Harvester.p_epoch)
+    (Harvester.accepted_provenance h)
+
+let test_false_positive_zombie_fencing () =
+  (* a control-plane brownout starves the detector of heartbeats: both
+     switches are falsely declared dead, their live instances demoted to
+     zombies.  When heartbeats resume the switches rejoin, zombies are
+     terminated, and no stale-epoch report is ever accepted. *)
+  let source =
+    {|
+machine Rep {
+  place all;
+  time tick = Time { .ival = 0.01 };
+  long n = 0;
+  state s { when (tick as t) do { n = n + 1; send n to harvester; } }
+}
+|}
+  in
+  let engine = Engine.create ~seed:29 () in
+  let fabric = Fabric.create (Topology.linear ~n:2) in
+  let config = heal_config ~timeout:0.025 () in
+  let seeder = Seeder.create ~config engine fabric in
+  let task =
+    match Seeder.deploy seeder (Seeder.simple_spec ~name:"rep" ~source) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Engine.schedule engine ~delay:0.3 (fun _ ->
+      Seeder.set_ctrl_faults seeder { Seeder.loss = 1.0; delay = 0.; dup = 0. });
+  Engine.schedule engine ~delay:0.36 (fun _ ->
+      Seeder.set_ctrl_faults seeder Seeder.perfect_ctrl);
+  Engine.run ~until:0.7 engine;
+  Alcotest.(check int) "both declarations were false positives"
+    (Seeder.detections seeder)
+    (Seeder.false_detections seeder);
+  Alcotest.(check bool) "switches were falsely declared" true
+    (Seeder.false_detections seeder >= 2);
+  Alcotest.(check (list int)) "everyone rejoined" []
+    (Seeder.failed_switches seeder);
+  Alcotest.(check int) "no zombie left running" 0 (Seeder.zombie_count seeder);
+  Alcotest.(check bool) "zombies were fenced" true
+    (Seeder.zombies_fenced seeder >= 2);
+  Alcotest.(check int) "both seeds live again" 2
+    (List.length (Seeder.seeds seeder task));
+  Alcotest.(check (list int)) "no orphans" [] (Seeder.orphaned_seeds seeder);
+  List.iter
+    (fun e -> Alcotest.(check bool) "replacement epoch > 0" true
+        (Seed_exec.epoch e >= 1))
+    (Seeder.seeds seeder task);
+  epochs_non_decreasing (Seeder.harvester task)
+
 let () =
   Alcotest.run "farm_runtime"
     [ ( "models",
@@ -692,4 +1192,22 @@ let () =
         [ Alcotest.test_case "switch failure recovery" `Quick
             test_switch_failure_recovery;
           Alcotest.test_case "pinned task dropped" `Quick
-            test_switch_failure_drops_pinned_task ] ) ]
+            test_switch_failure_drops_pinned_task ] );
+      ( "checkpoints",
+        qsuite [ prop_value_roundtrip; prop_checkpoint_roundtrip ]
+        @ [ Alcotest.test_case "restore equivalence across engines" `Quick
+              test_checkpoint_restore_engine_equivalence ] );
+      ( "idempotence",
+        [ Alcotest.test_case "ctrl-dup handled exactly once" `Quick
+            test_ctrl_dup_idempotence;
+          Alcotest.test_case "double recovery is a no-op" `Quick
+            test_double_recovery_noop ] );
+      ( "self-healing",
+        [ Alcotest.test_case "detects and recovers" `Quick
+            test_auto_heal_detects_and_recovers;
+          Alcotest.test_case "bounded state loss" `Quick
+            test_bounded_state_loss;
+          Alcotest.test_case "crash during recovery" `Quick
+            test_crash_during_recovery;
+          Alcotest.test_case "false positive zombie fencing" `Quick
+            test_false_positive_zombie_fencing ] ) ]
