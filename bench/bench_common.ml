@@ -5,6 +5,11 @@ open Farm
 module Engine = Sim.Engine
 module Rng = Sim.Rng
 
+(* Run an independent parameter sweep across the domain pool, results in
+   parameter order.  Scenario functions must build all mutable state
+   (engine, fabric, rng) inside the call — see Sim.Sweep. *)
+let psweep xs f = Array.to_list (Sim.Sweep.map (Array.of_list xs) f)
+
 let section title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;

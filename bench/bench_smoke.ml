@@ -83,6 +83,38 @@ machine Pinned {
   World.run ~until:(0.5 +. (0.3 *. float_of_int crashes) +. 0.5) w;
   seeder
 
+(* Simulation-core smoke: a couple of independent heavy-hitter worlds
+   pushed through the domain-pool sweep runner.  Checks the parallel run
+   digests byte-identical to the sequential one and reports simulated
+   events/sec of the timer-wheel engine under a full workload. *)
+let sim_scenario i =
+  let seed = Sim.Rng.derive_seed 0x5eed ~stream:i in
+  let w = World.create ~seed ~spines:2 ~leaves:4 ~hosts_per_leaf:1 () in
+  (match World.deploy_catalog_task w "heavy-hitter" with
+  | Ok _ -> ()
+  | Error m -> failwith (Printf.sprintf "sim smoke deploy: %s" m));
+  World.background_traffic ~flows:(24 + (8 * i)) w;
+  World.run ~until:1.0 w;
+  let seeder = w.World.seeder in
+  ( Sim.Engine.dispatched w.World.engine,
+    Printf.sprintf "i=%d dispatched=%d now=%h collector=%h/%d" i
+      (Sim.Engine.dispatched w.World.engine)
+      (World.now w)
+      (Runtime.Seeder.collector_bytes seeder)
+      (Runtime.Seeder.collector_messages seeder) )
+
+let sim_smoke () =
+  let n = 2 in
+  let t0 = Unix.gettimeofday () in
+  let sequential = Sim.Sweep.run ~domains:1 n sim_scenario in
+  let dt = Unix.gettimeofday () -. t0 in
+  let parallel = Sim.Sweep.run ~domains:2 n sim_scenario in
+  let deterministic =
+    Array.map snd sequential = Array.map snd parallel
+  in
+  let events = Array.fold_left (fun acc (e, _) -> acc + e) 0 sequential in
+  (float_of_int events /. dt, deterministic)
+
 let () =
   let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
   let source = (Tasks.Catalog.find "heavy-hitter").source in
@@ -108,6 +140,12 @@ let () =
   Printf.printf "  interp   %12.0f events/sec\n" interp_eps;
   Printf.printf "  compiled %12.0f events/sec\n" compiled_eps;
   Printf.printf "  speedup  %12.2fx\n%!" speedup;
+
+  let sim_eps, sweep_deterministic = sim_smoke () in
+  Printf.printf "simulation core (heavy-hitter world, timer-wheel engine):\n";
+  Printf.printf "  simulated %11.0f events/sec\n" sim_eps;
+  Printf.printf "  sweep     %11s\n%!"
+    (if sweep_deterministic then "deterministic" else "NONDETERMINISTIC");
 
   let crashes = 30 in
   let seeder = mttr_bench ~crashes in
@@ -142,6 +180,8 @@ let () =
     \  \"interp_events_per_sec\": %.1f,\n\
     \  \"compiled_events_per_sec\": %.1f,\n\
     \  \"speedup\": %.2f,\n\
+    \  \"sim_events_per_sec\": %.1f,\n\
+    \  \"sweep_deterministic\": %b,\n\
     \  \"self_healing_mttr\": {\n\
     \    \"crash_episodes\": %d,\n\
     \    \"detection_samples\": %d,\n\
@@ -152,12 +192,18 @@ let () =
     \    \"checkpoint_ctrl_bytes\": %.0f\n\
     \  }\n\
      }\n"
-    interp_eps compiled_eps speedup crashes (Histogram.count dl) d50 d95 d99
+    interp_eps compiled_eps speedup sim_eps sweep_deterministic crashes
+    (Histogram.count dl) d50 d95 d99
     dmax (Histogram.count rt) r50 r95 r99 rmax
     (Seeder.checkpoints_shipped seeder)
     (Seeder.checkpoint_bytes seeder);
   close_out oc;
   Printf.printf "wrote %s\n%!" out;
+  if not sweep_deterministic then begin
+    Printf.eprintf
+      "FAIL: parallel sweep digests differ from the sequential run\n%!";
+    exit 1
+  end;
   if speedup < 3.0 then begin
     Printf.eprintf "FAIL: compiled engine speedup %.2fx is below the 3x target\n%!"
       speedup;

@@ -1,0 +1,316 @@
+(* Fabric-scale simulation throughput benchmark.  Three measurements:
+
+   1. scheduler microbench — a pure timer workload (2000 periodic timers,
+      mixed sub-ms..100 ms periods) drained by the timer-wheel engine and
+      by the seed binary-heap engine (kept verbatim below as the
+      reference), reported as events/sec each plus the speedup;
+   2. single-core sweep — a batch of independent heavy-hitter worlds run
+      sequentially, reported as simulated events/sec;
+   3. domain scaling — the same batch fanned across 1/2/4/8 domains via
+      Sweep.run, reporting wall time, scaling and parallel efficiency per
+      domain count.  Per-scenario digests must be byte-identical across
+      every domain count; any mismatch exits non-zero.
+
+   Emits BENCH_sweep.json (override with --out FILE).  --domains D1,D2,..
+   overrides the scaling ladder; --gate BASELINE.json fails the run when
+   either headline events/sec falls below 90% of the baseline's
+   wheel_events_per_sec / single_core_events_per_sec (CI passes the
+   committed floor values in bench/BENCH_sweep_baseline.json).
+
+   Run via [dune build @bench-sweep] or directly:
+     dune exec bench/bench_sweep.exe -- --out BENCH_sweep.json *)
+
+open Farm
+module Engine = Sim.Engine
+module Rng = Sim.Rng
+module Sweep = Sim.Sweep
+module Heap = Sim.Heap
+
+(* ------------------------------------------------------------------ *)
+(* Reference scheduler: the seed binary-heap engine, verbatim           *)
+(* ------------------------------------------------------------------ *)
+
+module Heap_engine = struct
+  type t = {
+    mutable clock : float;
+    queue : (t -> unit) Heap.t;
+    mutable dispatched : int;
+  }
+
+  type timer = {
+    mutable period : float;
+    mutable cancelled : bool;
+    callback : t -> unit;
+  }
+
+  let create () = { clock = 0.; queue = Heap.create (); dispatched = 0 }
+  let dispatched t = t.dispatched
+  let schedule t ~delay f = Heap.push t.queue ~time:(t.clock +. delay) f
+
+  let rec fire timer engine =
+    if not timer.cancelled then begin
+      timer.callback engine;
+      if not timer.cancelled then
+        schedule engine ~delay:timer.period (fire timer)
+    end
+
+  let every t ~period f =
+    let timer = { period; cancelled = false; callback = f } in
+    schedule t ~delay:period (fire timer);
+    timer
+
+  let run ~until t =
+    let continue = ref true in
+    while !continue do
+      if Heap.is_empty t.queue then continue := false
+      else
+        let time = Heap.min_time_exn t.queue in
+        if time > until then begin
+          t.clock <- until;
+          continue := false
+        end
+        else begin
+          let f = Heap.pop_min_exn t.queue in
+          t.clock <- time;
+          t.dispatched <- t.dispatched + 1;
+          f t
+        end
+    done;
+    if t.clock < until then t.clock <- until
+end
+
+(* ------------------------------------------------------------------ *)
+(* 1. Scheduler microbench                                             *)
+(* ------------------------------------------------------------------ *)
+
+let timer_count = 2_000
+let timer_horizon = 10.
+let timer_period i = 0.001 +. (0.0001 *. float_of_int (i mod 991))
+
+let wheel_timer_bench () =
+  let e = Engine.create () in
+  for i = 0 to timer_count - 1 do
+    ignore (Engine.every e ~period:(timer_period i) (fun _ -> ()))
+  done;
+  let t0 = Unix.gettimeofday () in
+  Engine.run ~until:timer_horizon e;
+  let dt = Unix.gettimeofday () -. t0 in
+  (Engine.dispatched e, float_of_int (Engine.dispatched e) /. dt)
+
+let heap_timer_bench () =
+  let e = Heap_engine.create () in
+  for i = 0 to timer_count - 1 do
+    ignore (Heap_engine.every e ~period:(timer_period i) (fun _ -> ()))
+  done;
+  let t0 = Unix.gettimeofday () in
+  Heap_engine.run ~until:timer_horizon e;
+  let dt = Unix.gettimeofday () -. t0 in
+  (Heap_engine.dispatched e, float_of_int (Heap_engine.dispatched e) /. dt)
+
+(* ------------------------------------------------------------------ *)
+(* 2/3. Heavy-hitter world sweep                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_scenarios = 8
+let sweep_horizon = 1.5
+
+(* Self-contained scenario per the Sweep contract: every piece of mutable
+   state is created inside the call from an index-derived seed.  Returns
+   the event count plus a digest of everything downstream readers see. *)
+let scenario i =
+  let seed = Rng.derive_seed 0xfab ~stream:i in
+  let w = World.create ~seed ~spines:2 ~leaves:8 ~hosts_per_leaf:2 () in
+  (match World.deploy_catalog_task w "heavy-hitter" with
+  | Ok _ -> ()
+  | Error m -> failwith (Printf.sprintf "scenario %d: deploy: %s" i m));
+  World.background_traffic ~flows:(32 + (8 * i)) w;
+  World.run ~until:sweep_horizon w;
+  let seeder = w.World.seeder in
+  let events = Engine.dispatched w.World.engine in
+  let digest =
+    Printf.sprintf "i=%d seed=%d dispatched=%d now=%h collector=%h/%d utility=%h"
+      i seed events (World.now w)
+      (Runtime.Seeder.collector_bytes seeder)
+      (Runtime.Seeder.collector_messages seeder)
+      (Runtime.Seeder.current_utility seeder)
+  in
+  (events, digest)
+
+let run_sweep ~domains =
+  let t0 = Unix.gettimeofday () in
+  let results = Sweep.run ~domains sweep_scenarios scenario in
+  let dt = Unix.gettimeofday () -. t0 in
+  let events = Array.fold_left (fun acc (e, _) -> acc + e) 0 results in
+  (dt, events, Array.map snd results)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline gate: minimal numeric-field extraction                     *)
+(* ------------------------------------------------------------------ *)
+
+let read_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let json_number s field =
+  let key = Printf.sprintf "\"%s\"" field in
+  let klen = String.length key and n = String.length s in
+  let rec find i =
+    if i + klen > n then None
+    else if String.sub s i klen = key then Some (i + klen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while !i < n && (s.[!i] = ':' || s.[!i] = ' ') do incr i done;
+      let j = ref !i in
+      while
+        !j < n
+        && (match s.[!j] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub s !i (!j - !i))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let out = ref "BENCH_sweep.json" in
+  let ladder = ref [ 1; 2; 4; 8 ] in
+  let gate = ref None in
+  let rec parse = function
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | "--domains" :: ds :: rest ->
+        ladder := List.map int_of_string (String.split_on_char ',' ds);
+        parse rest
+    | "--gate" :: f :: rest ->
+        gate := Some f;
+        parse rest
+    | [] -> ()
+    | a :: _ -> failwith (Printf.sprintf "bench_sweep: unknown argument %s" a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "simulation throughput bench (%d core%s available)\n%!" cores
+    (if cores = 1 then "" else "s");
+
+  let wheel_events, wheel_eps = wheel_timer_bench () in
+  let heap_events, heap_eps = heap_timer_bench () in
+  assert (wheel_events = heap_events);
+  let sched_speedup = wheel_eps /. heap_eps in
+  Printf.printf "scheduler (%d timers, %.0f s horizon, %d events):\n"
+    timer_count timer_horizon wheel_events;
+  Printf.printf "  heap engine  %12.0f events/sec\n" heap_eps;
+  Printf.printf "  timer wheel  %12.0f events/sec\n" wheel_eps;
+  Printf.printf "  speedup      %12.2fx\n%!" sched_speedup;
+
+  let base_dt, base_events, base_digests = run_sweep ~domains:1 in
+  let single_eps = float_of_int base_events /. base_dt in
+  Printf.printf
+    "sweep (%d heavy-hitter worlds, %.1f s horizon, %d events):\n"
+    sweep_scenarios sweep_horizon base_events;
+  Printf.printf "  1 domain   %8.2f s  %12.0f events/sec\n%!" base_dt
+    single_eps;
+
+  let deterministic = ref true in
+  let rows =
+    List.map
+      (fun d ->
+        if d = 1 then (1, base_dt, single_eps, 1.0)
+        else begin
+          let dt, events, digests = run_sweep ~domains:d in
+          if digests <> base_digests then begin
+            deterministic := false;
+            Printf.eprintf
+              "FAIL: %d-domain sweep digests differ from the sequential run\n%!"
+              d
+          end;
+          let eps = float_of_int events /. dt in
+          let scaling = base_dt /. dt in
+          Printf.printf
+            "  %d domains  %8.2f s  %12.0f events/sec  (%.2fx, %.0f%% efficiency)\n%!"
+            d dt eps scaling
+            (100. *. scaling /. float_of_int d);
+          (d, dt, eps, scaling)
+        end)
+      !ladder
+  in
+
+  let oc =
+    try open_out !out
+    with Sys_error m ->
+      Printf.eprintf "bench_sweep: cannot write %s (%s)\n%!" !out m;
+      exit 2
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"sim_sweep_throughput\",\n\
+    \  \"cores\": %d,\n\
+    \  \"scheduler\": {\n\
+    \    \"timers\": %d,\n\
+    \    \"events\": %d,\n\
+    \    \"heap_events_per_sec\": %.1f,\n\
+    \    \"wheel_events_per_sec\": %.1f,\n\
+    \    \"speedup\": %.2f\n\
+    \  },\n\
+    \  \"sweep\": {\n\
+    \    \"scenarios\": %d,\n\
+    \    \"events\": %d,\n\
+    \    \"single_core_events_per_sec\": %.1f,\n\
+    \    \"deterministic\": %b,\n\
+    \    \"domains\": [\n%s\n\
+    \    ]\n\
+    \  }\n\
+     }\n"
+    cores timer_count wheel_events heap_eps wheel_eps sched_speedup
+    sweep_scenarios base_events single_eps !deterministic
+    (String.concat ",\n"
+       (List.map
+          (fun (d, dt, eps, scaling) ->
+            Printf.sprintf
+              "      { \"domains\": %d, \"seconds\": %.3f, \"events_per_sec\": %.1f, \"scaling\": %.2f, \"efficiency\": %.3f }"
+              d dt eps scaling
+              (scaling /. float_of_int d))
+          rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out;
+
+  if not !deterministic then exit 1;
+
+  match !gate with
+  | None -> ()
+  | Some file ->
+      let s =
+        try read_file file
+        with Sys_error m ->
+          Printf.eprintf "bench_sweep: cannot read baseline %s (%s)\n%!" file m;
+          exit 2
+      in
+      let check name current =
+        match json_number s name with
+        | None ->
+            Printf.eprintf "bench_sweep: baseline %s lacks %s, skipping\n%!"
+              file name
+        | Some baseline ->
+            let floor = 0.9 *. baseline in
+            if current < floor then begin
+              Printf.eprintf
+                "FAIL: %s %.0f is below 90%% of baseline %.0f\n%!" name
+                current baseline;
+              exit 1
+            end
+            else
+              Printf.printf "gate ok: %s %.0f >= 90%% of baseline %.0f\n%!"
+                name current baseline
+      in
+      check "wheel_events_per_sec" wheel_eps;
+      check "single_core_events_per_sec" single_eps

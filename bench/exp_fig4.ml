@@ -79,8 +79,7 @@ let run () =
     "Fig. 4: network load towards the collector vs number of ports";
   let leaves_sweep = [ 4; 8; 16; 32; 48 ] in
   let rows =
-    List.map
-      (fun leaves ->
+    Bench_common.psweep leaves_sweep (fun leaves ->
         let topo = Net.Topology.spine_leaf ~spines:4 ~leaves ~hosts_per_leaf:8 in
         let ports = total_ports topo in
         let s1 = sflow_load ~leaves ~period:0.001 in
@@ -93,7 +92,6 @@ let run () =
           Bench_common.fmt_bytes_rate so;
           Bench_common.fmt_bytes_rate fa;
           Printf.sprintf "%.0fx" (s1 /. Float.max fa 1e-9) ])
-      leaves_sweep
   in
   Bench_common.table
     [ "Ports"; "sFlow 1ms"; "sFlow 10ms"; "Sonata"; "FARM";

@@ -31,8 +31,7 @@ let run () =
   Bench_common.section
     "Fig. 9: soil CPU cost of request aggregation, threads vs processes";
   let rows =
-    List.map
-      (fun n ->
+    Bench_common.psweep [ 10; 25; 50; 100; 150 ] (fun n ->
         let tt = soil_cpu ~n ~exec_model:Runtime.Ipc.Threads ~aggregate:true in
         let tn = soil_cpu ~n ~exec_model:Runtime.Ipc.Threads ~aggregate:false in
         let pt = soil_cpu ~n ~exec_model:Runtime.Ipc.Processes ~aggregate:true in
@@ -42,7 +41,6 @@ let run () =
           Printf.sprintf "%.2f%%" (100. *. tn);
           Printf.sprintf "%.2f%%" (100. *. pt);
           Printf.sprintf "%.2f%%" (100. *. pn) ])
-      [ 10; 25; 50; 100; 150 ]
   in
   Bench_common.table
     [ "Seeds"; "threads+agg"; "threads no-agg"; "procs+agg"; "procs no-agg" ]

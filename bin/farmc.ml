@@ -8,6 +8,7 @@
      farmc analyze <file.alm>    run the seeder's static analyses
      farmc tasks                 list the built-in Table I catalog
      farmc run <task> [-d SECS]  simulate a catalog task under its workload
+     farmc sweep <task> [-n N]   run N seeded replicas across a domain pool
 
    All commands report problems as positioned diagnostics
    (file:line:col: severity[CODE]: message) on stderr. *)
@@ -348,10 +349,72 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Deploy a catalog task on a simulated DC and run it")
     Term.(const run $ task_arg $ duration_arg)
 
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let task_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TASK")
+  in
+  let runs_arg =
+    Arg.(value & opt int 8 & info [ "n"; "runs" ] ~docv:"RUNS")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "domains" ] ~docv:"DOMAINS"
+          ~doc:"Domain pool size (0 = one per available core).")
+  in
+  let run name runs duration domains =
+    let entry =
+      try Tasks.Catalog.find name
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    in
+    let domains =
+      if domains <= 0 then Sim.Sweep.default_domains () else domains
+    in
+    (* each replica builds its whole world from an index-derived seed, as
+       the Sweep contract requires *)
+    let results =
+      Sim.Sweep.run ~domains runs (fun i ->
+          let seed = Sim.Rng.derive_seed 42 ~stream:i in
+          let world = World.create ~seed () in
+          match
+            Runtime.Seeder.deploy world.seeder
+              (Tasks.Task_common.to_task_spec entry)
+          with
+          | Error m -> failwith (Printf.sprintf "replica %d: %s" i m)
+          | Ok task ->
+              World.background_traffic ~flows:50 world;
+              World.run ~until:duration world;
+              let h = Runtime.Seeder.harvester task in
+              ( seed,
+                Sim.Engine.dispatched world.engine,
+                Runtime.Harvester.received_count h,
+                Runtime.Seeder.current_utility world.seeder ))
+    in
+    Printf.printf "%d replica(s) of %s, %.1f s each, on %d domain(s):\n" runs
+      name duration domains;
+    Array.iteri
+      (fun i (seed, events, msgs, utility) ->
+        Printf.printf
+          "  replica %2d  seed %-19d %9d events %5d message(s)  utility %.3f\n"
+          i seed events msgs utility)
+      results
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run independent seeded replicas of a catalog task on a domain pool")
+    Term.(const run $ task_arg $ runs_arg $ duration_arg $ domains_arg)
+
 let () =
   let doc = "the Almanac compiler and FARM task driver" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "farmc" ~version:"1.0.0" ~doc)
           [ check_cmd; lint_cmd; format_cmd; compile_cmd; analyze_cmd;
-            tasks_cmd; run_cmd ]))
+            tasks_cmd; run_cmd; sweep_cmd ]))

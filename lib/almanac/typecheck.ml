@@ -3,16 +3,20 @@ exception Error of string
 exception Error_diag of Diagnostic.t
 
 (* The position of the declaration/statement currently being checked:
-   [fail] attaches it to the diagnostic it raises.  Checking is
-   single-threaded and the ref is updated on entry to every positioned
-   construct, so expression-level errors inherit their statement's span. *)
-let cur_pos = ref Ast.no_pos
+   [fail] attaches it to the diagnostic it raises.  The ref is updated on
+   entry to every positioned construct, so expression-level errors
+   inherit their statement's span.  It is domain-local so that parallel
+   sweeps (Sim.Sweep) can typecheck/deploy concurrently without racing
+   on diagnostic positions. *)
+let cur_pos_key = Domain.DLS.new_key (fun () -> ref Ast.no_pos)
 
-let at (pos : Ast.pos) = if pos <> Ast.no_pos then cur_pos := pos
+let cur_pos () = Domain.DLS.get cur_pos_key
+
+let at (pos : Ast.pos) = if pos <> Ast.no_pos then cur_pos () := pos
 
 let failc code fmt =
   Printf.ksprintf
-    (fun m -> raise (Error_diag (Diagnostic.error ~pos:!cur_pos ~code m)))
+    (fun m -> raise (Error_diag (Diagnostic.error ~pos:!(cur_pos ()) ~code m)))
     fmt
 
 (* Generic type error; the more specific T-codes use [failc]. *)
@@ -500,7 +504,7 @@ let check_event env m (ev : Ast.event) =
   ignore (check_stmts env ~ret:None ev.body)
 
 let check_machine funcs (m : Ast.machine) =
-  cur_pos := m.mloc;
+  cur_pos () := m.mloc;
   if m.states = [] then failc "T010" "machine %s has no states" m.mname;
   let state_names = List.map (fun (s : Ast.state_decl) -> s.sname) m.states in
   let dup l =
@@ -614,7 +618,7 @@ let check_machine funcs (m : Ast.machine) =
   List.iter (check_event env m) m.mevents
 
 let check_func funcs (f : Ast.func_decl) =
-  cur_pos := f.floc;
+  cur_pos () := f.floc;
   let env =
     { vars = List.map (fun (t, n) -> (n, TAst t)) f.fparams;
       funcs; states = []; machine = Printf.sprintf "<function %s>" f.fname;
@@ -634,7 +638,7 @@ let signatures ?(extra = []) (p : Ast.program) =
   user_sigs @ extra @ builtin_signatures
 
 let check ?extra (p : Ast.program) =
-  cur_pos := Ast.no_pos;
+  cur_pos () := Ast.no_pos;
   try
     let machines = resolve_inheritance p.machines in
     let funcs = signatures ?extra p in
@@ -651,7 +655,7 @@ let check_result ?extra p =
 (* Multi-error variant: one diagnostic per failing function/machine (the
    checker still stops at the first error within each). *)
 let check_diags ?extra (p : Ast.program) =
-  cur_pos := Ast.no_pos;
+  cur_pos () := Ast.no_pos;
   match resolve_inheritance p.machines with
   | exception Error_diag d -> Stdlib.Error [ d ]
   | machines ->

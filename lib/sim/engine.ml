@@ -1,48 +1,336 @@
+(* Discrete-event engine on a hierarchical timer wheel.
+
+   The event queue is tuned for the periodic-timer-heavy workloads of the
+   FARM simulations (polls, heartbeats, checkpoints): most events are
+   re-arms of existing timers a few milliseconds in the future.  A single
+   binary heap makes every such re-arm O(log n) in the *total* event count
+   and allocates a fresh closure plus heap entry per tick.  Instead we
+   keep:
+
+   - a 5-level hashed timer wheel (32 slots per level, 0.1 ms ticks) of
+     intrusively linked {e cells}; inserting or re-arming a cell is O(1)
+     amortized and allocation-free,
+   - a small {e ready} cell-heap holding only the cells of the tick the
+     cursor is standing on, which restores the exact [(time, seq)]
+     dispatch order inside a tick,
+   - an {e overflow} cell-heap for events beyond the wheel horizon
+     (~56 min at the default geometry), refilled when the cursor reaches
+     them, and
+   - a freelist of one-shot cells so steady-state [schedule] calls do not
+     allocate either.
+
+   Dispatch order is exactly the lexicographic [(time, seq)] order of the
+   seed binary-heap engine — [seq] is a global per-push counter — so all
+   replay/determinism invariants (chaos I1-I5, byte-identical digests)
+   hold bit-for-bit; [test/test_sim.ml] checks equivalence against a
+   heap-backed reference on randomized schedules. *)
+
+(* ------------------------------------------------------------------ *)
+(* Geometry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tick_bits = 5
+let wheel_slots = 1 lsl tick_bits (* 32 *)
+let levels = 5
+
+(* 0.1 ms ticks: finer than every poll/heartbeat period in the tree, and
+   the top level still spans 32^5 ticks = ~56 simulated minutes before
+   the overflow heap takes over. *)
+let tick_inv = 1e4
+
+(* clamp for absurdly late events so [int_of_float] stays defined *)
+let max_tick = 1 lsl 50
+
+let tick_of_time time =
+  let x = time *. tick_inv in
+  if x >= 1.125e15 then max_tick else if x <= 0. then 0 else int_of_float x
+
+(* index of the lowest set bit of a 32-bit word (De Bruijn multiply) *)
+let debruijn = 0x077CB531
+
+let tz_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13;
+     23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let ctz w = tz_table.((((w land -w) * debruijn) land 0xFFFFFFFF) lsr 27)
+
+(* ------------------------------------------------------------------ *)
+(* Cells                                                               *)
+(* ------------------------------------------------------------------ *)
+
 type t = {
   mutable clock : float;
-  queue : (t -> unit) Heap.t;
   root_rng : Rng.t;
   mutable dispatched : int;
+  mutable pending : int;
+  mutable next_seq : int;
+  (* wheel *)
+  mutable cur : int;                   (* tick the cursor stands on *)
+  slots : cell array array;            (* levels x wheel_slots list heads *)
+  bitmaps : int array;                 (* per-level slot occupancy *)
+  ready : cheap;                       (* cells of the current tick *)
+  overflow : cheap;                    (* beyond the wheel horizon *)
+  nil : cell;                          (* per-engine list terminator *)
+  mutable free : cell;                 (* one-shot cell freelist *)
+  mutable free_len : int;
 }
 
-type timer = {
-  mutable period : float;
+(* A queued event.  Periodic timers *are* their cell: re-arming just
+   refreshes [time]/[seq] and relinks, so steady-state ticking allocates
+   nothing.  One-shots recycle through the freelist. *)
+and cell = {
+  mutable time : float;
+  mutable seq : int;
+  mutable cb : t -> unit;
+  mutable period : float;              (* 0. = one-shot *)
   mutable cancelled : bool;
-  callback : t -> unit;
+  mutable next : cell;                 (* intrusive slot list; nil-ended *)
 }
+
+(* Min-heap of cells on (time, seq): the FIFO tie-break inside a tick.
+   Vacated slots are reset to [nil] so popped cells (and the closures
+   they capture) never outlive their dispatch. *)
+and cheap = { mutable a : cell array; mutable n : int; hnil : cell }
+
+let cell_lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+let cheap_create nil = { a = [||]; n = 0; hnil = nil }
+
+let cheap_push h c =
+  if h.n = Array.length h.a then begin
+    let cap = Stdlib.max 16 (2 * h.n) in
+    let a = Array.make cap h.hnil in
+    Array.blit h.a 0 a 0 h.n;
+    h.a <- a
+  end;
+  h.a.(h.n) <- c;
+  h.n <- h.n + 1;
+  let i = ref (h.n - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    cell_lt h.a.(!i) h.a.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = h.a.(!i) in
+    h.a.(!i) <- h.a.(p);
+    h.a.(p) <- tmp;
+    i := p
+  done
+
+(* remove and return the root; the caller has already read it *)
+let cheap_pop h =
+  let top = h.a.(0) in
+  h.n <- h.n - 1;
+  if h.n > 0 then begin
+    h.a.(0) <- h.a.(h.n);
+    h.a.(h.n) <- h.hnil;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && cell_lt h.a.(l) h.a.(!m) then m := l;
+      if r < h.n && cell_lt h.a.(r) h.a.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        let tmp = h.a.(!i) in
+        h.a.(!i) <- h.a.(!m);
+        h.a.(!m) <- tmp;
+        i := !m
+      end
+    done
+  end
+  else h.a.(0) <- h.hnil;
+  let cap = Array.length h.a in
+  if cap > 64 && h.n * 4 < cap then begin
+    let a = Array.make (Stdlib.max 16 (2 * h.n)) h.hnil in
+    Array.blit h.a 0 a 0 h.n;
+    h.a <- a
+  end;
+  top
+
+(* ------------------------------------------------------------------ *)
+(* Engine construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let noop (_ : t) = ()
 
 let create ?(seed = 42) () =
-  { clock = 0.; queue = Heap.create (); root_rng = Rng.create seed;
-    dispatched = 0 }
+  let rec nil =
+    { time = 0.; seq = 0; cb = noop; period = 0.; cancelled = true;
+      next = nil }
+  in
+  { clock = 0.; root_rng = Rng.create seed; dispatched = 0; pending = 0;
+    next_seq = 0; cur = 0;
+    slots = Array.init levels (fun _ -> Array.make wheel_slots nil);
+    bitmaps = Array.make levels 0;
+    ready = cheap_create nil; overflow = cheap_create nil; nil;
+    free = nil; free_len = 0 }
 
 let now t = t.clock
 let rng t = t.root_rng
 let dispatched t = t.dispatched
+let pending t = t.pending
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Cells at or before the cursor tick join the ready heap (their slot has
+   already been drained); later cells go to the lowest wheel level whose
+   current window contains their tick, i.e. the smallest [k] with
+   [tick lsr (5*(k+1)) = cur lsr (5*(k+1))]; anything beyond the top
+   window goes to the overflow heap.  Occupied slots are therefore always
+   strictly ahead of the cursor inside their window, which is what lets
+   [refill] jump straight to the lowest set bitmap bit. *)
+let insert t c tick =
+  if tick <= t.cur then cheap_push t.ready c
+  else begin
+    let lvl = ref 0 in
+    while
+      !lvl < levels
+      &&
+      let shift = tick_bits * (!lvl + 1) in
+      tick lsr shift <> t.cur lsr shift
+    do
+      incr lvl
+    done;
+    if !lvl < levels then begin
+      let k = !lvl in
+      let idx = (tick lsr (tick_bits * k)) land (wheel_slots - 1) in
+      c.next <- t.slots.(k).(idx);
+      t.slots.(k).(idx) <- c;
+      t.bitmaps.(k) <- t.bitmaps.(k) lor (1 lsl idx)
+    end
+    else cheap_push t.overflow c
+  end
+
+(* fresh (time, seq) for a cell, then queue it *)
+let arm t c time =
+  c.time <- time;
+  c.seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.pending <- t.pending + 1;
+  insert t c (tick_of_time time)
+
+let max_free = 1024
+
+let alloc_cell t =
+  if t.free != t.nil then begin
+    let c = t.free in
+    t.free <- c.next;
+    t.free_len <- t.free_len - 1;
+    c.next <- t.nil;
+    c
+  end
+  else
+    { time = 0.; seq = 0; cb = noop; period = 0.; cancelled = false;
+      next = t.nil }
+
+let free_cell t c =
+  if t.free_len < max_free then begin
+    c.cb <- noop;                       (* drop the captured closure *)
+    c.cancelled <- false;
+    c.next <- t.free;
+    t.free <- c;
+    t.free_len <- t.free_len + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cursor advance                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Make the ready heap non-empty if any event exists: jump the cursor to
+   the lowest occupied slot (bitmap scan), draining level-0 slots into
+   the ready heap and cascading higher-level slots downwards.  Each cell
+   cascades at most [levels-1] times over its life, so the amortized cost
+   per event is O(1). *)
+let rec refill t =
+  if t.ready.n > 0 then true
+  else begin
+    let k = ref 0 in
+    while !k < levels && t.bitmaps.(!k) = 0 do
+      incr k
+    done;
+    if !k < levels then begin
+      let k = !k in
+      let idx = ctz t.bitmaps.(k) in
+      let shift = tick_bits * k in
+      (* first tick of (level k, slot idx) in the cursor's window *)
+      let slot_tick =
+        (((t.cur lsr (shift + tick_bits)) lsl tick_bits) lor idx) lsl shift
+      in
+      t.cur <- slot_tick;
+      let head = t.slots.(k).(idx) in
+      t.slots.(k).(idx) <- t.nil;
+      t.bitmaps.(k) <- t.bitmaps.(k) land lnot (1 lsl idx);
+      let c = ref head in
+      if k = 0 then
+        while !c != t.nil do
+          let next = (!c).next in
+          (!c).next <- t.nil;
+          cheap_push t.ready !c;
+          c := next
+        done
+      else
+        while !c != t.nil do
+          let next = (!c).next in
+          (!c).next <- t.nil;
+          insert t !c (tick_of_time (!c).time);
+          c := next
+        done;
+      refill t
+    end
+    else if t.overflow.n > 0 then begin
+      (* wheel empty: jump to the earliest far event and pull everything
+         inside the (new) top window back into the wheel *)
+      let omt = tick_of_time t.overflow.a.(0).time in
+      if omt > t.cur then t.cur <- omt;
+      let top = tick_bits * levels in
+      let top_end = ((t.cur lsr top) + 1) lsl top in
+      let continue = ref true in
+      while !continue && t.overflow.n > 0 do
+        let c = t.overflow.a.(0) in
+        let ct = tick_of_time c.time in
+        if ct < top_end then insert t (cheap_pop t.overflow) ct
+        else continue := false
+      done;
+      refill t
+    end
+    else false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public scheduling API                                               *)
+(* ------------------------------------------------------------------ *)
+
+type timer = cell
 
 let schedule_at t ~time f =
   if time < t.clock -. 1e-12 then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
          time t.clock);
-  Heap.push t.queue ~time f
+  let c = alloc_cell t in
+  c.cb <- f;
+  c.period <- 0.;
+  arm t c time
 
 let schedule t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
-let rec fire timer engine =
-  if not timer.cancelled then begin
-    timer.callback engine;
-    if not timer.cancelled then
-      schedule engine ~delay:timer.period (fire timer)
-  end
-
 let every t ~period ?phase f =
   if period <= 0. then invalid_arg "Engine.every: period must be positive";
-  let timer = { period; cancelled = false; callback = f } in
   let phase = Option.value phase ~default:period in
-  schedule t ~delay:phase (fire timer);
-  timer
+  if phase < 0. then invalid_arg "Engine.schedule: negative delay";
+  let c =
+    { time = 0.; seq = 0; cb = f; period; cancelled = false; next = t.nil }
+  in
+  arm t c (t.clock +. phase);
+  c
 
 let cancel timer = timer.cancelled <- true
 
@@ -52,22 +340,40 @@ let set_period timer p =
 
 let timer_period timer = timer.period
 
+(* ------------------------------------------------------------------ *)
+(* Run loop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Peek-then-commit: [refill] positions the next event at the ready-heap
+   root, [peek] reads it without removing, and the pop after the [until]
+   check is the only descent — one per dispatched event. *)
 let run ?until t =
   let continue = ref true in
   while !continue do
-    if Heap.is_empty t.queue then continue := false
-    else
-      let time = Heap.min_time_exn t.queue in
+    if not (refill t) then continue := false
+    else begin
+      let c = t.ready.a.(0) in
       match until with
-      | Some u when time > u ->
+      | Some u when c.time > u ->
           t.clock <- u;
           continue := false
       | Some _ | None ->
-          let f = Heap.pop_min_exn t.queue in
-          t.clock <- time;
+          let c = cheap_pop t.ready in
+          t.clock <- c.time;
           t.dispatched <- t.dispatched + 1;
-          f t
+          t.pending <- t.pending - 1;
+          if c.cancelled then begin
+            if c.period = 0. then free_cell t c
+          end
+          else begin
+            c.cb t;
+            if c.period > 0. then begin
+              if not c.cancelled then arm t c (c.time +. c.period)
+            end
+            else free_cell t c
+          end
+    end
   done;
   match until with
-  | Some u when t.clock < u && Heap.is_empty t.queue -> t.clock <- u
+  | Some u when t.clock < u -> t.clock <- u
   | Some _ | None -> ()

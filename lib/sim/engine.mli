@@ -3,7 +3,14 @@
     Time is in {e seconds} (float).  Events are closures ordered by time with
     deterministic FIFO tie-breaking.  Every FARM component (switches, soils,
     seeds, harvesters, baselines, traffic sources) runs on this engine, which
-    replaces the paper's production data center as the experiment substrate. *)
+    replaces the paper's production data center as the experiment substrate.
+
+    The event queue is a hierarchical timer wheel (5 levels of 32 slots at
+    0.1 ms ticks, with an overflow heap past the ~56 min horizon) tuned for
+    periodic-timer-heavy workloads: re-arming a timer is O(1) and
+    allocation-free.  Dispatch order remains the exact lexicographic
+    [(time, push-sequence)] order of a binary-heap queue, so simulations are
+    bit-for-bit reproducible; see DESIGN.md "Scheduler & parallel sweeps". *)
 
 type t
 
@@ -41,3 +48,6 @@ val run : ?until:float -> t -> unit
 
 (** Number of events dispatched so far. *)
 val dispatched : t -> int
+
+(** Number of events currently queued (periodic timers count once). *)
+val pending : t -> int

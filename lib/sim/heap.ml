@@ -6,6 +6,14 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Sentinel stored in every slot at index >= n.  Slots past [n] are never
+   read (all heap operations index below [n]), so the cast is unobservable;
+   it exists solely so free slots never pin a popped entry — including the
+   padding left behind by [Array.make] on growth.  The unsafe cast is
+   confined to this one value. *)
+let dummy_unit : unit entry = { time = nan; seq = min_int; value = () }
+let dummy : 'a. unit -> 'a entry = fun () -> Obj.magic dummy_unit
+
 let create () = { a = [||]; n = 0; next_seq = 0 }
 let is_empty h = h.n = 0
 let size h = h.n
@@ -22,7 +30,7 @@ let push h ~time value =
   h.next_seq <- h.next_seq + 1;
   if h.n = Array.length h.a then begin
     let cap = Stdlib.max 16 (2 * h.n) in
-    let a = Array.make cap e in
+    let a = Array.make cap (dummy ()) in
     Array.blit h.a 0 a 0 h.n;
     h.a <- a
   end;
@@ -33,6 +41,21 @@ let push h ~time value =
     swap h !i ((!i - 1) / 2);
     i := (!i - 1) / 2
   done
+
+(* Clear the slot vacated by a pop: leaving it pointing at the popped
+   entry keeps dead closures (and everything they capture) live until the
+   slot is overwritten.  On the last pop drop the whole array. *)
+let clear_vacated h =
+  if h.n > 0 then h.a.(h.n) <- dummy () else h.a <- [||]
+
+(* halve the backing array once occupancy falls far below capacity *)
+let shrink h =
+  let cap = Array.length h.a in
+  if cap > 64 && h.n * 4 < cap && h.n > 0 then begin
+    let a = Array.make (Stdlib.max 16 (2 * h.n)) (dummy ()) in
+    Array.blit h.a 0 a 0 h.n;
+    h.a <- a
+  end
 
 let pop h =
   if h.n = 0 then None
@@ -55,6 +78,8 @@ let pop h =
         end
       done
     end;
+    clear_vacated h;
+    shrink h;
     Some (top.time, top.value)
   end
 
@@ -88,7 +113,11 @@ let pop_min_exn h =
       end
     done
   end;
+  clear_vacated h;
+  shrink h;
   top.value
+
+let capacity h = Array.length h.a
 
 let clear h =
   h.n <- 0;

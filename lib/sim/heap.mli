@@ -23,7 +23,14 @@ val min_time_exn : 'a t -> float
 
 (** Remove and return the earliest element's value (its time was already
     read via {!min_time_exn}).  Raises [Invalid_argument] when empty.
-    Unlike {!pop}, allocates no option/tuple. *)
+    Unlike {!pop}, allocates no option/tuple.
+
+    Both pop paths clear the array slot they vacate — popped entries (and
+    any closures they capture) become collectable immediately — and halve
+    the backing array when occupancy falls below a quarter of capacity. *)
 val pop_min_exn : 'a t -> 'a
+
+(** Current backing-array capacity (for tests and instrumentation). *)
+val capacity : 'a t -> int
 
 val clear : 'a t -> unit

@@ -13,6 +13,19 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 
+let stream t k =
+  if k < 0 then invalid_arg "Rng.stream: key must be non-negative";
+  (* jump the splitmix counter by (k+1) gamma increments, then advance
+     once: child streams for distinct keys are decorrelated, and the
+     parent state is left untouched so derivation order cannot matter *)
+  let s = Int64.add t.state (Int64.mul golden (Int64.of_int (k + 1))) in
+  { state = next_int64 { state = s } }
+
+let derive_seed root ~stream =
+  if stream < 0 then invalid_arg "Rng.derive_seed: stream must be non-negative";
+  let s = Int64.add (Int64.of_int root) (Int64.mul golden (Int64.of_int stream)) in
+  Int64.to_int (next_int64 { state = s }) land max_int
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* shift by 2 so the result fits OCaml's 63-bit native int *)

@@ -9,8 +9,22 @@ type t
 (** Create a generator from a seed. *)
 val create : int -> t
 
-(** Derive an independent stream; deterministic in the parent state. *)
+(** Derive an independent stream; deterministic in the parent state.
+    Each call advances the parent, so the n-th split depends on how many
+    draws/splits preceded it — use {!stream} when children must be
+    addressable by index (parallel sweeps). *)
 val split : t -> t
+
+(** [stream t k] derives the child stream for key [k >= 0] from [t]'s
+    current state {e without} advancing [t]: children for distinct keys
+    are independent of each other and of the order they are derived in,
+    which is what per-scenario RNGs in a domain-parallel sweep need. *)
+val stream : t -> int -> t
+
+(** [derive_seed root ~stream] mixes an integer root seed and a stream
+    index into a well-spread non-negative engine seed — the structured
+    replacement for ad-hoc [seed + offset] arithmetic. *)
+val derive_seed : int -> stream:int -> int
 
 (** Uniform in [0, bound). [bound] must be positive. *)
 val int : t -> int -> int

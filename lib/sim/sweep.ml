@@ -1,0 +1,60 @@
+(* Domain-parallel sweep runner.
+
+   FARM's evaluation is dominated by *independent* discrete-event runs:
+   chaos cases under shifted seeds, experiment figures swept over a
+   parameter, bench episodes.  Each run owns its engine, fabric and RNG,
+   so they parallelize embarrassingly across OCaml 5 domains; the only
+   requirements are per-run isolation (the scenario function must build
+   all of its state itself, seeded via [Rng.stream]/[Rng.derive_seed])
+   and deterministic result order (results are keyed by scenario index,
+   never by completion order).
+
+   Work is distributed by an atomic take-a-number counter, so uneven
+   scenario costs balance automatically.  Exceptions in a scenario stop
+   the sweep and re-raise in the caller after all domains joined. *)
+
+let env_domains () =
+  match Sys.getenv_opt "FARM_SWEEP_DOMAINS" with
+  | Some s -> (try Some (max 1 (int_of_string (String.trim s))) with _ -> None)
+  | None -> None
+
+let default_domains () =
+  match env_domains () with
+  | Some d -> d
+  | None -> Domain.recommended_domain_count ()
+
+let run ?domains n f =
+  if n < 0 then invalid_arg "Sweep.run: negative scenario count";
+  let d =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Sweep.run: domains must be >= 1"
+    | None -> default_domains ()
+  in
+  let d = Stdlib.min d n in
+  if d <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              ignore (Atomic.compare_and_set failure None (Some e));
+              continue := false
+      done
+    in
+    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?domains a f = run ?domains (Array.length a) (fun i -> f a.(i))

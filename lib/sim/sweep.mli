@@ -1,0 +1,25 @@
+(** Domain-parallel runner for independent simulation scenarios.
+
+    Fans scenario indices across an OCaml 5 domain pool with an atomic
+    take-a-number queue.  Results are keyed by scenario index, so a sweep
+    is deterministic whenever each scenario function is — parallel and
+    sequential executions produce byte-identical result arrays (asserted
+    by [test/test_sweep.ml] and the bench_sweep harness).
+
+    Scenario functions must be self-contained: build the engine, fabric
+    and RNG inside the call (derive per-scenario seeds with {!Rng.stream}
+    or {!Rng.derive_seed}) and share no mutable state across indices. *)
+
+(** Domain count used when [?domains] is omitted:
+    [FARM_SWEEP_DOMAINS] if set, else [Domain.recommended_domain_count]. *)
+val default_domains : unit -> int
+
+(** [run ~domains n f] evaluates [f 0 .. f (n-1)] on [min domains n]
+    domains (the caller's domain is one of them) and returns the results
+    indexed by scenario.  [domains <= 1] degrades to sequential
+    [Array.init].  If a scenario raises, the sweep stops taking new work,
+    every domain is joined, and the first exception re-raises here. *)
+val run : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+(** [map ~domains a f] = [run ~domains (Array.length a) (fun i -> f a.(i))]. *)
+val map : ?domains:int -> 'a array -> ('a -> 'b) -> 'b array

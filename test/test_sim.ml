@@ -188,6 +188,93 @@ let prop_heap_model =
                    true)))
         ops)
 
+let test_heap_pop_releases () =
+  (* the vacated slot must not pin the popped value: push two closures,
+     pop one, and the popped one has to be collectable immediately *)
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  let fill () =
+    let v = ref 12345 in
+    Weak.set w 0 (Some v);
+    Heap.push h ~time:1. v;
+    Heap.push h ~time:2. (ref 0)
+  in
+  fill ();
+  ignore (Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped entry collected" true (Weak.get w 0 = None);
+  (* draining to empty drops the backing array entirely *)
+  ignore (Heap.pop h);
+  Alcotest.(check int) "empty heap holds no array" 0 (Heap.capacity h)
+
+let test_heap_shrinks () =
+  let h = Heap.create () in
+  for i = 0 to 9_999 do
+    Heap.push h ~time:(float_of_int i) i
+  done;
+  let full_cap = Heap.capacity h in
+  Alcotest.(check bool) "grew" true (full_cap >= 10_000);
+  for _ = 1 to 9_900 do
+    ignore (Heap.pop_min_exn h)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank (cap %d after 100/10000 remain)" (Heap.capacity h))
+    true
+    (Heap.capacity h < full_cap / 8);
+  (* order still intact after shrinking *)
+  let prev = ref neg_infinity in
+  while not (Heap.is_empty h) do
+    let t = Heap.min_time_exn h in
+    ignore (Heap.pop_min_exn h);
+    Alcotest.(check bool) "still sorted" true (t >= !prev);
+    prev := t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Rng streams                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_stream_keyed () =
+  (* stream k is a pure function of (parent state, k): deriving in any
+     order, or after draws from sibling streams, gives the same child *)
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let a3 = Rng.stream a 3 in
+  let _ = Rng.int a3 100 in
+  let a5 = Rng.stream a 5 in
+  let b5 = Rng.stream b 5 in
+  let _ = Rng.int b5 100 in
+  let b3 = Rng.stream b 3 in
+  Alcotest.(check int) "stream 5 order-independent" (Rng.int a5 1_000_000)
+    (Rng.int (Rng.stream b 5) 1_000_000);
+  Alcotest.(check int) "stream 3 order-independent" (Rng.int b3 1_000_000)
+    (Rng.int (Rng.stream a 3) 1_000_000);
+  (* parent state untouched: split after stream = split without *)
+  let p = Rng.create 11 and q = Rng.create 11 in
+  let _ = Rng.stream p 42 in
+  Alcotest.(check int) "parent not advanced"
+    (Rng.int (Rng.split q) 1_000_000)
+    (Rng.int (Rng.split p) 1_000_000)
+
+let test_rng_stream_distinct () =
+  let root = Rng.create 9 in
+  let firsts =
+    List.init 64 (fun k -> Rng.int (Rng.stream root k) 1_000_000_000)
+  in
+  let uniq = List.sort_uniq compare firsts in
+  Alcotest.(check int) "64 streams, 64 distinct first draws" 64
+    (List.length uniq)
+
+let test_rng_derive_seed () =
+  Alcotest.(check int) "deterministic"
+    (Rng.derive_seed 101 ~stream:3)
+    (Rng.derive_seed 101 ~stream:3);
+  let seeds = List.init 100 (fun k -> Rng.derive_seed 101 ~stream:k) in
+  Alcotest.(check int) "100 streams distinct" 100
+    (List.length (List.sort_uniq compare seeds));
+  List.iter
+    (fun s -> Alcotest.(check bool) "non-negative" true (s >= 0))
+    seeds
+
 (* ------------------------------------------------------------------ *)
 (* Fault plans                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -400,6 +487,255 @@ let prop_histogram_percentile_monotone =
       in
       mono vals)
 
+(* ------------------------------------------------------------------ *)
+(* Timer-wheel vs seed binary-heap scheduler equivalence               *)
+(* ------------------------------------------------------------------ *)
+
+(* The common scheduling surface both implementations expose. *)
+module type SCHED = sig
+  type t
+  type timer
+
+  val create : unit -> t
+  val now : t -> float
+  val schedule : t -> delay:float -> (t -> unit) -> unit
+  val schedule_at : t -> time:float -> (t -> unit) -> unit
+  val every : t -> period:float -> ?phase:float -> (t -> unit) -> timer
+  val cancel : timer -> unit
+  val set_period : timer -> float -> unit
+  val run : ?until:float -> t -> unit
+  val dispatched : t -> int
+end
+
+module Wheel_sched : SCHED = struct
+  include Engine
+
+  let create () = Engine.create ()
+end
+
+(* The seed implementation, kept verbatim as the executable spec: a
+   single binary heap of callback closures, FIFO on time ties (provided
+   by Heap's insertion-order tie-break). *)
+module Heap_sched : SCHED = struct
+  type t = {
+    mutable clock : float;
+    queue : (t -> unit) Heap.t;
+    mutable dispatched : int;
+  }
+
+  type timer = {
+    mutable period : float;
+    mutable cancelled : bool;
+    callback : t -> unit;
+  }
+
+  let create () = { clock = 0.; queue = Heap.create (); dispatched = 0 }
+  let now t = t.clock
+  let dispatched t = t.dispatched
+
+  let schedule_at t ~time f =
+    if time < t.clock -. 1e-12 then invalid_arg "Heap_sched: past";
+    Heap.push t.queue ~time f
+
+  let schedule t ~delay f =
+    if delay < 0. then invalid_arg "Heap_sched: negative delay";
+    schedule_at t ~time:(t.clock +. delay) f
+
+  let rec fire timer engine =
+    if not timer.cancelled then begin
+      timer.callback engine;
+      if not timer.cancelled then
+        schedule engine ~delay:timer.period (fire timer)
+    end
+
+  let every t ~period ?phase f =
+    if period <= 0. then invalid_arg "Heap_sched: period must be positive";
+    let timer = { period; cancelled = false; callback = f } in
+    let phase = Option.value phase ~default:period in
+    schedule t ~delay:phase (fire timer);
+    timer
+
+  let cancel timer = timer.cancelled <- true
+  let set_period timer p = timer.period <- p
+
+  let run ?until t =
+    let continue = ref true in
+    while !continue do
+      if Heap.is_empty t.queue then continue := false
+      else
+        let time = Heap.min_time_exn t.queue in
+        match until with
+        | Some u when time > u ->
+            t.clock <- u;
+            continue := false
+        | Some _ | None ->
+            let f = Heap.pop_min_exn t.queue in
+            t.clock <- time;
+            t.dispatched <- t.dispatched + 1;
+            f t
+    done;
+    match until with
+    | Some u when t.clock < u && Heap.is_empty t.queue -> t.clock <- u
+    | Some _ | None -> ()
+end
+
+type sc_timer = {
+  st_period : float;
+  st_phase : float option;
+  st_cancel_at : float option; (* cancel via a scheduled one-shot *)
+  st_retune : (float * float) option; (* (at, new period) via one-shot *)
+}
+
+type scenario = {
+  sc_timers : sc_timer list;
+  sc_shots : float list; (* one-shot delays from t=0 *)
+  sc_chains : (float * float) list; (* outer delay, nested extra delay *)
+  sc_split : float; (* fraction of horizon for the segmented run *)
+  sc_horizon : float;
+}
+
+let show_scenario sc =
+  let f = Printf.sprintf "%.17g" in
+  let timer st =
+    Printf.sprintf "{p=%s ph=%s cancel=%s retune=%s}" (f st.st_period)
+      (match st.st_phase with None -> "-" | Some x -> f x)
+      (match st.st_cancel_at with None -> "-" | Some x -> f x)
+      (match st.st_retune with
+      | None -> "-"
+      | Some (at, p) -> Printf.sprintf "%s->%s" (f at) (f p))
+  in
+  Printf.sprintf "timers=[%s] shots=[%s] chains=[%s] split=%s horizon=%s"
+    (String.concat "; " (List.map timer sc.sc_timers))
+    (String.concat "; " (List.map f sc.sc_shots))
+    (String.concat "; "
+       (List.map (fun (a, b) -> Printf.sprintf "%s+%s" (f a) (f b)) sc.sc_chains))
+    (f sc.sc_split) (f sc.sc_horizon)
+
+(* Drive one scheduler implementation through a scenario and return a
+   transcript of every dispatch: tag, source id and the exact clock
+   ([%h] prints the full float bit pattern), plus the mid/end clock and
+   the dispatch counter.  Two implementations agree iff the transcripts
+   are byte-identical. *)
+let run_scenario (type e) (module S : SCHED with type t = e) sc =
+  let log = Buffer.create 4096 in
+  let e = S.create () in
+  let record tag id t = Printf.bprintf log "%s%d@%h;" tag id (S.now t) in
+  List.iteri
+    (fun i st ->
+      let tm =
+        S.every e ~period:st.st_period ?phase:st.st_phase (fun t ->
+            record "t" i t)
+      in
+      Option.iter
+        (fun at ->
+          S.schedule e ~delay:at (fun t ->
+              record "x" i t;
+              S.cancel tm))
+        st.st_cancel_at;
+      Option.iter
+        (fun (at, p) ->
+          S.schedule e ~delay:at (fun t ->
+              record "r" i t;
+              S.set_period tm p))
+        st.st_retune)
+    sc.sc_timers;
+  List.iteri (fun i d -> S.schedule e ~delay:d (fun t -> record "s" i t))
+    sc.sc_shots;
+  List.iteri
+    (fun i (d, extra) ->
+      S.schedule e ~delay:d (fun t ->
+          record "c" i t;
+          S.schedule t ~delay:extra (fun t -> record "C" i t)))
+    sc.sc_chains;
+  (* run in two segments so ~until clamping is part of the contract *)
+  S.run ~until:(sc.sc_split *. sc.sc_horizon) e;
+  Printf.bprintf log "|mid=%h|" (S.now e);
+  S.run ~until:sc.sc_horizon e;
+  Printf.bprintf log "|end=%h,n=%d|" (S.now e) (S.dispatched e);
+  Buffer.contents log
+
+(* [dense]: sub-tick and tie-prone periods over a short horizon — stresses
+   the ready heap, slot hashing and FIFO tie-breaks.  [sparse]: long
+   horizons past the wheel's top window (~3355 s at 0.1 ms ticks) —
+   stresses the overflow heap, cascades and idle clock jumps. *)
+let gen_scenario ~dense =
+  let open QCheck2.Gen in
+  let quantized lo step n = map (fun k -> lo +. (float_of_int k *. step)) (int_bound n) in
+  let horizon = if dense then 0.25 else 5000. in
+  let period =
+    if dense then
+      oneofl [ 7e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 3.3e-3; 0.01; 0.05 ]
+    else oneofl [ 37.; 61.; 123.; 250.; 500.; 900. ]
+  in
+  let time =
+    oneof
+      [ float_range 0. horizon;
+        quantized 0. (horizon /. 25.) 25;
+        (if dense then oneofl [ 0.; 1e-4; 2.5e-4; 0.01; 0.1 ]
+         else oneofl [ 0.; 37.; 500.; 3355.; 3356.; 4999. ]) ]
+  in
+  let timer =
+    let* st_period = period in
+    let* st_phase = option (oneof [ pure 0.; time; period ]) in
+    let* st_cancel_at = option time in
+    let* st_retune = option (pair time period) in
+    pure { st_period; st_phase; st_cancel_at; st_retune }
+  in
+  let* sc_timers = list_size (int_bound 4) timer in
+  let* sc_shots = list_size (int_bound 12) time in
+  let* sc_chains =
+    list_size (int_bound 4)
+      (pair time (oneof [ pure 0.; float_range 0. (horizon /. 10.) ]))
+  in
+  let* sc_split = float_range 0.05 0.95 in
+  pure { sc_timers; sc_shots; sc_chains; sc_split; sc_horizon = horizon }
+
+let prop_sched_equiv ~dense ~count name =
+  QCheck2.Test.make ~name ~count ~print:show_scenario (gen_scenario ~dense)
+    (fun sc ->
+      let w = run_scenario (module Wheel_sched) sc in
+      let h = run_scenario (module Heap_sched) sc in
+      if String.equal w h then true
+      else
+        let first_diff =
+          let n = min (String.length w) (String.length h) in
+          let rec go i = if i < n && w.[i] = h.[i] then go (i + 1) else i in
+          go 0
+        in
+        let ctx s =
+          let from = max 0 (first_diff - 60) in
+          String.sub s from (min 120 (String.length s - from))
+        in
+        QCheck2.Test.fail_reportf
+          "dispatch transcripts diverge at byte %d:\n  wheel: …%s…\n  heap:  …%s…"
+          first_diff (ctx w) (ctx h))
+
+let prop_sched_equiv_dense =
+  prop_sched_equiv ~dense:true ~count:80 "wheel = heap (dense, ties, cancel, set_period)"
+
+let prop_sched_equiv_sparse =
+  prop_sched_equiv ~dense:false ~count:80 "wheel = heap (sparse, overflow horizon)"
+
+(* Deterministic far-future case: one-shots past the wheel's top window
+   plus a slow periodic timer, with a time tie resolved FIFO. *)
+let test_engine_far_future () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag t = log := (tag, Engine.now t) :: !log in
+  Engine.schedule_at e ~time:4000. (record "a");
+  Engine.schedule_at e ~time:1. (record "b");
+  Engine.schedule_at e ~time:4000. (record "c");
+  ignore (Engine.every e ~period:1000. (record "p"));
+  Engine.run ~until:7000. e;
+  let expect =
+    [ ("b", 1.); ("p", 1000.); ("p", 2000.); ("p", 3000.); ("a", 4000.);
+      ("c", 4000.); ("p", 4000.); ("p", 5000.); ("p", 6000.); ("p", 7000.) ]
+  in
+  Alcotest.(check (list (pair string (float 0.))))
+    "far-future dispatch order" expect (List.rev !log);
+  check_float "clock at until" 7000. (Engine.now e);
+  Alcotest.(check int) "dispatched" 10 (Engine.dispatched e)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -413,11 +749,18 @@ let () =
             test_rng_exponential_mean;
           Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
           Alcotest.test_case "shuffle permutes" `Quick
-            test_rng_shuffle_permutes ] );
+            test_rng_shuffle_permutes;
+          Alcotest.test_case "keyed streams" `Quick test_rng_stream_keyed;
+          Alcotest.test_case "streams distinct" `Quick
+            test_rng_stream_distinct;
+          Alcotest.test_case "derive_seed" `Quick test_rng_derive_seed ] );
       ( "heap",
         [ Alcotest.test_case "order" `Quick test_heap_order;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
-          Alcotest.test_case "pop_min_exn" `Quick test_heap_pop_min_exn ]
+          Alcotest.test_case "pop_min_exn" `Quick test_heap_pop_min_exn;
+          Alcotest.test_case "pop releases slot" `Quick
+            test_heap_pop_releases;
+          Alcotest.test_case "shrinks after drain" `Quick test_heap_shrinks ]
         @ qsuite
             [ prop_heap_sorted; prop_heap_exn_matches_pop; prop_heap_model ]
       );
@@ -431,7 +774,11 @@ let () =
           Alcotest.test_case "periodic" `Quick test_engine_periodic;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "set_period" `Quick test_engine_set_period;
-          Alcotest.test_case "past raises" `Quick test_engine_past_raises ] );
+          Alcotest.test_case "past raises" `Quick test_engine_past_raises;
+          Alcotest.test_case "far future / overflow" `Quick
+            test_engine_far_future ] );
+      ( "scheduler equivalence",
+        qsuite [ prop_sched_equiv_dense; prop_sched_equiv_sparse ] );
       ( "metrics",
         [ Alcotest.test_case "counter" `Quick test_metrics_counter;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
