@@ -115,6 +115,39 @@ let sim_smoke () =
   let events = Array.fold_left (fun acc (e, _) -> acc + e) 0 sequential in
   (float_of_int events /. dt, deterministic)
 
+(* Observability smoke: the same heavy-hitter world run with tracing
+   disabled (the default — a single [None] branch per emission site) and
+   with a sink attached.  The simulation digest must be identical either
+   way (tracing is passive), and the wall-clock ratio is recorded so a
+   regression that makes the disabled path expensive shows up in the
+   report. *)
+let trace_smoke () =
+  let run ~traced =
+    let w = World.create ~seed:4242 ~spines:2 ~leaves:4 ~hosts_per_leaf:1 () in
+    let tr = Sim.Trace.create () in
+    if traced then Sim.Engine.set_tracer w.World.engine (Some tr);
+    (match World.deploy_catalog_task w "heavy-hitter" with
+    | Ok _ -> ()
+    | Error m -> failwith (Printf.sprintf "trace smoke deploy: %s" m));
+    World.background_traffic ~flows:32 w;
+    let t0 = Unix.gettimeofday () in
+    World.run ~until:1.0 w;
+    let dt = Unix.gettimeofday () -. t0 in
+    let seeder = w.World.seeder in
+    let digest =
+      Printf.sprintf "dispatched=%d now=%h collector=%h/%d"
+        (Sim.Engine.dispatched w.World.engine)
+        (World.now w)
+        (Runtime.Seeder.collector_bytes seeder)
+        (Runtime.Seeder.collector_messages seeder)
+    in
+    (digest, float_of_int (Sim.Engine.dispatched w.World.engine) /. dt,
+     Sim.Trace.count tr)
+  in
+  let d_off, eps_off, _ = run ~traced:false in
+  let d_on, eps_on, n_events = run ~traced:true in
+  (String.equal d_off d_on, eps_off, eps_on, n_events)
+
 let () =
   let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
   let source = (Tasks.Catalog.find "heavy-hitter").source in
@@ -146,6 +179,15 @@ let () =
   Printf.printf "  simulated %11.0f events/sec\n" sim_eps;
   Printf.printf "  sweep     %11s\n%!"
     (if sweep_deterministic then "deterministic" else "NONDETERMINISTIC");
+
+  let trace_inert, eps_off, eps_on, trace_events = trace_smoke () in
+  let trace_overhead_pct = 100. *. ((eps_off /. eps_on) -. 1.) in
+  Printf.printf "observability (heavy-hitter world, 1 s simulated):\n";
+  Printf.printf "  untraced  %11.0f events/sec\n" eps_off;
+  Printf.printf "  traced    %11.0f events/sec (%d trace events, %+.1f%%)\n"
+    eps_on trace_events trace_overhead_pct;
+  Printf.printf "  digests   %11s\n%!"
+    (if trace_inert then "identical" else "DIVERGED");
 
   let crashes = 30 in
   let seeder = mttr_bench ~crashes in
@@ -182,6 +224,13 @@ let () =
     \  \"speedup\": %.2f,\n\
     \  \"sim_events_per_sec\": %.1f,\n\
     \  \"sweep_deterministic\": %b,\n\
+    \  \"tracing\": {\n\
+    \    \"digest_parity\": %b,\n\
+    \    \"untraced_events_per_sec\": %.1f,\n\
+    \    \"traced_events_per_sec\": %.1f,\n\
+    \    \"trace_events\": %d,\n\
+    \    \"overhead_pct\": %.1f\n\
+    \  },\n\
     \  \"self_healing_mttr\": {\n\
     \    \"crash_episodes\": %d,\n\
     \    \"detection_samples\": %d,\n\
@@ -192,7 +241,8 @@ let () =
     \    \"checkpoint_ctrl_bytes\": %.0f\n\
     \  }\n\
      }\n"
-    interp_eps compiled_eps speedup sim_eps sweep_deterministic crashes
+    interp_eps compiled_eps speedup sim_eps sweep_deterministic trace_inert
+    eps_off eps_on trace_events trace_overhead_pct crashes
     (Histogram.count dl) d50 d95 d99
     dmax (Histogram.count rt) r50 r95 r99 rmax
     (Seeder.checkpoints_shipped seeder)
@@ -202,6 +252,11 @@ let () =
   if not sweep_deterministic then begin
     Printf.eprintf
       "FAIL: parallel sweep digests differ from the sequential run\n%!";
+    exit 1
+  end;
+  if not trace_inert then begin
+    Printf.eprintf
+      "FAIL: attaching a trace sink changed the simulation digest\n%!";
     exit 1
   end;
   if speedup < 3.0 then begin

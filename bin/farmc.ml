@@ -9,6 +9,9 @@
      farmc tasks                 list the built-in Table I catalog
      farmc run <task> [-d SECS]  simulate a catalog task under its workload
      farmc sweep <task> [-n N]   run N seeded replicas across a domain pool
+     farmc trace [task]          traced replay: Chrome trace_event JSON +
+                                 metrics snapshot (--check: determinism
+                                 self-test across replays and domain counts)
 
    All commands report problems as positioned diagnostics
    (file:line:col: severity[CODE]: message) on stderr. *)
@@ -411,10 +414,145 @@ let sweep_cmd =
        ~doc:"Run independent seeded replicas of a catalog task on a domain pool")
     Term.(const run $ task_arg $ runs_arg $ duration_arg $ domains_arg)
 
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let task_arg =
+    Arg.(value & pos 0 string "heavy-hitter" & info [] ~docv:"TASK")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1. & info [ "d"; "duration" ] ~docv:"SECONDS")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Chrome trace_event output file.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & opt string "metrics.json"
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics snapshot output file.")
+  in
+  let ring_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "ring" ] ~docv:"N"
+          ~doc:
+            "Keep only the last $(docv) events (flight-recorder mode); 0 \
+             keeps everything.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Determinism self-test instead of writing files: the traced \
+             event stream must be byte-identical across two replays and \
+             across 1 vs 4 sweep domains.  Exits non-zero on divergence.")
+  in
+  (* One traced replica.  The sink is attached before deploy so the seed
+     executors wire their handler-dispatch hooks; every event is stamped
+     with simulation time, so the emitted JSON is a pure function of
+     (task, seed, duration, ring). *)
+  let replica entry ~ring ~seed ~duration =
+    let world = World.create ~seed () in
+    let tr = Sim.Trace.create ~ring () in
+    Sim.Engine.set_tracer world.engine (Some tr);
+    match
+      Runtime.Seeder.deploy world.seeder (Tasks.Task_common.to_task_spec entry)
+    with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok _task ->
+        World.background_traffic ~flows:50 world;
+        let victim = Net.Ipaddr.of_string "10.2.1.9" in
+        Net.Traffic.syn_flood world.engine world.fabric world.rng
+          ~at:(duration /. 3.) ~duration:(duration /. 2.) ~victim
+          ~rate_per_source:200_000. ~sources:60;
+        let _ =
+          Net.Traffic.heavy_hitter world.engine world.fabric world.rng
+            ~at:(duration /. 3.) ~rate:2e7 ()
+        in
+        World.run ~until:duration world;
+        ( tr,
+          Sim.Trace.to_chrome_json tr,
+          Sim.Metrics.Registry.to_json (Sim.Engine.metrics world.engine) )
+  in
+  let run name duration out metrics_out ring seed check =
+    let entry =
+      try Tasks.Catalog.find name
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    in
+    if check then begin
+      (* replay determinism *)
+      let _, j1, m1 = replica entry ~ring ~seed ~duration in
+      let _, j2, m2 = replica entry ~ring ~seed ~duration in
+      let replay_ok = String.equal j1 j2 && String.equal m1 m2 in
+      Printf.printf "replay:  %s (%d bytes)\n"
+        (if replay_ok then "byte-identical" else "DIVERGED")
+        (String.length j1);
+      if not replay_ok then begin
+        (* keep the diverging streams around for post-mortem diffing *)
+        let dump path s =
+          let oc = open_out_bin path in
+          output_string oc s;
+          close_out oc
+        in
+        dump (out ^ ".replay1") (j1 ^ m1);
+        dump (out ^ ".replay2") (j2 ^ m2);
+        Printf.eprintf "diverging streams dumped to %s.replay{1,2}\n" out
+      end;
+      (* domain-count invariance: 4 replicas traced on 1 vs 4 domains *)
+      let sweep domains =
+        Sim.Sweep.run ~domains 4 (fun i ->
+            let seed = Sim.Rng.derive_seed seed ~stream:i in
+            let _, j, m = replica entry ~ring ~seed ~duration in
+            j ^ m)
+      in
+      let seq = sweep 1 and par = sweep 4 in
+      let domains_ok = seq = par in
+      Printf.printf "domains: %s (1 vs 4, %d replicas)\n"
+        (if domains_ok then "byte-identical" else "DIVERGED")
+        (Array.length seq);
+      if not (replay_ok && domains_ok) then exit 1
+    end
+    else begin
+      let tr, json, metrics = replica entry ~ring ~seed ~duration in
+      let write path s =
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc s)
+      in
+      write out json;
+      write metrics_out metrics;
+      Printf.printf
+        "traced %s for %.2fs: %d event(s)%s -> %s, metrics -> %s\n" name
+        duration (Sim.Trace.count tr)
+        (if Sim.Trace.dropped tr > 0 then
+           Printf.sprintf " (%d overwritten by --ring)" (Sim.Trace.dropped tr)
+         else "")
+        out metrics_out
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a catalog scenario with simulation-time tracing and write \
+          Chrome trace_event JSON (Perfetto-compatible) plus a metrics \
+          snapshot")
+    Term.(
+      const run $ task_arg $ duration_arg $ out_arg $ metrics_arg $ ring_arg
+      $ seed_arg $ check_arg)
+
 let () =
   let doc = "the Almanac compiler and FARM task driver" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "farmc" ~version:"1.0.0" ~doc)
           [ check_cmd; lint_cmd; format_cmd; compile_cmd; analyze_cmd;
-            tasks_cmd; run_cmd; sweep_cmd ]))
+            tasks_cmd; run_cmd; sweep_cmd; trace_cmd ]))

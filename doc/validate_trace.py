@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a `farmc trace` export against doc/trace_event.schema.json.
+
+Stdlib-only validator for the JSON Schema subset the schema uses
+(type, required, properties, items, enum, const, minimum, allOf,
+if/then) — CI must not install packages.
+
+Usage: validate_trace.py SCHEMA TRACE.json
+"""
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def check(schema, value, path, errors):
+    t = schema.get("type")
+    if t is not None:
+        py = TYPES[t]
+        ok = isinstance(value, py)
+        if t in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if t == "integer" and isinstance(value, float):
+            ok = value.is_integer()
+        if not ok:
+            errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(sub, value[key], f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(schema["items"], item, f"{path}[{i}]", errors)
+    for sub in schema.get("allOf", []):
+        check(sub, value, path, errors)
+    if "if" in schema:
+        probe = []
+        check(schema["if"], value, path, probe)
+        if not probe and "then" in schema:
+            check(schema["then"], value, path, errors)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        trace = json.load(f)
+    errors = []
+    check(schema, trace, "$", errors)
+    for e in errors[:50]:
+        print(f"::error::{e}")
+    n = len(trace.get("traceEvents", [])) if isinstance(trace, dict) else 0
+    if errors:
+        sys.exit(f"{sys.argv[2]}: {len(errors)} schema violation(s) in {n} event(s)")
+    print(f"{sys.argv[2]}: {n} event(s) conform to {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -192,14 +192,24 @@ let fire_id t id value =
   run_events t.env st.st_triggers.(id) value;
   apply_pending t
 
+let trace_fire t name =
+  match t.host.Host.h_trace with
+  | None -> ()
+  | Some f -> f name t.c.c_states.(t.env.Compile.state).st_name
+
 let fire_trigger t name value =
   match Hashtbl.find_opt t.c.c_trig_ids name with
-  | Some id -> fire_id t id value
+  | Some id ->
+      trace_fire t name;
+      fire_id t id value
   | None -> apply_pending t
 
 let prepare_trigger t name =
   match Hashtbl.find_opt t.c.c_trig_ids name with
-  | Some id -> fun value -> fire_id t id value
+  | Some id ->
+      fun value ->
+        trace_fire t name;
+        fire_id t id value
   | None -> fun _ -> apply_pending t
 
 let value_matches_typ (v : Value.t) (ty : Ast.typ) =

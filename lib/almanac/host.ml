@@ -23,6 +23,7 @@ type host = {
   h_builtin : string -> (Value.t list -> Value.t) option;
   h_on_transit : string -> string -> unit;
   h_log : string -> unit;
+  h_trace : (string -> string -> unit) option;
 }
 
 let null_host =
@@ -32,4 +33,5 @@ let null_host =
     h_set_trigger = (fun _ _ _ -> ());
     h_builtin = (fun _ -> None);
     h_on_transit = (fun _ _ -> ());
-    h_log = (fun _ -> ()) }
+    h_log = (fun _ -> ());
+    h_trace = None }

@@ -33,6 +33,11 @@ type host = {
           built-ins *)
   h_on_transit : string -> string -> unit;  (** old state, new state *)
   h_log : string -> unit;
+  h_trace : (string -> string -> unit) option;
+      (** observability hook, called by both engines on trigger dispatch
+          with (trigger name, current state).  [None] (the default)
+          costs a single branch on the hot path; the FARM runtime wires
+          [Some] to the engine's simulation-time trace sink. *)
 }
 
 (** A do-nothing host for pure tests. *)

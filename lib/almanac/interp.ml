@@ -18,6 +18,7 @@ type host = Host.host = {
   h_builtin : string -> (Value.t list -> Value.t) option;
   h_on_transit : string -> string -> unit;
   h_log : string -> unit;
+  h_trace : (string -> string -> unit) option;
 }
 
 let null_host = Host.null_host
@@ -397,6 +398,7 @@ let start t =
   end
 
 let fire_trigger t name value =
+  (match t.host.h_trace with None -> () | Some f -> f name t.state);
   let key = "var:" ^ name in
   let evs = applicable_events t key in
   List.iter

@@ -32,6 +32,8 @@ type host = Host.host = {
           built-ins *)
   h_on_transit : string -> string -> unit;  (** old state, new state *)
   h_log : string -> unit;
+  h_trace : (string -> string -> unit) option;
+      (** trigger-dispatch observability hook; see {!Host.host} *)
 }
 
 (** A do-nothing host for pure tests. *)

@@ -27,6 +27,7 @@ module Sim = struct
   module Heap = Farm_sim.Heap
   module Engine = Farm_sim.Engine
   module Metrics = Farm_sim.Metrics
+  module Trace = Farm_sim.Trace
   module Sweep = Farm_sim.Sweep
 end
 

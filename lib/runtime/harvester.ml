@@ -29,13 +29,27 @@ type t = {
   fences : (int, int) Hashtbl.t;
   seen : (int, Ipc.Dedup.t) Hashtbl.t;  (* per-seed seqs of the fence epoch *)
   mutable prov_log : (float * provenance) list;  (* accepted, newest first *)
+  mutable n_received : int;  (* = List.length log, kept O(1) *)
   mutable stale_dropped : int;
   mutable dup_dropped : int;
+  mutable tracer : Farm_sim.Trace.t option;  (* wired by the seeder *)
 }
 
 let create spec ctx =
   { spec; ctx; log = []; fences = Hashtbl.create 16; seen = Hashtbl.create 16;
-    prov_log = []; stale_dropped = 0; dup_dropped = 0 }
+    prov_log = []; n_received = 0; stale_dropped = 0; dup_dropped = 0;
+    tracer = None }
+
+let set_tracer t tr = t.tracer <- tr
+
+let metrics_register t reg ~prefix =
+  let g name f =
+    Farm_sim.Metrics.Registry.gauge_fn reg (prefix ^ name)
+      (fun () -> float_of_int (f ()))
+  in
+  g "received" (fun () -> t.n_received);
+  g "stale_dropped" (fun () -> t.stale_dropped);
+  g "dup_dropped" (fun () -> t.dup_dropped)
 
 let start t = t.spec.on_start t.ctx
 
@@ -77,16 +91,24 @@ let admit t p =
 
 let handle ?provenance t ~from_switch v =
   let accept = match provenance with None -> true | Some p -> admit t p in
+  (match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Farm_sim.Trace.instant tr ~ts:(t.ctx.now ()) ~cat:"harvester"
+        ~name:(if accept then "report" else "report_dropped")
+        ~tid:from_switch ())
+  ;
   if accept then begin
     (match provenance with
     | Some p -> t.prov_log <- (t.ctx.now (), p) :: t.prov_log
     | None -> ());
     t.log <- (t.ctx.now (), from_switch, v) :: t.log;
+    t.n_received <- t.n_received + 1;
     t.spec.on_message t.ctx ~from_switch v
   end
 
 let received t = t.log
-let received_count t = List.length t.log
+let received_count t = t.n_received
 let accepted_provenance t = t.prov_log
 let stale_dropped t = t.stale_dropped
 let dup_dropped t = t.dup_dropped

@@ -27,6 +27,16 @@ type t
 val create : spec -> ctx -> t
 val start : t -> unit
 
+(** Attach (or detach) a trace sink: every inbound report then emits an
+    instant event (category ["harvester"], accepted or dropped).  Wired
+    by the seeder from [Engine.tracer] at deploy time. *)
+val set_tracer : t -> Farm_sim.Trace.t option -> unit
+
+(** Publish this harvester's accounting (received / stale_dropped /
+    dup_dropped) as callback gauges under [prefix] in [reg]. *)
+val metrics_register :
+  t -> Farm_sim.Metrics.Registry.t -> prefix:string -> unit
+
 (** Report provenance: which seed {e instance} produced it.  [p_epoch] is
     the seed's instance epoch (bumped by the seeder on every
     (re)instantiation — deploy, migration, failure recovery); [p_seq] is a

@@ -5,6 +5,8 @@ module Aengine = Farm_almanac.Engine
 module Analysis = Farm_almanac.Analysis
 module Filter = Farm_net.Filter
 module Tcam = Farm_net.Tcam
+module Sengine = Farm_sim.Engine
+module Trace = Farm_sim.Trace
 
 type t = {
   sid : int;
@@ -204,10 +206,33 @@ let deploy ~soil ~program ~machine ?(engine = `Compiled) ?(externals = [])
                   Some (fun _ -> Value.Num (float_of_int (Soil.node_id soil)))
               | _ -> None));
       h_on_transit =
-        (fun _ _ ->
+        (fun old_st new_st ->
           t.transitions <- t.transitions + 1;
-          Soil.charge_cpu soil (Soil.config soil).cpu.handler_base_cost);
-      h_log = (fun _ -> ()) }
+          Soil.charge_cpu soil (Soil.config soil).cpu.handler_base_cost;
+          match Sengine.tracer (Soil.engine soil) with
+          | None -> ()
+          | Some tr ->
+              Trace.instant tr ~ts:(Soil.now soil) ~cat:"seed.transit"
+                ~name:(old_st ^ "->" ^ new_st) ~tid:(Soil.node_id soil)
+                ~args:[ ("seed", Trace.I seed_id) ]
+                ());
+      h_log = (fun _ -> ());
+      (* Wired only when a trace sink is attached at deploy time, so
+         untraced runs keep the engines' [None] fast path (one branch
+         per trigger fire). *)
+      h_trace =
+        (match Sengine.tracer (Soil.engine soil) with
+        | None -> None
+        | Some _ ->
+            Some
+              (fun trig st ->
+                match Sengine.tracer (Soil.engine soil) with
+                | None -> ()
+                | Some tr ->
+                    Trace.instant tr ~ts:(Soil.now soil) ~cat:"seed.handler"
+                      ~name:trig ~tid:(Soil.node_id soil)
+                      ~args:[ ("seed", Trace.I seed_id); ("state", Trace.S st) ]
+                      ())) }
   in
   let i = Aengine.create ~engine ~externals ~program ~machine host in
   t.inst <- Some i;

@@ -1,5 +1,6 @@
 module Engine = Farm_sim.Engine
 module Metrics = Farm_sim.Metrics
+module Trace = Farm_sim.Trace
 module Value = Farm_almanac.Value
 module Ast = Farm_almanac.Ast
 module Parser = Farm_almanac.Parser
@@ -263,6 +264,20 @@ let seed_on t task ~machine ~node =
 (* Message routing                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Control-plane trace instant, elided to one branch when no sink is
+   attached.  [tid] 0 = the seeder's own track. *)
+let trace_instant t ~name args =
+  match Engine.tracer t.engine with
+  | None -> ()
+  | Some tr ->
+      Trace.instant tr ~ts:(Engine.now t.engine) ~cat:"seeder" ~name ~args ()
+
+let trace_span t ~name ~dur args =
+  match Engine.tracer t.engine with
+  | None -> ()
+  | Some tr ->
+      Trace.span tr ~ts:(Engine.now t.engine) ~dur ~cat:"seeder" ~name ~args ()
+
 (* Unicast over the (possibly degraded) control plane.  [deliver] runs at
    the receiver and reports whether the recipient took the message
    ([`Delivered]), is temporarily away — migrating or being re-placed — and
@@ -275,12 +290,16 @@ let rec control_send t ?(tries = 0) deliver =
   let resend () =
     if tries < t.cfg.max_retries then begin
       t.retransmissions <- t.retransmissions + 1;
+      trace_instant t ~name:"ctrl_retry" [ ("try", Trace.I (tries + 1)) ];
       let backoff = t.cfg.retry_backoff *. (2. ** float_of_int tries) in
       Engine.schedule t.engine
         ~delay:(t.cfg.control_latency +. c.delay +. backoff)
         (fun _ -> control_send t ~tries:(tries + 1) deliver)
     end
-    else t.lost_messages <- t.lost_messages + 1
+    else begin
+      t.lost_messages <- t.lost_messages + 1;
+      trace_instant t ~name:"ctrl_lost" []
+    end
   in
   let lost =
     c.loss > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.loss
@@ -290,6 +309,7 @@ let rec control_send t ?(tries = 0) deliver =
     let dup =
       c.dup > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.dup
     in
+    trace_span t ~name:"ctrl_send" ~dur:(t.cfg.control_latency +. c.delay) [];
     Engine.schedule t.engine ~delay:(t.cfg.control_latency +. c.delay)
       (fun _ ->
         match deliver () with
@@ -463,6 +483,9 @@ let ship_checkpoint t (r : reg) =
       Soil.charge_cpu (Seed_exec.soil exec) (2e-6 +. (bytes *. 5e-9));
       (* shipping it competes for control-channel bandwidth *)
       let extra = bytes *. 8. /. t.cfg.ctrl_bandwidth_bps in
+      trace_span t ~name:"checkpoint"
+        ~dur:(t.cfg.control_latency +. extra)
+        [ ("seed", Trace.I r.r_spec.seed_id); ("bytes", Trace.F bytes) ];
       oneshot_send t ~extra (fun () -> receive_checkpoint t r ck)
 
 let start_ck_timer t r =
@@ -504,6 +527,9 @@ let instantiate t (r : reg) (a : Model.assignment) ~restore =
   r.r_exec <- Some exec;
   r.r_next_ck <- 0;
   r.r_last_shipped <- None;
+  trace_instant t ~name:"instantiate"
+    [ ("seed", Trace.I r.r_spec.seed_id); ("node", Trace.I a.a_node);
+      ("epoch", Trace.I r.r_epoch) ];
   (match r.r_task.harvester with
   | Some h -> Harvester.fence h ~seed_id:r.r_spec.seed_id ~epoch:r.r_epoch
   | None -> ());
@@ -528,6 +554,10 @@ let apply_placement t (placement : Model.placement) =
       | Some exec, Some a when Seed_exec.node exec <> a.a_node ->
           (* migrate: snapshot, transfer state, resume at the target *)
           let snapshot = Seed_exec.snapshot exec in
+          trace_span t ~name:"migrate" ~dur:t.cfg.migration_time
+            [ ("seed", Trace.I seed_id);
+              ("from", Trace.I (Seed_exec.node exec));
+              ("to", Trace.I a.a_node) ];
           retire_exec r;
           r.r_migrating <- true;
           t.migration_count <- t.migration_count + 1;
@@ -618,6 +648,7 @@ let heal_replace t ~affected =
 let declare_failed t node =
   let now = Engine.now t.engine in
   t.detections <- t.detections + 1;
+  trace_instant t ~name:"declare_failed" [ ("node", Trace.I node) ];
   (match Hashtbl.find_opt t.down node with
   | Some t0 -> Metrics.Histogram.record t.detection_latency (now -. t0)
   | None -> t.false_detections <- t.false_detections + 1);
@@ -701,6 +732,7 @@ let on_heartbeat t node =
 let beat t node =
   if not (Hashtbl.mem t.down node) then begin
     t.heartbeats_sent <- t.heartbeats_sent + 1;
+    trace_instant t ~name:"heartbeat" [ ("node", Trace.I node) ];
     oneshot_send t (fun () -> on_heartbeat t node)
   end
 
@@ -747,6 +779,7 @@ let create ?(config = default_config) engine fabric =
       Hashtbl.replace soils (Switch_model.id sw)
         (Soil.create ~config:config.soil_config engine sw))
     (Fabric.switch_models fabric);
+  let reg = Engine.metrics engine in
   let t =
     { engine; fabric; cfg = config; soils; failed = Hashtbl.create 4;
       down = Hashtbl.create 4; last_crash = Hashtbl.create 4;
@@ -754,20 +787,38 @@ let create ?(config = default_config) engine fabric =
       registry = Hashtbl.create 64;
       next_seed = 0; next_task = 0; next_msg = 0; assignments = [];
       migration_count = 0;
-      collector_bytes = Metrics.Counter.create ();
+      collector_bytes = Metrics.Registry.counter reg "seeder.collector.bytes";
       collector_messages = 0;
       ctrl = perfect_ctrl;
       ctrl_rng = lazy (Farm_sim.Rng.split (Engine.rng engine));
       retransmissions = 0; lost_messages = 0; reported_utility = 0.;
       profiles = []; last_diags = []; zombies = [];
-      detection_latency = Metrics.Histogram.create ();
-      recovery_time = Metrics.Histogram.create ();
-      checkpoint_bytes = Metrics.Counter.create ();
+      detection_latency =
+        Metrics.Registry.histogram reg "seeder.detection_latency";
+      recovery_time = Metrics.Registry.histogram reg "seeder.recovery_time";
+      checkpoint_bytes =
+        Metrics.Registry.counter reg "seeder.checkpoint.bytes";
       heartbeats_sent = 0; heartbeats_delivered = 0;
       checkpoints_shipped = 0; checkpoint_gaps = 0; detections = 0;
       false_detections = 0; auto_recoveries = 0; zombies_fenced = 0;
       fenced_sends = 0 }
   in
+  (* publish the plain mutable counters as callback gauges, sampled at
+     snapshot time — no extra work on the hot paths that bump them *)
+  let g name f = Metrics.Registry.gauge_fn reg name (fun () -> float_of_int (f ())) in
+  g "seeder.heartbeats.sent" (fun () -> t.heartbeats_sent);
+  g "seeder.heartbeats.delivered" (fun () -> t.heartbeats_delivered);
+  g "seeder.checkpoints.shipped" (fun () -> t.checkpoints_shipped);
+  g "seeder.checkpoints.gaps" (fun () -> t.checkpoint_gaps);
+  g "seeder.detections" (fun () -> t.detections);
+  g "seeder.detections.false" (fun () -> t.false_detections);
+  g "seeder.recoveries.auto" (fun () -> t.auto_recoveries);
+  g "seeder.zombies.fenced" (fun () -> t.zombies_fenced);
+  g "seeder.sends.fenced" (fun () -> t.fenced_sends);
+  g "seeder.control.retransmissions" (fun () -> t.retransmissions);
+  g "seeder.control.lost" (fun () -> t.lost_messages);
+  g "seeder.migrations" (fun () -> t.migration_count);
+  g "seeder.collector.messages" (fun () -> t.collector_messages);
   if config.auto_heal then install_healing t;
   t
 
@@ -927,6 +978,9 @@ let deploy t spec =
         log = (fun _ -> ()) }
     in
     let h = Harvester.create spec.ts_harvester ctx in
+    Harvester.set_tracer h (Engine.tracer t.engine);
+    Harvester.metrics_register h (Engine.metrics t.engine)
+      ~prefix:(Printf.sprintf "harvester.task%d." task.task_id);
     task.harvester <- Some h;
     reoptimize t;
     if not task.placed then begin

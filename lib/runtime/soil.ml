@@ -1,4 +1,6 @@
 module Engine = Farm_sim.Engine
+module Metrics = Farm_sim.Metrics
+module Trace = Farm_sim.Trace
 module Filter = Farm_net.Filter
 module Switch_model = Farm_net.Switch_model
 module Tcam = Farm_net.Tcam
@@ -56,12 +58,14 @@ type t = {
   mutable groups : group list;
   (* PCIe bus scheduling *)
   mutable pcie_free_at : float;
-  mutable requested : int;
-  mutable completed : int;
-  mutable dropped : int;
-  mutable pcie_bytes : float;
-  mutable asic_polls : int;
-  latency : Farm_sim.Metrics.Histogram.t;
+  (* poll accounting, published in the engine registry under
+     [soil.<node>.*] *)
+  requested : Metrics.Counter.t;
+  completed : Metrics.Counter.t;
+  dropped : Metrics.Counter.t;
+  pcie_bytes : Metrics.Counter.t;
+  asic_polls : Metrics.Counter.t;
+  latency : Metrics.Histogram.t;
       (* seed-observed delivery latency: ASIC read issue -> handler *)
   (* counter fault injection (Fault.Counter_freeze / Counter_glitch) *)
   mutable frozen : bool;
@@ -70,11 +74,16 @@ type t = {
 }
 
 let create ?(config = default_config) engine sw =
+  let reg = Engine.metrics engine in
+  let pre = Printf.sprintf "soil.%d." (Switch_model.id sw) in
+  let c name = Metrics.Registry.counter reg (pre ^ name) in
   { engine; sw; cfg = config; usage = Cpu_model.usage ();
     rng = Farm_sim.Rng.split (Engine.rng engine); seeds = [];
-    next_sub = 0; groups = []; pcie_free_at = 0.; requested = 0;
-    completed = 0; dropped = 0; pcie_bytes = 0.; asic_polls = 0;
-    latency = Farm_sim.Metrics.Histogram.create ();
+    next_sub = 0; groups = []; pcie_free_at = 0.;
+    requested = c "polls.requested"; completed = c "polls.completed";
+    dropped = c "polls.dropped"; pcie_bytes = c "pcie.bytes";
+    asic_polls = c "asic.polls";
+    latency = Metrics.Registry.histogram reg (pre ^ "delivery_latency");
     frozen = false; frozen_cache = []; glitch_budget = 0 }
 
 let node_id t = Switch_model.id t.sw
@@ -123,12 +132,21 @@ let pcie_transfer t ~bytes k =
     let dur = bytes *. 8. /. caps.pcie_bps in
     t.pcie_free_at <- start +. dur;
     let completion = start +. dur in
+    (match Engine.tracer t.engine with
+    | None -> ()
+    | Some tr ->
+        (* span covers queueing + transfer: starts when the poll was
+           issued, ends at bus completion *)
+        Trace.span tr ~ts:now ~dur:(completion -. now) ~cat:"soil.pcie"
+          ~name:"transfer" ~tid:(Switch_model.id t.sw)
+          ~args:[ ("bytes", Trace.F bytes) ]
+          ());
     Engine.schedule t.engine
       ~delay:(completion -. now)
       (fun engine ->
         (* account the transfer when it completes, so byte counters over a
            window reflect achieved (not queued) throughput *)
-        t.pcie_bytes <- t.pcie_bytes +. bytes;
+        Metrics.Counter.add t.pcie_bytes bytes;
         k engine);
     true
   end
@@ -139,10 +157,15 @@ let ipc_deliver ?issued t f =
   charge_cpu t (Ipc.cpu_cost t.cfg.scheme t.cfg.exec_model);
   if t.cfg.exec_model = Ipc.Processes then
     charge_cpu t t.cfg.cpu.context_switch_cost;
+  (match Engine.tracer t.engine with
+  | None -> ()
+  | Some tr ->
+      Trace.span tr ~ts:(Engine.now t.engine) ~dur:lat ~cat:"soil.ipc"
+        ~name:"deliver" ~tid:(Switch_model.id t.sw) ());
   Engine.schedule t.engine ~delay:lat (fun engine ->
       (match issued with
       | Some t0 ->
-          Farm_sim.Metrics.Histogram.record t.latency (Engine.now engine -. t0)
+          Metrics.Histogram.record t.latency (Engine.now engine -. t0)
       | None -> ());
       f ())
 
@@ -190,9 +213,18 @@ let read_counters t subject =
 (* Issue one ASIC poll for [subject] and deliver the result to [subs]. *)
 let issue_poll t subject subs =
   let issued = Engine.now t.engine in
-  t.requested <- t.requested + List.length subs;
+  Metrics.Counter.add t.requested (float_of_int (List.length subs));
   charge_cpu t t.cfg.cpu.poll_issue_cost;
-  t.asic_polls <- t.asic_polls + 1;
+  Metrics.Counter.incr t.asic_polls;
+  (match Engine.tracer t.engine with
+  | None -> ()
+  | Some tr ->
+      Trace.instant tr ~ts:issued ~cat:"soil" ~name:"asic_poll"
+        ~tid:(Switch_model.id t.sw)
+        ~args:
+          [ ("subject", Trace.S (Format.asprintf "%a" Filter.pp_subject subject));
+            ("subs", Trace.I (List.length subs)) ]
+        ());
   let bytes = poll_payload t subject in
   (* the ASIC snapshots the counters when the read is issued; the data
      then crosses the PCIe bus *)
@@ -209,14 +241,15 @@ let issue_poll t subject subs =
               charge_cpu t t.cfg.cpu.poll_process_cost;
               if t.cfg.aggregate_polls then
                 charge_cpu t t.cfg.cpu.aggregation_cost;
-              t.completed <- t.completed + 1;
+              Metrics.Counter.incr t.completed;
               match sub.kind with
               | Poll p -> ipc_deliver ~issued t (fun () -> p.deliver data)
               | Probe _ | Time _ -> ()
             end)
           subs)
   in
-  if not ok then t.dropped <- t.dropped + List.length subs
+  if not ok then
+    Metrics.Counter.add t.dropped (float_of_int (List.length subs))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregated polling groups                                           *)
@@ -273,18 +306,18 @@ let subscribe_probe t ~seed_id ~filter ~period deliver =
   let sub = fresh_sub t ~seed_id ~period (Probe { filter; deliver }) in
   let tick _ =
     (* sampling mirrors one packet over the PCIe bus *)
-    t.requested <- t.requested + 1;
+    Metrics.Counter.incr t.requested;
     match Switch_model.sample_packet t.sw t.rng with
     | Some pkt when Filter.matches filter pkt.tuple ->
         charge_cpu t t.cfg.cpu.sample_cost;
         let ok =
           pcie_transfer t ~bytes:(float_of_int pkt.size) (fun _ ->
               if sub.active then begin
-                t.completed <- t.completed + 1;
+                Metrics.Counter.incr t.completed;
                 ipc_deliver t (fun () -> deliver pkt)
               end)
         in
-        if not ok then t.dropped <- t.dropped + 1
+        if not ok then Metrics.Counter.incr t.dropped
     | Some _ | None -> ()
   in
   sub.timer <- Some (Engine.every t.engine ~period tick);
@@ -351,16 +384,18 @@ let get_tcam_rule t ~pattern =
 (* ------------------------------------------------------------------ *)
 
 let poll_stats t =
-  { requested = t.requested; completed = t.completed; dropped = t.dropped;
-    pcie_bytes = t.pcie_bytes; asic_polls = t.asic_polls }
+  let i c = int_of_float (Metrics.Counter.value c) in
+  { requested = i t.requested; completed = i t.completed;
+    dropped = i t.dropped; pcie_bytes = Metrics.Counter.value t.pcie_bytes;
+    asic_polls = i t.asic_polls }
 
 let delivery_latency t = t.latency
 
 let reset_stats t =
-  Farm_sim.Metrics.Histogram.reset t.latency;
-  t.requested <- 0;
-  t.completed <- 0;
-  t.dropped <- 0;
-  t.pcie_bytes <- 0.;
-  t.asic_polls <- 0;
+  Metrics.Histogram.reset t.latency;
+  Metrics.Counter.reset t.requested;
+  Metrics.Counter.reset t.completed;
+  Metrics.Counter.reset t.dropped;
+  Metrics.Counter.reset t.pcie_bytes;
+  Metrics.Counter.reset t.asic_polls;
   Cpu_model.reset t.usage

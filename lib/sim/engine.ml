@@ -73,6 +73,12 @@ type t = {
   nil : cell;                          (* per-engine list terminator *)
   mutable free : cell;                 (* one-shot cell freelist *)
   mutable free_len : int;
+  (* observability: a per-engine trace sink (None = tracing disabled,
+     one branch per dispatch) and the named-metric registry components
+     publish into.  Per-engine — never global — so parallel sweeps stay
+     deterministic and isolated. *)
+  mutable tracer : Trace.t option;
+  metrics : Metrics.Registry.t;
 }
 
 (* A queued event.  Periodic timers *are* their cell: re-arming just
@@ -167,12 +173,16 @@ let create ?(seed = 42) () =
     slots = Array.init levels (fun _ -> Array.make wheel_slots nil);
     bitmaps = Array.make levels 0;
     ready = cheap_create nil; overflow = cheap_create nil; nil;
-    free = nil; free_len = 0 }
+    free = nil; free_len = 0;
+    tracer = None; metrics = Metrics.Registry.create () }
 
 let now t = t.clock
 let rng t = t.root_rng
 let dispatched t = t.dispatched
 let pending t = t.pending
+let tracer t = t.tracer
+let set_tracer t tr = t.tracer <- tr
+let metrics t = t.metrics
 
 (* ------------------------------------------------------------------ *)
 (* Insertion                                                           *)
@@ -366,6 +376,11 @@ let run ?until t =
             if c.period = 0. then free_cell t c
           end
           else begin
+            (match t.tracer with
+            | None -> ()
+            | Some tr ->
+                Trace.instant tr ~ts:c.time ~cat:"engine" ~name:"dispatch"
+                  ~args:[ ("seq", Trace.I c.seq) ] ());
             c.cb t;
             if c.period > 0. then begin
               if not c.cancelled then arm t c (c.time +. c.period)

@@ -51,3 +51,23 @@ val dispatched : t -> int
 
 (** Number of events currently queued (periodic timers count once). *)
 val pending : t -> int
+
+(** {2 Observability}
+
+    Each engine owns a {!Metrics.Registry} that components publish named
+    metrics into, and an optional {!Trace} sink.  With the sink unset
+    (the default) every trace hook in the stack is a single
+    [match ... with None] branch — near-zero cost.  With a sink attached
+    the engine emits an instant event per dispatched callback, and
+    soils, seeds, the seeder and harvesters emit spans stamped with
+    simulation time (never wall clock), so traces are byte-identical
+    across replays and across {!Sweep} domain counts. *)
+
+(** The engine's trace sink, if any. *)
+val tracer : t -> Trace.t option
+
+(** Attach ([Some sink]) or detach ([None]) the trace sink. *)
+val set_tracer : t -> Trace.t option -> unit
+
+(** The engine's named-metric registry. *)
+val metrics : t -> Metrics.Registry.t

@@ -8,7 +8,21 @@ module Counter = struct
   let reset t = t.v <- 0.
 end
 
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0. }
+  let set t x = t.v <- x
+  let add t x = t.v <- t.v +. x
+  let value t = t.v
+  let reset t = t.v <- 0.
+end
+
 module Histogram = struct
+  (* Invariant: slots [n .. cap-1] of [xs] always hold [infinity], so
+     [ensure_sorted] can sort the whole backing array in place — the
+     padding stays at the tail — instead of copying out a sub-array on
+     every re-sort. *)
   type t = { mutable xs : float array; mutable n : int; mutable sorted : bool }
 
   let create () = { xs = [||]; n = 0; sorted = true }
@@ -16,7 +30,7 @@ module Histogram = struct
   let record t x =
     if t.n = Array.length t.xs then begin
       let cap = Stdlib.max 16 (2 * t.n) in
-      let a = Array.make cap 0. in
+      let a = Array.make cap infinity in
       Array.blit t.xs 0 a 0 t.n;
       t.xs <- a
     end;
@@ -39,12 +53,12 @@ module Histogram = struct
 
   let ensure_sorted t =
     if not t.sorted then begin
-      let a = Array.sub t.xs 0 t.n in
-      Array.sort Float.compare a;
-      Array.blit a 0 t.xs 0 t.n;
+      Array.sort Float.compare t.xs;
       t.sorted <- true
     end
 
+  (* Linear interpolation between closest ranks: rank = p/100 * (n-1),
+     value = xs.(floor rank) blended with xs.(ceil rank). *)
   let percentile t p =
     if t.n = 0 then 0.
     else begin
@@ -58,6 +72,7 @@ module Histogram = struct
     end
 
   let reset t =
+    Array.fill t.xs 0 (Array.length t.xs) infinity;
     t.n <- 0;
     t.sorted <- true
 end
@@ -74,4 +89,117 @@ module Busy = struct
     if span <= 0. then 0. else t.busy /. span
 
   let reset t = t.busy <- 0.
+end
+
+module Registry = struct
+  type metric =
+    | Counter of Counter.t
+    | Gauge of Gauge.t
+    | Gauge_fn of (unit -> float)
+    | Histogram of Histogram.t
+
+  type t = { tbl : (string, metric) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 64 }
+
+  let kind = function
+    | Counter _ -> "counter"
+    | Gauge _ -> "gauge"
+    | Gauge_fn _ -> "gauge"
+    | Histogram _ -> "histogram"
+
+  let clash name existing wanted =
+    invalid_arg
+      (Printf.sprintf "Metrics.Registry: %S already registered as a %s (wanted %s)" name
+         (kind existing) wanted)
+
+  let counter t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Counter c) -> c
+    | Some m -> clash name m "counter"
+    | None ->
+        let c = Counter.create () in
+        Hashtbl.replace t.tbl name (Counter c);
+        c
+
+  let gauge t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Gauge g) -> g
+    | Some m -> clash name m "gauge"
+    | None ->
+        let g = Gauge.create () in
+        Hashtbl.replace t.tbl name (Gauge g);
+        g
+
+  (* Callback gauges let components publish existing private fields
+     without restructuring them; re-registering the same name swaps the
+     callback (newest owner wins, e.g. after a world rebuild). *)
+  let gauge_fn t name f =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Gauge_fn _) | None -> Hashtbl.replace t.tbl name (Gauge_fn f)
+    | Some m -> clash name m "gauge"
+
+  let histogram t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Histogram h) -> h
+    | Some m -> clash name m "histogram"
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.replace t.tbl name (Histogram h);
+        h
+
+  let find t name = Hashtbl.find_opt t.tbl name
+
+  let names t =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort String.compare
+
+  let value t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Counter c) -> Some (Counter.value c)
+    | Some (Gauge g) -> Some (Gauge.value g)
+    | Some (Gauge_fn f) -> Some (f ())
+    | Some (Histogram h) -> Some (Histogram.mean h)
+    | None -> None
+
+  let fnum f =
+    (* Integral floats (the common case for counters) print without a
+       fractional part; everything else gets round-trippable precision. *)
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_json t =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\n";
+    let ns = names t in
+    List.iteri
+      (fun i name ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (Printf.sprintf "  %S: " name);
+        match Hashtbl.find t.tbl name with
+        | Counter c ->
+            Buffer.add_string b
+              (Printf.sprintf "{\"type\": \"counter\", \"value\": %s}" (fnum (Counter.value c)))
+        | Gauge g ->
+            Buffer.add_string b
+              (Printf.sprintf "{\"type\": \"gauge\", \"value\": %s}" (fnum (Gauge.value g)))
+        | Gauge_fn f ->
+            Buffer.add_string b
+              (Printf.sprintf "{\"type\": \"gauge\", \"value\": %s}" (fnum (f ())))
+        | Histogram h ->
+            let n = Histogram.count h in
+            if n = 0 then
+              Buffer.add_string b "{\"type\": \"histogram\", \"count\": 0}"
+            else
+              Buffer.add_string b
+                (Printf.sprintf
+                   "{\"type\": \"histogram\", \"count\": %d, \"mean\": %s, \"min\": %s, \
+                    \"max\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}"
+                   n (fnum (Histogram.mean h)) (fnum (Histogram.min h))
+                   (fnum (Histogram.max h))
+                   (fnum (Histogram.percentile h 50.))
+                   (fnum (Histogram.percentile h 95.))
+                   (fnum (Histogram.percentile h 99.))))
+      ns;
+    Buffer.add_string b "\n}\n";
+    Buffer.contents b
 end

@@ -1,0 +1,166 @@
+(* Deterministic structured tracing.  Events are stamped with simulation
+   time only — never wall clock — so a traced run is byte-identical
+   across replays and across [Sweep] domain counts.  A sink is owned by
+   one engine (no global mutable state), which is what makes the
+   domain-count invariance hold by construction. *)
+
+type arg = S of string | I of int | F of float
+
+type phase =
+  | Span of float  (** complete span: payload is the duration, seconds *)
+  | Instant
+  | Counter of float
+
+type event = {
+  ts : float;  (** simulation time, seconds *)
+  cat : string;
+  name : string;
+  tid : int;
+  ph : phase;
+  args : (string * arg) list;
+}
+
+let null_event = { ts = 0.; cat = ""; name = ""; tid = 0; ph = Instant; args = [] }
+
+type t = {
+  ring : int;  (* 0 = unbounded append buffer; >0 = flight-recorder ring *)
+  mutable buf : event array;
+  mutable len : int;  (* valid events in [buf] *)
+  mutable head : int;  (* ring read position (oldest event) *)
+  mutable dropped : int;  (* events overwritten by the ring *)
+}
+
+let create ?(ring = 0) () =
+  if ring < 0 then invalid_arg "Trace.create: negative ring";
+  let cap = if ring > 0 then ring else 1024 in
+  { ring; buf = Array.make cap null_event; len = 0; head = 0; dropped = 0 }
+
+let count t = t.len
+let dropped t = t.dropped
+
+let clear t =
+  t.len <- 0;
+  t.head <- 0;
+  t.dropped <- 0
+
+let emit t ev =
+  if t.ring > 0 then
+    if t.len < t.ring then begin
+      t.buf.((t.head + t.len) mod t.ring) <- ev;
+      t.len <- t.len + 1
+    end
+    else begin
+      (* full: overwrite the oldest event *)
+      t.buf.(t.head) <- ev;
+      t.head <- (t.head + 1) mod t.ring;
+      t.dropped <- t.dropped + 1
+    end
+  else begin
+    if t.len = Array.length t.buf then begin
+      let a = Array.make (2 * t.len) null_event in
+      Array.blit t.buf 0 a 0 t.len;
+      t.buf <- a
+    end;
+    t.buf.(t.len) <- ev;
+    t.len <- t.len + 1
+  end
+
+let instant t ~ts ~cat ~name ?(tid = 0) ?(args = []) () =
+  emit t { ts; cat; name; tid; ph = Instant; args }
+
+let span t ~ts ~dur ~cat ~name ?(tid = 0) ?(args = []) () =
+  emit t { ts; cat; name; tid; ph = Span dur; args }
+
+let counter t ~ts ~cat ~name ~value ?(tid = 0) () =
+  emit t { ts; cat; name; tid; ph = Counter value; args = [] }
+
+let events t =
+  List.init t.len (fun i ->
+      if t.ring > 0 then t.buf.((t.head + i) mod t.ring) else t.buf.(i))
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (if t.ring > 0 then t.buf.((t.head + i) mod t.ring) else t.buf.(i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON (Perfetto-compatible)                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Microseconds with fixed sub-microsecond precision: deterministic
+   decimal formatting, no locale or platform variance. *)
+let us ts = Printf.sprintf "%.3f" (ts *. 1e6)
+
+let arg_to_buf b = function
+  | S s ->
+      Buffer.add_char b '"';
+      json_escape b s;
+      Buffer.add_char b '"'
+  | I i -> Buffer.add_string b (string_of_int i)
+  | F f -> Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let event_to_buf b ev =
+  Buffer.add_string b "{\"name\":\"";
+  json_escape b ev.name;
+  Buffer.add_string b "\",\"cat\":\"";
+  json_escape b ev.cat;
+  Buffer.add_string b "\",\"ph\":\"";
+  (match ev.ph with
+  | Span _ -> Buffer.add_char b 'X'
+  | Instant -> Buffer.add_char b 'i'
+  | Counter _ -> Buffer.add_char b 'C');
+  Buffer.add_string b "\",\"ts\":";
+  Buffer.add_string b (us ev.ts);
+  (match ev.ph with
+  | Span dur ->
+      Buffer.add_string b ",\"dur\":";
+      Buffer.add_string b (us dur)
+  | Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Counter _ -> ());
+  Buffer.add_string b ",\"pid\":1,\"tid\":";
+  Buffer.add_string b (string_of_int ev.tid);
+  let args =
+    match ev.ph with
+    | Counter v -> [ ("value", F v) ]
+    | Span _ | Instant -> ev.args
+  in
+  (match args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          json_escape b k;
+          Buffer.add_string b "\":";
+          arg_to_buf b v)
+        args;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_chrome_json t =
+  let b = Buffer.create (256 * (1 + t.len)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  iter
+    (fun ev ->
+      if !first then first := false else Buffer.add_string b ",\n";
+      event_to_buf b ev)
+    t;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b

@@ -1,0 +1,78 @@
+(** Deterministic structured tracing.
+
+    Events are stamped with {e simulation time} only — never wall clock —
+    so a traced run's event stream is byte-identical across replays and
+    across [Sweep] domain counts.  A sink belongs to a single engine
+    (there is no global trace state); attach one with
+    [Engine.set_tracer].
+
+    Created with [~ring:n > 0] the sink is a bounded flight recorder:
+    the most recent [n] events are kept, older ones are overwritten (and
+    counted in [dropped]).  The chaos suite dumps such a recorder on
+    invariant failure for post-mortem debugging. *)
+
+type arg = S of string | I of int | F of float
+
+type phase =
+  | Span of float  (** complete span; payload is the duration in seconds *)
+  | Instant
+  | Counter of float
+
+type event = {
+  ts : float;  (** simulation time, seconds *)
+  cat : string;  (** dotted category, e.g. ["soil.pcie"] *)
+  name : string;
+  tid : int;  (** logical track (0 = engine, else a node ordinal) *)
+  ph : phase;
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?ring:int -> unit -> t
+(** [create ()] is an unbounded append sink; [create ~ring:n ()] with
+    [n > 0] keeps only the last [n] events (flight recorder). *)
+
+val emit : t -> event -> unit
+
+val span :
+  t ->
+  ts:float ->
+  dur:float ->
+  cat:string ->
+  name:string ->
+  ?tid:int ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+(** Complete span ("ph":"X"): an operation starting at [ts] lasting
+    [dur] seconds. *)
+
+val instant :
+  t ->
+  ts:float ->
+  cat:string ->
+  name:string ->
+  ?tid:int ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+
+val counter : t -> ts:float -> cat:string -> name:string -> value:float -> ?tid:int -> unit -> unit
+
+val count : t -> int
+(** Events currently held (≤ ring size for flight recorders). *)
+
+val dropped : t -> int
+(** Events overwritten by a full ring; always 0 for unbounded sinks. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val iter : (event -> unit) -> t -> unit
+val clear : t -> unit
+
+val to_chrome_json : t -> string
+(** Chrome [trace_event] JSON ({["{\"traceEvents\":[...]}"]}), loadable
+    in Perfetto.  Timestamps are microseconds with fixed 3-decimal
+    formatting, so equal event streams render byte-identical JSON. *)

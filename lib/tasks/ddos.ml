@@ -80,7 +80,7 @@ let ddos =
     externals = [];
     builtins = [];
     extra_sigs = [];
-    harvester = ddos_harvester ();
+    harvester = ddos_harvester;
     harvester_loc = 30 }
 
 (* FloodDefender (Table I's largest entry): protects the SDN control plane
@@ -207,5 +207,5 @@ let flood_defender =
     externals = [];
     builtins = [];
     extra_sigs = [];
-    harvester = flood_defender_harvester ();
+    harvester = flood_defender_harvester;
     harvester_loc = 35 }

@@ -56,7 +56,7 @@ let hh_source = hh_source_at 0.001
 (* Harvester: collects hitter reports; when many switches report at once
    (high overall load) it raises the threshold 2x network-wide, and it can
    push a new mitigation action. *)
-let hh_harvester base_threshold =
+let hh_harvester base_threshold () =
   let recent = ref [] in
   { Harvester.on_start = (fun _ -> ());
     on_message =
@@ -159,7 +159,7 @@ let hhh_inherited =
            ("hitterAction", Value.Action (Farm_net.Tcam.Set_qos 1)) ]) ];
     builtins = [];
     extra_sigs = [];
-    harvester = hhh_harvester ();
+    harvester = hhh_harvester;
     harvester_loc = 26 }
 
 (* Standalone HHH over IP prefixes: three polls at /8, /16 and /24

@@ -60,7 +60,7 @@ let link_failure =
     externals = [];
     builtins = [];
     extra_sigs = [];
-    harvester = link_failure_harvester ();
+    harvester = link_failure_harvester;
     harvester_loc = 8 }
 
 (* Traffic change: EWMA of the total rate; large deviation → report.  The

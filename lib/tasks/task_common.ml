@@ -34,7 +34,10 @@ type entry = {
   externals : (string * (string * Value.t) list) list;
   builtins : (string * (Value.t list -> Value.t)) list;
   extra_sigs : (string * Farm_almanac.Typecheck.func_sig) list;
-  harvester : Harvester.spec;
+  harvester : unit -> Harvester.spec;
+      (* a factory, not a spec: stateful harvesters capture refs, and a
+         shared closure would leak state between deployments (breaking
+         replay determinism within one process) *)
   harvester_loc : int;
 }
 
@@ -52,6 +55,6 @@ let to_task_spec entry =
     ts_externals = entry.externals;
     ts_builtins = entry.builtins;
     ts_extra_sigs = entry.extra_sigs;
-    ts_harvester = entry.harvester }
+    ts_harvester = entry.harvester () }
 
-let collector = Harvester.collector_spec
+let collector () = Harvester.collector_spec

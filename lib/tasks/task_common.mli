@@ -15,7 +15,9 @@ type entry = {
   externals : (string * (string * Value.t) list) list;
   builtins : (string * (Value.t list -> Value.t)) list;
   extra_sigs : (string * Farm_almanac.Typecheck.func_sig) list;
-  harvester : Farm_runtime.Harvester.spec;
+  harvester : unit -> Farm_runtime.Harvester.spec;
+      (** a factory, not a spec: stateful harvesters capture refs, and a
+          shared closure would leak state between deployments *)
   harvester_loc : int;
       (** lines of harvester logic (the paper's Table I "Harv." column) *)
 }
@@ -27,4 +29,4 @@ val seed_loc : entry -> int
 val to_task_spec : entry -> Farm_runtime.Seeder.task_spec
 
 (** A harvester that just collects seed reports. *)
-val collector : Farm_runtime.Harvester.spec
+val collector : unit -> Farm_runtime.Harvester.spec

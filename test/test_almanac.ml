@@ -1174,7 +1174,8 @@ let diff_driver ~engine ~program ~machine ~externals
         (fun a b ->
           incr transitions;
           log := Printf.sprintf "transit:%s->%s" a b :: !log);
-      h_log = (fun m -> log := ("log:" ^ m) :: !log) }
+      h_log = (fun m -> log := ("log:" ^ m) :: !log);
+      h_trace = None }
   in
   { dd_engine = engine; dd_host = host; dd_program = program;
     dd_machine = machine; dd_externals = externals;

@@ -148,6 +148,96 @@ let test_helios_within_loop () =
   | None -> Alcotest.fail "Helios must detect"
 
 (* ------------------------------------------------------------------ *)
+(* Property: sampling convergence                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* sFlow-style packet sampling is rate-proportional: as the number of
+   draws grows (sampling rate -> 1), the fraction of samples hitting the
+   heavy hitter converges to its true share of the offered rate. *)
+let prop_sampling_converges_to_hh_ratio =
+  QCheck2.Test.make ~name:"packet sampling converges to true HH ratio"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 2 8))
+    (fun (seed, n_bg) ->
+      let sw = Farm_net.Switch_model.create ~id:1 ~ports:8 () in
+      let rng = Rng.create seed in
+      let hh_tuple =
+        { Flow.src = Ipaddr.of_string "10.0.0.1";
+          dst = Ipaddr.of_string "10.0.0.2"; sport = 1; dport = 1;
+          proto = Flow.Udp }
+      in
+      let hh_rate = Rng.uniform rng 1e6 1e7 in
+      Farm_net.Switch_model.add_flow sw ~time:0. ~flow_id:0 ~tuple:hh_tuple
+        ~rate:hh_rate ~egress:0 ();
+      let bg_total = ref 0. in
+      for i = 1 to n_bg do
+        let r = Rng.uniform rng 1e4 5e5 in
+        bg_total := !bg_total +. r;
+        Farm_net.Switch_model.add_flow sw ~time:0. ~flow_id:i
+          ~tuple:
+            { hh_tuple with sport = 100 + i; dport = 200 + i }
+          ~rate:r ~egress:(1 + (i mod 7)) ()
+      done;
+      let true_share = hh_rate /. (hh_rate +. !bg_total) in
+      let empirical n =
+        let hits = ref 0 in
+        for _ = 1 to n do
+          match Farm_net.Switch_model.sample_packet sw rng with
+          | Some p when p.Flow.tuple = hh_tuple -> incr hits
+          | _ -> ()
+        done;
+        float_of_int !hits /. float_of_int n
+      in
+      let err n = Float.abs (empirical n -. true_share) in
+      let coarse = err 100 and fine = err 8_000 in
+      (* the fine estimate must be close to truth (binomial std at
+         n = 8000 is < 0.006; 0.04 is > 6 sigma) and not meaningfully
+         worse than the coarse one *)
+      fine < 0.04 && fine <= coarse +. 0.04)
+
+(* ------------------------------------------------------------------ *)
+(* Property: detection within windowing bounds                         *)
+(* ------------------------------------------------------------------ *)
+
+(* On a randomly seeded attack mix (background + heavy hitter of random
+   intensity), Sonata can only detect at a batch boundary — its latency
+   is bounded below by the batch processing delay and above by a full
+   window plus processing — while Planck's oversubscribed mirroring
+   stays on the millisecond scale regardless of the mix. *)
+let prop_detection_within_window_bounds =
+  QCheck2.Test.make ~name:"Sonata/Planck latency within windowing bounds"
+    ~count:8
+    QCheck2.Gen.(pair (int_range 1 100_000) (float_range 5e6 5e7))
+    (fun (seed, rate) ->
+      let engine = Engine.create ~seed () in
+      let topo = Topology.spine_leaf ~spines:2 ~leaves:3 ~hosts_per_leaf:2 in
+      let fabric = Fabric.create topo in
+      let rng = Rng.split (Engine.rng engine) in
+      Farm_net.Traffic.background engine fabric rng
+        { Farm_net.Traffic.default_profile with concurrent_flows = 30;
+          mean_rate = 10_000. };
+      let sonata = Sonata.deploy engine fabric ~hh_threshold:threshold in
+      let planck = Planck.deploy engine fabric ~hh_threshold:threshold in
+      inject_hh engine fabric ~rate;
+      Engine.run ~until:(onset +. 10.) engine;
+      let s_lat =
+        Option.map (fun (d, _, _) -> d -. onset)
+          (Sonata.first_detection_after sonata onset)
+      and p_lat =
+        Option.map (fun (d, _, _) -> d -. onset)
+          (Planck.first_detection_after planck onset)
+      in
+      Sonata.shutdown sonata;
+      Planck.shutdown planck;
+      match (s_lat, p_lat) with
+      | Some s, Some p ->
+          let c = Sonata.default_config in
+          s >= c.Sonata.batch_process_time
+          && s <= c.Sonata.window +. c.Sonata.batch_process_time +. 0.5
+          && p < 0.02
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Newton                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -196,4 +286,8 @@ let () =
       ( "newton",
         [ Alcotest.test_case "detects" `Quick test_newton_detects;
           Alcotest.test_case "dynamic query retune" `Quick
-            test_newton_dynamic_threshold ] ) ]
+            test_newton_dynamic_threshold ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sampling_converges_to_hh_ratio;
+            prop_detection_within_window_bounds ] ) ]

@@ -38,6 +38,7 @@ module Ipaddr = Farm_net.Ipaddr
 module Traffic = Farm_net.Traffic
 module Switch_model = Farm_net.Switch_model
 module Tcam = Farm_net.Tcam
+module Trace = Farm_sim.Trace
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -396,8 +397,29 @@ let deploy_mix seeder topo prng mix =
       | Error m -> failwith (Printf.sprintf "chaos deploy %s: %s" name m))
     mix
 
+(* Every case flies with a bounded flight recorder attached: the last
+   [512] trace events before an invariant violation are dumped to
+   CHAOS_flight.json (CI uploads it on failure) — enough context to see
+   what the control plane was doing without retracing the whole run. *)
+let flight_ring = 512
+let flight_path = "CHAOS_flight.json"
+
+let dump_flight recorder ~at ~what =
+  let oc = open_out_bin flight_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Trace.to_chrome_json recorder));
+  Printf.eprintf
+    "chaos: invariant violated (%s at %.4fs); last %d/%d trace event(s) \
+     dumped to %s\n"
+    what at (Trace.count recorder)
+    (Trace.count recorder + Trace.dropped recorder)
+    flight_path
+
 let run_case ?(config = Seeder.default_config) ~seed (c : case) =
   let engine = Engine.create ~seed () in
+  let recorder = Trace.create ~ring:flight_ring () in
+  Engine.set_tracer engine (Some recorder);
   let topo = build_topo c.ck_topo in
   let fabric = Fabric.create topo in
   let seeder = Seeder.create ~config engine fabric in
@@ -422,16 +444,28 @@ let run_case ?(config = Seeder.default_config) ~seed (c : case) =
       ()
   in
   let violations = ref [] in
+  (* dump the recorder at the *first* violation, while the ring still
+     holds the events leading up to it *)
+  let dumped = ref false in
+  let checked ~at ~what =
+    if !violations <> [] && not !dumped then begin
+      dumped := true;
+      dump_flight recorder ~at ~what
+    end
+  in
   Chaos.inject seeder plan ~on_applied:(fun at ev ->
-      check_invariants seeder tasks ~at ~what:(Fault.event_to_string ev)
-        violations);
+      let what = Fault.event_to_string ev in
+      check_invariants seeder tasks ~at ~what violations;
+      checked ~at ~what);
   Engine.run ~until:2. engine;
   check_invariants seeder tasks ~at:2. ~what:"end of run" violations;
+  checked ~at:2. ~what:"end of run";
   let d = digest seeder engine fabric tasks in
   let d =
     if Seeder.healing_enabled seeder then begin
       (* the plan's horizon is 1.5 and we ran to 2.0: healing has settled *)
       check_healed seeder tasks violations;
+      checked ~at:2. ~what:"healing settled";
       d ^ healing_digest seeder tasks
     end
     else d

@@ -462,7 +462,31 @@ let test_metrics_histogram () =
   check_float "p50" 3. (Metrics.Histogram.percentile h 50.);
   check_float "p0" 1. (Metrics.Histogram.percentile h 0.);
   check_float "p100" 5. (Metrics.Histogram.percentile h 100.);
-  check_float "max" 5. (Metrics.Histogram.max h)
+  check_float "max" 5. (Metrics.Histogram.max h);
+  (* interpolation between ranks: p25 of [1..5] is rank 1.0 exactly, p30
+     is 1/5 of the way from 2 to 3 *)
+  check_float "p25" 2. (Metrics.Histogram.percentile h 25.);
+  check_float "p30" 2.2 (Metrics.Histogram.percentile h 30.)
+
+let test_metrics_histogram_edge () =
+  let h = Metrics.Histogram.create () in
+  (* empty: every percentile is 0 by convention *)
+  check_float "empty p0" 0. (Metrics.Histogram.percentile h 0.);
+  check_float "empty p50" 0. (Metrics.Histogram.percentile h 50.);
+  check_float "empty p100" 0. (Metrics.Histogram.percentile h 100.);
+  (* singleton: every percentile is the sample *)
+  Metrics.Histogram.record h 7.5;
+  check_float "singleton p0" 7.5 (Metrics.Histogram.percentile h 0.);
+  check_float "singleton p50" 7.5 (Metrics.Histogram.percentile h 50.);
+  check_float "singleton p100" 7.5 (Metrics.Histogram.percentile h 100.);
+  (* recording after a percentile read re-sorts correctly *)
+  Metrics.Histogram.record h 2.5;
+  check_float "resorted p0" 2.5 (Metrics.Histogram.percentile h 0.);
+  check_float "resorted p100" 7.5 (Metrics.Histogram.percentile h 100.);
+  (* reset returns to the empty convention *)
+  Metrics.Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Metrics.Histogram.count h);
+  check_float "reset p50" 0. (Metrics.Histogram.percentile h 50.)
 
 let test_metrics_busy () =
   let b = Metrics.Busy.create () in
@@ -782,5 +806,7 @@ let () =
       ( "metrics",
         [ Alcotest.test_case "counter" `Quick test_metrics_counter;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "histogram edge cases" `Quick
+            test_metrics_histogram_edge;
           Alcotest.test_case "busy" `Quick test_metrics_busy ]
         @ qsuite [ prop_histogram_percentile_monotone ] ) ]
