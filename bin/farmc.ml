@@ -3,6 +3,10 @@
    Subcommands:
      farmc check <file.alm>      parse + type-check
      farmc lint <file.alm>...    full static verification (P/T/L/B codes)
+     farmc verify <file.alm>...  symbolic verification: translation
+                                 validation (V401/V402), invariant and
+                                 range proofs (V403/V404), reach-backed
+                                 L101/L102/L107
      farmc format <file.alm>     pretty-print the parsed program
      farmc compile <file.alm>    emit the XML interchange form
      farmc analyze <file.alm>    run the seeder's static analyses
@@ -208,6 +212,98 @@ let lint_cmd =
           variables and subscriptions, non-linear util, missing externals, \
           livelocks), resource-bound cross-checks and cross-task conflicts")
     Term.(const run $ files_arg $ catalog_arg $ json_arg)
+
+(* ---------------- verify (symbolic, §V-A e) ---------------- *)
+
+(* Symbolically verify one program: per-handler translation validation
+   (V401/V402), invariant + range proofs (V403/V404), and the
+   reachability-backed L101/L102/L107 verdicts. *)
+let verify_program ~file ?extra ?(host_builtins = []) ?budget source =
+  match load_diags ?extra source with
+  | Error ds -> Diagnostic.with_file file ds
+  | Ok p ->
+      let host_builtins = Almanac.Equiv.default_host_builtins @ host_builtins in
+      let equiv =
+        Almanac.Equiv.verify_program ?budget ~host_builtins ~program:p ()
+      in
+      let reach =
+        Almanac.Reach.analyze_program ?budget ~host_builtins ~program:p ()
+      in
+      let reach_diags =
+        List.concat_map (fun (r : Almanac.Reach.result) -> r.diags) reach
+      in
+      let lint =
+        List.filter
+          (fun (d : Diagnostic.t) ->
+            match d.code with "L101" | "L102" | "L107" -> true | _ -> false)
+          (Almanac.Lint.check_program ~reach p)
+      in
+      Diagnostic.with_file file (Diagnostic.sort (equiv @ reach_diags @ lint))
+
+let verify_cmd =
+  let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE.alm") in
+  let catalog_arg =
+    Arg.(
+      value & flag
+      & info [ "catalog" ] ~doc:"Also verify every built-in catalog task")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as a JSON array on stdout")
+  in
+  let max_paths_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:
+            "Symbolic path budget per handler unit (0 = default).  Raise it \
+             when V402 reports an exhausted budget.")
+  in
+  let run files catalog json max_paths =
+    let budget =
+      if max_paths <= 0 then None
+      else
+        Some { Almanac.Symexec.default_budget with max_paths }
+    in
+    let file_diags =
+      List.map
+        (fun path -> verify_program ~file:path ?budget (read_file path))
+        files
+    in
+    let catalog_diags =
+      if not catalog then []
+      else
+        List.map
+          (fun (e : Tasks.Task_common.entry) ->
+            verify_program ~file:("catalog:" ^ e.name) ~extra:e.extra_sigs
+              ~host_builtins:(List.map fst e.builtins)
+              ?budget e.source)
+          Tasks.Catalog.all
+    in
+    let n_programs = List.length file_diags + List.length catalog_diags in
+    let all = Diagnostic.sort (List.concat (file_diags @ catalog_diags)) in
+    if json then print_string (Diagnostic.to_json all)
+    else begin
+      Diagnostic.print_all stdout all;
+      let errors = List.length (List.filter Diagnostic.is_error all) in
+      Printf.printf "%d program(s) verified: %d error(s), %d warning(s)\n"
+        n_programs errors
+        (List.length all - errors)
+    end;
+    if Diagnostic.has_errors all then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Symbolically verify Almanac programs: per-handler translation \
+          validation of the compiled slot-indexed plan against the \
+          reference semantics (V401 divergence, V402 exhausted path \
+          budget), assert(..) invariant proofs with concrete witnesses \
+          (V403), value-range safety (V404), and reachability-backed \
+          unreachable-state / dead-transit / livelock verdicts \
+          (L101/L102/L107)")
+    Term.(const run $ files_arg $ catalog_arg $ json_arg $ max_paths_arg)
 
 (* ---------------- format ---------------- *)
 
@@ -554,5 +650,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "farmc" ~version:"1.0.0" ~doc)
-          [ check_cmd; lint_cmd; format_cmd; compile_cmd; analyze_cmd;
-            tasks_cmd; run_cmd; sweep_cmd; trace_cmd ]))
+          [ check_cmd; lint_cmd; verify_cmd; format_cmd; compile_cmd;
+            analyze_cmd; tasks_cmd; run_cmd; sweep_cmd; trace_cmd ]))

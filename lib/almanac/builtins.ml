@@ -110,6 +110,12 @@ let mk_rule_fn args =
 
 let str_fn args = Value.Str (Value.to_string (arg1 args))
 
+(* user invariant: fails the handler when the condition is false; the
+   static counterpart is Reach's V403 proof obligation *)
+let assert_fn args =
+  if Value.truthy (arg1 args) then Value.Unit
+  else fail "assertion failed"
+
 let str_contains_fn args =
   let s, sub = arg2 args in
   let s = Value.as_str s and sub = Value.as_str sub in
@@ -163,5 +169,5 @@ let table (host : Host.host) : (string, Value.t list -> Value.t) Hashtbl.t =
       ("log", log_fn host); ("str", str_fn);
       ("str_contains", str_contains_fn); ("floor", floor_fn);
       ("abs", abs_fn); ("log2", log2_fn); ("hash", hash_fn);
-      ("res", res_fn host) ];
+      ("res", res_fn host); ("assert", assert_fn) ];
   tbl

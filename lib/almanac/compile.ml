@@ -89,6 +89,64 @@ type func_c = {
   fn_body : scode;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Verification plan                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* An inspectable mirror of every resolution decision this pass makes
+   (slot layouts, bound sets, dispatch tables, initializer order).  The
+   closures above are opaque; the plan is data, so {!Equiv} can execute
+   it symbolically against the interpreter semantics and tests can
+   corrupt it to prove divergences are caught.  It is built *during*
+   compilation from the same layout tables the closures capture — not
+   re-derived — so a layout or dispatch bug shows up in the plan too. *)
+
+type vframe = {
+  vf_slots : (string * int) list;  (* name -> frame slot, sorted by slot *)
+  vf_bound : string list;  (* names read without a presence check *)
+  vf_size : int;
+}
+
+type vevent = {
+  ve_frame : vframe;
+  ve_binding : (string * int) option;
+  ve_locals : (string * int) list option;
+      (* static state-local table the body is specialized to; [None]
+         resolves dynamically against the runtime locals_names *)
+  ve_body : Ast.stmt list;
+}
+
+type vinit = Vexpr of Ast.expr | Vdefault of Ast.typ | Vunit
+
+type vstate = {
+  vs_name : string;
+  vs_local_names : string array;
+  vs_local_inits : (int * string * vinit) list;  (* declaration order *)
+  vs_enter : vevent list;
+  vs_exit : vevent list;
+  vs_realloc : vevent list;
+  vs_triggers : (string * vevent list) list;  (* per trigger name *)
+  vs_recv : (Ast.typ * Ast.dest * vevent) list;  (* deliver order *)
+}
+
+type vfunc = {
+  vfn_params : (string * int) list;  (* parameter order *)
+  vfn_frame : vframe;
+  vfn_body : Ast.stmt list;
+}
+
+type plan = {
+  v_machine : string;
+  v_initial : string;
+  v_global_slots : (string * int) list;  (* sorted by slot *)
+  v_global_inits : (int * string * bool * vinit) list;
+      (* (slot, name, is_external, initializer) in declaration order *)
+  v_trig_hooks : (string * Ast.trigger_type) list;
+  v_trig_names : string list;
+  v_states : vstate list;  (* declaration order; head = initial *)
+  v_funcs : (string * vfunc) list;
+}
+
 type t = {
   c_machine : Ast.machine;
   c_n_globals : int;
@@ -102,6 +160,7 @@ type t = {
   c_n_trigs : int;
   c_funcs : (string, func_c) Hashtbl.t;
   c_call_specs : (string * int) array;  (* (function name, arg count) *)
+  c_plan : plan;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -534,7 +593,19 @@ let trigger_key = function
       in
       Printf.sprintf "recv:%s:%s" (Ast.typ_to_string ty) d
 
-let compile_event ctx state_tbl (ev : Ast.event) : event_c =
+(* Deterministic plan snapshots of the mutable layout tables. *)
+let tbl_to_slots tbl =
+  Hashtbl.fold (fun name i acc -> (name, i) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let vframe_of_layout lay =
+  { vf_slots = tbl_to_slots lay.l_slots;
+    vf_bound =
+      Hashtbl.fold (fun n () acc -> n :: acc) lay.l_bound []
+      |> List.sort compare;
+    vf_size = lay.l_size }
+
+let compile_event ctx state_tbl (ev : Ast.event) : event_c * vevent =
   let binding_name =
     match ev.trigger with
     | Ast.On_trigger_var (_, Some x) -> Some x
@@ -548,12 +619,18 @@ let compile_event ctx state_tbl (ev : Ast.event) : event_c =
   collect_decls lay ev.body;
   let scope = { sc_frame = Some lay; sc_locals = Some state_tbl } in
   let body = compile_stmts ctx scope ev.body in
-  { ev_frame_size = lay.l_size;
-    ev_binding =
-      (match binding_name with
-      | Some n -> Some (Hashtbl.find lay.l_slots n)
-      | None -> None);
-    ev_body = body }
+  let binding =
+    match binding_name with
+    | Some n -> Some (n, Hashtbl.find lay.l_slots n)
+    | None -> None
+  in
+  ( { ev_frame_size = lay.l_size;
+      ev_binding = Option.map snd binding;
+      ev_body = body },
+    { ve_frame = vframe_of_layout lay;
+      ve_binding = binding;
+      ve_locals = Some (tbl_to_slots state_tbl);
+      ve_body = ev.body } )
 
 (* Events applicable in a state for a key: state events override machine
    events when at least one state event matches. *)
@@ -563,7 +640,7 @@ let events_for (m : Ast.machine) (st : Ast.state_decl) key =
   if se <> [] then se else List.filter matches m.mevents
 
 let compile_state ctx (m : Ast.machine) trig_names (st : Ast.state_decl) :
-    state_c =
+    state_c * vstate =
   (* state-local slot layout (duplicate declarations share a slot, last
      initializer wins — hashtable-replace semantics) *)
   let local_tbl = Hashtbl.create 8 in
@@ -588,36 +665,53 @@ let compile_state ctx (m : Ast.machine) trig_names (st : Ast.state_decl) :
               let typ = v.vtyp in
               fun _ -> Value.default_of_typ typ
         in
-        (slot, code))
+        let vinit =
+          match v.vinit with Some e -> Vexpr e | None -> Vdefault v.vtyp
+        in
+        ((slot, code), (slot, v.vname, vinit)))
       st.slocals
   in
   let local_names = Array.make !n_locals "" in
   Hashtbl.iter (fun name i -> local_names.(i) <- name) local_tbl;
   let compile_for key =
-    Array.of_list (List.map (compile_event ctx local_tbl) (events_for m st key))
+    List.map (compile_event ctx local_tbl) (events_for m st key)
   in
   let recv =
     List.filter_map
       (fun (ev : Ast.event) ->
         match ev.trigger with
         | Ast.On_recv (ty, _, dest) ->
-            Some
-              { rc_typ = ty; rc_dest = dest;
-                rc_ev = compile_event ctx local_tbl ev }
+            let ec, vc = compile_event ctx local_tbl ev in
+            Some ({ rc_typ = ty; rc_dest = dest; rc_ev = ec }, (ty, dest, vc))
         | _ -> None)
       (st.sevents @ m.mevents)
   in
-  { st_name = st.sname;
-    st_local_names = local_names;
-    st_local_inits = Array.of_list local_inits;
-    st_enter = compile_for "enter";
-    st_exit = compile_for "exit";
-    st_realloc = compile_for "realloc";
-    st_triggers =
-      Array.map (fun name -> compile_for ("var:" ^ name)) trig_names;
-    st_recv = Array.of_list recv }
+  let enter = compile_for "enter" in
+  let exit_ = compile_for "exit" in
+  let realloc = compile_for "realloc" in
+  let triggers =
+    Array.map (fun name -> (name, compile_for ("var:" ^ name))) trig_names
+  in
+  ( { st_name = st.sname;
+      st_local_names = local_names;
+      st_local_inits = Array.of_list (List.map fst local_inits);
+      st_enter = Array.of_list (List.map fst enter);
+      st_exit = Array.of_list (List.map fst exit_);
+      st_realloc = Array.of_list (List.map fst realloc);
+      st_triggers = Array.map (fun (_, evs) -> Array.of_list (List.map fst evs)) triggers;
+      st_recv = Array.of_list (List.map fst recv) },
+    { vs_name = st.sname;
+      vs_local_names = Array.copy local_names;
+      vs_local_inits = List.map snd local_inits;
+      vs_enter = List.map snd enter;
+      vs_exit = List.map snd exit_;
+      vs_realloc = List.map snd realloc;
+      vs_triggers =
+        Array.to_list
+          (Array.map (fun (name, evs) -> (name, List.map snd evs)) triggers);
+      vs_recv = List.map snd recv } )
 
-let compile_func ctx (fd : Ast.func_decl) : func_c =
+let compile_func ctx (fd : Ast.func_decl) : func_c * vfunc =
   let lay = new_layout () in
   let param_slots =
     Array.of_list
@@ -628,11 +722,18 @@ let compile_func ctx (fd : Ast.func_decl) : func_c =
      machine occupies at call time is unknown *)
   let scope = { sc_frame = Some lay; sc_locals = None } in
   let body = compile_stmts ctx scope fd.fbody in
-  { fn_name = fd.fname;
-    fn_nparams = List.length fd.fparams;
-    fn_param_slots = param_slots;
-    fn_frame_size = lay.l_size;
-    fn_body = body }
+  ( { fn_name = fd.fname;
+      fn_nparams = List.length fd.fparams;
+      fn_param_slots = param_slots;
+      fn_frame_size = lay.l_size;
+      fn_body = body },
+    { vfn_params =
+        List.map2
+          (fun (_, n) slot -> (n, slot))
+          fd.fparams
+          (Array.to_list param_slots);
+      vfn_frame = vframe_of_layout lay;
+      vfn_body = fd.fbody } )
 
 (* ------------------------------------------------------------------ *)
 (* Machine compilation                                                 *)
@@ -712,7 +813,10 @@ let compile ~(program : Ast.program) ~(machine : string) : t =
               let typ = v.vtyp in
               fun _ -> Value.default_of_typ typ
         in
-        (slot, v.vname, v.is_external, code))
+        let vinit =
+          match v.vinit with Some e -> Vexpr e | None -> Vdefault v.vtyp
+        in
+        ((slot, v.vname, v.is_external, code), (slot, v.vname, v.is_external, vinit)))
       m.mvars
   in
   let trig_inits =
@@ -724,7 +828,8 @@ let compile ~(program : Ast.program) ~(machine : string) : t =
           | Some e -> compile_expr ctx init_scope e
           | None -> fun _ -> Value.Unit
         in
-        (slot, td.tname, false, code))
+        let vinit = match td.tinit with Some e -> Vexpr e | None -> Vunit in
+        ((slot, td.tname, false, code), (slot, td.tname, false, vinit)))
       m.mtrigs
   in
   let global_names = Array.make !n_globals "" in
@@ -733,23 +838,39 @@ let compile ~(program : Ast.program) ~(machine : string) : t =
   let trig_ids = Hashtbl.create 8 in
   Array.iteri (fun i name -> Hashtbl.replace trig_ids name i) trig_names;
   let funcs = Hashtbl.create 8 in
-  List.iter
-    (fun (fd : Ast.func_decl) ->
-      Hashtbl.replace funcs fd.fname (compile_func ctx fd))
-    program.funcs;
-  let states =
-    Array.of_list (List.map (compile_state ctx m trig_names) m.states)
+  let vfuncs =
+    List.map
+      (fun (fd : Ast.func_decl) ->
+        let fc, vf = compile_func ctx fd in
+        Hashtbl.replace funcs fd.fname fc;
+        (fd.fname, vf))
+      program.funcs
   in
+  let compiled_states = List.map (compile_state ctx m trig_names) m.states in
+  let states = Array.of_list (List.map fst compiled_states) in
   let state_ids = Hashtbl.create 8 in
   Array.iteri (fun i st -> Hashtbl.replace state_ids st.st_name i) states;
+  let plan =
+    { v_machine = m.mname;
+      v_initial = (List.hd m.states).sname;
+      v_global_slots = tbl_to_slots global_slots;
+      v_global_inits = List.map snd var_inits @ List.map snd trig_inits;
+      v_trig_hooks =
+        Hashtbl.fold (fun n tt acc -> (n, tt) :: acc) trig_hook []
+        |> List.sort compare;
+      v_trig_names = Array.to_list trig_names;
+      v_states = List.map snd compiled_states;
+      v_funcs = vfuncs }
+  in
   { c_machine = m;
     c_n_globals = !n_globals;
     c_global_names = global_names;
     c_global_slots = global_slots;
-    c_global_inits = Array.of_list (var_inits @ trig_inits);
+    c_global_inits = Array.of_list (List.map fst var_inits @ List.map fst trig_inits);
     c_states = states;
     c_state_ids = state_ids;
     c_trig_ids = trig_ids;
     c_n_trigs = Array.length trig_names;
     c_funcs = funcs;
-    c_call_specs = Array.of_list (List.rev ctx.cx_calls) }
+    c_call_specs = Array.of_list (List.rev ctx.cx_calls);
+    c_plan = plan }

@@ -60,6 +60,60 @@ type func_c = {
   fn_body : scode;
 }
 
+(** {2 Verification plan}
+
+    An inspectable mirror of every resolution decision this pass makes:
+    frame slot layouts and bound sets, state-local and global slot
+    tables, per-(state, trigger) dispatch tables with their source
+    bodies, initializer order, and trigger-write hooks.  Built during
+    compilation from the same layout tables the closures capture, so
+    {!Equiv} validates the actual compile artifact and tests can corrupt
+    a plan to prove divergences are caught. *)
+
+type vframe = {
+  vf_slots : (string * int) list;  (** name -> frame slot, sorted by slot *)
+  vf_bound : string list;  (** names read without a presence check *)
+  vf_size : int;
+}
+
+type vevent = {
+  ve_frame : vframe;
+  ve_binding : (string * int) option;
+  ve_locals : (string * int) list option;
+      (** static state-local table, [None] = dynamic resolution *)
+  ve_body : Ast.stmt list;
+}
+
+type vinit = Vexpr of Ast.expr | Vdefault of Ast.typ | Vunit
+
+type vstate = {
+  vs_name : string;
+  vs_local_names : string array;
+  vs_local_inits : (int * string * vinit) list;
+  vs_enter : vevent list;
+  vs_exit : vevent list;
+  vs_realloc : vevent list;
+  vs_triggers : (string * vevent list) list;
+  vs_recv : (Ast.typ * Ast.dest * vevent) list;
+}
+
+type vfunc = {
+  vfn_params : (string * int) list;
+  vfn_frame : vframe;
+  vfn_body : Ast.stmt list;
+}
+
+type plan = {
+  v_machine : string;
+  v_initial : string;
+  v_global_slots : (string * int) list;
+  v_global_inits : (int * string * bool * vinit) list;
+  v_trig_hooks : (string * Ast.trigger_type) list;
+  v_trig_names : string list;
+  v_states : vstate list;
+  v_funcs : (string * vfunc) list;
+}
+
 type t = {
   c_machine : Ast.machine;
   c_n_globals : int;
@@ -72,6 +126,7 @@ type t = {
   c_n_trigs : int;
   c_funcs : (string, func_c) Hashtbl.t;
   c_call_specs : (string * int) array;
+  c_plan : plan;
 }
 
 (** Compile machine [machine] of a type-checked, inheritance-resolved

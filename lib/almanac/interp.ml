@@ -466,9 +466,11 @@ let deliver t ~from value =
 let realloc t = ignore (dispatch t "realloc" [])
 
 let snapshot t =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) in
   let vars =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.globals []
-    @ Hashtbl.fold (fun k v acc -> ("state." ^ k, v) :: acc) t.locals []
+    sorted (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.globals [])
+    @ sorted
+        (Hashtbl.fold (fun k v acc -> ("state." ^ k, v) :: acc) t.locals [])
   in
   (vars, t.state)
 

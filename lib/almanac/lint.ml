@@ -115,6 +115,19 @@ let rec transits acc (ss : Ast.stmt list) =
 
 let has_transit ss = transits [] ss <> []
 
+(* Source positions of every transit site (for reach-backed L102). *)
+let rec transit_sites acc (ss : Ast.stmt list) =
+  List.fold_left
+    (fun acc s ->
+      match s.Ast.sk with
+      | Ast.Transit _ -> s.Ast.sloc :: acc
+      | Ast.If (_, t, f) -> transit_sites (transit_sites acc t) f
+      | Ast.While (_, b) -> transit_sites acc b
+      | Ast.Decl _ | Ast.Assign _ | Ast.Return _ | Ast.Send _
+      | Ast.ExprStmt _ ->
+          acc)
+    acc ss
+
 (* ------------------------------------------------------------------ *)
 (* L101 unreachable states                                             *)
 (* ------------------------------------------------------------------ *)
@@ -313,13 +326,89 @@ let check_livelock ~diag (m : Ast.machine) =
     m.states
 
 (* ------------------------------------------------------------------ *)
+(* Reachability-backed verdicts (L101/L102/L107 via Reach)             *)
+(* ------------------------------------------------------------------ *)
+
+(* A Reach result is only trusted for machine [m] when it analyzed [m]
+   and ran to completion; otherwise the syntactic heuristics apply. *)
+let reach_for (m : Ast.machine) = function
+  | Some (r : Reach.result) when r.Reach.machine = m.mname && r.Reach.complete
+    ->
+      Some r
+  | _ -> None
+
+let reach_unreachable ~diag (r : Reach.result) (m : Ast.machine) =
+  match m.states with
+  | [] -> ()
+  | initial :: _ ->
+      List.iter
+        (fun (s : Ast.state_decl) ->
+          if not (List.mem s.sname r.Reach.reachable) then
+            diag
+              (Diagnostic.warningf ~pos:s.stloc ~code:"L101"
+                 "machine %s: state %s is unreachable from the initial \
+                  state %s (no feasible transit path reaches it)"
+                 m.mname s.sname initial.sname))
+        m.states
+
+(* A transit site is dead when no feasible execution lets it decide the
+   next state — unreachable code, an infeasible guard, or a later
+   transit that always overwrites its pending target.  Sites inside
+   unreachable states are skipped: their L101 already covers them. *)
+let reach_dead_transits ~diag (r : Reach.result) (m : Ast.machine) =
+  let effective = List.map fst r.Reach.effective_transits in
+  let check ss =
+    List.iter
+      (fun pos ->
+        if not (List.mem pos effective) then
+          diag
+            (Diagnostic.warningf ~pos ~code:"L102"
+               "machine %s: transition never takes effect on any feasible \
+                execution (its pending target is unreachable, infeasible \
+                or always overwritten)"
+               m.mname))
+      (transit_sites [] ss)
+  in
+  List.iter (fun (ev : Ast.event) -> check ev.Ast.body) m.mevents;
+  List.iter
+    (fun (s : Ast.state_decl) ->
+      if List.mem s.sname r.Reach.reachable then
+        List.iter (fun (ev : Ast.event) -> check ev.Ast.body) s.sevents)
+    m.states
+
+let reach_livelock ~diag (r : Reach.result) (m : Ast.machine) =
+  match r.Reach.livelock with
+  | None -> ()
+  | Some cycle ->
+      let head = match cycle with n :: _ -> n | [] -> "" in
+      let pos =
+        match
+          List.find_opt (fun (s : Ast.state_decl) -> s.sname = head) m.states
+        with
+        | Some s -> (
+            match enter_transit m s with
+            | Some (_, pos) -> pos
+            | None -> s.stloc)
+        | None -> Ast.no_pos
+      in
+      diag
+        (Diagnostic.errorf ~pos ~code:"L107"
+           "machine %s: guaranteed enter-transit cycle %s — the seed \
+            would livelock on the switch CPU"
+           m.mname
+           (String.concat " -> " cycle))
+
+(* ------------------------------------------------------------------ *)
 (* Per-machine driver                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let check_machine ?file ?(bound_externals = []) (m : Ast.machine) =
+let check_machine ?file ?(bound_externals = []) ?reach (m : Ast.machine) =
   let out = ref [] in
   let diag d = out := d :: !out in
-  check_reachability ~diag m;
+  let reach = reach_for m reach in
+  (match reach with
+  | Some r -> reach_unreachable ~diag r m
+  | None -> check_reachability ~diag m);
   (* L102 over every handler body (top level only) *)
   let every_body f =
     List.iter (fun (ev : Ast.event) -> f ev.Ast.body) m.mevents;
@@ -328,7 +417,9 @@ let check_machine ?file ?(bound_externals = []) (m : Ast.machine) =
         List.iter (fun (ev : Ast.event) -> f ev.Ast.body) s.sevents)
       m.states
   in
-  every_body (check_dead_transits ~diag m.mname);
+  (match reach with
+  | Some r -> reach_dead_transits ~diag r m
+  | None -> every_body (check_dead_transits ~diag m.mname));
   (* L103 / L104: unused variables and trigger subscriptions *)
   let used = machine_uses m in
   List.iter
@@ -380,11 +471,13 @@ let check_machine ?file ?(bound_externals = []) (m : Ast.machine) =
               nor a deployment binding"
              m.mname v.vname))
     m.mvars;
-  check_livelock ~diag m;
+  (match reach with
+  | Some r -> reach_livelock ~diag r m
+  | None -> check_livelock ~diag m);
   let ds = Diagnostic.sort (List.rev !out) in
   match file with Some f -> Diagnostic.with_file f ds | None -> ds
 
-let check_program ?file ?(externals = []) (p : Ast.program) =
+let check_program ?file ?(externals = []) ?(reach = []) (p : Ast.program) =
   Diagnostic.sort
     (List.concat_map
        (fun (m : Ast.machine) ->
@@ -393,5 +486,9 @@ let check_program ?file ?(externals = []) (p : Ast.program) =
            | Some l -> l
            | None -> []
          in
-         check_machine ?file ~bound_externals m)
+         let reach =
+           List.find_opt (fun (r : Reach.result) -> r.Reach.machine = m.mname)
+             reach
+         in
+         check_machine ?file ~bound_externals ?reach m)
        p.machines)

@@ -22,18 +22,34 @@
     - [L107] (error) livelock: states whose [enter] handlers
       unconditionally [transit] in a cycle (including self-loops) — the
       machine would spin on the switch CPU without yielding to a
-      timer/poll trigger. *)
+      timer/poll trigger.
 
-(** [check_program ?file ?externals p] lints every machine of a
+    L101/L102/L107 are syntactic heuristics by default.  When a
+    {!Reach.result} for the machine is supplied (and its analysis ran to
+    completion), they upgrade to reachability-backed verdicts: L101
+    flags states no feasible transit path reaches, L102 flags transit
+    sites that never decide the next state on any feasible execution,
+    and L107 reports guaranteed enter-transit cycles with the cycle
+    spelled out. *)
+
+(** [check_program ?file ?externals ?reach p] lints every machine of a
     type-checked program.  [externals] lists, per machine name, the
-    [external] variables the deployment binds (see [L106]).  [file] is
-    stamped on every diagnostic. *)
+    [external] variables the deployment binds (see [L106]).  [reach]
+    supplies {!Reach} results (matched to machines by name) that upgrade
+    L101/L102/L107 to semantic verdicts.  [file] is stamped on every
+    diagnostic. *)
 val check_program :
   ?file:string ->
   ?externals:(string * string list) list ->
+  ?reach:Reach.result list ->
   Ast.program ->
   Diagnostic.t list
 
-(** Lint a single resolved machine. *)
+(** Lint a single resolved machine; [reach] (if supplied, complete, and
+    for this machine) upgrades L101/L102/L107. *)
 val check_machine :
-  ?file:string -> ?bound_externals:string list -> Ast.machine -> Diagnostic.t list
+  ?file:string ->
+  ?bound_externals:string list ->
+  ?reach:Reach.result ->
+  Ast.machine ->
+  Diagnostic.t list

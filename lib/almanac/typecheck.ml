@@ -64,7 +64,9 @@ let builtin_signatures =
     ("abs", { args = [ Numeric ]; ret = Numeric });
     ("log2", { args = [ Numeric ]; ret = Numeric });
     ("hash", { args = [ Any ]; ret = Numeric });
-    ("self_switch", { args = []; ret = Numeric }) ]
+    ("self_switch", { args = []; ret = Numeric });
+    (* user invariants, checked at runtime and proved by [Reach] *)
+    ("assert", { args = [ Ty Ast.Tbool ]; ret = Ty Ast.Tunit }) ]
 
 (* ------------------------------------------------------------------ *)
 (* Inheritance resolution                                              *)

@@ -61,7 +61,10 @@ let deploy ?(config = default_config) engine fabric ~hh_threshold =
             done)
           switches;
         (* central evaluation after the batch delay *)
-        let snapshot = Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [] in
+        let snapshot =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
         Engine.schedule engine
           ~delay:(config.collector_latency +. config.batch_process_time)
           (fun engine ->

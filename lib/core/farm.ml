@@ -59,6 +59,9 @@ module Almanac = struct
   module Interp = Farm_almanac.Interp
   module Compile = Farm_almanac.Compile
   module Exec = Farm_almanac.Exec
+  module Symexec = Farm_almanac.Symexec
+  module Equiv = Farm_almanac.Equiv
+  module Reach = Farm_almanac.Reach
   module Engine = Farm_almanac.Engine
   module Xml = Farm_almanac.Xml
   module Machine_xml = Farm_almanac.Machine_xml

@@ -146,7 +146,10 @@ let rerouted_flows t = t.rerouted
 let dropped_flows t = t.dropped
 
 let reset t ~time =
-  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] in
+  let ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) t.active []
+    |> List.sort Int.compare
+  in
   List.iter (stop_flow t ~time) ids
 
 let random_host_addr t rng =

@@ -131,7 +131,9 @@ let remove_flow t ~time ~flow_id =
       rate_delta t f (-.f.rate);
       Hashtbl.remove t.flows flow_id
 
-let active_flows t = Hashtbl.fold (fun _ f acc -> f :: acc) t.flows []
+let active_flows t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.flows []
+  |> List.sort (fun a b -> Int.compare a.flow_id b.flow_id)
 
 let apply_tcam_actions t ~time =
   sync t ~time;
@@ -200,15 +202,17 @@ let sample_packet t rng =
     let target = Farm_sim.Rng.uniform rng 0. total in
     let acc = ref 0. in
     let chosen = ref None in
+    (* walk flows in id order so a seeded Rng reproduces the same packet
+       across runs (Hashtbl order varies with the hash seed) *)
     (try
-       Hashtbl.iter
-         (fun _ f ->
+       List.iter
+         (fun f ->
            acc := !acc +. f.rate;
            if !acc >= target && f.rate > 0. then begin
              chosen := Some f;
              raise Exit
            end)
-         t.flows
+         (active_flows t)
      with Exit -> ());
     Option.map
       (fun (f : active_flow) ->

@@ -370,9 +370,9 @@ let optimize ?(phases = all_phases) (inst : Model.instance) =
       a_branch = sm.sm_branch; a_res = res }
   in
   let current () =
-    Hashtbl.fold
-      (fun _ (sm, node) acc -> (sm, node) :: acc)
-      placements []
+    Hashtbl.fold (fun _ (sm, node) acc -> (sm, node) :: acc) placements []
+    |> List.sort (fun ((a : seed_min), _) ((b : seed_min), _) ->
+           Int.compare a.sm_seed.seed_id b.sm_seed.seed_id)
   in
   (* 3. redistribute resources switch by switch *)
   let redistribute () =
@@ -382,8 +382,13 @@ let optimize ?(phases = all_phases) (inst : Model.instance) =
         let cur = Option.value (Hashtbl.find_opt by_node node) ~default:[] in
         Hashtbl.replace by_node node (sm :: cur))
       (current ());
-    Hashtbl.fold
-      (fun node sms acc ->
+    let nodes =
+      Hashtbl.fold (fun node _ acc -> node :: acc) by_node []
+      |> List.sort Int.compare
+    in
+    List.fold_left
+      (fun acc node ->
+        let sms = Hashtbl.find by_node node in
         let cap = (state_of node).sw_caps in
         let results = redistribute_switch inst sms cap in
         List.fold_left
@@ -391,7 +396,7 @@ let optimize ?(phases = all_phases) (inst : Model.instance) =
             let sm, _ = Hashtbl.find placements seed_id in
             assignment_of sm node res :: acc)
           acc results)
-      by_node []
+      [] nodes
   in
   let assignments =
     if phases.redistribute then redistribute ()

@@ -8,6 +8,8 @@ module Typecheck = Farm_almanac.Typecheck
 module Analysis = Farm_almanac.Analysis
 module Interp = Farm_almanac.Interp
 module Lint = Farm_almanac.Lint
+module Equiv = Farm_almanac.Equiv
+module Reach = Farm_almanac.Reach
 module Diagnostic = Farm_almanac.Diagnostic
 module Model = Farm_placement.Model
 module Heuristic = Farm_placement.Heuristic
@@ -24,6 +26,7 @@ type config = {
   retry_backoff : float;
   max_retries : int;
   refuse_conflicts : bool;
+  verify_on_deploy : bool;
   (* self-healing control plane *)
   auto_heal : bool;
   heartbeat_interval : float;
@@ -42,6 +45,7 @@ let default_config =
     retry_backoff = 1e-3;
     max_retries = 5;
     refuse_conflicts = false;
+    verify_on_deploy = false;
     auto_heal = false;
     heartbeat_interval = 10e-3;
     detection_timeout = 35e-3;  (* > 3 missed beats at the default rate *)
@@ -876,13 +880,30 @@ let deploy t spec =
   let bound_externals =
     List.map (fun (m, vs) -> (m, List.map fst vs)) spec.ts_externals
   in
-  let lint_diags = Lint.check_program ~externals:bound_externals program in
-  record lint_diags;
+  (* symbolic verification (optional): translation validation of the
+     compiled plan against the reference semantics plus invariant/range
+     proofs; its reachability results also upgrade the lint verdicts *)
+  let verify_diags, reach =
+    if not t.cfg.verify_on_deploy then ([], [])
+    else
+      let host_builtins =
+        Equiv.default_host_builtins @ List.map fst spec.ts_builtins
+      in
+      let equiv = Equiv.verify_program ~host_builtins ~program () in
+      let reach = Reach.analyze_program ~host_builtins ~program () in
+      ( equiv @ List.concat_map (fun (r : Reach.result) -> r.diags) reach,
+        reach )
+  in
+  let lint_diags =
+    Lint.check_program ~externals:bound_externals ~reach program
+  in
+  let static_diags = Diagnostic.sort (verify_diags @ lint_diags) in
+  record static_diags;
   let* () =
-    if Diagnostic.has_errors lint_diags then
-      Error
-        ("lint: "
-        ^ Diagnostic.to_string (List.find Diagnostic.is_error lint_diags))
+    if Diagnostic.has_errors static_diags then
+      let d = List.find Diagnostic.is_error static_diags in
+      let pass = if d.Diagnostic.code.[0] = 'V' then "verify" else "lint" in
+      Error (pass ^ ": " ^ Diagnostic.to_string d)
     else Ok ()
   in
   let task =

@@ -37,6 +37,18 @@ type config = {
           ([Farm_placement.Conflict]) reports [C3xx] warnings against
           already-deployed tasks; [false] (default) deploys and records
           them in {!last_deploy_diagnostics} *)
+  verify_on_deploy : bool;
+      (** run the symbolic verifier at deploy time: per-handler
+          translation validation of the compiled plan against the
+          reference semantics ([V401]/[V402]), [assert(..)] invariant
+          proofs ([V403]), value-range safety ([V404]), and
+          reachability-backed lint verdicts.  Deployment is refused when
+          a [V4xx] error is found (the machine's compiled form provably
+          diverges from the reference semantics, or an invariant admits
+          a feasible violation); warnings are recorded in
+          {!last_deploy_diagnostics}.  [false] (default) keeps deploys
+          fast — the same checks are available offline via
+          [farmc verify]. *)
   auto_heal : bool;
       (** enable the self-healing layer: heartbeats, failure detection,
           checkpoint shipping and automatic re-placement.  [false]

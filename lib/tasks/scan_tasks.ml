@@ -239,8 +239,12 @@ machine DnsReflection {
       send victim to harvester;
       addTCAMRule(mkRule(srcPort 53 and dstIP victim,
                          rate_limit_action(20000)));
+    }
+    when (exit) do {
       victims = [];
       counts = [];
+    }
+    when (win as t) do {
       transit observe;
     }
     when (recv bool lift from harvester) do {

@@ -372,6 +372,59 @@ let test_seeder_rejects_bad_programs () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "type error must fail"
 
+(* A program whose assert admits a feasible violating path: deployable
+   by default, refused under [verify_on_deploy]. *)
+let brittle_source =
+  {|
+machine Brittle {
+  place all;
+  poll counters = Poll { .ival = 0.01, .what = port ANY };
+  state observe {
+    when (counters as stats) do {
+      assert(stats_sum(stats) < 10);
+    }
+  }
+}
+|}
+
+let test_seeder_verify_on_deploy () =
+  (* default config: the symbolic pass does not run, deploy succeeds *)
+  let _, _, _, seeder = make_world () in
+  (match
+     Seeder.deploy seeder
+       (Seeder.simple_spec ~name:"brittle" ~source:brittle_source)
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "unverified deploy refused: %s" m);
+  (* verify_on_deploy: the V403 feasible assert violation refuses it *)
+  let engine = Engine.create ~seed:11 () in
+  let fabric =
+    Fabric.create (Topology.spine_leaf ~spines:2 ~leaves:2 ~hosts_per_leaf:1)
+  in
+  let seeder =
+    Seeder.create
+      ~config:{ Seeder.default_config with verify_on_deploy = true }
+      engine fabric
+  in
+  (match
+     Seeder.deploy seeder
+       (Seeder.simple_spec ~name:"brittle" ~source:brittle_source)
+   with
+  | Error m ->
+      Alcotest.(check bool) "refusal names the verify pass" true
+        (String.length m >= 7 && String.sub m 0 7 = "verify:")
+  | Ok _ -> Alcotest.fail "verify_on_deploy must refuse a failing assert");
+  (* a sound program still deploys under the gate *)
+  let spec =
+    { (Seeder.simple_spec ~name:"watchdog" ~source:watchdog_source) with
+      Seeder.ts_extra_sigs = watchdog_sigs;
+      ts_builtins = watchdog_builtins;
+      ts_externals = [ ("Watchdog", [ ("limit", Value.Num 50_000.) ]) ] }
+  in
+  match Seeder.deploy seeder spec with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "verified deploy refused: %s" m
+
 let test_seed_migration_preserves_state () =
   (* Manual migration through the Seed_exec API: snapshot on one soil,
      restore on another; machine state and variables survive, polling
@@ -1176,6 +1229,8 @@ let () =
             test_seeder_collector_accounting;
           Alcotest.test_case "undeploy releases" `Quick
             test_seeder_undeploy_releases;
+          Alcotest.test_case "verify_on_deploy gate" `Quick
+            test_seeder_verify_on_deploy;
           Alcotest.test_case "rejects bad programs" `Quick
             test_seeder_rejects_bad_programs ] );
       ( "migration",
