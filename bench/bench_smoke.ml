@@ -148,6 +148,58 @@ let trace_smoke () =
   let d_on, eps_on, n_events = run ~traced:true in
   (String.equal d_off d_on, eps_off, eps_on, n_events)
 
+(* Overload-protection smoke: the same heavy-hitter world with the
+   protection stack disabled (the default) and fully armed but unstressed.
+   Disabled must reproduce the pre-overload digest byte-for-byte (the
+   config is the only gate — no hidden events, draws or registrations);
+   armed-but-idle must shed nothing and its wall-clock overhead is gated
+   so the shed path never creeps into the hot path. *)
+let seed_digest = "dispatched=17984 now=0x1p+0 collector=0x0p+0/0"
+
+let overload_smoke () =
+  let module Seeder = Runtime.Seeder in
+  let module Soil = Runtime.Soil in
+  let module Harvester = Runtime.Harvester in
+  let run ~overload =
+    let seeder_config =
+      if overload then Seeder.overload_defaults else Seeder.default_config
+    in
+    let w =
+      World.create ~seed:4242 ~spines:2 ~leaves:4 ~hosts_per_leaf:1
+        ~seeder_config ()
+    in
+    let task =
+      match World.deploy_catalog_task w "heavy-hitter" with
+      | Ok t -> t
+      | Error m -> failwith (Printf.sprintf "overload smoke deploy: %s" m)
+    in
+    World.background_traffic ~flows:32 w;
+    let t0 = Unix.gettimeofday () in
+    World.run ~until:1.0 w;
+    let dt = Unix.gettimeofday () -. t0 in
+    let seeder = w.World.seeder in
+    let digest =
+      Printf.sprintf "dispatched=%d now=%h collector=%h/%d"
+        (Sim.Engine.dispatched w.World.engine)
+        (World.now w)
+        (Runtime.Seeder.collector_bytes seeder)
+        (Runtime.Seeder.collector_messages seeder)
+    in
+    let sheds =
+      List.fold_left
+        (fun acc soil ->
+          match Soil.overload_stats soil with
+          | Some st -> acc + st.Soil.o_shed
+          | None -> acc)
+        (Harvester.shed_count (Seeder.harvester task))
+        (Seeder.soils seeder)
+    in
+    (digest, float_of_int (Sim.Engine.dispatched w.World.engine) /. dt, sheds)
+  in
+  let d_off, eps_off, _ = run ~overload:false in
+  let _, eps_on, sheds_on = run ~overload:true in
+  (String.equal d_off seed_digest, eps_off, eps_on, sheds_on)
+
 let () =
   let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_micro.json" in
   let source = (Tasks.Catalog.find "heavy-hitter").source in
@@ -188,6 +240,14 @@ let () =
     eps_on trace_events trace_overhead_pct;
   Printf.printf "  digests   %11s\n%!"
     (if trace_inert then "identical" else "DIVERGED");
+
+  let ov_parity, ov_eps_off, ov_eps_on, ov_sheds = overload_smoke () in
+  let ov_overhead_pct = 100. *. ((ov_eps_off /. ov_eps_on) -. 1.) in
+  Printf.printf "overload protection (heavy-hitter world, 1 s simulated):\n";
+  Printf.printf "  disabled  %11.0f events/sec (digest %s)\n" ov_eps_off
+    (if ov_parity then "= seed baseline" else "DIVERGED FROM SEED");
+  Printf.printf "  armed     %11.0f events/sec (%d shed, %+.1f%%)\n%!"
+    ov_eps_on ov_sheds ov_overhead_pct;
 
   let crashes = 30 in
   let seeder = mttr_bench ~crashes in
@@ -231,6 +291,13 @@ let () =
     \    \"trace_events\": %d,\n\
     \    \"overhead_pct\": %.1f\n\
     \  },\n\
+    \  \"overload\": {\n\
+    \    \"disabled_digest_parity\": %b,\n\
+    \    \"disabled_events_per_sec\": %.1f,\n\
+    \    \"armed_events_per_sec\": %.1f,\n\
+    \    \"armed_idle_sheds\": %d,\n\
+    \    \"overhead_pct\": %.1f\n\
+    \  },\n\
     \  \"self_healing_mttr\": {\n\
     \    \"crash_episodes\": %d,\n\
     \    \"detection_samples\": %d,\n\
@@ -242,7 +309,8 @@ let () =
     \  }\n\
      }\n"
     interp_eps compiled_eps speedup sim_eps sweep_deterministic trace_inert
-    eps_off eps_on trace_events trace_overhead_pct crashes
+    eps_off eps_on trace_events trace_overhead_pct ov_parity ov_eps_off
+    ov_eps_on ov_sheds ov_overhead_pct crashes
     (Histogram.count dl) d50 d95 d99
     dmax (Histogram.count rt) r50 r95 r99 rmax
     (Seeder.checkpoints_shipped seeder)
@@ -257,6 +325,23 @@ let () =
   if not trace_inert then begin
     Printf.eprintf
       "FAIL: attaching a trace sink changed the simulation digest\n%!";
+    exit 1
+  end;
+  if not ov_parity then begin
+    Printf.eprintf
+      "FAIL: disabled overload protection changed the seed digest\n%!";
+    exit 1
+  end;
+  if ov_sheds <> 0 then begin
+    Printf.eprintf
+      "FAIL: armed overload protection shed %d reports in an unstressed world\n%!"
+      ov_sheds;
+    exit 1
+  end;
+  if ov_overhead_pct > 50. then begin
+    Printf.eprintf
+      "FAIL: armed overload protection costs %.1f%% (gate: 50%%)\n%!"
+      ov_overhead_pct;
     exit 1
   end;
   if speedup < 3.0 then begin

@@ -397,14 +397,29 @@ let run_cmd =
   let duration_arg =
     Arg.(value & opt float 5. & info [ "d"; "duration" ] ~docv:"SECONDS")
   in
-  let run name duration =
+  let overload_arg =
+    Arg.(
+      value & flag
+      & info [ "overload" ]
+          ~doc:
+            "Arm the overload-protection stack: bounded PCIe/inbox queues \
+             with load shedding, AIMD degraded-mode seeds, and \
+             control-channel rate limiting with per-switch circuit \
+             breakers.  Off by default (byte-identical to the unprotected \
+             runtime).")
+  in
+  let run name duration overload =
     let entry =
       try Tasks.Catalog.find name
       with Invalid_argument m ->
         prerr_endline m;
         exit 1
     in
-    let world = World.create () in
+    let world =
+      if overload then
+        World.create ~seeder_config:Runtime.Seeder.overload_defaults ()
+      else World.create ()
+    in
     let task =
       match
         Runtime.Seeder.deploy world.seeder
@@ -442,11 +457,44 @@ let run_cmd =
         if i < 10 then
           Printf.printf "  t=%.3fs  switch %d: %s\n" t sw
             (Almanac.Value.to_string v))
-      (List.rev (Runtime.Harvester.received h))
+      (List.rev (Runtime.Harvester.received h));
+    if overload then begin
+      let seeder = world.seeder in
+      let shed, peak =
+        List.fold_left
+          (fun (shed, peak) soil ->
+            match Runtime.Soil.overload_stats soil with
+            | Some st ->
+                (shed + st.Runtime.Soil.o_shed,
+                 max peak st.Runtime.Soil.o_queue_peak)
+            | None -> (shed, peak))
+          (0, 0)
+          (Runtime.Seeder.soils seeder)
+      in
+      Printf.printf
+        "overload: pcie shed %d poll(s) (queue peak %d), inbox shed %d of %d \
+         offered\n"
+        shed peak
+        (Runtime.Harvester.shed_count h)
+        (Runtime.Harvester.offered_count h);
+      Printf.printf
+        "overload: ctrl rate-limited %d, breaker dropped %d (%d open(s)), \
+         retries capped %d\n"
+        (Runtime.Seeder.rate_limited seeder)
+        (Runtime.Seeder.breaker_dropped seeder)
+        (Runtime.Seeder.breaker_opens seeder)
+        (Runtime.Seeder.retry_capped seeder);
+      Printf.printf "overload: %d pressure event(s); seeds degraded now: %d\n"
+        (Runtime.Seeder.pressure_events seeder)
+        (List.length
+           (List.filter
+              (fun e -> Runtime.Seed_exec.degradation e > 0.)
+              (Runtime.Seeder.seeds seeder task)))
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Deploy a catalog task on a simulated DC and run it")
-    Term.(const run $ task_arg $ duration_arg)
+    Term.(const run $ task_arg $ duration_arg $ overload_arg)
 
 (* ---------------- sweep ---------------- *)
 

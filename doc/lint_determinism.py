@@ -34,6 +34,10 @@ ALLOWLIST = [
      "independent per-key mutation"),
     ("lib/runtime/seeder.ml", "fun node soilv acc",
      "fold result sorted by node id at the end of the pipeline"),
+    ("lib/runtime/seeder.ml", "Soil.set_pressure_listener soilv",
+     "independent per-key listener installation"),
+    ("lib/runtime/seeder.ml", "acc + Overload.Breaker.opens b",
+     "commutative int sum"),
     ("lib/net/switch_model.ml", "Tcam.record t.tcam f.tuple",
      "commutative counter accumulation"),
     ("lib/net/switch_model.ml", "let r = effective_rate t f in",

@@ -50,6 +50,9 @@ type t = {
   mutable subjects : subject_state Subject_map.t;
   flows : (int, active_flow) Hashtbl.t;
   mutable last_sync : float;
+  (* traffic-surge fault: offered load multiplier applied on top of every
+     flow's base rate; 1.0 is bit-exact with the unfaulted model *)
+  mutable surge : float;
 }
 
 let create ?(caps = accton_as5712) ~id ~ports () =
@@ -58,7 +61,8 @@ let create ?(caps = accton_as5712) ~id ~ports () =
     ports = Array.init (Stdlib.max 1 ports) (fun _ -> { p_rate = 0.; p_bytes = 0. });
     subjects = Subject_map.empty;
     flows = Hashtbl.create 32;
-    last_sync = 0. }
+    last_sync = 0.;
+    surge = 1. }
 
 let id t = t.sw_id
 let caps t = t.caps
@@ -104,14 +108,16 @@ let rate_delta t f delta =
     t.subjects
 
 let effective_rate t f =
+  let base =
+    if t.surge = 1. then f.base_rate else f.base_rate *. t.surge
+  in
   match Tcam.lookup t.tcam f.tuple with
   | Some e -> (
       match e.rule.action with
       | Tcam.Drop -> 0.
-      | Tcam.Rate_limit cap -> Float.min f.base_rate cap
-      | Tcam.Forward _ | Tcam.Set_qos _ | Tcam.Mirror | Tcam.Count ->
-          f.base_rate)
-  | None -> f.base_rate
+      | Tcam.Rate_limit cap -> Float.min base cap
+      | Tcam.Forward _ | Tcam.Set_qos _ | Tcam.Mirror | Tcam.Count -> base)
+  | None -> base
 
 let add_flow t ~time ~flow_id ~tuple ~rate ?(flags = Flow.no_flags)
     ?(payload = "") ~egress () =
@@ -145,6 +151,26 @@ let apply_tcam_actions t ~time =
         f.rate <- r
       end)
     t.flows
+
+(* Traffic-surge fault: settle counters at [time], then re-rate every
+   active flow under the new multiplier (flow-id order, so the float
+   accumulation into port/subject rates is deterministic). *)
+let set_surge t ~time factor =
+  if factor <= 0. then invalid_arg "Switch_model.set_surge: factor <= 0";
+  if factor <> t.surge then begin
+    sync t ~time;
+    t.surge <- factor;
+    List.iter
+      (fun f ->
+        let r = effective_rate t f in
+        if r <> f.rate then begin
+          rate_delta t f (r -. f.rate);
+          f.rate <- r
+        end)
+      (active_flows t)
+  end
+
+let surge_factor t = t.surge
 
 let check_port t port =
   if port < 0 || port >= Array.length t.ports then

@@ -65,6 +65,15 @@ val active_flows : t -> active_flow list
     a seed reaction installs/removes monitoring rules. *)
 val apply_tcam_actions : t -> time:float -> unit
 
+(** Traffic-surge fault ([Fault.Traffic_surge]): multiply every flow's
+    offered rate by [factor] from [time] on (counters up to [time] settle
+    at the old rates first).  TCAM actions still apply on top — a
+    rate-limit caps the surged rate.  Factor 1 restores the base rates and
+    is bit-exact with the unfaulted model. *)
+val set_surge : t -> time:float -> float -> unit
+
+val surge_factor : t -> float
+
 (** {2 Counters (polling targets)} *)
 
 (** Cumulative bytes transmitted on a port. *)

@@ -17,6 +17,13 @@ let collector_spec =
 
 type provenance = { p_seed : int; p_epoch : int; p_seq : int }
 
+(* Bounded inbox (overload protection, off by default): at most
+   [max_reports] admitted per rolling [window], split fairly across the
+   reporting seeds; a seed over its share is shed first. *)
+type overload_config = { window : float; max_reports : int }
+
+let default_overload = { window = 0.1; max_reports = 64 }
+
 type t = {
   spec : spec;
   ctx : ctx;
@@ -33,14 +40,29 @@ type t = {
   mutable stale_dropped : int;
   mutable dup_dropped : int;
   mutable tracer : Farm_sim.Trace.t option;  (* wired by the seeder *)
+  (* overload protection; [n_offered] is always counted (a plain int, so
+     disabled runs stay byte-identical) *)
+  mutable ov : overload_config option;
+  mutable ov_window_start : float;
+  ov_counts : (int, int) Hashtbl.t;  (* per-seed admits this window *)
+  mutable n_offered : int;
+  mutable n_shed : int;
 }
 
 let create spec ctx =
   { spec; ctx; log = []; fences = Hashtbl.create 16; seen = Hashtbl.create 16;
     prov_log = []; n_received = 0; stale_dropped = 0; dup_dropped = 0;
-    tracer = None }
+    tracer = None; ov = None; ov_window_start = 0.;
+    ov_counts = Hashtbl.create 16; n_offered = 0; n_shed = 0 }
 
 let set_tracer t tr = t.tracer <- tr
+
+let set_overload t cfg =
+  t.ov <- cfg;
+  t.ov_window_start <- t.ctx.now ();
+  Hashtbl.reset t.ov_counts
+
+let overload t = t.ov
 
 let metrics_register t reg ~prefix =
   let g name f =
@@ -49,7 +71,14 @@ let metrics_register t reg ~prefix =
   in
   g "received" (fun () -> t.n_received);
   g "stale_dropped" (fun () -> t.stale_dropped);
-  g "dup_dropped" (fun () -> t.dup_dropped)
+  g "dup_dropped" (fun () -> t.dup_dropped);
+  (* only an overload-enabled deployment registers its shed metrics, so
+     default runs publish exactly the pre-overload registry *)
+  match t.ov with
+  | None -> ()
+  | Some _ ->
+      g "offered" (fun () -> t.n_offered);
+      g "shed" (fun () -> t.n_shed)
 
 let start t = t.spec.on_start t.ctx
 
@@ -89,13 +118,48 @@ let admit t p =
     end
   end
 
+(* Fair-share inbox shedding: a fresh (non-stale, non-dup) report is shed
+   when its seed has used up its slice of this window's budget.  Purely a
+   function of (sim time, admitted history) — deterministic. *)
+let shed_check t p =
+  match t.ov with
+  | None -> false
+  | Some ov ->
+      let now = t.ctx.now () in
+      if now -. t.ov_window_start >= ov.window then begin
+        t.ov_window_start <- now;
+        Hashtbl.reset t.ov_counts
+      end;
+      let seeds = max 1 (Hashtbl.length t.fences) in
+      let share = max 1 (ov.max_reports / seeds) in
+      let used =
+        Option.value (Hashtbl.find_opt t.ov_counts p.p_seed) ~default:0
+      in
+      if used >= share then begin
+        t.n_shed <- t.n_shed + 1;
+        true
+      end
+      else begin
+        Hashtbl.replace t.ov_counts p.p_seed (used + 1);
+        false
+      end
+
 let handle ?provenance t ~from_switch v =
+  t.n_offered <- t.n_offered + 1;
   let accept = match provenance with None -> true | Some p -> admit t p in
+  let shed =
+    accept
+    && match provenance with Some p -> shed_check t p | None -> false
+  in
+  let accept = accept && not shed in
   (match t.tracer with
   | None -> ()
   | Some tr ->
       Farm_sim.Trace.instant tr ~ts:(t.ctx.now ()) ~cat:"harvester"
-        ~name:(if accept then "report" else "report_dropped")
+        ~name:
+          (if shed then "report_shed"
+           else if accept then "report"
+           else "report_dropped")
         ~tid:from_switch ())
   ;
   if accept then begin
@@ -112,3 +176,5 @@ let received_count t = t.n_received
 let accepted_provenance t = t.prov_log
 let stale_dropped t = t.stale_dropped
 let dup_dropped t = t.dup_dropped
+let offered_count t = t.n_offered
+let shed_count t = t.n_shed

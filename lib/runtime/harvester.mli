@@ -33,9 +33,35 @@ val start : t -> unit
 val set_tracer : t -> Farm_sim.Trace.t option -> unit
 
 (** Publish this harvester's accounting (received / stale_dropped /
-    dup_dropped) as callback gauges under [prefix] in [reg]. *)
+    dup_dropped, plus offered / shed when overload protection is on) as
+    callback gauges under [prefix] in [reg]. *)
 val metrics_register :
   t -> Farm_sim.Metrics.Registry.t -> prefix:string -> unit
+
+(** {2 Bounded inbox (overload protection)} *)
+
+(** At most [max_reports] reports admitted per rolling [window] (seconds),
+    split fairly across the task's reporting seeds: a seed past its
+    [max_reports / seeds] share is shed first.  Shedding happens after
+    fencing/dedup, so stale and duplicate drops are never double-counted
+    as sheds. *)
+type overload_config = { window : float; max_reports : int }
+
+val default_overload : overload_config
+
+(** Enable ([Some]) or disable ([None]) inbox shedding.  Wired by the
+    seeder at deploy time when its overload protection is configured. *)
+val set_overload : t -> overload_config option -> unit
+
+val overload : t -> overload_config option
+
+(** Reports offered to [handle] in total (counted even with shedding off,
+    so the balance [offered = received + stale + dup + shed] always
+    holds). *)
+val offered_count : t -> int
+
+(** Fresh reports shed by the bounded inbox. *)
+val shed_count : t -> int
 
 (** Report provenance: which seed {e instance} produced it.  [p_epoch] is
     the seed's instance epoch (bumped by the seeder on every

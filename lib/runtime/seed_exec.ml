@@ -20,6 +20,12 @@ type t = {
   mutable alive : bool;
   mutable next_seq : int;  (* per-instance report sequence numbers *)
   dedup : Ipc.Dedup.t;  (* inbound control-message ids seen *)
+  (* overload resilience: AIMD degraded mode over the adaptive triggers *)
+  adaptive : string list;  (* poll vars whose period may be stretched *)
+  mutable rate_scale : float;  (* 1.0 = full fidelity *)
+  mutable poll_drops : int;  (* polls the soil dropped/shed on us *)
+  mutable last_drop_backoff : float;  (* throttles drop-triggered MD *)
+  mutable degraded_report : (float -> unit) option;  (* -> harvester *)
 }
 
 let seed_id t = t.sid
@@ -54,6 +60,18 @@ let period_of_spec spec res =
     10.
   else 1. /. rate
 
+(* Effective period of an adaptive trigger under the current degradation:
+   base / scale.  At full fidelity the division is skipped so default runs
+   see the exact original float. *)
+let scaled_period t (p : Analysis.poll_summary) =
+  let base = period_of_spec p.ival t.res in
+  if t.rate_scale = 1. || not (List.mem p.poll_name t.adaptive) then base
+  else base /. t.rate_scale
+
+let rate_scale t = t.rate_scale
+let degradation t = 1. -. t.rate_scale
+let poll_drops t = t.poll_drops
+
 (* Subscribe one poll variable's triggers; returns the subscriptions. *)
 let subscribe t (p : Analysis.poll_summary) =
   (* resolved once per subscription, not per event: the handler CPU cost
@@ -66,7 +84,7 @@ let subscribe t (p : Analysis.poll_summary) =
       fire_trigger value
     end
   in
-  let period = period_of_spec p.ival t.res in
+  let period = scaled_period t p in
   match p.ptrig with
   | Ast.Poll ->
       List.map
@@ -84,6 +102,64 @@ let subscribe t (p : Analysis.poll_summary) =
 let resubscribe_all t =
   List.iter (fun (_, subs) -> List.iter (Soil.cancel t.soil) subs) t.subs;
   t.subs <- List.map (fun p -> (p.Analysis.poll_name, subscribe t p)) t.polls
+
+(* ------------------------------------------------------------------ *)
+(* Degraded mode (AIMD): stretch the adaptive triggers' periods under    *)
+(* soil pressure, recover additively once it clears                     *)
+(* ------------------------------------------------------------------ *)
+
+let apply_rate_scale t =
+  List.iter
+    (fun (p : Analysis.poll_summary) ->
+      if List.mem p.Analysis.poll_name t.adaptive then
+        match List.assoc_opt p.Analysis.poll_name t.subs with
+        | Some subs ->
+            let period = scaled_period t p in
+            List.iter (fun s -> Soil.set_period t.soil s period) subs
+        | None -> ())
+    t.polls
+
+let set_rate_scale t scale =
+  if t.alive && scale <> t.rate_scale then begin
+    t.rate_scale <- scale;
+    apply_rate_scale t;
+    (match Sengine.tracer (Soil.engine t.soil) with
+    | None -> ()
+    | Some tr ->
+        Trace.instant tr ~ts:(Soil.now t.soil) ~cat:"seed.overload"
+          ~name:"degradation" ~tid:(Soil.node_id t.soil)
+          ~args:
+            [ ("seed", Trace.I t.sid); ("depth", Trace.F (1. -. scale)) ]
+          ());
+    (* tell the harvester, so global logic can compensate for the
+       reduced fidelity *)
+    match t.degraded_report with Some f -> f (1. -. scale) | None -> ()
+  end
+
+(* Backpressure tick from the soil's pressure monitor. *)
+let on_pressure t ~high =
+  if t.adaptive <> [] then
+    set_rate_scale t
+      (if high then Overload.back_off t.rate_scale
+       else Overload.recover t.rate_scale)
+
+(* The soil dropped/shed [n] of our polls.  Always counted; with overload
+   protection on, a drop burst also backs the seed off (at most once per
+   pressure interval, so a shed batch is one MD step, not many). *)
+let on_poll_drop t n =
+  t.poll_drops <- t.poll_drops + n;
+  if t.adaptive <> [] && Soil.overload_enabled t.soil then begin
+    let gap =
+      match (Soil.config t.soil).overload with
+      | Some ov -> ov.pressure_interval
+      | None -> 0.05
+    in
+    let now = Soil.now t.soil in
+    if now -. t.last_drop_backoff >= gap then begin
+      t.last_drop_backoff <- now;
+      set_rate_scale t (Overload.back_off t.rate_scale)
+    end
+  end
 
 (* runtime reassignment of a trigger variable: y = Poll { ... } or a bare
    number interpreted as the new period *)
@@ -129,12 +205,14 @@ let value_of_installed (e : Tcam.installed) =
         ("packets", Value.Num e.packets) ] )
 
 let deploy ~soil ~program ~machine ?(engine = `Compiled) ?(externals = [])
-    ?(builtins = []) ?restore ?(epoch = 0) ~resources ~polls ~send ~seed_id ()
-    =
+    ?(builtins = []) ?restore ?(epoch = 0) ?(adaptive = []) ~resources ~polls
+    ~send ~seed_id () =
   let t =
     { sid = seed_id; soil; epoch; inst = None; res = Array.copy resources;
       polls; subs = []; transitions = 0; alive = true; next_seq = 0;
-      dedup = Ipc.Dedup.create () }
+      dedup = Ipc.Dedup.create (); adaptive; rate_scale = 1.;
+      poll_drops = 0; last_drop_backoff = Float.neg_infinity;
+      degraded_report = None }
   in
   let host =
     { Interp.h_now = (fun () -> Soil.now soil);
@@ -237,6 +315,25 @@ let deploy ~soil ~program ~machine ?(engine = `Compiled) ?(externals = [])
   let i = Aengine.create ~engine ~externals ~program ~machine host in
   t.inst <- Some i;
   Soil.attach_seed soil seed_id;
+  (* drop notifications are always wired (per-seed attribution of the
+     previously silent queue drops); the degraded-mode machinery only
+     when the soil runs overload protection *)
+  Soil.on_poll_drop soil ~seed_id (fun n -> on_poll_drop t n);
+  if Soil.overload_enabled soil then begin
+    Soil.on_pressure soil ~seed_id (fun ~high -> on_pressure t ~high);
+    t.degraded_report <-
+      Some
+        (fun depth ->
+          send t Interp.To_harvester
+            (Value.Struct
+               ( "Degraded",
+                 [ ("seed", Value.Num (float_of_int seed_id));
+                   ("depth", Value.Num depth) ] )));
+    Farm_sim.Metrics.Registry.gauge_fn
+      (Sengine.metrics (Soil.engine soil))
+      (Printf.sprintf "seed.%d.degradation" seed_id)
+      (fun () -> 1. -. t.rate_scale)
+  end;
   t.subs <- List.map (fun p -> (p.Analysis.poll_name, subscribe t p)) polls;
   (match restore with
   | Some (vars, state) -> Aengine.restore i ~vars ~state
@@ -263,4 +360,5 @@ let destroy t =
   t.alive <- false;
   List.iter (fun (_, subs) -> List.iter (Soil.cancel t.soil) subs) t.subs;
   t.subs <- [];
+  (* detach_seed also removes this seed's drop/pressure hooks *)
   Soil.detach_seed t.soil t.sid

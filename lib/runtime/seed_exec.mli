@@ -15,7 +15,10 @@ type t
     initial state.  [send] routes outgoing messages (wired by the seeder).
     [restore] resumes from a migrated snapshot instead of a fresh start.
     [engine] selects the execution engine: the slot-compiled [`Compiled]
-    (default) or the reference interpreter [`Interp]. *)
+    (default) or the reference interpreter [`Interp].  [adaptive] names
+    the poll variables whose period the seed may stretch in degraded mode
+    (AIMD back-off under soil pressure; only effective when the soil runs
+    overload protection). *)
 val deploy :
   soil:Soil.t ->
   program:Ast.program ->
@@ -25,6 +28,7 @@ val deploy :
   ?builtins:(string * (Value.t list -> Value.t)) list ->
   ?restore:(string * Value.t) list * string ->
   ?epoch:int ->
+  ?adaptive:string list ->
   resources:float array ->
   polls:Analysis.poll_summary list ->
   send:(t -> Farm_almanac.Interp.target -> Value.t -> unit) ->
@@ -76,3 +80,21 @@ val destroy : t -> unit
 val transitions : t -> int
 
 val is_alive : t -> bool
+
+(** {2 Degraded mode (overload resilience)} *)
+
+(** Current AIMD rate scale in (0, 1]; 1.0 = full fidelity. *)
+val rate_scale : t -> float
+
+(** [1 - rate_scale], the value exported as the [seed.<id>.degradation]
+    gauge. *)
+val degradation : t -> float
+
+(** Polls the soil dropped or shed on this seed (drop notifications). *)
+val poll_drops : t -> int
+
+(** Backpressure tick: [high:true] multiplicatively stretches the adaptive
+    triggers' periods, [high:false] additively recovers them.  No-op for
+    seeds without adaptive triggers.  Wired to the soil's pressure monitor
+    at deploy time; exposed for tests. *)
+val on_pressure : t -> high:bool -> unit

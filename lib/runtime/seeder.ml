@@ -17,6 +17,24 @@ module Conflict = Farm_placement.Conflict
 module Fabric = Farm_net.Fabric
 module Switch_model = Farm_net.Switch_model
 
+(* Control-channel protection knobs (overload resilience).  Heartbeats are
+   deliberately outside its jurisdiction: gating them behind an open
+   breaker would turn one congested channel into a false failure
+   detection, and the resulting migration into more control traffic — the
+   exact storm this layer exists to prevent. *)
+type ctrl_protection = {
+  rate_limit : float;  (* control sends per second (token refill rate) *)
+  burst : float;  (* bucket depth: sends admitted back-to-back *)
+  breaker_threshold : int;  (* consecutive failures before opening *)
+  breaker_cooldown : float;  (* open duration before the half-open probe *)
+  max_inflight_retries : int;  (* per-switch bound on pending retries *)
+  retry_jitter : float;  (* max extra backoff, drawn from a keyed stream *)
+}
+
+let default_protection =
+  { rate_limit = 2000.; burst = 64.; breaker_threshold = 5;
+    breaker_cooldown = 50e-3; max_inflight_retries = 8; retry_jitter = 1e-3 }
+
 type config = {
   soil_config : Soil.config;
   control_latency : float;
@@ -34,6 +52,10 @@ type config = {
   checkpoint_interval : float;
   checkpoint_full_every : int;
   ctrl_bandwidth_bps : float;
+  (* overload resilience; both [None] by default so the pre-overload
+     behavior stays byte-identical *)
+  ctrl_protection : ctrl_protection option;
+  harvester_overload : Harvester.overload_config option;
 }
 
 let default_config =
@@ -51,7 +73,17 @@ let default_config =
     detection_timeout = 35e-3;  (* > 3 missed beats at the default rate *)
     checkpoint_interval = 50e-3;
     checkpoint_full_every = 4;
-    ctrl_bandwidth_bps = 1e9 }
+    ctrl_bandwidth_bps = 1e9;
+    ctrl_protection = None;
+    harvester_overload = None }
+
+(* every overload-protection layer switched on at its default settings *)
+let overload_defaults =
+  { default_config with
+    soil_config =
+      { Soil.default_config with overload = Some Soil.default_overload };
+    ctrl_protection = Some default_protection;
+    harvester_overload = Some Harvester.default_overload }
 
 type ctrl_faults = { loss : float; delay : float; dup : float }
 
@@ -64,11 +96,14 @@ type task_spec = {
   ts_builtins : (string * (Value.t list -> Value.t)) list;
   ts_extra_sigs : (string * Typecheck.func_sig) list;
   ts_harvester : Harvester.spec;
+  ts_adaptive : string list;
+      (* poll variables the seeds may stretch in degraded mode *)
 }
 
 let simple_spec ~name ~source =
   { ts_name = name; ts_source = source; ts_externals = []; ts_builtins = [];
-    ts_extra_sigs = []; ts_harvester = Harvester.collector_spec }
+    ts_extra_sigs = []; ts_harvester = Harvester.collector_spec;
+    ts_adaptive = [] }
 
 type task = {
   task_id : int;
@@ -102,6 +137,22 @@ type reg = {
   mutable r_next_ck : int;  (* next checkpoint seq (sender side) *)
   mutable r_last_shipped : (string * Value.t) list option;  (* delta base *)
   mutable r_store : store option;  (* seeder-side accumulated checkpoint *)
+}
+
+(* live state of the control-channel protection; allocated only when
+   [config.ctrl_protection] is set, so protection-off runs carry no extra
+   engine events, rng draws or registry entries *)
+type ov = {
+  ovp : ctrl_protection;
+  bucket : Overload.Token_bucket.t;  (* global control-channel pacing *)
+  breakers : (int, Overload.Breaker.t) Hashtbl.t;  (* per destination *)
+  inflight : (int, int) Hashtbl.t;  (* per-switch retries awaiting a slot *)
+  (* base for the per-message keyed jitter streams: replays draw the same
+     jitter for the same (msg key, try) regardless of interleaving *)
+  jitter_rng : Farm_sim.Rng.t;
+  mutable rate_limited : int;  (* sends delayed by the token bucket *)
+  mutable breaker_dropped : int;  (* sends refused by an open breaker *)
+  mutable retry_capped : int;  (* retries refused by the in-flight bound *)
 }
 
 type t = {
@@ -155,6 +206,11 @@ type t = {
   mutable auto_recoveries : int;
   mutable zombies_fenced : int;
   mutable fenced_sends : int;
+  (* overload resilience *)
+  ov : ov option;
+  pressured : (int, unit) Hashtbl.t;  (* soils currently under pressure *)
+  mutable pressure_events : int;  (* pressure flag flips seen *)
+  mutable storm_reports : int;  (* reports injected by Report_storm faults *)
 }
 
 let engine t = t.engine
@@ -282,50 +338,156 @@ let trace_span t ~name ~dur args =
   | Some tr ->
       Trace.span tr ~ts:(Engine.now t.engine) ~dur ~cat:"seeder" ~name ~args ()
 
+(* The circuit breaker guarding one switch's control channel (created on
+   first use; only reachable with protection enabled). *)
+let breaker_of ov node =
+  match Hashtbl.find_opt ov.breakers node with
+  | Some b -> b
+  | None ->
+      let b =
+        Overload.Breaker.create ~threshold:ov.ovp.breaker_threshold
+          ~cooldown:ov.ovp.breaker_cooldown
+      in
+      Hashtbl.replace ov.breakers node b;
+      b
+
 (* Unicast over the (possibly degraded) control plane.  [deliver] runs at
    the receiver and reports whether the recipient took the message
    ([`Delivered]), is temporarily away — migrating or being re-placed — and
    worth a retry ([`Absent]), or is gone for good ([`Gone]).  Loss and
    absence are retried with exponential backoff up to [max_retries]; all
    draws are skipped on a perfect control plane so fault-free runs are
-   byte-identical to the pre-fault-injection behavior. *)
-let rec control_send t ?(tries = 0) deliver =
+   byte-identical to the pre-fault-injection behavior.
+
+   With [ctrl_protection] enabled, [dest] names the switch whose breaker
+   gates the send (loss / absence feed it failures, any answer from the
+   other end closes it), the global token bucket paces all unicasts, the
+   number of retries awaiting a slot per switch is bounded, and [key]
+   selects a deterministic jitter stream that decorrelates the retry
+   backoffs of concurrent messages.  Heartbeats use {!oneshot_send} and
+   are never gated. *)
+let rec control_send t ?(tries = 0) ?dest ?key deliver =
   let c = t.ctrl in
+  let jitter () =
+    match (t.ov, key) with
+    | Some ov, Some k when ov.ovp.retry_jitter > 0. ->
+        Farm_sim.Rng.uniform
+          (Farm_sim.Rng.stream ov.jitter_rng ((k * 8) + tries))
+          0. ov.ovp.retry_jitter
+    | _ -> 0.
+  in
+  let retry_slot () =
+    match (t.ov, dest) with
+    | Some ov, Some node ->
+        let n = Option.value (Hashtbl.find_opt ov.inflight node) ~default:0 in
+        if n >= ov.ovp.max_inflight_retries then false
+        else begin
+          Hashtbl.replace ov.inflight node (n + 1);
+          true
+        end
+    | _ -> true
+  in
+  let retry_slot_done () =
+    match (t.ov, dest) with
+    | Some ov, Some node ->
+        let n = Option.value (Hashtbl.find_opt ov.inflight node) ~default:1 in
+        Hashtbl.replace ov.inflight node (max 0 (n - 1))
+    | _ -> ()
+  in
+  let breaker_failure () =
+    match (t.ov, dest) with
+    | Some ov, Some node ->
+        Overload.Breaker.failure (breaker_of ov node)
+          ~now:(Engine.now t.engine)
+    | _ -> ()
+  in
+  let breaker_success () =
+    match (t.ov, dest) with
+    | Some ov, Some node -> Overload.Breaker.success (breaker_of ov node)
+    | _ -> ()
+  in
   let resend () =
-    if tries < t.cfg.max_retries then begin
-      t.retransmissions <- t.retransmissions + 1;
-      trace_instant t ~name:"ctrl_retry" [ ("try", Trace.I (tries + 1)) ];
-      let backoff = t.cfg.retry_backoff *. (2. ** float_of_int tries) in
-      Engine.schedule t.engine
-        ~delay:(t.cfg.control_latency +. c.delay +. backoff)
-        (fun _ -> control_send t ~tries:(tries + 1) deliver)
-    end
-    else begin
+    if tries >= t.cfg.max_retries then begin
       t.lost_messages <- t.lost_messages + 1;
       trace_instant t ~name:"ctrl_lost" []
     end
-  in
-  let lost =
-    c.loss > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.loss
-  in
-  if lost then resend ()
-  else begin
-    let dup =
-      c.dup > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.dup
-    in
-    trace_span t ~name:"ctrl_send" ~dur:(t.cfg.control_latency +. c.delay) [];
-    Engine.schedule t.engine ~delay:(t.cfg.control_latency +. c.delay)
-      (fun _ ->
-        match deliver () with
-        | `Delivered -> ()
-        | `Absent -> resend ()
-        | `Gone -> t.lost_messages <- t.lost_messages + 1);
-    if dup then
-      (* duplicated in flight: second copy, delivery outcome ignored *)
+    else if not (retry_slot ()) then begin
+      (match t.ov with
+      | Some ov -> ov.retry_capped <- ov.retry_capped + 1
+      | None -> ());
+      t.lost_messages <- t.lost_messages + 1;
+      trace_instant t ~name:"ctrl_retry_capped"
+        [ ("node", Trace.I (Option.value dest ~default:(-1))) ]
+    end
+    else begin
+      t.retransmissions <- t.retransmissions + 1;
+      trace_instant t ~name:"ctrl_retry" [ ("try", Trace.I (tries + 1)) ];
+      let backoff =
+        (t.cfg.retry_backoff *. (2. ** float_of_int tries)) +. jitter ()
+      in
       Engine.schedule t.engine
-        ~delay:(t.cfg.control_latency +. c.delay +. t.cfg.retry_backoff)
-        (fun _ -> ignore (deliver () : [ `Delivered | `Absent | `Gone ]))
-  end
+        ~delay:(t.cfg.control_latency +. c.delay +. backoff)
+        (fun _ ->
+          retry_slot_done ();
+          control_send t ~tries:(tries + 1) ?dest ?key deliver)
+    end
+  in
+  let transmit () =
+    let lost =
+      c.loss > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.loss
+    in
+    if lost then begin
+      breaker_failure ();
+      resend ()
+    end
+    else begin
+      let dup =
+        c.dup > 0. && Farm_sim.Rng.bernoulli (Lazy.force t.ctrl_rng) c.dup
+      in
+      trace_span t ~name:"ctrl_send" ~dur:(t.cfg.control_latency +. c.delay)
+        [];
+      Engine.schedule t.engine ~delay:(t.cfg.control_latency +. c.delay)
+        (fun _ ->
+          match deliver () with
+          | `Delivered -> breaker_success ()
+          | `Absent ->
+              breaker_failure ();
+              resend ()
+          | `Gone ->
+              (* the channel answered; only the recipient is gone *)
+              breaker_success ();
+              t.lost_messages <- t.lost_messages + 1);
+      if dup then
+        (* duplicated in flight: second copy, delivery outcome ignored *)
+        Engine.schedule t.engine
+          ~delay:(t.cfg.control_latency +. c.delay +. t.cfg.retry_backoff)
+          (fun _ -> ignore (deliver () : [ `Delivered | `Absent | `Gone ]))
+    end
+  in
+  match t.ov with
+  | None -> transmit ()
+  | Some ov ->
+      let now = Engine.now t.engine in
+      let refused =
+        match dest with
+        | Some node -> not (Overload.Breaker.allow (breaker_of ov node) ~now)
+        | None -> false
+      in
+      if refused then begin
+        ov.breaker_dropped <- ov.breaker_dropped + 1;
+        t.lost_messages <- t.lost_messages + 1;
+        trace_instant t ~name:"ctrl_breaker_drop"
+          [ ("node", Trace.I (Option.value dest ~default:(-1))) ]
+      end
+      else begin
+        let delay = Overload.Token_bucket.reserve ov.bucket ~now in
+        if delay > 0. then begin
+          ov.rate_limited <- ov.rate_limited + 1;
+          trace_instant t ~name:"ctrl_rate_limited" [];
+          Engine.schedule t.engine ~delay (fun _ -> transmit ())
+        end
+        else transmit ()
+      end
 
 (* Fire-and-forget transmission: heartbeats and checkpoints.  No retry —
    a retried heartbeat would defeat timeout-based detection, and a stale
@@ -352,7 +514,9 @@ let deliver_to_harvester t task ~from_switch ~prov v =
   Farm_sim.Metrics.Counter.add t.collector_bytes
     (value_bytes v +. t.cfg.message_overhead_bytes);
   t.collector_messages <- t.collector_messages + 1;
-  control_send t (fun () ->
+  (* the breaker guards the per-switch channel in both directions; the
+     message counter doubles as the jitter-stream key *)
+  control_send t ~dest:from_switch ~key:t.collector_messages (fun () ->
       match task.harvester with
       | Some h ->
           Harvester.handle ~provenance:prov h ~from_switch v;
@@ -366,7 +530,8 @@ let deliver_to_harvester t task ~from_switch ~prov v =
 let send_to_reg t (r : reg) ~from v =
   let msg_id = t.next_msg in
   t.next_msg <- t.next_msg + 1;
-  control_send t (fun () ->
+  let dest = Option.map Seed_exec.node r.r_exec in
+  control_send t ?dest ~key:msg_id (fun () ->
       match r.r_exec with
       | Some e ->
           Seed_exec.deliver ~msg_id e ~from v;
@@ -524,7 +689,7 @@ let instantiate t (r : reg) (a : Model.assignment) ~restore =
     Seed_exec.deploy ~soil:soilv ~program ~engine:t.cfg.engine
       ~machine:r.r_machine ~externals:r.r_externals
       ~builtins:r.r_task.spec.ts_builtins ?restore ~epoch:r.r_epoch
-      ~resources:a.a_res ~polls:r.r_polls
+      ~adaptive:r.r_task.spec.ts_adaptive ~resources:a.a_res ~polls:r.r_polls
       ~send:(fun exec target v -> seed_send t r.r_task exec target v)
       ~seed_id:r.r_spec.seed_id ()
   in
@@ -627,7 +792,7 @@ let kill_zombies_on t node =
    instance.  If the zombie was already cleaned up by the time the message
    lands, it is simply gone. *)
 let send_kill t exec =
-  control_send t (fun () ->
+  control_send t ~dest:(Seed_exec.node exec) (fun () ->
       if List.exists (fun (_, _, e) -> e == exec) t.zombies then begin
         t.zombies <- List.filter (fun (_, _, e) -> not (e == exec)) t.zombies;
         Seed_exec.destroy exec;
@@ -784,6 +949,20 @@ let create ?(config = default_config) engine fabric =
         (Soil.create ~config:config.soil_config engine sw))
     (Fabric.switch_models fabric);
   let reg = Engine.metrics engine in
+  (* built before [ctrl_rng] is ever forced, so the enabled-mode stream
+     layout is fixed: one split for jitter, then the lazy ctrl split *)
+  let ov =
+    Option.map
+      (fun ovp ->
+        { ovp;
+          bucket =
+            Overload.Token_bucket.create ~rate:ovp.rate_limit
+              ~burst:ovp.burst;
+          breakers = Hashtbl.create 8; inflight = Hashtbl.create 8;
+          jitter_rng = Farm_sim.Rng.split (Engine.rng engine);
+          rate_limited = 0; breaker_dropped = 0; retry_capped = 0 })
+      config.ctrl_protection
+  in
   let t =
     { engine; fabric; cfg = config; soils; failed = Hashtbl.create 4;
       down = Hashtbl.create 4; last_crash = Hashtbl.create 4;
@@ -805,8 +984,25 @@ let create ?(config = default_config) engine fabric =
       heartbeats_sent = 0; heartbeats_delivered = 0;
       checkpoints_shipped = 0; checkpoint_gaps = 0; detections = 0;
       false_detections = 0; auto_recoveries = 0; zombies_fenced = 0;
-      fenced_sends = 0 }
+      fenced_sends = 0;
+      ov; pressured = Hashtbl.create 8; pressure_events = 0;
+      storm_reports = 0 }
   in
+  (* soils running the overload monitor report their pressure flips up *)
+  Hashtbl.iter
+    (fun node soilv ->
+      if Soil.overload_enabled soilv then
+        Soil.set_pressure_listener soilv (fun ~node:_ ~high ->
+            let was = Hashtbl.mem t.pressured node in
+            if high && not was then begin
+              Hashtbl.replace t.pressured node ();
+              t.pressure_events <- t.pressure_events + 1
+            end
+            else if (not high) && was then begin
+              Hashtbl.remove t.pressured node;
+              t.pressure_events <- t.pressure_events + 1
+            end))
+    soils;
   (* publish the plain mutable counters as callback gauges, sampled at
      snapshot time — no extra work on the hot paths that bump them *)
   let g name f = Metrics.Registry.gauge_fn reg name (fun () -> float_of_int (f ())) in
@@ -823,6 +1019,20 @@ let create ?(config = default_config) engine fabric =
   g "seeder.control.lost" (fun () -> t.lost_messages);
   g "seeder.migrations" (fun () -> t.migration_count);
   g "seeder.collector.messages" (fun () -> t.collector_messages);
+  (* overload instrumentation registers only when protection is on, so
+     default runs publish exactly the pre-overload registry *)
+  (match t.ov with
+  | None -> ()
+  | Some ov ->
+      g "seeder.ctrl.rate_limited" (fun () -> ov.rate_limited);
+      g "seeder.ctrl.breaker_dropped" (fun () -> ov.breaker_dropped);
+      g "seeder.ctrl.retry_capped" (fun () -> ov.retry_capped);
+      g "seeder.ctrl.breaker_opens" (fun () ->
+          Hashtbl.fold
+            (fun _ b acc -> acc + Overload.Breaker.opens b)
+            ov.breakers 0);
+      g "seeder.pressure.switches" (fun () -> Hashtbl.length t.pressured);
+      g "seeder.pressure.events" (fun () -> t.pressure_events));
   if config.auto_heal then install_healing t;
   t
 
@@ -1000,6 +1210,9 @@ let deploy t spec =
     in
     let h = Harvester.create spec.ts_harvester ctx in
     Harvester.set_tracer h (Engine.tracer t.engine);
+    (match t.cfg.harvester_overload with
+    | Some _ as ho -> Harvester.set_overload h ho
+    | None -> ());
     Harvester.metrics_register h (Engine.metrics t.engine)
       ~prefix:(Printf.sprintf "harvester.task%d." task.task_id);
     task.harvester <- Some h;
@@ -1143,6 +1356,57 @@ let seed_epoch t seed_id =
   match Hashtbl.find_opt t.registry seed_id with
   | Some r -> Some r.r_epoch
   | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Overload resilience: introspection and fault hooks                  *)
+(* ------------------------------------------------------------------ *)
+
+let ctrl_protection_enabled t = t.ov <> None
+let rate_limited t = match t.ov with Some ov -> ov.rate_limited | None -> 0
+
+let breaker_dropped t =
+  match t.ov with Some ov -> ov.breaker_dropped | None -> 0
+
+let retry_capped t = match t.ov with Some ov -> ov.retry_capped | None -> 0
+
+let breaker_opens t =
+  match t.ov with
+  | Some ov ->
+      Hashtbl.fold (fun _ b acc -> acc + Overload.Breaker.opens b) ov.breakers
+        0
+  | None -> 0
+
+let breaker_state t node =
+  Option.bind t.ov (fun ov ->
+      Option.map Overload.Breaker.state_name
+        (Hashtbl.find_opt ov.breakers node))
+
+let pressured_switches t =
+  Hashtbl.fold (fun n () acc -> n :: acc) t.pressured []
+  |> List.sort Int.compare
+
+let pressure_events t = t.pressure_events
+let storm_reports t = t.storm_reports
+
+(* Fault.Report_storm: every seed instance on [node] blasts [reports]
+   junk reports at its harvester through the regular provenance-stamped
+   path, so fencing, dedup and the bounded inbox all see them as ordinary
+   (if antisocial) traffic. *)
+let inject_report_storm t ~node ~reports =
+  trace_instant t ~name:"report_storm"
+    [ ("node", Trace.I node); ("reports", Trace.I reports) ];
+  List.iter
+    (fun (r : reg) ->
+      match r.r_exec with
+      | Some exec when Seed_exec.node exec = node ->
+          for i = 0 to reports - 1 do
+            t.storm_reports <- t.storm_reports + 1;
+            seed_send t r.r_task exec Interp.To_harvester
+              (Value.Struct
+                 ("Storm", [ ("i", Value.Num (float_of_int i)) ]))
+          done
+      | Some _ | None -> ())
+    (sorted_regs t)
 
 let detection_latency t = t.detection_latency
 let recovery_time t = t.recovery_time

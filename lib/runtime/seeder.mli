@@ -19,6 +19,27 @@
 
 module Value := Farm_almanac.Value
 
+(** Control-channel protection knobs (overload resilience).  A global
+    token bucket paces unicast control sends; a per-switch circuit breaker
+    opens after [breaker_threshold] consecutive failures (loss or
+    recipient-away timeouts), rejects sends for [breaker_cooldown]
+    seconds, then admits one half-open probe; at most
+    [max_inflight_retries] retries per switch may be pending at once; and
+    retry backoffs carry up to [retry_jitter] seconds of extra delay drawn
+    from a per-message keyed rng stream (deterministic under replay).
+    Heartbeats bypass all of it — gating them would convert channel
+    congestion into false failure detections and migration storms. *)
+type ctrl_protection = {
+  rate_limit : float;
+  burst : float;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  max_inflight_retries : int;
+  retry_jitter : float;
+}
+
+val default_protection : ctrl_protection
+
 type config = {
   soil_config : Soil.config;
   control_latency : float;
@@ -69,9 +90,22 @@ type config = {
           lost deltas leave the seeder's copy stale until the next full *)
   ctrl_bandwidth_bps : float;
       (** control-channel bandwidth checkpoints are costed against *)
+  ctrl_protection : ctrl_protection option;
+      (** [None] (default): unprotected control channel, byte-identical
+          to the pre-overload behavior *)
+  harvester_overload : Harvester.overload_config option;
+      (** bounded fair-share harvester inboxes; [None] (default) admits
+          everything *)
 }
 
 val default_config : config
+
+(** [default_config] with every overload-protection layer switched on at
+    its defaults: bounded soil queues + pressure monitor
+    ([Soil.default_overload]), control-channel protection
+    ({!default_protection}) and bounded harvester inboxes
+    ([Harvester.default_overload]). *)
+val overload_defaults : config
 
 (** {2 Control-plane faults}
 
@@ -98,6 +132,9 @@ type task_spec = {
       (** host-side auxiliary functions *)
   ts_extra_sigs : (string * Farm_almanac.Typecheck.func_sig) list;
   ts_harvester : Harvester.spec;
+  ts_adaptive : string list;
+      (** poll variables the task's seeds may stretch under soil pressure
+          (AIMD degraded mode); empty = fixed fidelity *)
 }
 
 (** A minimal spec with no externals/builtins and a collector harvester. *)
@@ -283,3 +320,39 @@ val fenced_sends : t -> int
 
 (** Currently live demoted instances awaiting termination. *)
 val zombie_count : t -> int
+
+(** {2 Overload resilience} *)
+
+val ctrl_protection_enabled : t -> bool
+
+(** Control sends delayed by the token bucket so far. *)
+val rate_limited : t -> int
+
+(** Control sends refused outright by an open circuit breaker (counted in
+    {!lost_messages} too). *)
+val breaker_dropped : t -> int
+
+(** Retries refused because the per-switch in-flight bound was hit. *)
+val retry_capped : t -> int
+
+(** Total breaker trips across all switches. *)
+val breaker_opens : t -> int
+
+(** ["closed" | "open" | "half_open"], or [None] if no breaker exists for
+    the switch (protection off, or never sent to). *)
+val breaker_state : t -> int -> string option
+
+(** Soils whose pressure monitor currently asserts overload, sorted. *)
+val pressured_switches : t -> int list
+
+(** Pressure flag flips observed across all soils. *)
+val pressure_events : t -> int
+
+(** Reports injected by {!inject_report_storm} so far. *)
+val storm_reports : t -> int
+
+(** Fault hook ([Fault.Report_storm]): every seed instance on [node]
+    sends [reports] junk reports through the regular provenance-stamped
+    path — fencing, dedup and the bounded inbox treat them as ordinary
+    traffic. *)
+val inject_report_storm : t -> node:int -> reports:int -> unit

@@ -5,18 +5,36 @@ module Filter = Farm_net.Filter
 module Switch_model = Farm_net.Switch_model
 module Tcam = Farm_net.Tcam
 
+(* Overload protection (off by default).  When enabled, the implicit
+   PCIe waiting line becomes an explicit bounded priority queue with
+   deterministic shedding, and a periodic monitor publishes CPU/PCIe
+   pressure to the co-located seeds and the seeder. *)
+type overload_config = {
+  max_pcie_queue : int;  (* outstanding transfers before shedding *)
+  cpu_high : float;  (* utilization watermarks, fraction of capacity *)
+  cpu_low : float;
+  pcie_high : float;
+  pcie_low : float;
+  pressure_interval : float;  (* monitor period, seconds *)
+}
+
+let default_overload =
+  { max_pcie_queue = 16; cpu_high = 0.8; cpu_low = 0.5; pcie_high = 0.8;
+    pcie_low = 0.5; pressure_interval = 0.05 }
+
 type config = {
   cpu : Cpu_model.t;
   scheme : Ipc.scheme;
   exec_model : Ipc.exec_model;
   aggregate_polls : bool;
   max_poll_queue_delay : float;
+  overload : overload_config option;
 }
 
 let default_config =
   { cpu = Cpu_model.default; scheme = Ipc.Shared_buffer;
     exec_model = Ipc.Threads; aggregate_polls = true;
-    max_poll_queue_delay = 1. }
+    max_poll_queue_delay = 1.; overload = None }
 
 type sub_kind =
   | Poll of { subject : Filter.subject; deliver : float array -> unit }
@@ -25,6 +43,7 @@ type sub_kind =
 
 type subscription = {
   sub_id : int;
+  sub_seed : int;  (* owning seed, for drop attribution and fair share *)
   kind : sub_kind;
   mutable period : float;
   mutable timer : Engine.timer option;
@@ -47,6 +66,45 @@ type poll_stats = {
   asic_polls : int;
 }
 
+type overload_stats = {
+  o_offered : int;
+  o_completed : int;
+  o_shed : int;
+  o_pending : int;
+  o_queue_peak : int;
+}
+
+(* One queued PCIe transfer under overload protection. *)
+type pcie_req = {
+  rq_seq : int;  (* arrival order (newest = largest) *)
+  rq_bytes : float;
+  rq_issued : float;
+  rq_prio : int;  (* max of the owning seeds' priorities *)
+  rq_seeds : int list;  (* owning seeds, for fair-share shedding *)
+  rq_deliver : Engine.t -> unit;
+  rq_shed : unit -> unit;  (* drop accounting when this request is shed *)
+}
+
+type ov = {
+  ov_cfg : overload_config;
+  mutable ov_queue : pcie_req list;  (* oldest first *)
+  mutable ov_busy : bool;  (* a transfer is on the bus *)
+  mutable ov_seq : int;
+  mutable ov_offered : int;
+  mutable ov_completed : int;
+  mutable ov_shed_n : int;
+  mutable ov_qpeak : int;
+  mutable ov_pcie_busy : float;  (* accumulated bus-busy seconds *)
+  mutable ov_last_cpu : float;  (* monitor window baselines *)
+  mutable ov_last_pcie : float;
+  mutable ov_pressured : bool;
+  ov_prio : (int, int) Hashtbl.t;  (* seed_id -> priority (default 0) *)
+  ov_pressure_hooks : (int, bool -> unit) Hashtbl.t;  (* seed hooks *)
+  mutable ov_listener : (node:int -> high:bool -> unit) option;  (* seeder *)
+  ov_shed : Metrics.Counter.t;
+  ov_pressure : Metrics.Gauge.t;
+}
+
 type t = {
   engine : Engine.t;
   sw : Switch_model.t;
@@ -58,6 +116,9 @@ type t = {
   mutable groups : group list;
   (* PCIe bus scheduling *)
   mutable pcie_free_at : float;
+  (* PCIe slowdown fault (Fault.Pcie_degrade): effective bandwidth is
+     [caps.pcie_bps / pcie_factor] *)
+  mutable pcie_factor : float;
   (* poll accounting, published in the engine registry under
      [soil.<node>.*] *)
   requested : Metrics.Counter.t;
@@ -67,24 +128,110 @@ type t = {
   asic_polls : Metrics.Counter.t;
   latency : Metrics.Histogram.t;
       (* seed-observed delivery latency: ASIC read issue -> handler *)
+  (* per-seed drop notification hooks (always available; the reaction is
+     up to the seed — counting only, unless overload protection is on) *)
+  drop_hooks : (int, int -> unit) Hashtbl.t;
   (* counter fault injection (Fault.Counter_freeze / Counter_glitch) *)
   mutable frozen : bool;
   mutable frozen_cache : (Filter.subject * float array) list;
   mutable glitch_budget : int;
+  ov : ov option;
 }
+
+(* --- pressure monitor (overload mode only) --- *)
+
+let ov_pressure_tick t ov =
+  let cfg = ov.ov_cfg in
+  let cores = t.cfg.cpu.cores in
+  let busy = Cpu_model.busy_seconds t.usage in
+  (* a [reset_stats] between ticks rewinds the busy clock; fall back to
+     the absolute value so the delta never goes negative *)
+  let cpu_delta =
+    if busy >= ov.ov_last_cpu then busy -. ov.ov_last_cpu else busy
+  in
+  ov.ov_last_cpu <- busy;
+  let cpu_util = cpu_delta /. (cfg.pressure_interval *. cores) in
+  let pcie_delta = ov.ov_pcie_busy -. ov.ov_last_pcie in
+  ov.ov_last_pcie <- ov.ov_pcie_busy;
+  let pcie_util = pcie_delta /. cfg.pressure_interval in
+  let high = cpu_util > cfg.cpu_high || pcie_util > cfg.pcie_high in
+  let low = cpu_util < cfg.cpu_low && pcie_util < cfg.pcie_low in
+  let flip name =
+    match Engine.tracer t.engine with
+    | None -> ()
+    | Some tr ->
+        Trace.instant tr ~ts:(Engine.now t.engine) ~cat:"soil" ~name
+          ~tid:(Switch_model.id t.sw)
+          ~args:
+            [ ("cpu", Trace.F cpu_util); ("pcie", Trace.F pcie_util) ]
+          ()
+  in
+  if high && not ov.ov_pressured then begin
+    ov.ov_pressured <- true;
+    Metrics.Gauge.set ov.ov_pressure 1.;
+    flip "pressure_on"
+  end
+  else if low && ov.ov_pressured then begin
+    ov.ov_pressured <- false;
+    Metrics.Gauge.set ov.ov_pressure 0.;
+    flip "pressure_off"
+  end;
+  (* every high tick backs degraded-capable seeds off multiplicatively;
+     every low tick recovers them additively (no-op at full fidelity) *)
+  if high || low then begin
+    let notify sid =
+      match Hashtbl.find_opt ov.ov_pressure_hooks sid with
+      | Some f -> f high
+      | None -> ()
+    in
+    List.iter notify (List.sort_uniq Int.compare t.seeds);
+    match ov.ov_listener with
+    | Some f -> f ~node:(Switch_model.id t.sw) ~high
+    | None -> ()
+  end
+
+let install_pressure_monitor t =
+  match t.ov with
+  | None -> ()
+  | Some ov ->
+      ignore
+        (Engine.every t.engine ~period:ov.ov_cfg.pressure_interval (fun _ ->
+             ov_pressure_tick t ov)
+          : Engine.timer)
 
 let create ?(config = default_config) engine sw =
   let reg = Engine.metrics engine in
   let pre = Printf.sprintf "soil.%d." (Switch_model.id sw) in
   let c name = Metrics.Registry.counter reg (pre ^ name) in
-  { engine; sw; cfg = config; usage = Cpu_model.usage ();
-    rng = Farm_sim.Rng.split (Engine.rng engine); seeds = [];
-    next_sub = 0; groups = []; pcie_free_at = 0.;
-    requested = c "polls.requested"; completed = c "polls.completed";
-    dropped = c "polls.dropped"; pcie_bytes = c "pcie.bytes";
-    asic_polls = c "asic.polls";
-    latency = Metrics.Registry.histogram reg (pre ^ "delivery_latency");
-    frozen = false; frozen_cache = []; glitch_budget = 0 }
+  let ov =
+    (* overload state (and its registry entries) exists only when the
+       protection is configured on, so default runs register exactly the
+       same metrics as before *)
+    match config.overload with
+    | None -> None
+    | Some ovc ->
+        Some
+          { ov_cfg = ovc; ov_queue = []; ov_busy = false; ov_seq = 0;
+            ov_offered = 0; ov_completed = 0; ov_shed_n = 0; ov_qpeak = 0;
+            ov_pcie_busy = 0.; ov_last_cpu = 0.; ov_last_pcie = 0.;
+            ov_pressured = false; ov_prio = Hashtbl.create 8;
+            ov_pressure_hooks = Hashtbl.create 8; ov_listener = None;
+            ov_shed = c "polls.shed";
+            ov_pressure = Metrics.Registry.gauge reg (pre ^ "pressure") }
+  in
+  let t =
+    { engine; sw; cfg = config; usage = Cpu_model.usage ();
+      rng = Farm_sim.Rng.split (Engine.rng engine); seeds = [];
+      next_sub = 0; groups = []; pcie_free_at = 0.; pcie_factor = 1.;
+      requested = c "polls.requested"; completed = c "polls.completed";
+      dropped = c "polls.dropped"; pcie_bytes = c "pcie.bytes";
+      asic_polls = c "asic.polls";
+      latency = Metrics.Registry.histogram reg (pre ^ "delivery_latency");
+      drop_hooks = Hashtbl.create 8;
+      frozen = false; frozen_cache = []; glitch_budget = 0; ov }
+  in
+  install_pressure_monitor t;
+  t
 
 let node_id t = Switch_model.id t.sw
 let switch t = t.sw
@@ -100,7 +247,13 @@ let detach_seed t id =
     | [] -> []
     | x :: rest -> if x = id then rest else x :: go rest
   in
-  t.seeds <- go t.seeds
+  t.seeds <- go t.seeds;
+  Hashtbl.remove t.drop_hooks id;
+  match t.ov with
+  | Some ov ->
+      Hashtbl.remove ov.ov_pressure_hooks id;
+      Hashtbl.remove ov.ov_prio id
+  | None -> ()
 
 let seed_count t = List.length t.seeds
 
@@ -121,35 +274,255 @@ let poll_payload t = function
     ->
       counter_record_bytes
 
-(* Schedule a transfer over the PCIe bus; calls [k] with the completion
-   time, or returns [false] when the queue is too long (poll dropped). *)
-let pcie_transfer t ~bytes k =
-  let now = Engine.now t.engine in
+(* ------------------------------------------------------------------ *)
+(* Overload protection: hooks, drop attribution, bounded PCIe queue    *)
+(* ------------------------------------------------------------------ *)
+
+let overload_enabled t = t.ov <> None
+
+let overload_stats t =
+  match t.ov with
+  | None -> None
+  | Some ov ->
+      Some
+        { o_offered = ov.ov_offered; o_completed = ov.ov_completed;
+          o_shed = ov.ov_shed_n;
+          o_pending =
+            List.length ov.ov_queue + (if ov.ov_busy then 1 else 0);
+          o_queue_peak = ov.ov_qpeak }
+
+let under_pressure t =
+  match t.ov with Some ov -> ov.ov_pressured | None -> false
+
+let set_pcie_factor t f =
+  if f <= 0. then invalid_arg "Soil.set_pcie_factor: factor must be > 0";
+  t.pcie_factor <- f
+
+let pcie_factor t = t.pcie_factor
+
+(* Effective PCIe bandwidth; the [= 1.] fast path keeps default runs on
+   the exact original float value. *)
+let effective_pcie_bps t =
   let caps = Switch_model.caps t.sw in
-  let start = Float.max now t.pcie_free_at in
-  if start -. now > t.cfg.max_poll_queue_delay then false
-  else begin
-    let dur = bytes *. 8. /. caps.pcie_bps in
-    t.pcie_free_at <- start +. dur;
-    let completion = start +. dur in
-    (match Engine.tracer t.engine with
-    | None -> ()
-    | Some tr ->
-        (* span covers queueing + transfer: starts when the poll was
-           issued, ends at bus completion *)
-        Trace.span tr ~ts:now ~dur:(completion -. now) ~cat:"soil.pcie"
-          ~name:"transfer" ~tid:(Switch_model.id t.sw)
-          ~args:[ ("bytes", Trace.F bytes) ]
-          ());
-    Engine.schedule t.engine
-      ~delay:(completion -. now)
-      (fun engine ->
-        (* account the transfer when it completes, so byte counters over a
-           window reflect achieved (not queued) throughput *)
-        Metrics.Counter.add t.pcie_bytes bytes;
-        k engine);
-    true
-  end
+  if t.pcie_factor = 1. then caps.pcie_bps else caps.pcie_bps /. t.pcie_factor
+
+let on_poll_drop t ~seed_id f = Hashtbl.replace t.drop_hooks seed_id f
+let remove_poll_drop_hook t ~seed_id = Hashtbl.remove t.drop_hooks seed_id
+
+let set_seed_priority t ~seed_id prio =
+  match t.ov with
+  | Some ov -> Hashtbl.replace ov.ov_prio seed_id prio
+  | None -> ()
+
+let seed_priority t seed_id =
+  match t.ov with
+  | Some ov -> Option.value (Hashtbl.find_opt ov.ov_prio seed_id) ~default:0
+  | None -> 0
+
+let on_pressure t ~seed_id f =
+  match t.ov with
+  | Some ov -> Hashtbl.replace ov.ov_pressure_hooks seed_id (fun high -> f ~high)
+  | None -> ()
+
+let remove_pressure_hook t ~seed_id =
+  match t.ov with
+  | Some ov -> Hashtbl.remove ov.ov_pressure_hooks seed_id
+  | None -> ()
+
+let set_pressure_listener t f =
+  match t.ov with Some ov -> ov.ov_listener <- Some f | None -> ()
+
+(* Per-seed drop attribution + synchronous drop notifications.  [drops] is
+   a sorted (seed_id, count) list; notification runs inline (no engine
+   events), so runs without drops — and default runs, whose drop behavior
+   is unchanged — stay byte-identical. *)
+let record_seed_drops t drops =
+  let reg = Engine.metrics t.engine in
+  List.iter
+    (fun (sid, n) ->
+      let ctr =
+        Metrics.Registry.counter reg
+          (Printf.sprintf "soil.%d.polls.dropped.seed%d" (node_id t) sid)
+      in
+      Metrics.Counter.add ctr (float_of_int n);
+      match Hashtbl.find_opt t.drop_hooks sid with
+      | Some f -> f n
+      | None -> ())
+    drops
+
+(* Group [seeds] into a sorted (seed_id, count) list. *)
+let drops_by_seed seeds =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun sid ->
+      Hashtbl.replace tbl sid
+        (1 + Option.value (Hashtbl.find_opt tbl sid) ~default:0))
+    seeds;
+  Hashtbl.fold (fun sid n acc -> (sid, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let trace_drop t ~name ~n =
+  match Engine.tracer t.engine with
+  | None -> ()
+  | Some tr ->
+      Trace.instant tr ~ts:(Engine.now t.engine) ~cat:"soil" ~name
+        ~tid:(node_id t)
+        ~args:[ ("polls", Trace.I n) ]
+        ()
+
+(* A poll (or probe sample) owned by [seeds] was dropped: count globally,
+   attribute per seed, notify the owners. *)
+let drop_polls t ~name seeds =
+  let n = List.length seeds in
+  Metrics.Counter.add t.dropped (float_of_int n);
+  trace_drop t ~name ~n;
+  record_seed_drops t (drops_by_seed seeds)
+
+(* --- bounded priority queue over the PCIe bus (overload mode only) --- *)
+
+let queued_per_seed reqs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun sid ->
+          Hashtbl.replace tbl sid
+            (1 + Option.value (Hashtbl.find_opt tbl sid) ~default:0))
+        r.rq_seeds)
+    reqs;
+  tbl
+
+(* Shedding policy: lowest priority first; among those, the request whose
+   owning seed holds the most queued requests (most over its fair share);
+   ties shed the newest arrival, so the incoming request loses to equally
+   guilty older ones.  Pure and deterministic. *)
+let pick_victim reqs =
+  let counts = queued_per_seed reqs in
+  let share r =
+    List.fold_left
+      (fun acc sid ->
+        max acc (Option.value (Hashtbl.find_opt counts sid) ~default:1))
+      1 r.rq_seeds
+  in
+  match reqs with
+  | [] -> invalid_arg "Soil.pick_victim: empty"
+  | first :: rest ->
+      List.fold_left
+        (fun v r ->
+          if r.rq_prio < v.rq_prio then r
+          else if r.rq_prio > v.rq_prio then v
+          else
+            let sr = share r and sv = share v in
+            if sr > sv then r
+            else if sr < sv then v
+            else if r.rq_seq > v.rq_seq then r
+            else v)
+        first rest
+
+let rec ov_pump t ov =
+  if not ov.ov_busy then
+    (* highest priority first, FIFO within a priority *)
+    match ov.ov_queue with
+    | [] -> ()
+    | first :: rest ->
+        let next =
+          List.fold_left
+            (fun best r -> if r.rq_prio > best.rq_prio then r else best)
+            first rest
+        in
+        ov.ov_queue <-
+          List.filter (fun r -> r.rq_seq <> next.rq_seq) ov.ov_queue;
+        ov.ov_busy <- true;
+        let now = Engine.now t.engine in
+        let dur = next.rq_bytes *. 8. /. effective_pcie_bps t in
+        ov.ov_pcie_busy <- ov.ov_pcie_busy +. dur;
+        (match Engine.tracer t.engine with
+        | None -> ()
+        | Some tr ->
+            (* span covers queueing + transfer, as in the default path *)
+            Trace.span tr ~ts:next.rq_issued
+              ~dur:(now +. dur -. next.rq_issued)
+              ~cat:"soil.pcie" ~name:"transfer" ~tid:(node_id t)
+              ~args:[ ("bytes", Trace.F next.rq_bytes) ]
+              ());
+        Engine.schedule t.engine ~delay:dur (fun engine ->
+            Metrics.Counter.add t.pcie_bytes next.rq_bytes;
+            ov.ov_busy <- false;
+            ov.ov_completed <- ov.ov_completed + 1;
+            next.rq_deliver engine;
+            ov_pump t ov)
+
+let ov_enqueue t ov ~bytes ~seeds ~shed k =
+  ov.ov_offered <- ov.ov_offered + 1;
+  let prio =
+    List.fold_left (fun acc sid -> max acc (seed_priority t sid)) min_int
+      (if seeds = [] then [ -1 ] else seeds)
+  in
+  let req =
+    { rq_seq = ov.ov_seq; rq_bytes = bytes;
+      rq_issued = Engine.now t.engine; rq_prio = prio; rq_seeds = seeds;
+      rq_deliver = k; rq_shed = shed }
+  in
+  ov.ov_seq <- ov.ov_seq + 1;
+  let accepted =
+    if List.length ov.ov_queue < ov.ov_cfg.max_pcie_queue then begin
+      ov.ov_queue <- ov.ov_queue @ [ req ];
+      true
+    end
+    else begin
+      (* queue full: shed the least valuable request among the queue and
+         the incoming one *)
+      let victim = pick_victim (req :: ov.ov_queue) in
+      ov.ov_shed_n <- ov.ov_shed_n + 1;
+      Metrics.Counter.incr ov.ov_shed;
+      victim.rq_shed ();
+      if victim.rq_seq = req.rq_seq then false
+      else begin
+        ov.ov_queue <-
+          List.filter (fun r -> r.rq_seq <> victim.rq_seq) ov.ov_queue
+          @ [ req ];
+        true
+      end
+    end
+  in
+  let depth = List.length ov.ov_queue + if ov.ov_busy then 1 else 0 in
+  if depth > ov.ov_qpeak then ov.ov_qpeak <- depth;
+  ov_pump t ov;
+  accepted
+
+(* Schedule a transfer over the PCIe bus; calls [k] with the completion
+   time, or returns [false] when the poll is dropped (queue too long).
+   [seeds] owns the transfer and [shed] runs the drop accounting when the
+   overload layer sheds the request after admission. *)
+let pcie_transfer t ~bytes ~seeds ~shed k =
+  match t.ov with
+  | Some ov -> ov_enqueue t ov ~bytes ~seeds ~shed k
+  | None ->
+      let now = Engine.now t.engine in
+      let start = Float.max now t.pcie_free_at in
+      if start -. now > t.cfg.max_poll_queue_delay then false
+      else begin
+        let dur = bytes *. 8. /. effective_pcie_bps t in
+        t.pcie_free_at <- start +. dur;
+        let completion = start +. dur in
+        (match Engine.tracer t.engine with
+        | None -> ()
+        | Some tr ->
+            (* span covers queueing + transfer: starts when the poll was
+               issued, ends at bus completion *)
+            Trace.span tr ~ts:now ~dur:(completion -. now) ~cat:"soil.pcie"
+              ~name:"transfer" ~tid:(Switch_model.id t.sw)
+              ~args:[ ("bytes", Trace.F bytes) ]
+              ());
+        Engine.schedule t.engine
+          ~delay:(completion -. now)
+          (fun engine ->
+            (* account the transfer when it completes, so byte counters over
+               a window reflect achieved (not queued) throughput *)
+            Metrics.Counter.add t.pcie_bytes bytes;
+            k engine);
+        true
+      end
 
 let ipc_deliver ?issued t f =
   (* IPC latency depends on how many seeds are co-located (Fig. 10) *)
@@ -229,8 +602,10 @@ let issue_poll t subject subs =
   (* the ASIC snapshots the counters when the read is issued; the data
      then crosses the PCIe bus *)
   let data = read_counters t subject in
+  let seeds = List.map (fun s -> s.sub_seed) subs in
+  let shed () = drop_polls t ~name:"poll_shed" seeds in
   let ok =
-    pcie_transfer t ~bytes (fun _engine ->
+    pcie_transfer t ~bytes ~seeds ~shed (fun _engine ->
         let records = Float.max 1. (bytes /. counter_record_bytes) in
         List.iter
           (fun sub ->
@@ -248,8 +623,7 @@ let issue_poll t subject subs =
             end)
           subs)
   in
-  if not ok then
-    Metrics.Counter.add t.dropped (float_of_int (List.length subs))
+  if not ok then drop_polls t ~name:"poll_dropped" seeds
 
 (* ------------------------------------------------------------------ *)
 (* Aggregated polling groups                                           *)
@@ -274,9 +648,10 @@ let rearm_group t g =
 let find_group t subject =
   List.find_opt (fun g -> Filter.subject_equal g.g_subject subject) t.groups
 
-let fresh_sub t ~seed_id:_ ~period kind =
+let fresh_sub t ~seed_id ~period kind =
   let s =
-    { sub_id = t.next_sub; kind; period; timer = None; active = true }
+    { sub_id = t.next_sub; sub_seed = seed_id; kind; period; timer = None;
+      active = true }
   in
   t.next_sub <- t.next_sub + 1;
   s
@@ -310,14 +685,16 @@ let subscribe_probe t ~seed_id ~filter ~period deliver =
     match Switch_model.sample_packet t.sw t.rng with
     | Some pkt when Filter.matches filter pkt.tuple ->
         charge_cpu t t.cfg.cpu.sample_cost;
+        let shed () = drop_polls t ~name:"poll_shed" [ seed_id ] in
         let ok =
-          pcie_transfer t ~bytes:(float_of_int pkt.size) (fun _ ->
+          pcie_transfer t ~bytes:(float_of_int pkt.size) ~seeds:[ seed_id ]
+            ~shed (fun _ ->
               if sub.active then begin
                 Metrics.Counter.incr t.completed;
                 ipc_deliver t (fun () -> deliver pkt)
               end)
         in
-        if not ok then Metrics.Counter.incr t.dropped
+        if not ok then drop_polls t ~name:"poll_dropped" [ seed_id ]
     | Some _ | None -> ()
   in
   sub.timer <- Some (Engine.every t.engine ~period tick);

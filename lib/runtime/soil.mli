@@ -8,9 +8,30 @@
     exploited by placement optimization), samples packets for probe
     triggers, mediates TCAM access (monitoring region only, so forwarding
     is never disturbed), accounts management-CPU time, and models the
-    soil↔seed IPC (threads/processes × gRPC/shared-buffer). *)
+    soil↔seed IPC (threads/processes × gRPC/shared-buffer).
+
+    With {!config.overload} set, the soil additionally runs the
+    overload-protection layer: the PCIe waiting line becomes an explicit
+    bounded priority queue with deterministic fair-share shedding, and a
+    periodic monitor publishes CPU/PCIe pressure to the co-located seeds
+    (AIMD degraded mode) and to the seeder. *)
 
 module Filter := Farm_net.Filter
+
+(** Overload protection knobs (all watermarks are utilization fractions
+    of the respective capacity). *)
+type overload_config = {
+  max_pcie_queue : int;
+      (** waiting PCIe transfers admitted before the shedding policy
+          picks a victim *)
+  cpu_high : float;  (** pressure asserted above this CPU utilization *)
+  cpu_low : float;  (** ... and cleared below this one (hysteresis) *)
+  pcie_high : float;
+  pcie_low : float;
+  pressure_interval : float;  (** monitor period, seconds *)
+}
+
+val default_overload : overload_config
 
 type config = {
   cpu : Cpu_model.t;
@@ -19,7 +40,11 @@ type config = {
   aggregate_polls : bool;
   max_poll_queue_delay : float;
       (** polls that would wait longer than this on the PCIe bus are
-          dropped (counted in [polls_dropped]) *)
+          dropped (counted in [polls_dropped]); superseded by the bounded
+          queue when [overload] is set *)
+  overload : overload_config option;
+      (** [None] (the default) keeps the pre-overload behavior
+          byte-identical *)
 }
 
 val default_config : config
@@ -78,6 +103,61 @@ val subscribe_time :
 
 val set_period : t -> subscription -> float -> unit
 val cancel : t -> subscription -> unit
+
+(** {2 Overload protection}
+
+    Everything here is inert unless {!config.overload} is set, except the
+    drop-notification hooks, which also fire for the legacy
+    queue-too-long drops (per-seed attribution of previously silent
+    losses). *)
+
+val overload_enabled : t -> bool
+
+(** Request-granularity shed accounting, [None] when protection is off.
+    Offered = completed + shed + pending at every instant. *)
+type overload_stats = {
+  o_offered : int;
+  o_completed : int;
+  o_shed : int;
+  o_pending : int;  (** queued + in flight on the bus *)
+  o_queue_peak : int;  (** deepest queued + in-flight ever observed *)
+}
+
+val overload_stats : t -> overload_stats option
+
+(** Is the pressure flag currently asserted? *)
+val under_pressure : t -> bool
+
+(** Shedding prefers low-priority seeds (default priority 0).  No-op when
+    protection is off. *)
+val set_seed_priority : t -> seed_id:int -> int -> unit
+
+val seed_priority : t -> int -> int
+
+(** [on_poll_drop t ~seed_id f] registers a synchronous callback invoked
+    with the number of this seed's polls lost whenever they are dropped
+    (queue-too-long) or shed (overload policy).  Drops are also counted
+    per seed under [soil.<node>.polls.dropped.seed<id>]. *)
+val on_poll_drop : t -> seed_id:int -> (int -> unit) -> unit
+
+val remove_poll_drop_hook : t -> seed_id:int -> unit
+
+(** Per-seed backpressure notification: [f ~high:true] on every monitor
+    tick above the high watermark, [f ~high:false] on every tick below
+    the low one.  No-op when protection is off. *)
+val on_pressure : t -> seed_id:int -> (high:bool -> unit) -> unit
+
+val remove_pressure_hook : t -> seed_id:int -> unit
+
+(** The seeder's global pressure listener (one per soil). *)
+val set_pressure_listener : t -> (node:int -> high:bool -> unit) -> unit
+
+(** PCIe slowdown fault (Fault.Pcie_degrade): effective polling bandwidth
+    becomes [pcie_bps / factor].  Factor 1 restores full speed and is
+    bit-exact with the unfaulted path. *)
+val set_pcie_factor : t -> float -> unit
+
+val pcie_factor : t -> float
 
 (** {2 TCAM (monitoring region)} *)
 

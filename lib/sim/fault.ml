@@ -8,6 +8,12 @@ type event =
   | Counter_freeze of int
   | Counter_thaw of int
   | Counter_glitch of int
+  (* overload faults: resource pressure rather than outright failure *)
+  | Traffic_surge of { links : (int * int) list; factor : float }
+  | Traffic_calm of { links : (int * int) list }
+  | Report_storm of { node : int; reports : int }
+  | Pcie_degrade of { node : int; factor : float }
+  | Pcie_restore of int
 
 type entry = { at : float; event : event }
 
@@ -23,6 +29,11 @@ type handlers = {
   on_counter_freeze : int -> unit;
   on_counter_thaw : int -> unit;
   on_counter_glitch : int -> unit;
+  on_traffic_surge : links:(int * int) list -> factor:float -> unit;
+  on_traffic_calm : links:(int * int) list -> unit;
+  on_report_storm : node:int -> reports:int -> unit;
+  on_pcie_degrade : node:int -> factor:float -> unit;
+  on_pcie_restore : int -> unit;
 }
 
 let null_handlers =
@@ -36,6 +47,11 @@ let null_handlers =
     on_counter_freeze = (fun _ -> ());
     on_counter_thaw = (fun _ -> ());
     on_counter_glitch = (fun _ -> ());
+    on_traffic_surge = (fun ~links:_ ~factor:_ -> ());
+    on_traffic_calm = (fun ~links:_ -> ());
+    on_report_storm = (fun ~node:_ ~reports:_ -> ());
+    on_pcie_degrade = (fun ~node:_ ~factor:_ -> ());
+    on_pcie_restore = (fun _ -> ());
   }
 
 let dispatch h = function
@@ -48,6 +64,11 @@ let dispatch h = function
   | Counter_freeze n -> h.on_counter_freeze n
   | Counter_thaw n -> h.on_counter_thaw n
   | Counter_glitch n -> h.on_counter_glitch n
+  | Traffic_surge { links; factor } -> h.on_traffic_surge ~links ~factor
+  | Traffic_calm { links } -> h.on_traffic_calm ~links
+  | Report_storm { node; reports } -> h.on_report_storm ~node ~reports
+  | Pcie_degrade { node; factor } -> h.on_pcie_degrade ~node ~factor
+  | Pcie_restore n -> h.on_pcie_restore n
 
 let event_to_string = function
   | Switch_down n -> Printf.sprintf "switch_down %d" n
@@ -61,6 +82,19 @@ let event_to_string = function
   | Counter_freeze n -> Printf.sprintf "counter_freeze %d" n
   | Counter_thaw n -> Printf.sprintf "counter_thaw %d" n
   | Counter_glitch n -> Printf.sprintf "counter_glitch %d" n
+  | Traffic_surge { links; factor } ->
+      Printf.sprintf "traffic_surge x%.2f %s" factor
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) links))
+  | Traffic_calm { links } ->
+      Printf.sprintf "traffic_calm %s"
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) links))
+  | Report_storm { node; reports } ->
+      Printf.sprintf "report_storm %d x%d" node reports
+  | Pcie_degrade { node; factor } ->
+      Printf.sprintf "pcie_degrade %d x%.2f" node factor
+  | Pcie_restore n -> Printf.sprintf "pcie_restore %d" n
 
 let entry_to_string e = Printf.sprintf "%.6f %s" e.at (event_to_string e.event)
 
@@ -84,7 +118,8 @@ let inject ?(on_applied = fun _ _ -> ()) engine handlers plan =
    matching "up".  A subject that is currently down is not crashed again:
    windows for the same subject are drawn disjoint by construction (we track
    per-subject busy intervals and skip colliding draws). *)
-let random_plan ~rng ~switches ?(links = []) ?(episodes = 4) ~horizon () =
+let random_plan ~rng ~switches ?(links = []) ?(episodes = 4)
+    ?(overload = false) ~horizon () =
   let entries = ref [] in
   let push at event = entries := { at; event } :: !entries in
   let busy : (string, (float * float) list) Hashtbl.t = Hashtbl.create 8 in
@@ -121,6 +156,11 @@ let random_plan ~rng ~switches ?(links = []) ?(episodes = 4) ~horizon () =
          else []);
         (if Array.length link_arr > 0 then [ `Link; `Link ] else []);
         [ `Ctrl ];
+        (* overload episodes join the pool only on request, so plans drawn
+           without them consume exactly the pre-overload rng stream *)
+        (if overload && Array.length switch_arr > 0 then [ `Storm; `Pcie ]
+         else []);
+        (if overload && Array.length link_arr > 0 then [ `Surge ] else []);
       ]
   in
   let kind_arr = Array.of_list kinds in
@@ -166,5 +206,38 @@ let random_plan ~rng ~switches ?(links = []) ?(episodes = 4) ~horizon () =
           let sw = switch_arr.(Rng.int rng (Array.length switch_arr)) in
           let t = Rng.uniform rng (0.02 *. horizon) (0.9 *. horizon) in
           push t (Counter_glitch sw)
+      | `Surge ->
+          (* multiply offered load on one or two links for a window *)
+          let n = 1 + Rng.int rng (min 2 (Array.length link_arr)) in
+          let picked =
+            List.init n (fun _ ->
+                link_arr.(Rng.int rng (Array.length link_arr)))
+            |> List.sort_uniq compare
+          in
+          let factor = Rng.uniform rng 2. 8. in
+          let key =
+            String.concat ","
+              (List.map (fun (a, b) -> Printf.sprintf "srg%d-%d" a b) picked)
+          in
+          (match window key with
+          | None -> ()
+          | Some (t0, t1) ->
+              push t0 (Traffic_surge { links = picked; factor });
+              push t1 (Traffic_calm { links = picked }))
+      | `Storm ->
+          (* one task instance blasts a burst of reports at its harvester *)
+          let sw = switch_arr.(Rng.int rng (Array.length switch_arr)) in
+          let reports = 20 + Rng.int rng 81 in
+          let t = Rng.uniform rng (0.02 *. horizon) (0.9 *. horizon) in
+          push t (Report_storm { node = sw; reports })
+      | `Pcie ->
+          (* the polling bus slows down by 5-50x, then recovers *)
+          let sw = switch_arr.(Rng.int rng (Array.length switch_arr)) in
+          let factor = Rng.uniform rng 5. 50. in
+          (match window (Printf.sprintf "pcie%d" sw) with
+          | None -> ()
+          | Some (t0, t1) ->
+              push t0 (Pcie_degrade { node = sw; factor });
+              push t1 (Pcie_restore sw))
     done;
   normalize (List.rev !entries)

@@ -21,6 +21,15 @@ type event =
   | Counter_freeze of int       (** switch's ASIC reads return stale data *)
   | Counter_thaw of int
   | Counter_glitch of int       (** next ASIC read returns corrupted data *)
+  | Traffic_surge of { links : (int * int) list; factor : float }
+      (** offered load on the links multiplies by [factor] (overload) *)
+  | Traffic_calm of { links : (int * int) list }
+      (** surge over: the links return to their base rates *)
+  | Report_storm of { node : int; reports : int }
+      (** every seed instance on the switch bursts [reports] reports *)
+  | Pcie_degrade of { node : int; factor : float }
+      (** the switch's PCIe polling bandwidth divides by [factor] *)
+  | Pcie_restore of int         (** PCIe bus back to full speed *)
 
 type entry = { at : float; event : event }
 
@@ -36,6 +45,11 @@ type handlers = {
   on_counter_freeze : int -> unit;
   on_counter_thaw : int -> unit;
   on_counter_glitch : int -> unit;
+  on_traffic_surge : links:(int * int) list -> factor:float -> unit;
+  on_traffic_calm : links:(int * int) list -> unit;
+  on_report_storm : node:int -> reports:int -> unit;
+  on_pcie_degrade : node:int -> factor:float -> unit;
+  on_pcie_restore : int -> unit;
 }
 
 (** Ignores every event. *)
@@ -64,12 +78,18 @@ val inject :
     glitches) over the given switches and links, all within
     [\[0, horizon\]].  Downs and ups are properly nested per subject, so a
     plan never crashes an already-crashed switch.  [episodes] defaults
-    to 4. *)
+    to 4.
+
+    [overload] (default [false]) adds resource-pressure episodes to the
+    pool: traffic surges on links (paired with a calm), report storms, and
+    PCIe slowdowns (paired with a restore).  Leaving it off draws exactly
+    the pre-overload rng stream, so existing plans replay unchanged. *)
 val random_plan :
   rng:Rng.t ->
   switches:int list ->
   ?links:(int * int) list ->
   ?episodes:int ->
+  ?overload:bool ->
   horizon:float ->
   unit ->
   plan

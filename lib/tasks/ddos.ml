@@ -81,7 +81,8 @@ let ddos =
     builtins = [];
     extra_sigs = [];
     harvester = ddos_harvester;
-    harvester_loc = 30 }
+    harvester_loc = 30;
+    adaptive = [] }
 
 (* FloodDefender (Table I's largest entry): protects the SDN control plane
    against table-miss floods.  Four states: observe (SYN-rate watch),
@@ -208,4 +209,5 @@ let flood_defender =
     builtins = [];
     extra_sigs = [];
     harvester = flood_defender_harvester;
-    harvester_loc = 35 }
+    harvester_loc = 35;
+    adaptive = [] }

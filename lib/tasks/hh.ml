@@ -83,7 +83,11 @@ let hh_at ~accuracy =
     builtins = [];
     extra_sigs = [];
     harvester = hh_harvester 1e6;
-    harvester_loc = 12 }
+    harvester_loc = 12;
+    (* degraded mode stretches the port-counter poll: HH tolerates a
+       coarser rate (it only loses detection latency), so it is the first
+       fidelity to trade away under pressure *)
+    adaptive = [ "pollStats" ] }
 
 let hh =
   { Task_common.name = "heavy-hitter";
@@ -96,7 +100,11 @@ let hh =
     builtins = [];
     extra_sigs = [];
     harvester = hh_harvester 1e6;
-    harvester_loc = 12 }
+    harvester_loc = 12;
+    (* degraded mode stretches the port-counter poll: HH tolerates a
+       coarser rate (it only loses detection latency), so it is the first
+       fidelity to trade away under pressure *)
+    adaptive = [ "pollStats" ] }
 
 (* HHH by inheritance: only the detection state changes — hitters are sent
    together with the aggregation level so the harvester can roll single
@@ -160,7 +168,8 @@ let hhh_inherited =
     builtins = [];
     extra_sigs = [];
     harvester = hhh_harvester;
-    harvester_loc = 26 }
+    harvester_loc = 26;
+    adaptive = [] }
 
 (* Standalone HHH over IP prefixes: three polls at /8, /16 and /24
    granularity; the deepest prefix whose delta crosses the threshold is
@@ -221,4 +230,5 @@ let hhh =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 26 }
+    harvester_loc = 26;
+    adaptive = [] }

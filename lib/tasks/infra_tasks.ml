@@ -61,7 +61,8 @@ let link_failure =
     builtins = [];
     extra_sigs = [];
     harvester = link_failure_harvester;
-    harvester_loc = 8 }
+    harvester_loc = 8;
+    adaptive = [] }
 
 (* Traffic change: EWMA of the total rate; large deviation → report.  The
    paper's 7-line example. *)
@@ -96,7 +97,8 @@ let traffic_change =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 5 }
+    harvester_loc = 5;
+    adaptive = [] }
 
 (* Flow size distribution: histogram of sampled packet flow keys into
    size buckets, shipped each window. *)
@@ -152,7 +154,8 @@ let flow_size_distribution =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 15 }
+    harvester_loc = 15;
+    adaptive = [] }
 
 (* Entropy estimation: Shannon entropy of sampled source addresses per
    window — low entropy flags concentration (e.g. one loud source). *)
@@ -208,7 +211,8 @@ let entropy_estimation =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 15 }
+    harvester_loc = 15;
+    adaptive = [] }
 
 (* The CPU-intensive ML task of §VI-A c: poll statistics, run SVR
    (matrix-matrix multiplications) through exec(), report the prediction.
@@ -247,4 +251,5 @@ let ml_task ~iterations ~accuracy =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 6 }
+    harvester_loc = 6;
+    adaptive = [] }

@@ -59,7 +59,8 @@ let superspreader =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 21 }
+    harvester_loc = 21;
+    adaptive = [] }
 
 (* SSH brute force: many short connections to port 22 from one source. *)
 let ssh_brute_force_source =
@@ -117,7 +118,8 @@ let ssh_brute_force =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 9 }
+    harvester_loc = 9;
+    adaptive = [] }
 
 (* Port scan: one source touching many destination ports of one host
    (sequential-hypothesis-style counting). *)
@@ -194,7 +196,8 @@ let port_scan =
                Farm_almanac.Value.Str (a ^ ">" ^ b)
            | _ -> raise (Farm_almanac.Value.Type_error "pair_key")) ];
     harvester = Task_common.collector;
-    harvester_loc = 23 }
+    harvester_loc = 23;
+    adaptive = [] }
 
 (* DNS reflection: amplified UDP responses (sport 53) flooding a victim. *)
 let dns_reflection_source =
@@ -265,4 +268,5 @@ let dns_reflection =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 22 }
+    harvester_loc = 22;
+    adaptive = [] }

@@ -147,7 +147,10 @@ let sketch_heavy_hitter =
     builtins = cms_builtins ();
     extra_sigs = cms_sigs;
     harvester = Task_common.collector;
-    harvester_loc = 6 }
+    harvester_loc = 6;
+    (* the sketch absorbs a slower probe gracefully — estimates get
+       noisier instead of the task failing, a natural degraded mode *)
+    adaptive = [ "pkts" ] }
 
 (* Superspreader via per-source HLL: distinct destinations per source in
    O(registers) memory. *)
@@ -201,4 +204,5 @@ let sketch_superspreader =
     builtins = hll_builtins ();
     extra_sigs = hll_sigs;
     harvester = Task_common.collector;
-    harvester_loc = 6 }
+    harvester_loc = 6;
+    adaptive = [] }

@@ -39,6 +39,8 @@ type entry = {
          shared closure would leak state between deployments (breaking
          replay determinism within one process) *)
   harvester_loc : int;
+  adaptive : string list;
+      (* poll variables the seeds may stretch in degraded mode *)
 }
 
 let seed_loc entry =
@@ -55,6 +57,7 @@ let to_task_spec entry =
     ts_externals = entry.externals;
     ts_builtins = entry.builtins;
     ts_extra_sigs = entry.extra_sigs;
-    ts_harvester = entry.harvester () }
+    ts_harvester = entry.harvester ();
+    ts_adaptive = entry.adaptive }
 
 let collector () = Harvester.collector_spec

@@ -20,6 +20,10 @@ type entry = {
           shared closure would leak state between deployments *)
   harvester_loc : int;
       (** lines of harvester logic (the paper's Table I "Harv." column) *)
+  adaptive : string list;
+      (** poll variables the task's seeds may stretch under soil pressure
+          (AIMD degraded mode, active only in overload-protected
+          deployments); empty = fixed fidelity *)
 }
 
 (** Non-blank, non-comment lines of the entry's Almanac source (the

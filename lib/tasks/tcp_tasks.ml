@@ -35,7 +35,8 @@ let new_tcp_conn =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 5 }
+    harvester_loc = 5;
+    adaptive = [] }
 
 (* SYN flood: imbalance between SYNs and SYN-ACKs towards one victim.
    Local reaction: rate-limit traffic to the victim. *)
@@ -104,7 +105,8 @@ let tcp_syn_flood =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 18 }
+    harvester_loc = 18;
+    adaptive = [] }
 
 (* Partial TCP flows: tuples that opened but showed no progress within the
    timeout — seen-once sources are reported each window. *)
@@ -163,7 +165,8 @@ let partial_tcp_flow =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 18 }
+    harvester_loc = 18;
+    adaptive = [] }
 
 (* Slowloris: many concurrent connections to port 80, each with a tiny
    byte rate.  Detected by combining the port-80 counter (low volume) with
@@ -225,4 +228,5 @@ let slowloris =
     builtins = [];
     extra_sigs = [];
     harvester = Task_common.collector;
-    harvester_loc = 29 }
+    harvester_loc = 29;
+    adaptive = [] }

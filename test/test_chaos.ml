@@ -19,6 +19,16 @@
        no harvester ever accepted a stale-epoch report, and detection /
        recovery latencies stay within the detector's configured bounds.
 
+   With the overload-protection layers enabled and resource-pressure
+   faults (traffic surges, report storms, PCIe slowdowns) joining the
+   plans, a sixth invariant is checked at the end of the run:
+
+   I6  no queue ever grew past its bound, shed accounting exactly
+       balances offered minus delivered at every layer (soil PCIe queue,
+       harvester inbox), degraded seeds recover to full fidelity within a
+       bounded interval after pressure clears, and replay stays
+       byte-identical (the digest covers the overload counters too).
+
    A failing case prints its generator input and the fault plan, which is
    enough to replay it deterministically (see README "Testing").
    FARM_CHAOS_SEED_OFFSET shifts the engine seeds, letting CI sweep
@@ -287,6 +297,63 @@ let check_healed seeder tasks violations =
   if Histogram.count rt > 0 && Histogram.max rt > heal_bound then
     vio "recovery time %.4f exceeds %.4f" (Histogram.max rt) heal_bound
 
+(* I6: overload resilience.  Checked at the end of the run, after every
+   pressure fault has cleared and the AIMD recovery interval has elapsed:
+   queues stayed within their bounds, per-layer shed accounting balances
+   exactly, and every seed is back at full fidelity. *)
+let check_overload seeder tasks violations =
+  let vio fmt =
+    Printf.ksprintf
+      (fun s -> violations := ("overload settled: " ^ s) :: !violations)
+      fmt
+  in
+  List.iter
+    (fun soil ->
+      let node = Soil.node_id soil in
+      match Soil.overload_stats soil with
+      | None -> vio "soil %d lost its overload layer" node
+      | Some st ->
+          let bound =
+            match (Soil.config soil).Soil.overload with
+            | Some ov -> ov.Soil.max_pcie_queue + 1  (* queued + on the bus *)
+            | None -> 0
+          in
+          if st.Soil.o_queue_peak > bound then
+            vio "soil %d: PCIe queue peaked at %d > bound %d" node
+              st.Soil.o_queue_peak bound;
+          if
+            st.Soil.o_offered
+            <> st.Soil.o_completed + st.Soil.o_shed + st.Soil.o_pending
+          then
+            vio
+              "soil %d: shed accounting broken: offered %d <> %d done + %d \
+               shed + %d pending"
+              node st.Soil.o_offered st.Soil.o_completed st.Soil.o_shed
+              st.Soil.o_pending)
+    (Seeder.soils seeder);
+  List.iter
+    (fun (name, task) ->
+      let h = Seeder.harvester task in
+      let offered = Harvester.offered_count h in
+      let accounted =
+        Harvester.received_count h + Harvester.stale_dropped h
+        + Harvester.dup_dropped h + Harvester.shed_count h
+      in
+      if offered <> accounted then
+        vio "task %s: inbox accounting broken: offered %d <> accounted %d"
+          name offered accounted;
+      (* bounded recovery: pressure faults all clear within the plan
+         horizon, so by the end of the run every surviving seed must have
+         recovered to full fidelity *)
+      List.iter
+        (fun e ->
+          let d = Seed_exec.degradation e in
+          if d <> 0. then
+            vio "task %s: seed %d still degraded (%.6f) after pressure" name
+              (Seed_exec.seed_id e) d)
+        (Seeder.seeds seeder task))
+    tasks
+
 (* ------------------------------------------------------------------ *)
 (* Case execution                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -379,7 +446,53 @@ let healing_digest seeder tasks =
     tasks;
   Buffer.contents b
 
-let deploy_mix seeder topo prng mix =
+(* overload counters join the determinism digest for the I6 sweep: shed
+   decisions, breaker trips and AIMD trajectories must all replay
+   byte-identically, not just the task-level outcomes *)
+let overload_digest seeder tasks =
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "ov ctrl: ratelim=%d brkdrop=%d retrycap=%d opens=%d storm=%d \
+     press=%d@[%s]\n"
+    (Seeder.rate_limited seeder)
+    (Seeder.breaker_dropped seeder)
+    (Seeder.retry_capped seeder)
+    (Seeder.breaker_opens seeder)
+    (Seeder.storm_reports seeder)
+    (Seeder.pressure_events seeder)
+    (String.concat ","
+       (List.map string_of_int (Seeder.pressured_switches seeder)));
+  List.iter
+    (fun soil ->
+      match Soil.overload_stats soil with
+      | None -> ()
+      | Some st ->
+          Printf.bprintf b
+            "ov soil%d: off=%d done=%d shed=%d pend=%d peak=%d pcie=%.3f\n"
+            (Soil.node_id soil) st.Soil.o_offered st.Soil.o_completed
+            st.Soil.o_shed st.Soil.o_pending st.Soil.o_queue_peak
+            (Soil.pcie_factor soil))
+    (Seeder.soils seeder);
+  List.iter
+    (fun (name, task) ->
+      let h = Seeder.harvester task in
+      Printf.bprintf b "ov %s: off=%d shed=%d recv=%d seeds=[%s]\n" name
+        (Harvester.offered_count h) (Harvester.shed_count h)
+        (Harvester.received_count h)
+        (String.concat ";"
+           (Seeder.seeds seeder task
+           |> List.sort (fun a b ->
+                  Int.compare (Seed_exec.seed_id a) (Seed_exec.seed_id b))
+           |> List.map (fun e ->
+                  Printf.sprintf "%d:%.6f:%d" (Seed_exec.seed_id e)
+                    (Seed_exec.degradation e)
+                    (Seed_exec.poll_drops e)))))
+    tasks;
+  Buffer.contents b
+
+(* the overload sweep marks the polling templates' [ticks] trigger as
+   adaptive, so AIMD degraded mode actually engages under pressure *)
+let deploy_mix ?(adaptive = false) seeder topo prng mix =
   List.mapi
     (fun i idx ->
       let name, source =
@@ -392,7 +505,13 @@ let deploy_mix seeder topo prng mix =
             (Printf.sprintf "pin%d" i, pinned i sw.Topology.name)
         | _ -> (Printf.sprintf "chatty%d" i, chatty i)
       in
-      match Seeder.deploy seeder (Seeder.simple_spec ~name ~source) with
+      let spec = Seeder.simple_spec ~name ~source in
+      let spec =
+        if adaptive && idx mod 4 <= 1 then
+          { spec with Seeder.ts_adaptive = [ "ticks" ] }
+        else spec
+      in
+      match Seeder.deploy seeder spec with
       | Ok t -> (name, t)
       | Error m -> failwith (Printf.sprintf "chaos deploy %s: %s" name m))
     mix
@@ -416,7 +535,8 @@ let dump_flight recorder ~at ~what =
     (Trace.count recorder + Trace.dropped recorder)
     flight_path
 
-let run_case ?(config = Seeder.default_config) ~seed (c : case) =
+let run_case ?(config = Seeder.default_config) ?(overload = false)
+    ?(until = 2.) ~seed (c : case) =
   let engine = Engine.create ~seed () in
   let recorder = Trace.create ~ring:flight_ring () in
   Engine.set_tracer engine (Some recorder);
@@ -427,7 +547,7 @@ let run_case ?(config = Seeder.default_config) ~seed (c : case) =
      runs of a case see the same faults; each case gets its own stream
      keyed by the generated plan seed *)
   let prng = Rng.stream (Rng.create 0x5eed) c.ck_plan_seed in
-  let tasks = deploy_mix seeder topo prng c.ck_mix in
+  let tasks = deploy_mix ~adaptive:overload seeder topo prng c.ck_mix in
   (* one light end-to-end flow so link faults have something to reroute *)
   (match Topology.hosts topo with
   | h1 :: (_ :: _ as rest) ->
@@ -441,7 +561,7 @@ let run_case ?(config = Seeder.default_config) ~seed (c : case) =
   let plan =
     Fault.random_plan ~rng:prng ~switches:(Topology.switch_ids topo)
       ~links:(Topology.switch_links topo) ~episodes:c.ck_episodes ~horizon:1.5
-      ()
+      ~overload ()
   in
   let violations = ref [] in
   (* dump the recorder at the *first* violation, while the ring still
@@ -457,16 +577,24 @@ let run_case ?(config = Seeder.default_config) ~seed (c : case) =
       let what = Fault.event_to_string ev in
       check_invariants seeder tasks ~at ~what violations;
       checked ~at ~what);
-  Engine.run ~until:2. engine;
-  check_invariants seeder tasks ~at:2. ~what:"end of run" violations;
-  checked ~at:2. ~what:"end of run";
+  Engine.run ~until engine;
+  check_invariants seeder tasks ~at:until ~what:"end of run" violations;
+  checked ~at:until ~what:"end of run";
   let d = digest seeder engine fabric tasks in
   let d =
     if Seeder.healing_enabled seeder then begin
-      (* the plan's horizon is 1.5 and we ran to 2.0: healing has settled *)
+      (* the plan's horizon is 1.5 and we run past it: healing has settled *)
       check_healed seeder tasks violations;
-      checked ~at:2. ~what:"healing settled";
+      checked ~at:until ~what:"healing settled";
       d ^ healing_digest seeder tasks
+    end
+    else d
+  in
+  let d =
+    if overload then begin
+      check_overload seeder tasks violations;
+      checked ~at:until ~what:"overload settled";
+      d ^ overload_digest seeder tasks
     end
     else d
   in
@@ -477,11 +605,11 @@ let run_case ?(config = Seeder.default_config) ~seed (c : case) =
 let seed_a = Rng.derive_seed 101 ~stream:seed_offset
 let seed_b = Rng.derive_seed 202 ~stream:seed_offset
 
-let chaos_property ?config name =
+let chaos_property ?config ?overload ?until name =
   QCheck2.Test.make ~name ~count:100 ~print:show_case gen_case (fun c ->
-      let v1, d1, plan = run_case ?config ~seed:seed_a c in
-      let v1b, d1b, _ = run_case ?config ~seed:seed_a c in
-      let v2, _, _ = run_case ?config ~seed:seed_b c in
+      let v1, d1, plan = run_case ?config ?overload ?until ~seed:seed_a c in
+      let v1b, d1b, _ = run_case ?config ?overload ?until ~seed:seed_a c in
+      let v2, _, _ = run_case ?config ?overload ?until ~seed:seed_b c in
       if v1 <> [] || v2 <> [] then
         QCheck2.Test.fail_reportf "invariant violations:\n%s\nplan:\n%s"
           (String.concat "\n" (v1 @ v2))
@@ -503,6 +631,18 @@ let prop_chaos_healing =
   chaos_property
     ~config:{ Seeder.default_config with Seeder.auto_heal = true }
     "chaos: self-healing re-places every orphan (I5)"
+
+(* overload plans add traffic surges, report storms and PCIe slowdowns to
+   the fault pool; the full protection stack (bounded queues, AIMD seeds,
+   breakers, rate limiter) is armed, and healing stays on so breaker-open
+   heartbeat paths are exercised against false migration storms.  Faults
+   clear by t=1.5 and we run to 2.5, leaving > 8 AIMD recovery ticks
+   (0.05s apart) before I6 demands full fidelity. *)
+let prop_chaos_overload =
+  chaos_property
+    ~config:{ Seeder.overload_defaults with Seeder.auto_heal = true }
+    ~overload:true ~until:2.5
+    "chaos: overload resilience (I6) under surge/storm/slowdown plans"
 
 (* ------------------------------------------------------------------ *)
 (* The suite catches a deliberately broken recovery path               *)
@@ -629,7 +769,7 @@ let () =
     [ ( "chaos",
         Alcotest.test_case "broken recovery caught" `Quick
           test_broken_recovery_caught
-        :: qsuite [ prop_chaos; prop_chaos_healing ] );
+        :: qsuite [ prop_chaos; prop_chaos_healing; prop_chaos_overload ] );
       ( "roundtrip",
         [ Alcotest.test_case "fig4 fail/recover round-trip" `Quick
             test_fig4_fail_recover_roundtrip ] );

@@ -1206,6 +1206,302 @@ machine Rep {
     (Seeder.seeds seeder task);
   epochs_non_decreasing (Seeder.harvester task)
 
+(* ------------------------------------------------------------------ *)
+(* Overload protection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_token_bucket_pacing () =
+  let open Overload in
+  let b = Token_bucket.create ~rate:10. ~burst:2. in
+  Alcotest.(check (float 1e-9)) "starts full" 2. (Token_bucket.level b ~now:0.);
+  Alcotest.(check (float 1e-9)) "burst: first free" 0.
+    (Token_bucket.reserve b ~now:0.);
+  Alcotest.(check (float 1e-9)) "burst: second free" 0.
+    (Token_bucket.reserve b ~now:0.);
+  (* the bucket is empty: overdraw and pay with delay *)
+  Alcotest.(check (float 1e-9)) "third paced one token" 0.1
+    (Token_bucket.reserve b ~now:0.);
+  Alcotest.(check (float 1e-9)) "debt accumulates" 0.2
+    (Token_bucket.reserve b ~now:0.);
+  (* idle time refills, capped at burst *)
+  Alcotest.(check (float 1e-9)) "refill capped at burst" 2.
+    (Token_bucket.level b ~now:10.);
+  Alcotest.(check (float 1e-9)) "free again after refill" 0.
+    (Token_bucket.reserve b ~now:10.)
+
+let test_breaker_state_machine () =
+  let open Overload in
+  let b = Breaker.create ~threshold:3 ~cooldown:0.5 in
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b ~now:0.);
+  Breaker.failure b ~now:0.;
+  Breaker.failure b ~now:0.;
+  Alcotest.(check bool) "below threshold stays closed" false
+    (Breaker.is_open b);
+  Breaker.failure b ~now:0.;
+  Alcotest.(check bool) "threshold trips open" true (Breaker.is_open b);
+  Alcotest.(check int) "open counted" 1 (Breaker.opens b);
+  Alcotest.(check bool) "open rejects" false (Breaker.allow b ~now:0.1);
+  Alcotest.(check bool) "cooldown expiry admits one probe" true
+    (Breaker.allow b ~now:0.6);
+  Alcotest.(check string) "half-open while probing" "half_open"
+    (Breaker.state_name b);
+  Alcotest.(check bool) "no second probe" false (Breaker.allow b ~now:0.6);
+  Breaker.failure b ~now:0.6;
+  Alcotest.(check bool) "probe failure re-opens" true (Breaker.is_open b);
+  Alcotest.(check int) "re-open counted" 2 (Breaker.opens b);
+  Alcotest.(check bool) "next probe after cooldown" true
+    (Breaker.allow b ~now:1.2);
+  Breaker.success b;
+  Alcotest.(check string) "probe success closes" "closed"
+    (Breaker.state_name b);
+  Alcotest.(check bool) "closed allows again" true (Breaker.allow b ~now:1.2);
+  (* success resets the consecutive-failure count *)
+  Breaker.failure b ~now:1.3;
+  Breaker.success b;
+  Breaker.failure b ~now:1.4;
+  Breaker.failure b ~now:1.4;
+  Alcotest.(check bool) "failure streak broken by success" false
+    (Breaker.is_open b)
+
+let test_aimd_recovers_exactly () =
+  let s = ref 1. in
+  for _ = 1 to 10 do s := Overload.back_off !s done;
+  Alcotest.(check (float 0.)) "floored" Overload.aimd_floor !s;
+  let n = ref 0 in
+  while !s < 1. do
+    s := Overload.recover !s;
+    incr n
+  done;
+  (* dyadic constants: the scale lands on exactly 1.0, in a bounded
+     number of clear ticks, so a recovered seed is byte-identical to one
+     that was never degraded *)
+  Alcotest.(check (float 0.)) "returns to exactly 1.0" 1. !s;
+  Alcotest.(check bool) "bounded recovery interval" true (!n <= 8)
+
+(* A control-channel brownout shorter than the detection timeout: data
+   sends are lost, breakers trip open and the retry cap bounds the storm —
+   but heartbeats are never gated by the breaker, so the detector sees no
+   gap and the open breaker must not trigger a false migration storm. *)
+let test_breaker_brownout_no_migration_storm () =
+  let source =
+    {|
+machine Chat {
+  place all;
+  time tick = Time { .ival = 0.001 };
+  long n = 0;
+  state s { when (tick as t) do { n = n + 1; send n to harvester; } }
+}
+|}
+  in
+  let engine = Engine.create ~seed:31 () in
+  let fabric = Fabric.create (Topology.linear ~n:2) in
+  let config =
+    { Seeder.overload_defaults with
+      Seeder.auto_heal = true;
+      ctrl_protection =
+        Some
+          { Seeder.default_protection with
+            Seeder.breaker_threshold = 3; max_inflight_retries = 1 } }
+  in
+  let seeder = Seeder.create ~config engine fabric in
+  let task =
+    match Seeder.deploy seeder (Seeder.simple_spec ~name:"chat" ~source) with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "deploy failed: %s" m
+  in
+  Alcotest.(check bool) "protection armed" true
+    (Seeder.ctrl_protection_enabled seeder);
+  Engine.schedule engine ~delay:0.2 (fun _ ->
+      Seeder.set_ctrl_faults seeder { Seeder.loss = 1.0; delay = 0.; dup = 0. });
+  Engine.schedule engine ~delay:0.215 (fun _ ->
+      Seeder.set_ctrl_faults seeder Seeder.perfect_ctrl);
+  Engine.run ~until:0.6 engine;
+  Alcotest.(check bool) "breakers tripped" true (Seeder.breaker_opens seeder >= 1);
+  Alcotest.(check bool) "retry storm was capped" true
+    (Seeder.retry_capped seeder >= 1);
+  Alcotest.(check bool) "messages were lost" true
+    (Seeder.lost_messages seeder >= 1);
+  (* the brownout was shorter than the detection timeout and heartbeats
+     bypass the breaker: no detection, no migration, nobody fenced *)
+  Alcotest.(check int) "no detections" 0 (Seeder.detections seeder);
+  Alcotest.(check int) "no false detections" 0 (Seeder.false_detections seeder);
+  Alcotest.(check int) "no migrations" 0 (Seeder.migrations seeder);
+  Alcotest.(check (list int)) "no failed switches" []
+    (Seeder.failed_switches seeder);
+  Alcotest.(check int) "no zombies" 0 (Seeder.zombie_count seeder);
+  Alcotest.(check int) "both seeds alive" 2
+    (List.length (Seeder.seeds seeder task));
+  (* once the channel heals, the half-open probes succeed and close *)
+  List.iter
+    (fun soil ->
+      match Seeder.breaker_state seeder (Soil.node_id soil) with
+      | None -> ()
+      | Some s -> Alcotest.(check string) "breaker closed again" "closed" s)
+    (Seeder.soils seeder)
+
+(* qcheck: harvester fencing under bursty re-instantiation.  Random
+   interleavings of fence raises and report storms (stale epochs, replays,
+   bursts) are replayed against a reference model: no stale-epoch report
+   is ever admitted, dedup is exact, and the counters balance — with the
+   bounded inbox on, shedding changes *which* fresh reports land but never
+   the fencing/dedup decisions. *)
+type hop = Hfence of int * int | Hreport of int * int * int
+
+let prop_harvester_fencing =
+  let open QCheck2.Gen in
+  let op =
+    frequency
+      [ (1, map2 (fun s e -> Hfence (s, e)) (int_range 0 2) (int_range 0 4));
+        (4,
+         map2
+           (fun s (e, q) -> Hreport (s, e, q))
+           (int_range 0 2)
+           (pair (int_range 0 4) (int_range 0 9))) ]
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | Hfence (s, e) -> Printf.sprintf "F%d:%d" s e
+           | Hreport (s, e, q) -> Printf.sprintf "R%d:%d:%d" s e q)
+         ops)
+  in
+  QCheck2.Test.make ~name:"harvester: fencing under bursty re-instantiation"
+    ~count:500 ~print
+    (list_size (int_range 1 120) op)
+    (fun ops ->
+      let mk () =
+        Harvester.create Harvester.collector_spec
+          { Harvester.send_to_seed = (fun ~switch:_ _ -> ());
+            broadcast = (fun _ -> ());
+            now = (fun () -> 0.);
+            log = (fun _ -> ()) }
+      in
+      let h = mk () in
+      (* same op stream against a bounded inbox: seeds compete for a
+         5-report budget, so plenty of fresh reports get shed *)
+      let hb = mk () in
+      Harvester.set_overload hb
+        (Some { Harvester.window = 1.0; max_reports = 5 });
+      (* reference model: per-seed fence + per-instance seen set (reset
+         whenever the fence rises, like the runtime's dedup) *)
+      let fences = Hashtbl.create 4 in
+      let seen = Hashtbl.create 4 in
+      let m_accepted = ref [] in
+      let m_stale = ref 0 and m_dup = ref 0 and n_reports = ref 0 in
+      let m_fence s e =
+        let cur = Option.value (Hashtbl.find_opt fences s) ~default:(-1) in
+        if e > cur then begin
+          Hashtbl.replace fences s e;
+          Hashtbl.replace seen s []
+        end
+      in
+      let m_report s e q =
+        incr n_reports;
+        let cur = Option.value (Hashtbl.find_opt fences s) ~default:(-1) in
+        if e < cur then incr m_stale
+        else begin
+          m_fence s e;
+          let sq = Option.value (Hashtbl.find_opt seen s) ~default:[] in
+          if List.mem q sq then incr m_dup
+          else begin
+            Hashtbl.replace seen s (q :: sq);
+            m_accepted := (s, e, q) :: !m_accepted
+          end
+        end
+      in
+      List.iter
+        (function
+          | Hfence (s, e) ->
+              Harvester.fence h ~seed_id:s ~epoch:e;
+              Harvester.fence hb ~seed_id:s ~epoch:e;
+              m_fence s e
+          | Hreport (s, e, q) ->
+              let p = { Harvester.p_seed = s; p_epoch = e; p_seq = q } in
+              let v = Value.Num (float_of_int q) in
+              Harvester.handle ~provenance:p h ~from_switch:s v;
+              Harvester.handle ~provenance:p hb ~from_switch:s v;
+              m_report s e q)
+        ops;
+      let prov hx =
+        List.rev_map
+          (fun (_, p) ->
+            (p.Harvester.p_seed, p.Harvester.p_epoch, p.Harvester.p_seq))
+          (Harvester.accepted_provenance hx)
+      in
+      (* unbounded inbox matches the model exactly *)
+      if prov h <> List.rev !m_accepted then
+        QCheck2.Test.fail_reportf "accepted reports diverge from model";
+      if Harvester.received_count h <> List.length !m_accepted then
+        QCheck2.Test.fail_reportf "received_count %d <> |accepted| %d"
+          (Harvester.received_count h)
+          (List.length !m_accepted);
+      if Harvester.stale_dropped h <> !m_stale then
+        QCheck2.Test.fail_reportf "stale %d <> model %d"
+          (Harvester.stale_dropped h) !m_stale;
+      if Harvester.dup_dropped h <> !m_dup then
+        QCheck2.Test.fail_reportf "dup %d <> model %d"
+          (Harvester.dup_dropped h) !m_dup;
+      (* bounded inbox: fencing/dedup decisions are unchanged (shedding
+         runs after them), the balance holds, and sheds account exactly
+         for the difference in delivered reports *)
+      List.iter
+        (fun hx ->
+          if
+            Harvester.offered_count hx
+            <> Harvester.received_count hx + Harvester.stale_dropped hx
+               + Harvester.dup_dropped hx + Harvester.shed_count hx
+          then
+            QCheck2.Test.fail_reportf
+              "balance broken: offered %d <> %d recv + %d stale + %d dup + \
+               %d shed"
+              (Harvester.offered_count hx)
+              (Harvester.received_count hx)
+              (Harvester.stale_dropped hx) (Harvester.dup_dropped hx)
+              (Harvester.shed_count hx))
+        [ h; hb ];
+      if Harvester.offered_count h <> !n_reports then
+        QCheck2.Test.fail_reportf "offered %d <> reports sent %d"
+          (Harvester.offered_count h) !n_reports;
+      if Harvester.stale_dropped hb <> !m_stale then
+        QCheck2.Test.fail_reportf "bounded inbox changed stale decisions";
+      if Harvester.dup_dropped hb <> !m_dup then
+        QCheck2.Test.fail_reportf "bounded inbox changed dedup decisions";
+      if
+        Harvester.received_count hb + Harvester.shed_count hb
+        <> Harvester.received_count h
+      then
+        QCheck2.Test.fail_reportf
+          "sheds don't account for delivery gap: %d recv + %d shed <> %d"
+          (Harvester.received_count hb)
+          (Harvester.shed_count hb)
+          (Harvester.received_count h);
+      if
+        Harvester.received_count hb
+        <> List.length (Harvester.accepted_provenance hb)
+      then
+        QCheck2.Test.fail_reportf
+          "bounded inbox received_count inconsistent with provenance";
+      (* per-seed accepted epochs never go backwards, even under storms *)
+      List.iter
+        (fun hx ->
+          let last = Hashtbl.create 4 in
+          List.iter
+            (fun (_, p) ->
+              let prev =
+                Option.value
+                  (Hashtbl.find_opt last p.Harvester.p_seed)
+                  ~default:(-1)
+              in
+              if p.Harvester.p_epoch < prev then
+                QCheck2.Test.fail_reportf
+                  "seed %d accepted epoch %d after %d" p.Harvester.p_seed
+                  p.Harvester.p_epoch prev;
+              Hashtbl.replace last p.Harvester.p_seed p.Harvester.p_epoch)
+            (List.rev (Harvester.accepted_provenance hx)))
+        [ h; hb ];
+      true)
+
 let () =
   Alcotest.run "farm_runtime"
     [ ( "models",
@@ -1265,4 +1561,14 @@ let () =
           Alcotest.test_case "crash during recovery" `Quick
             test_crash_during_recovery;
           Alcotest.test_case "false positive zombie fencing" `Quick
-            test_false_positive_zombie_fencing ] ) ]
+            test_false_positive_zombie_fencing ] );
+      ( "overload",
+        [ Alcotest.test_case "token bucket pacing" `Quick
+            test_token_bucket_pacing;
+          Alcotest.test_case "breaker state machine" `Quick
+            test_breaker_state_machine;
+          Alcotest.test_case "AIMD recovers exactly" `Quick
+            test_aimd_recovers_exactly;
+          Alcotest.test_case "brownout: no migration storm" `Quick
+            test_breaker_brownout_no_migration_storm ]
+        @ qsuite [ prop_harvester_fencing ] ) ]

@@ -344,7 +344,16 @@ let prop_fault_plan_well_formed =
             | Fault.Ctrl_degrade { loss; delay; dup } ->
                 loss >= 0. && loss <= 0.5 && delay >= 0. && dup >= 0.
                 && dup <= 0.3
-            | Fault.Ctrl_restore -> true)
+            | Fault.Ctrl_restore -> true
+            | Fault.Report_storm { node; reports } ->
+                List.mem node switches && reports > 0
+            | Fault.Pcie_degrade { node; factor } ->
+                List.mem node switches && factor > 1.
+            | Fault.Pcie_restore n -> List.mem n switches
+            | Fault.Traffic_surge { links = ls; factor } ->
+                factor > 1. && List.for_all (fun l -> List.mem l links) ls
+            | Fault.Traffic_calm { links = ls } ->
+                List.for_all (fun l -> List.mem l links) ls)
           plan
       in
       sorted plan
