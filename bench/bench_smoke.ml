@@ -83,11 +83,27 @@ machine Pinned {
   World.run ~until:(0.5 +. (0.3 *. float_of_int crashes) +. 0.5) w;
   seeder
 
+(* Wall-clock on a shared box is noisy; overhead ratios are computed
+   from the best of [reps] runs of each configuration (the minimum wall
+   time is the least-perturbed sample; the simulated work is identical
+   across repeats, as the digest checks assert). *)
+let best_of reps f =
+  let best = ref (f ()) in
+  for _ = 2 to reps do
+    let (dt, _) = !best and ((dt', _) as r) = f () in
+    if dt' < dt then best := r
+  done;
+  !best
+
 (* Simulation-core smoke: a couple of independent heavy-hitter worlds
    pushed through the domain-pool sweep runner.  Checks the parallel run
    digests byte-identical to the sequential one and reports simulated
-   events/sec of the timer-wheel engine under a full workload. *)
+   events/sec of the timer-wheel engine under a full workload, plus the
+   per-event allocation profile (measured domain-locally inside each
+   scenario; bytes allocated are deterministic, so they double as a
+   regression signal that does not depend on machine load). *)
 let sim_scenario i =
+  let a0 = Gc.allocated_bytes () in
   let seed = Sim.Rng.derive_seed 0x5eed ~stream:i in
   let w = World.create ~seed ~spines:2 ~leaves:4 ~hosts_per_leaf:1 () in
   (match World.deploy_catalog_task w "heavy-hitter" with
@@ -101,19 +117,22 @@ let sim_scenario i =
       (Sim.Engine.dispatched w.World.engine)
       (World.now w)
       (Runtime.Seeder.collector_bytes seeder)
-      (Runtime.Seeder.collector_messages seeder) )
+      (Runtime.Seeder.collector_messages seeder),
+    Gc.allocated_bytes () -. a0 )
 
 let sim_smoke () =
   let n = 2 in
   let t0 = Unix.gettimeofday () in
   let sequential = Sim.Sweep.run ~domains:1 n sim_scenario in
   let dt = Unix.gettimeofday () -. t0 in
-  let parallel = Sim.Sweep.run ~domains:2 n sim_scenario in
+  let parallel = Sim.Sweep.run ~domains:2 ~clamp:false n sim_scenario in
+  let digest (_, d, _) = d in
   let deterministic =
-    Array.map snd sequential = Array.map snd parallel
+    Array.map digest sequential = Array.map digest parallel
   in
-  let events = Array.fold_left (fun acc (e, _) -> acc + e) 0 sequential in
-  (float_of_int events /. dt, deterministic)
+  let events = Array.fold_left (fun acc (e, _, _) -> acc + e) 0 sequential in
+  let alloc = Array.fold_left (fun acc (_, _, a) -> acc +. a) 0. sequential in
+  (float_of_int events /. dt, deterministic, alloc /. float_of_int events)
 
 (* Observability smoke: the same heavy-hitter world run with tracing
    disabled (the default — a single [None] branch per emission site) and
@@ -122,7 +141,7 @@ let sim_smoke () =
    regression that makes the disabled path expensive shows up in the
    report. *)
 let trace_smoke () =
-  let run ~traced =
+  let run ~traced () =
     let w = World.create ~seed:4242 ~spines:2 ~leaves:4 ~hosts_per_leaf:1 () in
     let tr = Sim.Trace.create () in
     if traced then Sim.Engine.set_tracer w.World.engine (Some tr);
@@ -130,9 +149,11 @@ let trace_smoke () =
     | Ok _ -> ()
     | Error m -> failwith (Printf.sprintf "trace smoke deploy: %s" m));
     World.background_traffic ~flows:32 w;
+    let a0 = Gc.allocated_bytes () in
     let t0 = Unix.gettimeofday () in
     World.run ~until:1.0 w;
     let dt = Unix.gettimeofday () -. t0 in
+    let alloc = Gc.allocated_bytes () -. a0 in
     let seeder = w.World.seeder in
     let digest =
       Printf.sprintf "dispatched=%d now=%h collector=%h/%d"
@@ -141,12 +162,14 @@ let trace_smoke () =
         (Runtime.Seeder.collector_bytes seeder)
         (Runtime.Seeder.collector_messages seeder)
     in
-    (digest, float_of_int (Sim.Engine.dispatched w.World.engine) /. dt,
-     Sim.Trace.count tr)
+    let events = Sim.Engine.dispatched w.World.engine in
+    ( dt,
+      (digest, float_of_int events /. dt, Sim.Trace.count tr,
+       alloc /. float_of_int events) )
   in
-  let d_off, eps_off, _ = run ~traced:false in
-  let d_on, eps_on, n_events = run ~traced:true in
-  (String.equal d_off d_on, eps_off, eps_on, n_events)
+  let _, (d_off, eps_off, _, alloc_off) = best_of 3 (run ~traced:false) in
+  let _, (d_on, eps_on, n_events, alloc_on) = best_of 3 (run ~traced:true) in
+  (String.equal d_off d_on, eps_off, eps_on, n_events, alloc_off, alloc_on)
 
 (* Overload-protection smoke: the same heavy-hitter world with the
    protection stack disabled (the default) and fully armed but unstressed.
@@ -185,7 +208,7 @@ let overload_smoke () =
         (Runtime.Seeder.collector_bytes seeder)
         (Runtime.Seeder.collector_messages seeder)
     in
-    let sheds =
+    let run_sheds =
       List.fold_left
         (fun acc soil ->
           match Soil.overload_stats soil with
@@ -194,10 +217,13 @@ let overload_smoke () =
         (Harvester.shed_count (Seeder.harvester task))
         (Seeder.soils seeder)
     in
-    (digest, float_of_int (Sim.Engine.dispatched w.World.engine) /. dt, sheds)
+    let sheds = run_sheds in
+    ( dt,
+      (digest, float_of_int (Sim.Engine.dispatched w.World.engine) /. dt,
+       sheds) )
   in
-  let d_off, eps_off, _ = run ~overload:false in
-  let _, eps_on, sheds_on = run ~overload:true in
+  let _, (d_off, eps_off, _) = best_of 3 (fun () -> run ~overload:false) in
+  let _, (_, eps_on, sheds_on) = best_of 3 (fun () -> run ~overload:true) in
   (String.equal d_off seed_digest, eps_off, eps_on, sheds_on)
 
 let () =
@@ -226,18 +252,23 @@ let () =
   Printf.printf "  compiled %12.0f events/sec\n" compiled_eps;
   Printf.printf "  speedup  %12.2fx\n%!" speedup;
 
-  let sim_eps, sweep_deterministic = sim_smoke () in
+  let sim_eps, sweep_deterministic, sim_alloc_per_event = sim_smoke () in
   Printf.printf "simulation core (heavy-hitter world, timer-wheel engine):\n";
-  Printf.printf "  simulated %11.0f events/sec\n" sim_eps;
+  Printf.printf "  simulated %11.0f events/sec (%.0f B allocated/event)\n"
+    sim_eps sim_alloc_per_event;
   Printf.printf "  sweep     %11s\n%!"
     (if sweep_deterministic then "deterministic" else "NONDETERMINISTIC");
 
-  let trace_inert, eps_off, eps_on, trace_events = trace_smoke () in
+  let trace_inert, eps_off, eps_on, trace_events, alloc_off, alloc_on =
+    trace_smoke ()
+  in
   let trace_overhead_pct = 100. *. ((eps_off /. eps_on) -. 1.) in
-  Printf.printf "observability (heavy-hitter world, 1 s simulated):\n";
-  Printf.printf "  untraced  %11.0f events/sec\n" eps_off;
-  Printf.printf "  traced    %11.0f events/sec (%d trace events, %+.1f%%)\n"
-    eps_on trace_events trace_overhead_pct;
+  Printf.printf "observability (heavy-hitter world, 1 s simulated, best of 3):\n";
+  Printf.printf "  untraced  %11.0f events/sec (%.0f B allocated/event)\n"
+    eps_off alloc_off;
+  Printf.printf
+    "  traced    %11.0f events/sec (%.0f B/event, %d trace events, %+.1f%%)\n"
+    eps_on alloc_on trace_events trace_overhead_pct;
   Printf.printf "  digests   %11s\n%!"
     (if trace_inert then "identical" else "DIVERGED");
 
@@ -283,11 +314,14 @@ let () =
     \  \"compiled_events_per_sec\": %.1f,\n\
     \  \"speedup\": %.2f,\n\
     \  \"sim_events_per_sec\": %.1f,\n\
+    \  \"sim_alloc_bytes_per_event\": %.1f,\n\
     \  \"sweep_deterministic\": %b,\n\
     \  \"tracing\": {\n\
     \    \"digest_parity\": %b,\n\
     \    \"untraced_events_per_sec\": %.1f,\n\
     \    \"traced_events_per_sec\": %.1f,\n\
+    \    \"untraced_alloc_bytes_per_event\": %.1f,\n\
+    \    \"traced_alloc_bytes_per_event\": %.1f,\n\
     \    \"trace_events\": %d,\n\
     \    \"overhead_pct\": %.1f\n\
     \  },\n\
@@ -308,8 +342,10 @@ let () =
     \    \"checkpoint_ctrl_bytes\": %.0f\n\
     \  }\n\
      }\n"
-    interp_eps compiled_eps speedup sim_eps sweep_deterministic trace_inert
-    eps_off eps_on trace_events trace_overhead_pct ov_parity ov_eps_off
+    interp_eps compiled_eps speedup sim_eps sim_alloc_per_event
+    sweep_deterministic trace_inert
+    eps_off eps_on alloc_off alloc_on trace_events trace_overhead_pct
+    ov_parity ov_eps_off
     ov_eps_on ov_sheds ov_overhead_pct crashes
     (Histogram.count dl) d50 d95 d99
     dmax (Histogram.count rt) r50 r95 r99 rmax
@@ -336,6 +372,11 @@ let () =
     Printf.eprintf
       "FAIL: armed overload protection shed %d reports in an unstressed world\n%!"
       ov_sheds;
+    exit 1
+  end;
+  if trace_overhead_pct > 40. then begin
+    Printf.eprintf
+      "FAIL: tracing costs %.1f%% (gate: 40%%)\n%!" trace_overhead_pct;
     exit 1
   end;
   if ov_overhead_pct > 50. then begin

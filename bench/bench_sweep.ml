@@ -5,17 +5,26 @@
       by the seed binary-heap engine (kept verbatim below as the
       reference), reported as events/sec each plus the speedup;
    2. single-core sweep — a batch of independent heavy-hitter worlds run
-      sequentially, reported as simulated events/sec;
-   3. domain scaling — the same batch fanned across 1/2/4/8 domains via
-      Sweep.run, reporting wall time, scaling and parallel efficiency per
-      domain count.  Per-scenario digests must be byte-identical across
-      every domain count; any mismatch exits non-zero.
+      sequentially, reported as simulated events/sec plus the per-event
+      allocation profile (bytes and minor collections, measured
+      domain-locally inside each scenario);
+   3. domain scaling — the same batch fanned across the requested ladder
+      via Sweep.run.  Each row reports the requested and the *effective*
+      domain count (Sweep clamps to the hardware by default — OCaml 5
+      stop-the-world minor GCs make oversubscription a slowdown, not a
+      wash), wall time, scaling and parallel efficiency.  A forced
+      [~clamp:false] multi-domain run cross-checks that per-scenario
+      digests stay byte-identical to the sequential run; any mismatch
+      exits non-zero.
 
    Emits BENCH_sweep.json (override with --out FILE).  --domains D1,D2,..
    overrides the scaling ladder; --gate BASELINE.json fails the run when
    either headline events/sec falls below 90% of the baseline's
-   wheel_events_per_sec / single_core_events_per_sec (CI passes the
-   committed floor values in bench/BENCH_sweep_baseline.json).
+   wheel_events_per_sec / single_core_events_per_sec, or when
+   alloc_bytes_per_event regresses above 115% of the baseline's;
+   --gate-scaling additionally fails when the 2- or 4-domain sweep
+   delivers less than 90% of single-domain throughput (the anti-scaling
+   guard: parallelism must never cost throughput).
 
    Run via [dune build @bench-sweep] or directly:
      dune exec bench/bench_sweep.exe -- --out BENCH_sweep.json *)
@@ -114,10 +123,26 @@ let heap_timer_bench () =
 let sweep_scenarios = 8
 let sweep_horizon = 1.5
 
+type scenario_result = {
+  r_events : int;
+  r_digest : string;
+  (* allocation profile, measured domain-locally inside the scenario
+     ([Gc.allocated_bytes] and minor-collection counts are per-domain in
+     OCaml 5, and a worker runs one scenario at a time, so the deltas
+     are exactly this scenario's) *)
+  r_alloc_bytes : float;
+  r_minors : int;
+}
+
 (* Self-contained scenario per the Sweep contract: every piece of mutable
    state is created inside the call from an index-derived seed.  Returns
-   the event count plus a digest of everything downstream readers see. *)
+   the event count, a digest of everything downstream readers see, and
+   the scenario's own allocation profile (kept out of the digest: bytes
+   allocated are deterministic, minor-collection counts depend on the
+   per-domain heap tuning). *)
 let scenario i =
+  let a0 = Gc.allocated_bytes () in
+  let m0 = (Gc.quick_stat ()).Gc.minor_collections in
   let seed = Rng.derive_seed 0xfab ~stream:i in
   let w = World.create ~seed ~spines:2 ~leaves:8 ~hosts_per_leaf:2 () in
   (match World.deploy_catalog_task w "heavy-hitter" with
@@ -134,14 +159,16 @@ let scenario i =
       (Runtime.Seeder.collector_messages seeder)
       (Runtime.Seeder.current_utility seeder)
   in
-  (events, digest)
+  { r_events = events; r_digest = digest;
+    r_alloc_bytes = Gc.allocated_bytes () -. a0;
+    r_minors = (Gc.quick_stat ()).Gc.minor_collections - m0 }
 
-let run_sweep ~domains =
+let run_sweep ?clamp ~domains () =
   let t0 = Unix.gettimeofday () in
-  let results = Sweep.run ~domains sweep_scenarios scenario in
+  let results = Sweep.run ~domains ?clamp sweep_scenarios scenario in
   let dt = Unix.gettimeofday () -. t0 in
-  let events = Array.fold_left (fun acc (e, _) -> acc + e) 0 results in
-  (dt, events, Array.map snd results)
+  let events = Array.fold_left (fun acc r -> acc + r.r_events) 0 results in
+  (dt, events, results)
 
 (* ------------------------------------------------------------------ *)
 (* Baseline gate: minimal numeric-field extraction                     *)
@@ -184,6 +211,7 @@ let () =
   let out = ref "BENCH_sweep.json" in
   let ladder = ref [ 1; 2; 4; 8 ] in
   let gate = ref None in
+  let gate_scaling = ref false in
   let rec parse = function
     | "--out" :: f :: rest ->
         out := f;
@@ -193,6 +221,9 @@ let () =
         parse rest
     | "--gate" :: f :: rest ->
         gate := Some f;
+        parse rest
+    | "--gate-scaling" :: rest ->
+        gate_scaling := true;
         parse rest
     | [] -> ()
     | a :: _ -> failwith (Printf.sprintf "bench_sweep: unknown argument %s" a)
@@ -213,37 +244,64 @@ let () =
   Printf.printf "  timer wheel  %12.0f events/sec\n" wheel_eps;
   Printf.printf "  speedup      %12.2fx\n%!" sched_speedup;
 
-  let base_dt, base_events, base_digests = run_sweep ~domains:1 in
+  let base_dt, base_events, base_results = run_sweep ~domains:1 () in
+  let base_digests = Array.map (fun r -> r.r_digest) base_results in
   let single_eps = float_of_int base_events /. base_dt in
+  let alloc_bytes =
+    Array.fold_left (fun acc r -> acc +. r.r_alloc_bytes) 0. base_results
+  in
+  let minors =
+    Array.fold_left (fun acc r -> acc + r.r_minors) 0 base_results
+  in
+  let alloc_per_event = alloc_bytes /. float_of_int base_events in
   Printf.printf
     "sweep (%d heavy-hitter worlds, %.1f s horizon, %d events):\n"
     sweep_scenarios sweep_horizon base_events;
-  Printf.printf "  1 domain   %8.2f s  %12.0f events/sec\n%!" base_dt
-    single_eps;
+  Printf.printf "  1 domain   %8.2f s  %12.0f events/sec\n" base_dt single_eps;
+  Printf.printf "  allocation %8.1f B/event  (%d minor collections)\n%!"
+    alloc_per_event minors;
 
   let deterministic = ref true in
+  let check_digests ~label digests =
+    if digests <> base_digests then begin
+      deterministic := false;
+      Printf.eprintf
+        "FAIL: %s sweep digests differ from the sequential run\n%!" label
+    end
+  in
   let rows =
     List.map
       (fun d ->
-        if d = 1 then (1, base_dt, single_eps, 1.0)
+        let eff = Sweep.effective_domains ~domains:d sweep_scenarios in
+        if d = 1 then (1, eff, base_dt, single_eps, 1.0)
         else begin
-          let dt, events, digests = run_sweep ~domains:d in
-          if digests <> base_digests then begin
-            deterministic := false;
-            Printf.eprintf
-              "FAIL: %d-domain sweep digests differ from the sequential run\n%!"
-              d
-          end;
+          let dt, events, results = run_sweep ~domains:d () in
+          check_digests ~label:(Printf.sprintf "%d-domain" d)
+            (Array.map (fun r -> r.r_digest) results);
           let eps = float_of_int events /. dt in
           let scaling = base_dt /. dt in
           Printf.printf
-            "  %d domains  %8.2f s  %12.0f events/sec  (%.2fx, %.0f%% efficiency)\n%!"
-            d dt eps scaling
-            (100. *. scaling /. float_of_int d);
-          (d, dt, eps, scaling)
+            "  %d domains (%d effective)  %8.2f s  %12.0f events/sec  (%.2fx, %.0f%% efficiency)\n%!"
+            d eff dt eps scaling
+            (100. *. scaling /. float_of_int eff);
+          (d, eff, dt, eps, scaling)
         end)
       !ladder
   in
+
+  (* Forced multi-domain determinism cross-check: spawn real extra
+     domains even past the hardware clamp — the digests must still be
+     byte-identical to the sequential run. *)
+  let forced_domains = 4 in
+  let _, _, forced_results =
+    run_sweep ~domains:forced_domains ~clamp:false ()
+  in
+  check_digests
+    ~label:(Printf.sprintf "forced %d-domain (clamp off)" forced_domains)
+    (Array.map (fun r -> r.r_digest) forced_results);
+  Printf.printf "  digests    %s (sequential vs ladder vs forced %d-domain)\n%!"
+    (if !deterministic then "byte-identical" else "DIVERGED")
+    forced_domains;
 
   let oc =
     try open_out !out
@@ -266,27 +324,56 @@ let () =
     \    \"scenarios\": %d,\n\
     \    \"events\": %d,\n\
     \    \"single_core_events_per_sec\": %.1f,\n\
+    \    \"alloc_bytes_per_event\": %.1f,\n\
+    \    \"minor_collections\": %d,\n\
     \    \"deterministic\": %b,\n\
+    \    \"forced_domains\": %d,\n\
     \    \"domains\": [\n%s\n\
     \    ]\n\
     \  }\n\
      }\n"
     cores timer_count wheel_events heap_eps wheel_eps sched_speedup
-    sweep_scenarios base_events single_eps !deterministic
+    sweep_scenarios base_events single_eps alloc_per_event minors
+    !deterministic forced_domains
     (String.concat ",\n"
        (List.map
-          (fun (d, dt, eps, scaling) ->
+          (fun (d, eff, dt, eps, scaling) ->
             Printf.sprintf
-              "      { \"domains\": %d, \"seconds\": %.3f, \"events_per_sec\": %.1f, \"scaling\": %.2f, \"efficiency\": %.3f }"
-              d dt eps scaling
-              (scaling /. float_of_int d))
+              "      { \"domains\": %d, \"effective\": %d, \"seconds\": %.3f, \"events_per_sec\": %.1f, \"scaling\": %.2f, \"efficiency\": %.3f }"
+              d eff dt eps scaling
+              (scaling /. float_of_int eff))
           rows));
   close_out oc;
   Printf.printf "wrote %s\n%!" !out;
 
   if not !deterministic then exit 1;
 
-  match !gate with
+  let failed = ref false in
+  if !gate_scaling then begin
+    (* anti-scaling guard: asking for more domains must never cost
+       throughput (>= 90% of single-domain, tolerating wall-clock noise).
+       With the hardware clamp this holds even on a single-core host —
+       which is exactly the point: before the clamp, 4 "parallel" domains
+       delivered 0.30x. *)
+    List.iter
+      (fun (d, _eff, _dt, eps, _scaling) ->
+        if d = 2 || d = 4 then
+          if eps < 0.9 *. single_eps then begin
+            Printf.eprintf
+              "FAIL: %d-domain sweep %.0f events/sec is below 90%% of the \
+               1-domain %.0f\n%!"
+              d eps single_eps;
+            failed := true
+          end
+          else
+            Printf.printf
+              "gate ok: %d-domain sweep %.0f events/sec >= 90%% of 1-domain \
+               %.0f\n%!"
+              d eps single_eps)
+      rows
+  end;
+
+  (match !gate with
   | None -> ()
   | Some file ->
       let s =
@@ -306,11 +393,33 @@ let () =
               Printf.eprintf
                 "FAIL: %s %.0f is below 90%% of baseline %.0f\n%!" name
                 current baseline;
-              exit 1
+              failed := true
             end
             else
               Printf.printf "gate ok: %s %.0f >= 90%% of baseline %.0f\n%!"
                 name current baseline
       in
       check "wheel_events_per_sec" wheel_eps;
-      check "single_core_events_per_sec" single_eps
+      check "single_core_events_per_sec" single_eps;
+      (* allocation is gated in the other direction: a hot-path change
+         that starts allocating shows up here before it shows up as
+         noise-prone wall-clock *)
+      match json_number s "alloc_bytes_per_event" with
+      | None ->
+          Printf.eprintf
+            "bench_sweep: baseline %s lacks alloc_bytes_per_event, skipping\n%!"
+            file
+      | Some baseline ->
+          let ceiling = 1.15 *. baseline in
+          if alloc_per_event > ceiling then begin
+            Printf.eprintf
+              "FAIL: alloc_bytes_per_event %.1f exceeds 115%% of baseline %.1f\n%!"
+              alloc_per_event baseline;
+            failed := true
+          end
+          else
+            Printf.printf
+              "gate ok: alloc_bytes_per_event %.1f <= 115%% of baseline %.1f\n%!"
+              alloc_per_event baseline);
+
+  if !failed then exit 1

@@ -652,7 +652,7 @@ let trace_cmd =
       end;
       (* domain-count invariance: 4 replicas traced on 1 vs 4 domains *)
       let sweep domains =
-        Sim.Sweep.run ~domains 4 (fun i ->
+        Sim.Sweep.run ~domains ~clamp:false 4 (fun i ->
             let seed = Sim.Rng.derive_seed seed ~stream:i in
             let _, j, m = replica entry ~ring ~seed ~duration in
             j ^ m)

@@ -53,6 +53,15 @@ type t = {
   (* traffic-surge fault: offered load multiplier applied on top of every
      flow's base rate; 1.0 is bit-exact with the unfaulted model *)
   mutable surge : float;
+  (* Hot-query caches, refreshed on demand with the exact fold the
+     uncached code used — same iteration order, same float accumulation,
+     so cached results are bit-identical to recomputing.  [fl_cache]
+     (id-sorted flow list) goes stale only on membership changes;
+     [rate_cache] (sum of active rates) also on any re-rating. *)
+  mutable fl_cache : active_flow list;
+  mutable fl_dirty : bool;
+  mutable rate_cache : float;
+  mutable rate_dirty : bool;
 }
 
 let create ?(caps = accton_as5712) ~id ~ports () =
@@ -62,7 +71,8 @@ let create ?(caps = accton_as5712) ~id ~ports () =
     subjects = Subject_map.empty;
     flows = Hashtbl.create 32;
     last_sync = 0.;
-    surge = 1. }
+    surge = 1.;
+    fl_cache = []; fl_dirty = false; rate_cache = 0.; rate_dirty = false }
 
 let id t = t.sw_id
 let caps t = t.caps
@@ -127,6 +137,8 @@ let add_flow t ~time ~flow_id ~tuple ~rate ?(flags = Flow.no_flags)
   in
   f.rate <- effective_rate t f;
   Hashtbl.replace t.flows flow_id f;
+  t.fl_dirty <- true;
+  t.rate_dirty <- true;
   rate_delta t f f.rate
 
 let remove_flow t ~time ~flow_id =
@@ -135,11 +147,18 @@ let remove_flow t ~time ~flow_id =
   | None -> ()
   | Some f ->
       rate_delta t f (-.f.rate);
-      Hashtbl.remove t.flows flow_id
+      Hashtbl.remove t.flows flow_id;
+      t.fl_dirty <- true;
+      t.rate_dirty <- true
 
 let active_flows t =
-  Hashtbl.fold (fun _ f acc -> f :: acc) t.flows []
-  |> List.sort (fun a b -> Int.compare a.flow_id b.flow_id)
+  if t.fl_dirty then begin
+    t.fl_cache <-
+      Hashtbl.fold (fun _ f acc -> f :: acc) t.flows []
+      |> List.sort (fun a b -> Int.compare a.flow_id b.flow_id);
+    t.fl_dirty <- false
+  end;
+  t.fl_cache
 
 let apply_tcam_actions t ~time =
   sync t ~time;
@@ -148,7 +167,8 @@ let apply_tcam_actions t ~time =
       let r = effective_rate t f in
       if r <> f.rate then begin
         rate_delta t f (r -. f.rate);
-        f.rate <- r
+        f.rate <- r;
+        t.rate_dirty <- true
       end)
     t.flows
 
@@ -165,7 +185,8 @@ let set_surge t ~time factor =
         let r = effective_rate t f in
         if r <> f.rate then begin
           rate_delta t f (r -. f.rate);
-          f.rate <- r
+          f.rate <- r;
+          t.rate_dirty <- true
         end)
       (active_flows t)
   end
@@ -219,7 +240,11 @@ let poll_subject t ~time subj =
   | _ -> [| subject_bytes t ~time subj |]
 
 let total_rate t =
-  Hashtbl.fold (fun _ f acc -> acc +. f.rate) t.flows 0.
+  if t.rate_dirty then begin
+    t.rate_cache <- Hashtbl.fold (fun _ f acc -> acc +. f.rate) t.flows 0.;
+    t.rate_dirty <- false
+  end;
+  t.rate_cache
 
 let sample_packet t rng =
   let total = total_rate t in

@@ -59,7 +59,11 @@ val add_flow :
   unit
 
 val remove_flow : t -> time:float -> flow_id:int -> unit
+
 val active_flows : t -> active_flow list
+(** Active flows sorted by [flow_id].  Cached between membership changes
+    — repeated calls (packet sampling, surge re-rating) return the same
+    list without re-folding the flow table. *)
 
 (** Re-apply TCAM actions (Drop, Rate_limit) to active flows — called after
     a seed reaction installs/removes monitoring rules. *)
@@ -98,5 +102,7 @@ val poll_subject : t -> time:float -> Filter.subject -> float array
     [None] when the switch is idle. *)
 val sample_packet : t -> Farm_sim.Rng.t -> Flow.packet option
 
-(** Total offered egress rate over all flows, bytes/s. *)
+(** Total offered egress rate over all flows, bytes/s.  Cached between
+    re-ratings; the refresh uses the same fold as always, so the value
+    is bit-identical to recomputing on every call. *)
 val total_rate : t -> float

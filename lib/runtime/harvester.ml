@@ -155,12 +155,15 @@ let handle ?provenance t ~from_switch v =
   (match t.tracer with
   | None -> ()
   | Some tr ->
-      Farm_sim.Trace.instant tr ~ts:(t.ctx.now ()) ~cat:"harvester"
+      let module Trace = Farm_sim.Trace in
+      Trace.instant0 tr ~ts:(t.ctx.now ())
+        ~cat:(Trace.intern tr "harvester")
         ~name:
-          (if shed then "report_shed"
-           else if accept then "report"
-           else "report_dropped")
-        ~tid:from_switch ())
+          (Trace.intern tr
+             (if shed then "report_shed"
+              else if accept then "report"
+              else "report_dropped"))
+        ~tid:from_switch)
   ;
   if accept then begin
     (match provenance with

@@ -290,10 +290,11 @@ let deploy ~soil ~program ~machine ?(engine = `Compiled) ?(externals = [])
           match Sengine.tracer (Soil.engine soil) with
           | None -> ()
           | Some tr ->
-              Trace.instant tr ~ts:(Soil.now soil) ~cat:"seed.transit"
-                ~name:(old_st ^ "->" ^ new_st) ~tid:(Soil.node_id soil)
-                ~args:[ ("seed", Trace.I seed_id) ]
-                ());
+              Trace.instant_i tr ~ts:(Soil.now soil)
+                ~cat:(Trace.intern tr "seed.transit")
+                ~name:(Trace.intern tr (old_st ^ "->" ^ new_st))
+                ~tid:(Soil.node_id soil)
+                ~k:(Trace.intern tr "seed") seed_id);
       h_log = (fun _ -> ());
       (* Wired only when a trace sink is attached at deploy time, so
          untraced runs keep the engines' [None] fast path (one branch
@@ -301,16 +302,30 @@ let deploy ~soil ~program ~machine ?(engine = `Compiled) ?(externals = [])
       h_trace =
         (match Sengine.tracer (Soil.engine soil) with
         | None -> None
-        | Some _ ->
+        | Some tr0 ->
+            (* fixed ids are interned once per sink (re-fetched if the
+               sink is swapped); [trig]/[st] vary per fire but turn into
+               allocation-free hash hits after their first occurrence *)
+            let tid = Soil.node_id soil in
+            let sink = ref tr0 in
+            let cat = ref (Trace.intern tr0 "seed.handler") in
+            let k_seed = ref (Trace.intern tr0 "seed") in
+            let k_state = ref (Trace.intern tr0 "state") in
             Some
               (fun trig st ->
                 match Sengine.tracer (Soil.engine soil) with
                 | None -> ()
                 | Some tr ->
-                    Trace.instant tr ~ts:(Soil.now soil) ~cat:"seed.handler"
-                      ~name:trig ~tid:(Soil.node_id soil)
-                      ~args:[ ("seed", Trace.I seed_id); ("state", Trace.S st) ]
-                      ())) }
+                    if tr != !sink then begin
+                      sink := tr;
+                      cat := Trace.intern tr "seed.handler";
+                      k_seed := Trace.intern tr "seed";
+                      k_state := Trace.intern tr "state"
+                    end;
+                    Trace.instant_is tr ~ts:(Soil.now soil) ~cat:!cat
+                      ~name:(Trace.intern tr trig) ~tid
+                      ~k0:!k_seed seed_id
+                      ~k1:!k_state (Trace.intern tr st))) }
   in
   let i = Aengine.create ~engine ~externals ~program ~machine host in
   t.inst <- Some i;

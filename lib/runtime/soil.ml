@@ -105,6 +105,24 @@ type ov = {
   ov_pressure : Metrics.Gauge.t;
 }
 
+(* Interned trace ids for the hot emission sites, memoized per sink so
+   steady-state tracing allocates nothing (subjects are formatted with
+   [Filter.pp_subject] once, on first use, never per poll). *)
+type tids = {
+  tm_sink : Trace.t;
+  tm_soil : int;  (* cat "soil" *)
+  tm_pcie : int;  (* cat "soil.pcie" *)
+  tm_ipc : int;  (* cat "soil.ipc" *)
+  tm_asic_poll : int;
+  tm_transfer : int;
+  tm_deliver : int;
+  tm_k_subject : int;
+  tm_k_subs : int;
+  tm_k_bytes : int;
+  tm_k_polls : int;
+  tm_subjects : (Filter.subject, int) Hashtbl.t;
+}
+
 type t = {
   engine : Engine.t;
   sw : Switch_model.t;
@@ -136,6 +154,7 @@ type t = {
   mutable frozen_cache : (Filter.subject * float array) list;
   mutable glitch_budget : int;
   ov : ov option;
+  mutable tmemo : tids option;
 }
 
 (* --- pressure monitor (overload mode only) --- *)
@@ -228,10 +247,43 @@ let create ?(config = default_config) engine sw =
       asic_polls = c "asic.polls";
       latency = Metrics.Registry.histogram reg (pre ^ "delivery_latency");
       drop_hooks = Hashtbl.create 8;
-      frozen = false; frozen_cache = []; glitch_budget = 0; ov }
+      frozen = false; frozen_cache = []; glitch_budget = 0; ov;
+      tmemo = None }
   in
   install_pressure_monitor t;
   t
+
+(* Memoized interned ids for [tr]; rebuilt only if the sink changes. *)
+let tids t tr =
+  match t.tmemo with
+  | Some m when m.tm_sink == tr -> m
+  | _ ->
+      let m =
+        { tm_sink = tr;
+          tm_soil = Trace.intern tr "soil";
+          tm_pcie = Trace.intern tr "soil.pcie";
+          tm_ipc = Trace.intern tr "soil.ipc";
+          tm_asic_poll = Trace.intern tr "asic_poll";
+          tm_transfer = Trace.intern tr "transfer";
+          tm_deliver = Trace.intern tr "deliver";
+          tm_k_subject = Trace.intern tr "subject";
+          tm_k_subs = Trace.intern tr "subs";
+          tm_k_bytes = Trace.intern tr "bytes";
+          tm_k_polls = Trace.intern tr "polls";
+          tm_subjects = Hashtbl.create 8 }
+      in
+      t.tmemo <- Some m;
+      m
+
+let subject_sid m subject =
+  match Hashtbl.find_opt m.tm_subjects subject with
+  | Some id -> id
+  | None ->
+      let id =
+        Trace.intern m.tm_sink (Format.asprintf "%a" Filter.pp_subject subject)
+      in
+      Hashtbl.add m.tm_subjects subject id;
+      id
 
 let node_id t = Switch_model.id t.sw
 let switch t = t.sw
@@ -365,10 +417,9 @@ let trace_drop t ~name ~n =
   match Engine.tracer t.engine with
   | None -> ()
   | Some tr ->
-      Trace.instant tr ~ts:(Engine.now t.engine) ~cat:"soil" ~name
-        ~tid:(node_id t)
-        ~args:[ ("polls", Trace.I n) ]
-        ()
+      let m = tids t tr in
+      Trace.instant_i tr ~ts:(Engine.now t.engine) ~cat:m.tm_soil
+        ~name:(Trace.intern tr name) ~tid:(node_id t) ~k:m.tm_k_polls n
 
 (* A poll (or probe sample) owned by [seeds] was dropped: count globally,
    attribute per seed, notify the owners. *)
@@ -440,11 +491,11 @@ let rec ov_pump t ov =
         | None -> ()
         | Some tr ->
             (* span covers queueing + transfer, as in the default path *)
-            Trace.span tr ~ts:next.rq_issued
+            let m = tids t tr in
+            Trace.span_f tr ~ts:next.rq_issued
               ~dur:(now +. dur -. next.rq_issued)
-              ~cat:"soil.pcie" ~name:"transfer" ~tid:(node_id t)
-              ~args:[ ("bytes", Trace.F next.rq_bytes) ]
-              ());
+              ~cat:m.tm_pcie ~name:m.tm_transfer ~tid:(node_id t)
+              ~k:m.tm_k_bytes next.rq_bytes);
         Engine.schedule t.engine ~delay:dur (fun engine ->
             Metrics.Counter.add t.pcie_bytes next.rq_bytes;
             ov.ov_busy <- false;
@@ -510,10 +561,10 @@ let pcie_transfer t ~bytes ~seeds ~shed k =
         | Some tr ->
             (* span covers queueing + transfer: starts when the poll was
                issued, ends at bus completion *)
-            Trace.span tr ~ts:now ~dur:(completion -. now) ~cat:"soil.pcie"
-              ~name:"transfer" ~tid:(Switch_model.id t.sw)
-              ~args:[ ("bytes", Trace.F bytes) ]
-              ());
+            let m = tids t tr in
+            Trace.span_f tr ~ts:now ~dur:(completion -. now) ~cat:m.tm_pcie
+              ~name:m.tm_transfer ~tid:(Switch_model.id t.sw)
+              ~k:m.tm_k_bytes bytes);
         Engine.schedule t.engine
           ~delay:(completion -. now)
           (fun engine ->
@@ -533,8 +584,9 @@ let ipc_deliver ?issued t f =
   (match Engine.tracer t.engine with
   | None -> ()
   | Some tr ->
-      Trace.span tr ~ts:(Engine.now t.engine) ~dur:lat ~cat:"soil.ipc"
-        ~name:"deliver" ~tid:(Switch_model.id t.sw) ());
+      let m = tids t tr in
+      Trace.span0 tr ~ts:(Engine.now t.engine) ~dur:lat ~cat:m.tm_ipc
+        ~name:m.tm_deliver ~tid:(Switch_model.id t.sw));
   Engine.schedule t.engine ~delay:lat (fun engine ->
       (match issued with
       | Some t0 ->
@@ -558,9 +610,6 @@ let glitch ?(polls = 1) t = t.glitch_budget <- t.glitch_budget + polls
    returning the snapshot taken at freeze time; a pending glitch corrupts
    one read with deterministic garbage drawn from the soil's rng. *)
 let read_counters t subject =
-  let fresh () =
-    Switch_model.poll_subject t.sw ~time:(Engine.now t.engine) subject
-  in
   let data =
     if t.frozen then
       match
@@ -570,10 +619,12 @@ let read_counters t subject =
       with
       | Some (_, d) -> Array.copy d
       | None ->
-          let d = fresh () in
+          let d =
+            Switch_model.poll_subject t.sw ~time:(Engine.now t.engine) subject
+          in
           t.frozen_cache <- (subject, Array.copy d) :: t.frozen_cache;
           d
-  else fresh ()
+    else Switch_model.poll_subject t.sw ~time:(Engine.now t.engine) subject
   in
   if t.glitch_budget > 0 then begin
     t.glitch_budget <- t.glitch_budget - 1;
@@ -584,6 +635,8 @@ let read_counters t subject =
   else data
 
 (* Issue one ASIC poll for [subject] and deliver the result to [subs]. *)
+let sub_seeds subs = List.map (fun s -> s.sub_seed) subs
+
 let issue_poll t subject subs =
   let issued = Engine.now t.engine in
   Metrics.Counter.add t.requested (float_of_int (List.length subs));
@@ -592,18 +645,19 @@ let issue_poll t subject subs =
   (match Engine.tracer t.engine with
   | None -> ()
   | Some tr ->
-      Trace.instant tr ~ts:issued ~cat:"soil" ~name:"asic_poll"
-        ~tid:(Switch_model.id t.sw)
-        ~args:
-          [ ("subject", Trace.S (Format.asprintf "%a" Filter.pp_subject subject));
-            ("subs", Trace.I (List.length subs)) ]
-        ());
+      let m = tids t tr in
+      Trace.instant_si tr ~ts:issued ~cat:m.tm_soil ~name:m.tm_asic_poll
+        ~tid:(Switch_model.id t.sw) ~k0:m.tm_k_subject
+        (subject_sid m subject) ~k1:m.tm_k_subs (List.length subs));
   let bytes = poll_payload t subject in
   (* the ASIC snapshots the counters when the read is issued; the data
      then crosses the PCIe bus *)
   let data = read_counters t subject in
-  let seeds = List.map (fun s -> s.sub_seed) subs in
-  let shed () = drop_polls t ~name:"poll_shed" seeds in
+  (* the owning-seed list is only needed on the drop/shed paths (and by
+     the bounded queue under overload protection): build it there, not
+     per successful poll *)
+  let shed () = drop_polls t ~name:"poll_shed" (sub_seeds subs) in
+  let seeds = if t.ov = None then [] else sub_seeds subs in
   let ok =
     pcie_transfer t ~bytes ~seeds ~shed (fun _engine ->
         let records = Float.max 1. (bytes /. counter_record_bytes) in
@@ -623,7 +677,7 @@ let issue_poll t subject subs =
             end)
           subs)
   in
-  if not ok then drop_polls t ~name:"poll_dropped" seeds
+  if not ok then drop_polls t ~name:"poll_dropped" (sub_seeds subs)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregated polling groups                                           *)

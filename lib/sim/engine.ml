@@ -78,6 +78,11 @@ type t = {
      publish into.  Per-engine — never global — so parallel sweeps stay
      deterministic and isolated. *)
   mutable tracer : Trace.t option;
+  (* interned ids for the per-dispatch instant, refreshed by
+     [set_tracer]; only read when [tracer] is [Some _] *)
+  mutable tr_cat : int;
+  mutable tr_name : int;
+  mutable tr_seq : int;
   metrics : Metrics.Registry.t;
 }
 
@@ -174,14 +179,23 @@ let create ?(seed = 42) () =
     bitmaps = Array.make levels 0;
     ready = cheap_create nil; overflow = cheap_create nil; nil;
     free = nil; free_len = 0;
-    tracer = None; metrics = Metrics.Registry.create () }
+    tracer = None; tr_cat = 0; tr_name = 0; tr_seq = 0;
+    metrics = Metrics.Registry.create () }
 
 let now t = t.clock
 let rng t = t.root_rng
 let dispatched t = t.dispatched
 let pending t = t.pending
 let tracer t = t.tracer
-let set_tracer t tr = t.tracer <- tr
+
+let set_tracer t tr =
+  t.tracer <- tr;
+  match tr with
+  | None -> ()
+  | Some tr ->
+      t.tr_cat <- Trace.intern tr "engine";
+      t.tr_name <- Trace.intern tr "dispatch";
+      t.tr_seq <- Trace.intern tr "seq"
 let metrics t = t.metrics
 
 (* ------------------------------------------------------------------ *)
@@ -379,8 +393,8 @@ let run ?until t =
             (match t.tracer with
             | None -> ()
             | Some tr ->
-                Trace.instant tr ~ts:c.time ~cat:"engine" ~name:"dispatch"
-                  ~args:[ ("seq", Trace.I c.seq) ] ());
+                Trace.instant_i tr ~ts:c.time ~cat:t.tr_cat ~name:t.tr_name
+                  ~tid:0 ~k:t.tr_seq c.seq);
             c.cb t;
             if c.period > 0. then begin
               if not c.cancelled then arm t c (c.time +. c.period)

@@ -8,18 +8,42 @@
 
     Scenario functions must be self-contained: build the engine, fabric
     and RNG inside the call (derive per-scenario seeds with {!Rng.stream}
-    or {!Rng.derive_seed}) and share no mutable state across indices. *)
+    or {!Rng.derive_seed}) and share no mutable state across indices.
+
+    {b Multicore discipline.}  OCaml 5 minor collections are
+    stop-the-world across every running domain, so spawning more domains
+    than the machine has cores makes sweeps dramatically {e slower} (each
+    minor GC must rendezvous with descheduled domains).  [run] therefore
+    clamps the domain count to [Domain.recommended_domain_count] by
+    default, and gives each worker an enlarged per-domain minor heap so
+    allocation-heavy scenarios trip fewer barriers.  Both behaviors have
+    escape hatches ([~clamp:false], [~gc_tune:false]); worker GC tuning
+    never leaks into the calling domain. *)
 
 (** Domain count used when [?domains] is omitted:
-    [FARM_SWEEP_DOMAINS] if set, else [Domain.recommended_domain_count]. *)
+    [FARM_SWEEP_DOMAINS] if set, else [Domain.recommended_domain_count].
+    The value is still subject to [run]'s hardware clamp. *)
 val default_domains : unit -> int
 
-(** [run ~domains n f] evaluates [f 0 .. f (n-1)] on [min domains n]
-    domains (the caller's domain is one of them) and returns the results
-    indexed by scenario.  [domains <= 1] degrades to sequential
-    [Array.init].  If a scenario raises, the sweep stops taking new work,
-    every domain is joined, and the first exception re-raises here. *)
-val run : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [effective_domains ?domains ?clamp n] is the domain count [run] will
+    actually use for [n] scenarios: the requested count (defaulting as
+    above), clamped to [Domain.recommended_domain_count] unless
+    [~clamp:false], and never more than [n]. *)
+val effective_domains : ?domains:int -> ?clamp:bool -> int -> int
+
+(** [run ~domains n f] evaluates [f 0 .. f (n-1)] on
+    [effective_domains ?domains ?clamp n] domains (the caller's domain is
+    one of them) and returns the results indexed by scenario.  An
+    effective count [<= 1] degrades to sequential [Array.init].
+
+    [~clamp:false] spawns exactly the requested domains even beyond the
+    core count (determinism tests); [~gc_tune:false] leaves every
+    domain's GC parameters alone.  If a scenario raises, the sweep stops
+    taking new work, every domain is joined, and the first exception
+    re-raises here. *)
+val run :
+  ?domains:int -> ?clamp:bool -> ?gc_tune:bool -> int -> (int -> 'a) -> 'a array
 
 (** [map ~domains a f] = [run ~domains (Array.length a) (fun i -> f a.(i))]. *)
-val map : ?domains:int -> 'a array -> ('a -> 'b) -> 'b array
+val map :
+  ?domains:int -> ?clamp:bool -> ?gc_tune:bool -> 'a array -> ('a -> 'b) -> 'b array

@@ -10,28 +10,28 @@ open Farm_sim
 (* ------------------------------------------------------------------ *)
 
 let test_sweep_indexed () =
-  let r = Sweep.run ~domains:4 100 (fun i -> i * i) in
+  let r = Sweep.run ~domains:4 ~clamp:false 100 (fun i -> i * i) in
   Alcotest.(check (array int))
     "results land at their scenario index"
     (Array.init 100 (fun i -> i * i))
     r
 
 let test_sweep_degenerate () =
-  Alcotest.(check (array int)) "n = 0" [||] (Sweep.run ~domains:4 0 (fun i -> i));
+  Alcotest.(check (array int)) "n = 0" [||] (Sweep.run ~domains:4 ~clamp:false 0 (fun i -> i));
   Alcotest.(check (array int)) "single domain" [| 1; 2; 3 |]
     (Sweep.run ~domains:1 3 (fun i -> i + 1));
   Alcotest.(check (array int)) "more domains than scenarios" [| 0; 10 |]
-    (Sweep.run ~domains:8 2 (fun i -> i * 10))
+    (Sweep.run ~domains:8 ~clamp:false 2 (fun i -> i * 10))
 
 let test_sweep_map () =
   let a = [| "a"; "bb"; "ccc"; "dddd" |] in
   Alcotest.(check (array int)) "map over array" [| 1; 2; 3; 4 |]
-    (Sweep.map ~domains:3 a String.length)
+    (Sweep.map ~domains:3 ~clamp:false a String.length)
 
 exception Boom of int
 
 let test_sweep_exception () =
-  match Sweep.run ~domains:4 64 (fun i -> if i = 37 then raise (Boom i) else i) with
+  match Sweep.run ~domains:4 ~clamp:false 64 (fun i -> if i = 37 then raise (Boom i) else i) with
   | _ -> Alcotest.fail "expected the scenario exception to propagate"
   | exception Boom 37 -> ()
   | exception e ->
@@ -70,12 +70,78 @@ let scenario_digest i =
 let test_sweep_parallel_deterministic () =
   let n = 6 in
   let sequential = Sweep.run ~domains:1 n scenario_digest in
-  let parallel = Sweep.run ~domains:4 n scenario_digest in
+  let parallel = Sweep.run ~domains:4 ~clamp:false n scenario_digest in
   Alcotest.(check (array string))
     "parallel digests byte-identical to sequential" sequential parallel;
   (* and a second parallel run agrees with the first *)
-  let parallel' = Sweep.run ~domains:4 n scenario_digest in
+  let parallel' = Sweep.run ~domains:4 ~clamp:false n scenario_digest in
   Alcotest.(check (array string)) "parallel rerun stable" parallel parallel'
+
+
+(* ------------------------------------------------------------------ *)
+(* Determinism with the full observability + overload stack armed      *)
+(* ------------------------------------------------------------------ *)
+
+(* A scenario running everything at once: trace sink attached and
+   overload protection armed.  The digest covers the simulation state,
+   the full Chrome-JSON trace stream and the metrics snapshot, so any
+   domain-count dependence anywhere in that stack fails the property. *)
+let armed_traced_digest base i =
+  let seed = Rng.derive_seed base ~stream:i in
+  let w =
+    Farm.World.create ~seed ~spines:2 ~leaves:3 ~hosts_per_leaf:1
+      ~seeder_config:Farm.Runtime.Seeder.overload_defaults ()
+  in
+  let tr = Trace.create () in
+  Engine.set_tracer w.Farm.World.engine (Some tr);
+  (match Farm.World.deploy_catalog_task w "heavy-hitter" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "scenario %d: heavy-hitter deploy: %s" i m);
+  Farm.World.background_traffic ~flows:(8 + (4 * i)) w;
+  Farm.World.run ~until:0.3 w;
+  Printf.sprintf "i=%d dispatched=%d now=%h " i
+    (Engine.dispatched w.Farm.World.engine)
+    (Farm.World.now w)
+  ^ Trace.to_chrome_json tr
+  ^ Metrics.Registry.to_json (Engine.metrics w.Farm.World.engine)
+
+let prop_sweep_armed_traced_invariant =
+  QCheck2.Test.make
+    ~name:"1/2/4-domain sweeps byte-identical (traced, overload armed)"
+    ~count:3
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun base ->
+      let digests d =
+        Sweep.run ~domains:d ~clamp:false 4 (armed_traced_digest base)
+      in
+      let d1 = digests 1 in
+      d1 = digests 2 && d1 = digests 4)
+
+(* Worker GC tuning must not leak: the calling domain's GC parameters
+   are identical before and after a parallel sweep (the caller
+   participates as a worker, so this exercises the snapshot/restore). *)
+let test_sweep_gc_tune_no_leak () =
+  let before = Gc.get () in
+  let r =
+    Sweep.run ~domains:4 ~clamp:false 16 (fun i ->
+        (* allocate enough that workers actually exercise their heaps *)
+        Array.length (Array.make (1024 * (1 + (i mod 4))) i))
+  in
+  Alcotest.(check int) "sweep ran" 16 (Array.length r);
+  let after = Gc.get () in
+  Alcotest.(check int)
+    "minor_heap_size restored" before.Gc.minor_heap_size
+    after.Gc.minor_heap_size;
+  Alcotest.(check int)
+    "space_overhead untouched" before.Gc.space_overhead
+    after.Gc.space_overhead;
+  (* and the escape hatch really skips tuning *)
+  let before' = Gc.get () in
+  ignore (Sweep.run ~domains:2 ~clamp:false ~gc_tune:false 4 (fun i -> i));
+  let after' = Gc.get () in
+  Alcotest.(check int)
+    "gc_tune:false leaves minor heap alone" before'.Gc.minor_heap_size
+    after'.Gc.minor_heap_size
 
 let () =
   Alcotest.run "farm_sweep"
@@ -89,4 +155,8 @@ let () =
             test_sweep_default_domains ] );
       ( "determinism",
         [ Alcotest.test_case "parallel = sequential" `Quick
-            test_sweep_parallel_deterministic ] ) ]
+            test_sweep_parallel_deterministic;
+          QCheck_alcotest.to_alcotest prop_sweep_armed_traced_invariant ] );
+      ( "gc",
+        [ Alcotest.test_case "worker tuning does not leak" `Quick
+            test_sweep_gc_tune_no_leak ] ) ]

@@ -156,7 +156,7 @@ let prop_trace_replay_identical =
 
 let test_trace_domain_invariant () =
   let sweep domains =
-    Sweep.run ~domains 4 (fun i ->
+    Sweep.run ~domains ~clamp:false 4 (fun i ->
         let j, m = traced_digest (Rng.derive_seed 7 ~stream:i) in
         j ^ m)
   in
